@@ -1,0 +1,61 @@
+// Shared rendering helpers for the reproduction benches. Each bench prints
+// the paper's table/figure as aligned ASCII series so the output can be
+// diffed against the paper's qualitative shapes (see EXPERIMENTS.md).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace splace::bench {
+
+/// Default α grid used by the figure benches (the paper sweeps [0, 1]).
+inline std::vector<double> alpha_grid(double step) {
+  // Index-based so the endpoints are exactly 0 and 1 (an accumulated
+  // 0.999... endpoint would silently drop the d̄ = 1 hosts).
+  const auto count = static_cast<std::size_t>(1.0 / step + 0.5);
+  std::vector<double> alphas;
+  alphas.reserve(count + 1);
+  for (std::size_t i = 0; i <= count; ++i)
+    alphas.push_back(i == count ? 1.0 : static_cast<double>(i) * step);
+  return alphas;
+}
+
+/// Prints one metric of a sweep as a table: rows = α, columns = algorithms.
+inline void print_metric_series(
+    std::ostream& os, const std::string& title, const SweepResult& sweep,
+    double MetricPoint::* metric, const std::vector<Algorithm>& order) {
+  os << "--- " << title << " ---\n";
+  std::vector<std::string> headers{"alpha"};
+  for (Algorithm algo : order) headers.push_back(to_string(algo));
+  TablePrinter table(std::move(headers));
+  for (std::size_t i = 0; i < sweep.alphas.size(); ++i) {
+    std::vector<std::string> row{format_double(sweep.alphas[i], 1)};
+    for (Algorithm algo : order)
+      row.push_back(format_double(sweep.series.at(algo)[i].*metric, 1));
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+  os << '\n';
+}
+
+/// Prints all three metric series of a figure (the paper's (a)(b)(c) panels).
+inline void print_figure(std::ostream& os, const std::string& figure,
+                         const std::string& network,
+                         const SweepResult& sweep,
+                         const std::vector<Algorithm>& order) {
+  os << "==== " << figure << ": " << network
+     << " — monitoring performance vs QoS slack alpha (k = 1) ====\n\n";
+  print_metric_series(os, "(a) coverage |C(P)|", sweep,
+                      &MetricPoint::coverage, order);
+  print_metric_series(os, "(b) identifiability |S_1(P)|", sweep,
+                      &MetricPoint::identifiability, order);
+  print_metric_series(os, "(c) distinguishability |D_1(P)|", sweep,
+                      &MetricPoint::distinguishability, order);
+}
+
+}  // namespace splace::bench

@@ -1,0 +1,27 @@
+// Reproduces Fig. 6: Tiscali — QoS/RD/GC/GI/GD in (a) coverage,
+// (b) 1-identifiability, (c) 1-distinguishability vs α. BF is omitted, as
+// in the paper (search space too large for the medium network).
+//
+// Expected shapes (paper): heuristics improve with α, QoS flat and worst;
+// GI wins identifiability but trails badly (below RD) on coverage and
+// distinguishability; GD near-best on all three.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/splace.hpp"
+
+int main() {
+  using namespace splace;
+
+  const topology::CatalogEntry& entry = topology::catalog_entry("Tiscali");
+  SweepConfig config;
+  config.alphas = bench::alpha_grid(0.1);
+  config.rd_trials = 20;
+
+  const SweepResult sweep = run_sweep(entry, config);
+  const std::vector<Algorithm> order = {Algorithm::GC, Algorithm::GI,
+                                        Algorithm::GD, Algorithm::QoS,
+                                        Algorithm::RD};
+  bench::print_figure(std::cout, "Fig. 6", entry.spec.name, sweep, order);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Reproduces Fig. 7: AT&T (largest network, 7 services) — QoS/RD/GC/GI/GD
+// in (a) coverage, (b) 1-identifiability, (c) 1-distinguishability vs α.
+//
+// Expected shapes (paper): same ordering as Fig. 6, with a wide gap between
+// the monitoring-aware heuristics and the QoS baseline at large α because
+// the 78 access nodes give the greedy algorithms many distinct paths to buy.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/splace.hpp"
+
+int main() {
+  using namespace splace;
+
+  const topology::CatalogEntry& entry = topology::catalog_entry("AT&T");
+  SweepConfig config;
+  config.alphas = bench::alpha_grid(0.1);
+  config.rd_trials = 20;
+
+  const SweepResult sweep = run_sweep(entry, config);
+  const std::vector<Algorithm> order = {Algorithm::GC, Algorithm::GI,
+                                        Algorithm::GD, Algorithm::QoS,
+                                        Algorithm::RD};
+  bench::print_figure(std::cout, "Fig. 7", entry.spec.name, sweep, order);
+  return 0;
+}

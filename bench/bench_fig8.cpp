@@ -1,0 +1,57 @@
+// Reproduces Fig. 8: distribution of the degree of uncertainty (equivalence
+// graph degree over N ∪ {v0}) for AT&T at α = 0.6, under each placement.
+//
+// Expected shape (paper): bimodal — a spike at 0 (covered, identifiable
+// nodes) and a second spike at the size of the uncovered cluster; covered
+// but ambiguous nodes contribute small degrees between the two.
+#include <iostream>
+#include <set>
+
+#include "bench_common.hpp"
+#include "core/splace.hpp"
+
+int main() {
+  using namespace splace;
+
+  const topology::CatalogEntry& entry = topology::catalog_entry("AT&T");
+  const double alpha = 0.6;
+  const ProblemInstance instance = make_instance(entry, alpha);
+
+  std::cout << "==== Fig. 8: degree-of-uncertainty distribution — "
+            << entry.spec.name << ", alpha = " << alpha << " ====\n"
+            << "(fraction of the " << instance.node_count() + 1
+            << " vertices of Q, incl. the no-failure vertex v0, per degree)\n\n";
+
+  const std::vector<Algorithm> order = {Algorithm::QoS, Algorithm::RD,
+                                        Algorithm::GC, Algorithm::GI,
+                                        Algorithm::GD};
+  std::vector<Histogram> hists;
+  for (Algorithm algo : order) {
+    Rng rng(42);
+    const Placement placement = compute_placement(instance, algo, rng);
+    hists.push_back(uncertainty_distribution_k1(instance, placement));
+  }
+
+  // Union of degrees with mass under any placement.
+  std::set<std::size_t> degrees;
+  for (const Histogram& h : hists)
+    for (const auto& [deg, count] : h.counts()) degrees.insert(deg);
+
+  std::vector<std::string> headers{"degree"};
+  for (Algorithm algo : order) headers.push_back(to_string(algo));
+  TablePrinter table(std::move(headers));
+  for (std::size_t deg : degrees) {
+    std::vector<std::string> row{std::to_string(deg)};
+    for (const Histogram& h : hists)
+      row.push_back(h.fraction(deg) == 0.0
+                        ? "."
+                        : format_double(h.fraction(deg), 3));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: degree 0 = uniquely identifiable vertex; a node "
+               "with degree d narrows a detected failure to d+1 locations; "
+               "the high-degree spike is the uncovered cluster.\n";
+  return 0;
+}

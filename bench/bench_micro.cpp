@@ -1,0 +1,118 @@
+// Timing microbenchmarks (google-benchmark) for the kernels every placement
+// run leans on: routing construction, equivalence maintenance (both forms),
+// the packed brute-force evaluator, the greedy heuristics, and localization.
+#include <benchmark/benchmark.h>
+
+#include "core/splace.hpp"
+
+namespace {
+
+using namespace splace;
+
+const ProblemInstance& tiscali_instance() {
+  static const ProblemInstance instance =
+      make_instance(topology::catalog_entry("Tiscali"), 1.0);
+  return instance;
+}
+
+const ProblemInstance& abovenet_instance() {
+  static const ProblemInstance instance =
+      make_instance(topology::catalog_entry("Abovenet"), 1.0);
+  return instance;
+}
+
+PathSet placement_paths(const ProblemInstance& inst) {
+  return inst.paths_for_placement(
+      greedy_placement(inst, ObjectiveKind::Coverage).placement);
+}
+
+void BM_RoutingTableBuild(benchmark::State& state) {
+  const Graph g = topology::att();
+  for (auto _ : state) {
+    RoutingTable routes(g);
+    benchmark::DoNotOptimize(routes.diameter());
+  }
+}
+BENCHMARK(BM_RoutingTableBuild);
+
+void BM_EquivalenceClassesBuild(benchmark::State& state) {
+  const ProblemInstance& inst = tiscali_instance();
+  const PathSet paths = placement_paths(inst);
+  for (auto _ : state) {
+    EquivalenceClasses classes(inst.node_count());
+    classes.add_paths(paths);
+    benchmark::DoNotOptimize(classes.distinguishable_pairs());
+  }
+}
+BENCHMARK(BM_EquivalenceClassesBuild);
+
+void BM_EquivalenceGraphBuild(benchmark::State& state) {
+  const ProblemInstance& inst = tiscali_instance();
+  const PathSet paths = placement_paths(inst);
+  for (auto _ : state) {
+    EquivalenceGraph q(inst.node_count());
+    q.add_paths(paths);
+    benchmark::DoNotOptimize(q.distinguishable_pairs());
+  }
+}
+BENCHMARK(BM_EquivalenceGraphBuild);
+
+void BM_FastK1Evaluate(benchmark::State& state) {
+  const ProblemInstance& inst = abovenet_instance();
+  std::vector<std::vector<PathSet>> options(inst.service_count());
+  for (std::size_t s = 0; s < inst.service_count(); ++s)
+    for (NodeId h : inst.candidate_hosts(s))
+      options[s].push_back(inst.paths_for(s, h));
+  const FastK1Evaluator evaluator(inst.node_count(), options);
+  std::vector<std::size_t> choice(inst.service_count(), 0);
+  std::size_t bump = 0;
+  for (auto _ : state) {
+    choice[bump % choice.size()] =
+        (choice[bump % choice.size()] + 1) % options[bump % choice.size()].size();
+    ++bump;
+    benchmark::DoNotOptimize(evaluator.evaluate(choice));
+  }
+}
+BENCHMARK(BM_FastK1Evaluate);
+
+void BM_GreedyDistinguishabilityTiscali(benchmark::State& state) {
+  const ProblemInstance& inst = tiscali_instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        greedy_placement(inst, ObjectiveKind::Distinguishability)
+            .objective_value);
+  }
+}
+BENCHMARK(BM_GreedyDistinguishabilityTiscali);
+
+void BM_GreedyCoverageTiscali(benchmark::State& state) {
+  const ProblemInstance& inst = tiscali_instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        greedy_placement(inst, ObjectiveKind::Coverage).objective_value);
+  }
+}
+BENCHMARK(BM_GreedyCoverageTiscali);
+
+void BM_LocalizeSingleFailure(benchmark::State& state) {
+  const ProblemInstance& inst = tiscali_instance();
+  const PathSet paths = placement_paths(inst);
+  Rng rng(7);
+  for (auto _ : state) {
+    const FailureScenario scenario = random_scenario(paths, 1, rng);
+    benchmark::DoNotOptimize(localize(paths, scenario, 1).ambiguity());
+  }
+}
+BENCHMARK(BM_LocalizeSingleFailure);
+
+void BM_DistinguishabilityK2Abovenet(benchmark::State& state) {
+  const ProblemInstance& inst = abovenet_instance();
+  const PathSet paths = placement_paths(inst);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(distinguishability(paths, 2));
+}
+BENCHMARK(BM_DistinguishabilityK2Abovenet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

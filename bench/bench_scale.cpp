@@ -1,0 +1,86 @@
+// Scaling study: wall-clock growth of the placement pipeline with network
+// size on synthetic connected graphs (beyond the paper's three fixed
+// networks). Reported per size: routing construction, GD greedy, lazy GD,
+// QoS baseline + evaluation, and a localization round — the operations a
+// deployment would run continuously.
+#include <chrono>
+#include <iostream>
+
+#include "core/splace.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace splace;
+
+  std::cout << "==== Scaling: random connected networks, 6 services x 3 "
+               "clients, alpha = 0.8, k = 1 ====\n\n";
+  TablePrinter table({"nodes", "links", "routing ms", "GD ms", "lazy GD ms",
+                      "lazy evals", "localize ms", "|D_1| GD/QoS"});
+
+  for (const std::size_t n : {50u, 100u, 200u, 400u}) {
+    Rng rng(n);
+    const std::size_t links = n * 2;
+    Graph g = random_connected(n, links, rng);
+
+    std::vector<Service> services;
+    for (int s = 0; s < 6; ++s) {
+      Service svc;
+      svc.name = "s" + std::to_string(s);
+      svc.alpha = 0.8;
+      std::vector<NodeId> pool(n);
+      for (NodeId v = 0; v < n; ++v) pool[v] = v;
+      svc.clients = rng.sample(std::move(pool), 3);
+      services.push_back(std::move(svc));
+    }
+
+    const auto t_route = Clock::now();
+    const ProblemInstance inst(std::move(g), services);  // builds routing
+    const double routing_ms = ms_since(t_route);
+
+    const auto t_gd = Clock::now();
+    const GreedyResult gd =
+        greedy_placement(inst, ObjectiveKind::Distinguishability);
+    const double gd_ms = ms_since(t_gd);
+
+    const auto t_lazy = Clock::now();
+    const LazyGreedyResult lazy =
+        lazy_greedy_placement(inst, ObjectiveKind::Distinguishability);
+    const double lazy_ms = ms_since(t_lazy);
+
+    const MetricReport qos =
+        evaluate_placement_k1(inst, best_qos_placement(inst));
+
+    const PathSet paths = inst.paths_for_placement(gd.placement);
+    Rng fail_rng(7);
+    const auto t_loc = Clock::now();
+    for (int i = 0; i < 20; ++i)
+      localize(paths, random_scenario(paths, 1, fail_rng), 1);
+    const double loc_ms = ms_since(t_loc) / 20.0;
+
+    table.add_row(
+        {std::to_string(n), std::to_string(links),
+         format_double(routing_ms, 1), format_double(gd_ms, 1),
+         format_double(lazy_ms, 1), std::to_string(lazy.evaluations),
+         format_double(loc_ms, 2),
+         format_double(gd.objective_value /
+                           static_cast<double>(qos.distinguishability),
+                       2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(GD cost is dominated by candidate evaluations: "
+               "O(S^2 H) partition clones of O(N) each; lazy evaluation "
+               "trims the constant. Localization stays in microseconds.)\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Operational simulation bench (extension beyond the paper's static
+// figures): run the passive-monitoring discrete-event simulator over the
+// Tiscali stand-in and compare placements on runtime outcomes — request
+// availability, failure detection latency, and localization quality.
+//
+// Expected shape: all placements see a similar failure process and similar
+// availability (same topology, same MTBF/MTTR); the monitoring-aware
+// placements detect a larger share of failures faster and localize far more
+// of them uniquely — the operational payoff of maximizing |D_1|.
+#include <iostream>
+
+#include "core/splace.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace splace;
+
+  const topology::CatalogEntry& entry = topology::catalog_entry("Tiscali");
+  const ProblemInstance instance = make_instance(entry, 0.8);
+
+  sim::SimConfig config;
+  config.duration = 20000.0;
+  config.request_rate = 1.0;
+  config.mtbf = 20000.0;
+  config.mttr = 120.0;
+  config.epoch = 5.0;
+  config.seed = 2016;
+
+  std::cout << "==== Simulation: passive monitoring on " << entry.spec.name
+            << " (alpha=0.8, duration=" << config.duration
+            << ", epoch=" << config.epoch << ", per-node MTBF="
+            << config.mtbf << ", MTTR=" << config.mttr << ") ====\n\n";
+
+  TablePrinter table({"placement", "availability", "failures", "detected",
+                      "mean detect latency", "localizations",
+                      "unique", "mean ambiguity"});
+
+  for (Algorithm algo :
+       {Algorithm::QoS, Algorithm::RD, Algorithm::GC, Algorithm::GI,
+        Algorithm::GD}) {
+    Rng rng(7);
+    const Placement placement = compute_placement(instance, algo, rng);
+    const sim::SimReport report = sim::simulate(instance, placement, config);
+    table.add_row(
+        {to_string(algo), format_double(report.availability, 4),
+         std::to_string(report.failures_injected),
+         std::to_string(report.failures_detected),
+         format_double(report.mean_detection_latency, 2),
+         std::to_string(report.localizations_attempted),
+         std::to_string(report.localizations_unique),
+         format_double(report.mean_ambiguity, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(detection latency is bounded below by the epoch length; "
+               "a failure on a node no observed path traverses is never "
+               "detected.)\n";
+  return 0;
+}

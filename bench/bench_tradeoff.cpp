@@ -1,0 +1,59 @@
+// QoS ↔ monitoring tradeoff frontier (the paper's intro question (iii),
+// which the evaluation answers only implicitly through the α sweeps).
+//
+// For each α budget we report the QoS actually *spent* by the GD placement
+// (mean relative distance and extra hops of the chosen hosts) against the
+// monitoring performance bought. Expected shape: monitoring grows quickly
+// for small spent-QoS and saturates — most of the benefit is available for
+// a fraction of the worst-case latency budget. QoS (always spends 0) and
+// the frontier endpoints bracket the curve.
+#include <iostream>
+
+#include "core/splace.hpp"
+#include "core/tradeoff.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace splace;
+
+  const std::vector<double> alphas = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                      0.6, 0.7, 0.8, 0.9, 1.0};
+
+  for (const char* name : {"Tiscali", "AT&T"}) {
+    const topology::CatalogEntry& entry = topology::catalog_entry(name);
+    std::cout << "==== Tradeoff frontier: " << name
+              << " — QoS spent vs monitoring bought (GD placement) ====\n";
+    TablePrinter table({"alpha budget", "mean rel. dist spent",
+                        "mean extra hops", "coverage", "|S_1|", "|D_1|",
+                        "|D_1| vs QoS-only"});
+    const auto frontier = qos_tradeoff(entry, Algorithm::GD, alphas);
+    const auto baseline = qos_tradeoff(entry, Algorithm::QoS, {0.0});
+    const double qos_d1 =
+        static_cast<double>(baseline.front().metrics.distinguishability);
+    for (const TradeoffPoint& p : frontier) {
+      table.add_row(
+          {format_double(p.alpha, 1),
+           format_double(p.cost.mean_relative_distance, 3),
+           format_double(p.cost.mean_extra_hops, 2),
+           std::to_string(p.metrics.coverage),
+           std::to_string(p.metrics.identifiability),
+           std::to_string(p.metrics.distinguishability),
+           "+" +
+               format_double(
+                   100.0 * (static_cast<double>(
+                                p.metrics.distinguishability) -
+                            qos_d1) /
+                       qos_d1,
+                   1) +
+               "%"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "(reading: 'spent' is the QoS the chosen hosts actually give "
+               "up, not the budget; GD typically buys most of its "
+               "monitoring gain while spending well under half the allowed "
+               "degradation.)\n";
+  return 0;
+}

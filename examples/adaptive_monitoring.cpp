@@ -1,0 +1,90 @@
+// Adaptive monitoring loop: passive detection -> tomography -> targeted
+// active probes -> confirmation.
+//
+//   $ ./adaptive_monitoring [num_incidents]
+//
+// The paper's placement maximizes what *passive* client-server observations
+// reveal, and notes that residual ambiguity can be removed with a few
+// active probes. This example runs that full loop on the Tiscali stand-in:
+// for each simulated incident, localize from passive paths alone; when the
+// answer is ambiguous, plan the fewest traceroute-style probes from the
+// service hosts that would disambiguate, and report the measurement budget
+// adaptivity saves versus probing everything.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/splace.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace splace;
+
+  std::size_t incidents = 30;
+  if (argc > 1) incidents = static_cast<std::size_t>(std::atoll(argv[1]));
+
+  const topology::CatalogEntry& entry = topology::catalog_entry("Tiscali");
+  const ProblemInstance instance = make_instance(entry, 0.6);
+  const GreedyResult gd =
+      greedy_placement(instance, ObjectiveKind::Distinguishability);
+  const PathSet passive = instance.paths_for_placement(gd.placement);
+
+  // Probe vantages: the service hosts themselves (they already talk to the
+  // network; no new monitoring nodes are deployed).
+  std::vector<NodeId> vantages = gd.placement;
+  std::sort(vantages.begin(), vantages.end());
+  vantages.erase(std::unique(vantages.begin(), vantages.end()),
+                 vantages.end());
+  const std::vector<MeasurementPath> pool =
+      probe_pool(instance.routing(), vantages);
+
+  std::size_t detected = 0;
+  std::size_t immediately_unique = 0;
+  std::size_t resolved_by_probes = 0;
+  std::size_t irreducible = 0;
+  std::size_t probes_spent = 0;
+
+  Rng rng(2016);
+  for (std::size_t i = 0; i < incidents; ++i) {
+    const FailureScenario scenario = random_scenario(passive, 1, rng);
+    if (scenario.failed_paths.none()) continue;  // invisible incident
+    ++detected;
+    const LocalizationResult loc = localize(passive, scenario, 1);
+    if (loc.unique()) {
+      ++immediately_unique;
+      continue;
+    }
+    const AugmentationPlan plan =
+        plan_augmentation(pool, loc.consistent_sets);
+    probes_spent += plan.probes.size();
+    if (plan.fully_disambiguates)
+      ++resolved_by_probes;
+    else
+      ++irreducible;
+  }
+
+  std::cout << "Adaptive monitoring on " << entry.spec.name
+            << " (GD placement, " << incidents << " single-node incidents, "
+            << vantages.size() << " probe vantages)\n\n";
+  TablePrinter table({"stage", "incidents"});
+  table.add_row({"visible to passive paths", std::to_string(detected)});
+  table.add_row({"localized passively (no probes)",
+                 std::to_string(immediately_unique)});
+  table.add_row({"resolved by planned probes",
+                 std::to_string(resolved_by_probes)});
+  table.add_row({"irreducible ambiguity", std::to_string(irreducible)});
+  table.print(std::cout);
+
+  const std::size_t ambiguous = resolved_by_probes + irreducible;
+  const double mean_probes =
+      ambiguous == 0 ? 0.0
+                     : static_cast<double>(probes_spent) /
+                           static_cast<double>(ambiguous);
+  std::cout << "\nmean probes per ambiguous incident: "
+            << format_double(mean_probes, 2) << " (vs " << pool.size()
+            << " for probing every vantage-target pair)\n"
+            << "=> the placement already does most of the localization "
+               "work; adaptive probing mops up the tail for a tiny "
+               "measurement budget.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Failure drill: quantify how much a monitoring-aware placement speeds up
+// fault localization on the large AT&T-like topology.
+//
+//   $ ./failure_drill [num_drills]
+//
+// For each drill a random node fails; the operator sees only which
+// client-server connections broke and runs Boolean tomography. We compare
+// the best-QoS placement against the greedy distinguishability placement on
+// (i) detection rate, (ii) unique-localization rate, (iii) mean number of
+// candidate locations the operator must inspect.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/splace.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct DrillStats {
+  std::size_t detected = 0;
+  std::size_t unique = 0;
+  double total_candidates = 0;   // consistent sets per detected failure
+  double total_inspections = 0;  // node checks until the failure is confirmed
+};
+
+DrillStats run_drills(const splace::ProblemInstance& instance,
+                      const splace::Placement& placement,
+                      std::size_t drills) {
+  using namespace splace;
+  const PathSet paths = instance.paths_for_placement(placement);
+  DrillStats stats;
+  Rng rng(2016);
+  for (std::size_t d = 0; d < drills; ++d) {
+    const FailureScenario scenario = random_scenario(paths, 1, rng);
+    if (scenario.failed_paths.none()) continue;  // failure invisible
+    ++stats.detected;
+    const LocalizationResult loc = localize(paths, scenario, 1);
+    if (loc.unique()) ++stats.unique;
+    stats.total_candidates +=
+        static_cast<double>(loc.consistent_sets.size());
+    stats.total_inspections += static_cast<double>(inspections_until_found(
+        localization_inspection_order(loc), scenario.failed_nodes,
+        paths.node_count()));
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace splace;
+
+  std::size_t drills = 200;
+  if (argc > 1) drills = static_cast<std::size_t>(std::atoll(argv[1]));
+
+  const topology::CatalogEntry& entry = topology::catalog_entry("AT&T");
+  const ProblemInstance instance = make_instance(entry, 0.6);
+  std::cout << "AT&T stand-in: " << instance.node_count() << " nodes, "
+            << instance.service_count() << " services, alpha=0.6, "
+            << drills << " single-failure drills\n\n";
+
+  const Placement qos = best_qos_placement(instance);
+  const Placement gd =
+      greedy_placement(instance, ObjectiveKind::Distinguishability).placement;
+
+  TablePrinter table({"placement", "failures detected", "uniquely localized",
+                      "mean candidate locations", "mean inspections"});
+  for (const auto& [name, placement] :
+       {std::pair<const char*, const Placement&>{"best-QoS", qos},
+        {"greedy-distinguishability", gd}}) {
+    const DrillStats stats = run_drills(instance, placement, drills);
+    table.add_row(
+        {name,
+         std::to_string(stats.detected) + "/" + std::to_string(drills),
+         std::to_string(stats.unique) + "/" + std::to_string(stats.detected),
+         stats.detected == 0
+             ? "-"
+             : format_double(stats.total_candidates /
+                                 static_cast<double>(stats.detected),
+                             2),
+         stats.detected == 0
+             ? "-"
+             : format_double(stats.total_inspections /
+                                 static_cast<double>(stats.detected),
+                             2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n(Each 'candidate location' is a failure hypothesis "
+               "consistent with the observed path states; fewer means less "
+               "manual troubleshooting.)\n";
+  return 0;
+}

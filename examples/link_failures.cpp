@@ -1,0 +1,71 @@
+// Monitoring link failures through the logical-node transform.
+//
+//   $ ./link_failures
+//
+// The paper assumes node failures only, noting that "link failures can be
+// modeled by the failures of logical nodes that represent the links"
+// (Section II-A). This example makes that concrete: subdivide every link of
+// the Abovenet stand-in with a logical link node, run the same GD placement
+// machinery on the augmented network, then break real links and localize
+// them from end-to-end observations.
+#include <iostream>
+
+#include "core/splace.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace splace;
+
+  const Graph original = topology::abovenet();
+  const LinkNodeTransform transform(original);
+  std::cout << "Abovenet stand-in: " << original.node_count() << " nodes + "
+            << transform.link_count() << " links -> augmented network of "
+            << transform.augmented().node_count() << " failure points\n\n";
+
+  // Services as in the paper's Abovenet setup, but placed on the augmented
+  // network so link states become first-class monitoring targets.
+  const topology::CatalogEntry& entry = topology::catalog_entry("Abovenet");
+  const std::vector<NodeId> clients =
+      topology::candidate_clients(entry, original);
+  std::vector<Service> services = make_services(entry, clients, 0.6);
+  const ProblemInstance instance(transform.augmented(), services);
+
+  const GreedyResult gd =
+      greedy_placement(instance, ObjectiveKind::Distinguishability);
+  const PathSet paths = instance.paths_for_placement(gd.placement);
+  const MetricReport metrics = evaluate_paths_k1(paths);
+  std::cout << "GD placement on the augmented network: coverage "
+            << metrics.coverage << "/" << instance.node_count()
+            << " failure points (nodes+links), |S_1| = "
+            << metrics.identifiability << "\n\n";
+
+  // Break each of the first few links and troubleshoot.
+  TablePrinter table({"failed link", "paths broken", "candidates",
+                      "verdict"});
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < transform.link_count() && shown < 8; ++i) {
+    const NodeId link = transform.link_node(i);
+    const FailureScenario scenario = observe(paths, {link});
+    if (scenario.failed_paths.none()) continue;  // link unused by any path
+    ++shown;
+    const LocalizationResult loc = localize(paths, scenario, 1);
+    const Edge e = transform.original_link(link);
+    std::string verdict;
+    if (loc.unique()) {
+      verdict = "uniquely localized";
+    } else {
+      verdict = "narrowed to " +
+                std::to_string(loc.consistent_sets.size()) + " candidates";
+    }
+    table.add_row({std::to_string(e.u) + "-" + std::to_string(e.v),
+                   std::to_string(scenario.failed_paths.count()),
+                   std::to_string(loc.consistent_sets.size()), verdict});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n(Candidates may be links or nodes — e.g. a link and the "
+               "stub node behind it fail identically; the transform makes "
+               "that ambiguity explicit instead of hiding it.)\n";
+  return 0;
+}

@@ -1,0 +1,18 @@
+# Plot a figure-style sweep exported by `splace_cli --sweep > sweep.csv`
+# or core/export.hpp's sweep_to_csv.
+#
+#   gnuplot -e "csv='sweep.csv'; metric=5" scripts/plot_sweep.gp
+#
+# metric column: 3 = coverage, 4 = identifiability, 5 = distinguishability.
+if (!exists("csv")) csv = "sweep.csv"
+if (!exists("metric")) metric = 5
+set datafile separator ","
+set key outside
+set xlabel "alpha (QoS slack)"
+set ylabel "monitoring measure"
+set grid
+set term pngcairo size 900,540
+set output csv.".png"
+plot for [algo in "QoS RD GC GI GD BF"] \
+  csv using 1:(strcol(2) eq algo ? column(metric) : 1/0) \
+  with linespoints title algo

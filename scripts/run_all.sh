@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Build, test, and regenerate every reproduced table/figure.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done

@@ -1,0 +1,71 @@
+#include "core/export.hpp"
+
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+namespace splace {
+
+void sweep_to_csv(const SweepResult& sweep, std::ostream& os) {
+  CsvWriter csv(os);
+  csv.write_row({"alpha", "algorithm", "coverage", "identifiability",
+                 "distinguishability"});
+  for (const auto& [algo, series] : sweep.series) {
+    for (std::size_t i = 0; i < sweep.alphas.size(); ++i) {
+      csv.write_row({format_double(sweep.alphas[i], 2), to_string(algo),
+                     format_double(series[i].coverage, 4),
+                     format_double(series[i].identifiability, 4),
+                     format_double(series[i].distinguishability, 4)});
+    }
+  }
+}
+
+namespace {
+void write_number_array(std::ostream& os, const std::vector<double>& values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ',';
+    os << format_double(values[i], 4);
+  }
+  os << ']';
+}
+}  // namespace
+
+void sweep_to_json(const SweepResult& sweep, std::ostream& os) {
+  os << "{\"alphas\":";
+  write_number_array(os, sweep.alphas);
+  os << ",\"series\":{";
+  bool first_algo = true;
+  for (const auto& [algo, series] : sweep.series) {
+    if (!first_algo) os << ',';
+    first_algo = false;
+    os << '"' << to_string(algo) << "\":{";
+    const auto emit = [&os, &series](const char* name,
+                                     double MetricPoint::* member,
+                                     bool trailing_comma) {
+      os << '"' << name << "\":";
+      std::vector<double> values;
+      values.reserve(series.size());
+      for (const MetricPoint& p : series) values.push_back(p.*member);
+      write_number_array(os, values);
+      if (trailing_comma) os << ',';
+    };
+    emit("coverage", &MetricPoint::coverage, true);
+    emit("identifiability", &MetricPoint::identifiability, true);
+    emit("distinguishability", &MetricPoint::distinguishability, false);
+    os << '}';
+  }
+  os << "}}";
+}
+
+void candidate_hosts_to_csv(const std::vector<CandidateHostsPoint>& points,
+                            std::ostream& os) {
+  CsvWriter csv(os);
+  csv.write_row({"alpha", "min", "q1", "median", "q3", "max"});
+  for (const CandidateHostsPoint& p : points) {
+    csv.write_row_values({p.alpha, p.stats.min, p.stats.q1, p.stats.median,
+                          p.stats.q3, p.stats.max},
+                         4);
+  }
+}
+
+}  // namespace splace

@@ -1,0 +1,26 @@
+// Machine-readable exports of experiment results, so the bench output can
+// feed plotting pipelines (gnuplot/matplotlib) without scraping the ASCII
+// tables.
+#pragma once
+
+#include <ostream>
+
+#include "core/experiment.hpp"
+
+namespace splace {
+
+/// CSV: header `alpha,algorithm,coverage,identifiability,distinguishability`
+/// followed by one row per (α, algorithm), algorithms in map order.
+void sweep_to_csv(const SweepResult& sweep, std::ostream& os);
+
+/// Compact JSON:
+/// {"alphas":[...],"series":{"GC":{"coverage":[...],...},...}}
+/// Numbers use up to 6 significant digits; key order is deterministic.
+void sweep_to_json(const SweepResult& sweep, std::ostream& os);
+
+/// CSV for a Fig. 4-style candidate-host sweep:
+/// `alpha,min,q1,median,q3,max`.
+void candidate_hosts_to_csv(const std::vector<CandidateHostsPoint>& points,
+                            std::ostream& os);
+
+}  // namespace splace

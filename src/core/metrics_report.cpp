@@ -1,0 +1,43 @@
+#include "core/metrics_report.hpp"
+
+#include "monitoring/coverage.hpp"
+#include "monitoring/distinguishability.hpp"
+#include "monitoring/equivalence_classes.hpp"
+#include "monitoring/identifiability.hpp"
+
+namespace splace {
+
+MetricReport evaluate_paths_k1(const PathSet& paths) {
+  EquivalenceClasses classes(paths.node_count());
+  classes.add_paths(paths);
+  MetricReport report;
+  report.coverage = coverage(paths);
+  report.identifiability = classes.identifiable_count();
+  report.distinguishability = classes.distinguishable_pairs();
+  return report;
+}
+
+MetricReport evaluate_paths(const PathSet& paths, std::size_t k) {
+  if (k == 1) return evaluate_paths_k1(paths);
+  const SignatureGroups groups(paths, k);
+  MetricReport report;
+  report.coverage = coverage(paths);
+  report.identifiability =
+      identifiable_nodes(groups, paths.node_count()).count();
+  report.distinguishability = distinguishability(groups);
+  return report;
+}
+
+MetricReport evaluate_placement_k1(const ProblemInstance& instance,
+                                   const Placement& placement) {
+  return evaluate_paths_k1(instance.paths_for_placement(placement));
+}
+
+Histogram uncertainty_distribution_k1(const ProblemInstance& instance,
+                                      const Placement& placement) {
+  EquivalenceClasses classes(instance.node_count());
+  classes.add_paths(instance.paths_for_placement(placement));
+  return classes.uncertainty_distribution();
+}
+
+}  // namespace splace

@@ -1,0 +1,68 @@
+// Umbrella header for the splace library: monitoring-aware service placement
+// after He et al., "Service Placement for Detecting and Localizing Failures
+// Using End-to-End Observations" (ICDCS 2016).
+//
+// Typical use:
+//
+//   #include "core/splace.hpp"
+//
+//   splace::Graph g = splace::topology::tiscali();
+//   splace::ProblemInstance inst(std::move(g), services);
+//   auto gd = splace::greedy_placement(
+//       inst, splace::ObjectiveKind::Distinguishability);
+//   splace::MetricReport m = splace::evaluate_placement_k1(inst, gd.placement);
+#pragma once
+
+#include "core/experiment.hpp"
+#include "core/export.hpp"
+#include "core/scenario.hpp"
+#include "core/tradeoff.hpp"
+#include "core/metrics_report.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/link_transform.hpp"
+#include "graph/routing.hpp"
+#include "graph/shortest_path.hpp"
+#include "graph/stats.hpp"
+#include "graph/weighted_routing.hpp"
+#include "localization/augmentation.hpp"
+#include "localization/fusion.hpp"
+#include "localization/inspection.hpp"
+#include "localization/localizer.hpp"
+#include "localization/observation.hpp"
+#include "localization/probabilistic.hpp"
+#include "monitoring/composite.hpp"
+#include "monitoring/coverage.hpp"
+#include "monitoring/distinguishability.hpp"
+#include "monitoring/equivalence_classes.hpp"
+#include "monitoring/equivalence_graph.hpp"
+#include "monitoring/failure_partition.hpp"
+#include "monitoring/failure_sets.hpp"
+#include "monitoring/fast_eval.hpp"
+#include "monitoring/identifiability.hpp"
+#include "monitoring/objective.hpp"
+#include "monitoring/path.hpp"
+#include "monitoring/report.hpp"
+#include "monitoring/sampling.hpp"
+#include "monitoring/set_cover.hpp"
+#include "placement/baselines.hpp"
+#include "placement/branch_bound.hpp"
+#include "placement/brute_force.hpp"
+#include "placement/candidates.hpp"
+#include "placement/capacity.hpp"
+#include "placement/greedy.hpp"
+#include "placement/interest.hpp"
+#include "placement/lazy_greedy.hpp"
+#include "placement/local_search.hpp"
+#include "placement/monitor_placement.hpp"
+#include "placement/online.hpp"
+#include "placement/service.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "topology/catalog.hpp"
+#include "topology/hierarchical.hpp"
+#include "topology/isp_generator.hpp"
+#include "topology/rocketfuel.hpp"
+#include "topology/rocketfuel_parser.hpp"

@@ -1,0 +1,45 @@
+// QoS ↔ monitoring tradeoff analysis — the paper's introductory question
+// (iii): "What is the tradeoff between the QoS and the monitoring
+// performance?"
+//
+// For a placement h, the QoS price actually paid is the relative distance
+// d̄(C_s, h_s) per service (0 = distance-optimal host, 1 = worst allowed
+// anywhere). Sweeping the budget α and recording (paid QoS, achieved
+// monitoring) yields the tradeoff frontier: how much latency headroom buys
+// how much failure-monitoring capability.
+#pragma once
+
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/metrics_report.hpp"
+#include "placement/service.hpp"
+
+namespace splace {
+
+/// The QoS degradation a concrete placement incurs.
+struct QosCost {
+  double mean_relative_distance = 0;  ///< mean over services of d̄(C_s,h_s)
+  double max_relative_distance = 0;   ///< worst service
+  double mean_extra_hops = 0;         ///< mean (d(C_s,h_s) − d_min(C_s))
+};
+
+/// Computes the QoS cost of a placement on its instance.
+QosCost qos_cost(const ProblemInstance& instance, const Placement& placement);
+
+/// One point of the tradeoff frontier.
+struct TradeoffPoint {
+  double alpha = 0;        ///< QoS budget offered
+  QosCost cost;            ///< QoS actually spent by the placement
+  MetricReport metrics;    ///< monitoring achieved (k = 1)
+};
+
+/// Sweeps α for one algorithm on a catalog network and returns the
+/// (spent QoS, achieved monitoring) frontier. RD uses `rd_seed` (single
+/// deterministic draw per α).
+std::vector<TradeoffPoint> qos_tradeoff(const topology::CatalogEntry& entry,
+                                        Algorithm algo,
+                                        const std::vector<double>& alphas,
+                                        std::uint64_t rd_seed = 42);
+
+}  // namespace splace

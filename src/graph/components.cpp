@@ -1,0 +1,43 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace splace {
+
+ComponentLabeling connected_components(const Graph& g) {
+  const std::size_t n = g.node_count();
+  ComponentLabeling result;
+  result.label.assign(n, static_cast<std::size_t>(-1));
+  for (NodeId start = 0; start < n; ++start) {
+    if (result.label[start] != static_cast<std::size_t>(-1)) continue;
+    const std::size_t id = result.component_count++;
+    std::deque<NodeId> queue{start};
+    result.label[start] = id;
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g.neighbors(u)) {
+        if (result.label[v] == static_cast<std::size_t>(-1)) {
+          result.label[v] = id;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g) {
+  return connected_components(g).component_count <= 1;
+}
+
+std::size_t largest_component_size(const Graph& g) {
+  const ComponentLabeling labeling = connected_components(g);
+  if (labeling.component_count == 0) return 0;
+  std::vector<std::size_t> sizes(labeling.component_count, 0);
+  for (std::size_t lbl : labeling.label) ++sizes[lbl];
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+}  // namespace splace

@@ -1,0 +1,28 @@
+// Connectivity analysis: component labeling and connectivity checks used by
+// the topology generators (which must emit connected networks) and by input
+// validation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace splace {
+
+/// Labels each node with a component id in [0, component_count).
+/// Component ids are assigned in order of smallest contained node id.
+struct ComponentLabeling {
+  std::vector<std::size_t> label;  ///< per node
+  std::size_t component_count = 0;
+};
+
+ComponentLabeling connected_components(const Graph& g);
+
+/// True iff the graph is connected (vacuously true when empty).
+bool is_connected(const Graph& g);
+
+/// Node count of the largest component (0 for an empty graph).
+std::size_t largest_component_size(const Graph& g);
+
+}  // namespace splace

@@ -1,0 +1,155 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+Graph path_graph(std::size_t n) {
+  SPLACE_EXPECTS(n >= 1);
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(v - 1, v);
+  return g;
+}
+
+Graph ring_graph(std::size_t n) {
+  SPLACE_EXPECTS(n >= 3);
+  Graph g = path_graph(n);
+  g.add_edge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+Graph star_graph(std::size_t n) {
+  SPLACE_EXPECTS(n >= 1);
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  SPLACE_EXPECTS(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  SPLACE_EXPECTS(n >= 1);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+  return g;
+}
+
+Graph random_tree(std::size_t n, Rng& rng) {
+  SPLACE_EXPECTS(n >= 1);
+  // Attach nodes in a random order; node order[i] (i>0) links to a uniform
+  // random node among order[0..i-1].
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  rng.shuffle(order);
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i)
+    g.add_edge(order[i], order[rng.index(i)]);
+  return g;
+}
+
+Graph preferential_attachment(std::size_t n, std::size_t m, Rng& rng) {
+  SPLACE_EXPECTS(m >= 1 && n > m);
+  Graph g = complete_graph(m + 1);
+  for (NodeId v = static_cast<NodeId>(m + 1); v < n; ++v) {
+    g.add_node();
+    std::vector<double> weights(v);
+    for (NodeId u = 0; u < v; ++u)
+      weights[u] = static_cast<double>(g.degree(u));
+    std::vector<NodeId> targets;
+    while (targets.size() < m) {
+      const NodeId pick = static_cast<NodeId>(rng.weighted_index(weights));
+      weights[pick] = 0.0;  // sample without replacement
+      targets.push_back(pick);
+    }
+    for (NodeId t : targets) g.add_edge(v, t);
+  }
+  return g;
+}
+
+Graph waxman(std::size_t n, double alpha, double beta, Rng& rng) {
+  SPLACE_EXPECTS(alpha > 0.0);
+  SPLACE_EXPECTS(beta > 0.0 && beta <= 1.0);
+  std::vector<std::pair<double, double>> position(n);
+  for (auto& [x, y] : position) {
+    x = rng.uniform01();
+    y = rng.uniform01();
+  }
+  const double max_distance = std::sqrt(2.0);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double dx = position[u].first - position[v].first;
+      const double dy = position[u].second - position[v].second;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      if (rng.bernoulli(beta * std::exp(-d / (alpha * max_distance))))
+        g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph fat_tree(std::size_t k) {
+  SPLACE_EXPECTS(k >= 2 && k % 2 == 0);
+  const std::size_t half = k / 2;
+  const std::size_t cores = half * half;
+  Graph g(cores + k * k);  // + k pods x (half agg + half edge)
+
+  auto agg_id = [&](std::size_t pod, std::size_t i) {
+    return static_cast<NodeId>(cores + pod * k + i);
+  };
+  auto edge_id = [&](std::size_t pod, std::size_t i) {
+    return static_cast<NodeId>(cores + pod * k + half + i);
+  };
+
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    for (std::size_t e = 0; e < half; ++e)
+      for (std::size_t a = 0; a < half; ++a)
+        g.add_edge(edge_id(pod, e), agg_id(pod, a));
+    // Aggregation switch a uplinks to core group a.
+    for (std::size_t a = 0; a < half; ++a)
+      for (std::size_t c = 0; c < half; ++c)
+        g.add_edge(agg_id(pod, a), static_cast<NodeId>(a * half + c));
+  }
+  return g;
+}
+
+Graph random_connected(std::size_t n, std::size_t edge_count, Rng& rng) {
+  SPLACE_EXPECTS(n >= 1);
+  SPLACE_EXPECTS(edge_count + 1 >= n);
+  SPLACE_EXPECTS(edge_count <= n * (n - 1) / 2);
+  Graph g = random_tree(n, rng);
+  while (g.edge_count() < edge_count) {
+    const NodeId u = static_cast<NodeId>(rng.index(n));
+    const NodeId v = static_cast<NodeId>(rng.index(n));
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+}  // namespace splace

@@ -1,0 +1,58 @@
+// Synthetic graph generators. Deterministic structured families (ring, path,
+// star, grid, complete) back the unit tests; the randomized families
+// (Erdős–Rényi, preferential attachment, random-connected) back property
+// tests and the ISP topology stand-ins in src/topology.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace splace {
+
+/// A simple path v0 - v1 - ... - v(n-1). Requires n >= 1.
+Graph path_graph(std::size_t n);
+
+/// A cycle over n nodes. Requires n >= 3.
+Graph ring_graph(std::size_t n);
+
+/// Hub node 0 connected to n-1 leaves. Requires n >= 1.
+Graph star_graph(std::size_t n);
+
+/// rows x cols lattice. Requires rows, cols >= 1.
+Graph grid_graph(std::size_t rows, std::size_t cols);
+
+/// K_n. Requires n >= 1.
+Graph complete_graph(std::size_t n);
+
+/// G(n, p): each of the C(n,2) links present independently with prob. p.
+Graph erdos_renyi(std::size_t n, double p, Rng& rng);
+
+/// Uniform random labeled spanning tree over n nodes (random-permutation
+/// Prüfer-free construction: node i>0 attaches to a uniform earlier node in a
+/// random order). Connected by construction. Requires n >= 1.
+Graph random_tree(std::size_t n, Rng& rng);
+
+/// Barabási–Albert style preferential attachment: start from a clique of
+/// m+1 nodes, each subsequent node attaches to m distinct existing nodes with
+/// probability proportional to degree. Requires n > m >= 1.
+Graph preferential_attachment(std::size_t n, std::size_t m, Rng& rng);
+
+/// Connected graph with exactly `edge_count` links: random spanning tree plus
+/// uniformly sampled extra links. Requires n-1 <= edge_count <= C(n,2).
+Graph random_connected(std::size_t n, std::size_t edge_count, Rng& rng);
+
+/// Waxman random geometric graph: n nodes placed uniformly on the unit
+/// square; link {u,v} present with probability beta·exp(−d(u,v)/(alpha·√2)).
+/// May be disconnected (use largest_component_size / retry to filter).
+/// Requires alpha > 0 and beta in (0, 1].
+Graph waxman(std::size_t n, double alpha, double beta, Rng& rng);
+
+/// k-ary fat-tree switch fabric (data-center topology): (k/2)^2 core,
+/// k^2/2 aggregation, and k^2/2 edge switches (5k^2/4 nodes total), wired
+/// the standard way. Requires k even and >= 2. Node ids: cores first, then
+/// per pod k/2 aggregation followed by k/2 edge switches.
+Graph fat_tree(std::size_t k);
+
+}  // namespace splace

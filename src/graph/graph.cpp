@@ -1,0 +1,63 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void Graph::check_node(NodeId v) const { SPLACE_EXPECTS(is_valid_node(v)); }
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  SPLACE_EXPECTS(u != v);
+  SPLACE_EXPECTS(!has_edge(u, v));
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Edge{u, v});
+  auto insert_sorted = [this](NodeId from, NodeId to) {
+    auto& adj = adjacency_[from];
+    adj.insert(std::lower_bound(adj.begin(), adj.end(), to), to);
+  };
+  insert_sorted(u, v);
+  insert_sorted(v, u);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto& adj = adjacency_[u];
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+std::size_t Graph::degree(NodeId v) const {
+  check_node(v);
+  return adjacency_[v].size();
+}
+
+const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
+  check_node(v);
+  return adjacency_[v];
+}
+
+std::vector<NodeId> Graph::degree_one_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < node_count(); ++v)
+    if (degree(v) == 1) out.push_back(v);
+  return out;
+}
+
+std::vector<NodeId> Graph::nodes() const {
+  std::vector<NodeId> out(node_count());
+  for (NodeId v = 0; v < node_count(); ++v) out[v] = v;
+  return out;
+}
+
+}  // namespace splace

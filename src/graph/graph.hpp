@@ -1,0 +1,71 @@
+// Undirected graph type used to model the service network G = (N, L) of the
+// paper (Section II-A). Nodes are dense ids [0, node_count); links are
+// unweighted and undirected; self-loops and parallel links are rejected.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitset.hpp"
+
+namespace splace {
+
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// An undirected link {u, v}, stored with u < v.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Undirected simple graph with dense node ids.
+///
+/// Adjacency lists are kept sorted so that every traversal (BFS, routing
+/// tie-breaks, generators) is deterministic regardless of insertion order.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Appends a new isolated node and returns its id.
+  NodeId add_node();
+
+  /// Adds the undirected link {u, v}. Requires u != v, both valid, and the
+  /// link not already present.
+  void add_edge(NodeId u, NodeId v);
+
+  /// True iff the link {u, v} exists.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  std::size_t degree(NodeId v) const;
+
+  /// Neighbors of v in ascending id order.
+  const std::vector<NodeId>& neighbors(NodeId v) const;
+
+  /// All links, in insertion order (each normalized with u < v).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Nodes of degree exactly one ("dangling" nodes in the paper's Table I).
+  std::vector<NodeId> degree_one_nodes() const;
+
+  /// All node ids [0, node_count).
+  std::vector<NodeId> nodes() const;
+
+  bool is_valid_node(NodeId v) const { return v < node_count(); }
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<Edge> edges_;
+
+  void check_node(NodeId v) const;
+};
+
+}  // namespace splace

@@ -1,0 +1,73 @@
+#include "graph/io.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace splace {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << "nodes " << g.node_count() << '\n';
+  for (const Edge& e : g.edges()) os << e.u << ' ' << e.v << '\n';
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::vector<Edge> edges;
+  std::size_t declared_nodes = 0;
+  bool has_header = false;
+  NodeId max_id = 0;
+  bool any_edge = false;
+
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::string_view content = trim(line);
+    if (content.empty() || content.front() == '#') continue;
+    std::istringstream fields{std::string(content)};
+    std::string first;
+    fields >> first;
+    if (first == "nodes") {
+      if (!(fields >> declared_nodes))
+        throw InvalidInput("edge list: malformed 'nodes' header: " + line);
+      has_header = true;
+      continue;
+    }
+    Edge e;
+    std::istringstream pair{std::string(content)};
+    if (!(pair >> e.u >> e.v))
+      throw InvalidInput("edge list: malformed edge line: " + line);
+    if (e.u == e.v)
+      throw InvalidInput("edge list: self-loop on node " +
+                         std::to_string(e.u));
+    edges.push_back(e);
+    max_id = std::max({max_id, e.u, e.v});
+    any_edge = true;
+  }
+
+  const std::size_t node_count =
+      has_header ? declared_nodes : (any_edge ? max_id + std::size_t{1} : 0);
+  if (any_edge && max_id >= node_count)
+    throw InvalidInput("edge list: node id " + std::to_string(max_id) +
+                       " exceeds declared node count " +
+                       std::to_string(node_count));
+  Graph g(node_count);
+  for (const Edge& e : edges) {
+    if (g.has_edge(e.u, e.v))
+      throw InvalidInput("edge list: duplicate edge " + std::to_string(e.u) +
+                         "-" + std::to_string(e.v));
+    g.add_edge(e.u, e.v);
+  }
+  return g;
+}
+
+std::string to_dot(const Graph& g, const std::string& name) {
+  std::ostringstream oss;
+  oss << "graph " << name << " {\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) oss << "  " << v << ";\n";
+  for (const Edge& e : g.edges())
+    oss << "  " << e.u << " -- " << e.v << ";\n";
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace splace

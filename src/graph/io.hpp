@@ -1,0 +1,25 @@
+// Graph serialization: a whitespace edge-list format (one "u v" pair per
+// line, '#' comments, optional "nodes N" header for isolated nodes) and
+// Graphviz DOT export for visual inspection of generated topologies.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace splace {
+
+/// Writes "nodes N" followed by one "u v" line per link.
+void write_edge_list(const Graph& g, std::ostream& os);
+
+/// Parses the format produced by write_edge_list. Lines starting with '#'
+/// are comments. Without a "nodes N" header the node count is inferred as
+/// max id + 1. Throws InvalidInput on malformed data.
+Graph read_edge_list(std::istream& is);
+
+/// Graphviz DOT representation (undirected), optionally titled.
+std::string to_dot(const Graph& g, const std::string& name = "G");
+
+}  // namespace splace

@@ -1,0 +1,73 @@
+#include "graph/link_transform.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+LinkNodeTransform::LinkNodeTransform(const Graph& original)
+    : original_nodes_(original.node_count()),
+      link_count_(original.edge_count()),
+      augmented_(original.node_count() + original.edge_count()),
+      link_index_(original.node_count(),
+                  std::vector<std::size_t>(original.node_count(), kNoLink)) {
+  for (std::size_t i = 0; i < original.edges().size(); ++i) {
+    const Edge& e = original.edges()[i];
+    const NodeId w = static_cast<NodeId>(original_nodes_ + i);
+    augmented_.add_edge(e.u, w);
+    augmented_.add_edge(w, e.v);
+    link_index_[e.u][e.v] = i;
+    link_index_[e.v][e.u] = i;
+  }
+}
+
+NodeId LinkNodeTransform::link_node(std::size_t edge_index) const {
+  SPLACE_EXPECTS(edge_index < link_count_);
+  return static_cast<NodeId>(original_nodes_ + edge_index);
+}
+
+NodeId LinkNodeTransform::link_node(NodeId u, NodeId v) const {
+  SPLACE_EXPECTS(u < original_nodes_ && v < original_nodes_);
+  const std::size_t index = link_index_[u][v];
+  SPLACE_EXPECTS(index != kNoLink);
+  return link_node(index);
+}
+
+bool LinkNodeTransform::is_link_node(NodeId v) const {
+  SPLACE_EXPECTS(v < augmented_.node_count());
+  return v >= original_nodes_;
+}
+
+Edge LinkNodeTransform::original_link(NodeId node) const {
+  SPLACE_EXPECTS(is_link_node(node));
+  // The link node's two neighbors are exactly the original endpoints.
+  const auto& neighbors = augmented_.neighbors(node);
+  SPLACE_ENSURES(neighbors.size() == 2);
+  Edge e{neighbors[0], neighbors[1]};
+  if (e.u > e.v) std::swap(e.u, e.v);
+  return e;
+}
+
+std::vector<NodeId> LinkNodeTransform::augment_route(
+    const std::vector<NodeId>& route) const {
+  SPLACE_EXPECTS(!route.empty());
+  std::vector<NodeId> augmented;
+  augmented.reserve(route.size() * 2 - 1);
+  augmented.push_back(route.front());
+  for (std::size_t i = 1; i < route.size(); ++i) {
+    augmented.push_back(link_node(route[i - 1], route[i]));
+    augmented.push_back(route[i]);
+  }
+  return augmented;
+}
+
+std::vector<NodeId> LinkNodeTransform::project_nodes(
+    const std::vector<NodeId>& nodes) const {
+  std::vector<NodeId> projected;
+  for (NodeId v : nodes)
+    if (!is_link_node(v)) projected.push_back(v);
+  return projected;
+}
+
+}  // namespace splace

@@ -1,0 +1,60 @@
+// Link-failure modeling via logical link nodes (paper Section II-A: "link
+// failures can be modeled by the failures of logical nodes that represent
+// the links").
+//
+// The transform subdivides every link {u, v} with a fresh logical node w
+// (edges u-w, w-v). Every original route maps to an augmented route that
+// alternates original and link nodes, so a failed link manifests exactly
+// like a failed node of the augmented network — all monitoring, placement,
+// and localization machinery then applies unchanged to mixed node+link
+// failure models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace splace {
+
+class LinkNodeTransform {
+ public:
+  /// Builds the augmented network of `original`. Original nodes keep their
+  /// ids; link nodes occupy [original.node_count(), node_count+edge_count),
+  /// in the order of original.edges().
+  explicit LinkNodeTransform(const Graph& original);
+
+  const Graph& augmented() const { return augmented_; }
+  std::size_t original_node_count() const { return original_nodes_; }
+  std::size_t link_count() const { return link_count_; }
+
+  /// The logical node representing original.edges()[edge_index].
+  NodeId link_node(std::size_t edge_index) const;
+
+  /// The logical node for the link {u, v}; requires the link to exist in
+  /// the original graph.
+  NodeId link_node(NodeId u, NodeId v) const;
+
+  bool is_link_node(NodeId v) const;
+
+  /// The original link a logical node stands for.
+  Edge original_link(NodeId link_node) const;
+
+  /// Translates an original-graph route (consecutive nodes adjacent) into
+  /// the augmented route, inserting the link node between every hop.
+  std::vector<NodeId> augment_route(const std::vector<NodeId>& route) const;
+
+  /// Drops link nodes from an augmented node list (inverse projection).
+  std::vector<NodeId> project_nodes(const std::vector<NodeId>& nodes) const;
+
+ private:
+  std::size_t original_nodes_;
+  std::size_t link_count_;
+  Graph augmented_;
+  /// Dense lookup: link_index_[u][v] = edge index (or npos).
+  std::vector<std::vector<std::size_t>> link_index_;
+
+  static constexpr std::size_t kNoLink = static_cast<std::size_t>(-1);
+};
+
+}  // namespace splace

@@ -1,0 +1,52 @@
+#include "graph/routing.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+RoutingTable::RoutingTable(const Graph& g) {
+  trees_.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) trees_.push_back(bfs_tree(g, v));
+}
+
+void RoutingTable::check_node(NodeId v) const {
+  SPLACE_EXPECTS(v < node_count());
+}
+
+std::uint32_t RoutingTable::distance(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  return trees_[a].dist[b];
+}
+
+std::vector<NodeId> RoutingTable::route(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  SPLACE_EXPECTS(reachable(a, b));
+  // Derive from the tree rooted at the smaller endpoint so route(a,b) and
+  // route(b,a) traverse the same node set.
+  const NodeId root = std::min(a, b);
+  const NodeId leaf = std::max(a, b);
+  std::vector<NodeId> path = extract_path(trees_[root], leaf);
+  if (a != root) std::reverse(path.begin(), path.end());
+  SPLACE_ENSURES(!path.empty() && path.front() == a && path.back() == b);
+  return path;
+}
+
+DynamicBitset RoutingTable::route_node_set(NodeId a, NodeId b) const {
+  DynamicBitset set(node_count());
+  for (NodeId v : route(a, b)) set.set(v);
+  return set;
+}
+
+std::uint32_t RoutingTable::diameter() const {
+  std::uint32_t best = 0;
+  for (const BfsTree& tree : trees_)
+    for (std::uint32_t d : tree.dist)
+      if (d != kUnreachable) best = std::max(best, d);
+  return best;
+}
+
+}  // namespace splace

@@ -1,0 +1,47 @@
+// Deterministic all-pairs shortest-path routing.
+//
+// The paper assumes the network's routing protocol yields exactly one path per
+// client-server pair (Section II-A). RoutingTable realizes that assumption:
+// it precomputes one deterministic BFS tree per node and always derives the
+// route for a pair {a, b} from the tree rooted at min(a, b), so the route is
+// unique, orientation-independent, and stable across runs.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace splace {
+
+class RoutingTable {
+ public:
+  /// Precomputes BFS trees from every node: O(|N|(|N|+|L|)).
+  explicit RoutingTable(const Graph& g);
+
+  std::size_t node_count() const { return trees_.size(); }
+
+  /// Hop distance between a and b (kUnreachable if disconnected).
+  std::uint32_t distance(NodeId a, NodeId b) const;
+
+  bool reachable(NodeId a, NodeId b) const {
+    return distance(a, b) != kUnreachable;
+  }
+
+  /// The unique route between a and b as an ordered node sequence from a to b
+  /// (endpoints included). Requires the pair to be connected.
+  std::vector<NodeId> route(NodeId a, NodeId b) const;
+
+  /// The route as an unordered node set (the paper's measurement-path view).
+  DynamicBitset route_node_set(NodeId a, NodeId b) const;
+
+  /// Maximum finite pairwise distance (0 for <2 reachable pairs).
+  std::uint32_t diameter() const;
+
+ private:
+  std::vector<BfsTree> trees_;
+
+  void check_node(NodeId v) const;
+};
+
+}  // namespace splace

@@ -1,0 +1,64 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+BfsTree bfs_tree(const Graph& g, NodeId source) {
+  SPLACE_EXPECTS(g.is_valid_node(source));
+  const std::size_t n = g.node_count();
+  BfsTree tree;
+  tree.source = source;
+  tree.dist.assign(n, kUnreachable);
+  tree.parent.assign(n, kInvalidNode);
+  tree.dist[source] = 0;
+
+  std::deque<NodeId> queue{source};
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : g.neighbors(u)) {
+      if (tree.dist[v] == kUnreachable) {
+        tree.dist[v] = tree.dist[u] + 1;
+        tree.parent[v] = u;
+        queue.push_back(v);
+      } else if (tree.dist[v] == tree.dist[u] + 1 && u < tree.parent[v]) {
+        // Deterministic tie-break: among equal-distance predecessors keep the
+        // smallest id. Neighbors are visited in ascending order, but a later
+        // BFS layer node can still offer a smaller predecessor; normalize.
+        tree.parent[v] = u;
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  return bfs_tree(g, source).dist;
+}
+
+std::vector<NodeId> extract_path(const BfsTree& tree, NodeId target) {
+  SPLACE_EXPECTS(target < tree.dist.size());
+  if (tree.dist[target] == kUnreachable) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != kInvalidNode; v = tree.parent[v])
+    path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  SPLACE_ENSURES(path.front() == tree.source && path.back() == target);
+  return path;
+}
+
+std::vector<NodeId> extract_path(const WeightedTree& tree, NodeId target) {
+  SPLACE_EXPECTS(target < tree.dist.size());
+  if (tree.dist[target] == std::numeric_limits<double>::infinity()) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != kInvalidNode; v = tree.parent[v])
+    path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace splace

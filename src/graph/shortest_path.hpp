@@ -1,0 +1,90 @@
+// Shortest-path machinery. The paper's QoS measure is hop count under
+// shortest-path routing (Section III-A), so BFS is the workhorse; a Dijkstra
+// variant over per-edge weights is provided for weighted extensions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace splace {
+
+/// Hop distance reported for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// BFS tree from a single source with deterministic parents.
+///
+/// parent[v] is the *smallest-id* neighbor of v at distance dist[v]-1, so two
+/// runs (or two machines) always produce the same shortest-path tree — the
+/// paper assumes "one path per client-server pair as determined by the
+/// underlying routing protocol", and determinism stands in for that protocol.
+struct BfsTree {
+  NodeId source = kInvalidNode;
+  std::vector<std::uint32_t> dist;   ///< hop count, kUnreachable if none
+  std::vector<NodeId> parent;        ///< kInvalidNode for source/unreachable
+};
+
+BfsTree bfs_tree(const Graph& g, NodeId source);
+
+/// Hop distances only (no parents).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Reconstructs the node sequence source -> ... -> target from a BFS tree.
+/// Returns an empty vector when target is unreachable.
+std::vector<NodeId> extract_path(const BfsTree& tree, NodeId target);
+
+/// Dijkstra over non-negative edge weights, same deterministic tie-breaking
+/// (smaller predecessor id wins among equal-cost predecessors).
+struct WeightedTree {
+  NodeId source = kInvalidNode;
+  std::vector<double> dist;          ///< +inf if unreachable
+  std::vector<NodeId> parent;
+};
+
+/// `weight(u, v)` must be symmetric and non-negative.
+template <typename WeightFn>
+WeightedTree dijkstra_tree(const Graph& g, NodeId source, WeightFn weight);
+
+/// Reconstructs the node sequence from a weighted tree (empty if unreachable).
+std::vector<NodeId> extract_path(const WeightedTree& tree, NodeId target);
+
+// ---- implementation of the template ----------------------------------------
+
+template <typename WeightFn>
+WeightedTree dijkstra_tree(const Graph& g, NodeId source, WeightFn weight) {
+  const std::size_t n = g.node_count();
+  WeightedTree tree;
+  tree.source = source;
+  tree.dist.assign(n, std::numeric_limits<double>::infinity());
+  tree.parent.assign(n, kInvalidNode);
+  tree.dist[source] = 0.0;
+
+  // (dist, node) min-heap via sorted scan: n is small for this library's
+  // workloads (POP-level topologies), so an O(n^2) scan keeps the code simple
+  // and allocation-free; swap in a heap if graphs grow.
+  std::vector<bool> done(n, false);
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    NodeId best = kInvalidNode;
+    for (NodeId v = 0; v < n; ++v)
+      if (!done[v] && tree.dist[v] < std::numeric_limits<double>::infinity() &&
+          (best == kInvalidNode || tree.dist[v] < tree.dist[best]))
+        best = v;
+    if (best == kInvalidNode) break;
+    done[best] = true;
+    for (NodeId nb : g.neighbors(best)) {
+      const double cand = tree.dist[best] + weight(best, nb);
+      if (cand < tree.dist[nb] ||
+          (cand == tree.dist[nb] && tree.parent[nb] != kInvalidNode &&
+           best < tree.parent[nb])) {
+        tree.dist[nb] = cand;
+        tree.parent[nb] = best;
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace splace

@@ -1,0 +1,36 @@
+// Topology statistics used to validate and characterize networks: degree
+// profile, clustering, and distance structure. bench_table1 reports these
+// next to the paper's Table I counts, and the generator tests use them to
+// check the stand-ins have the right structural character.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace splace {
+
+struct DegreeProfile {
+  std::map<std::size_t, std::size_t> histogram;  ///< degree -> #nodes
+  double mean = 0;
+  std::size_t min = 0;
+  std::size_t max = 0;
+};
+
+DegreeProfile degree_profile(const Graph& g);
+
+/// Global clustering coefficient: 3 * #triangles / #connected-triples
+/// (0 for graphs without a connected triple).
+double clustering_coefficient(const Graph& g);
+
+/// Mean shortest-path hop distance over connected ordered pairs
+/// (0 when fewer than one such pair exists).
+double mean_distance(const Graph& g);
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// links); 0 when undefined (no links or zero variance).
+double degree_assortativity(const Graph& g);
+
+}  // namespace splace

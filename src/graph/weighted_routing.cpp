@@ -1,0 +1,63 @@
+#include "graph/weighted_routing.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+WeightedRoutingTable::WeightedRoutingTable(const Graph& g,
+                                           std::vector<double> link_weights) {
+  SPLACE_EXPECTS(link_weights.size() == g.edge_count());
+  for (double w : link_weights) SPLACE_EXPECTS(w > 0.0);
+
+  const std::size_t n = g.node_count();
+  weight_.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < g.edges().size(); ++i) {
+    const Edge& e = g.edges()[i];
+    weight_[e.u][e.v] = link_weights[i];
+    weight_[e.v][e.u] = link_weights[i];
+  }
+
+  trees_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    trees_.push_back(dijkstra_tree(
+        g, v, [this](NodeId a, NodeId b) { return weight_[a][b]; }));
+  }
+}
+
+void WeightedRoutingTable::check_node(NodeId v) const {
+  SPLACE_EXPECTS(v < node_count());
+}
+
+double WeightedRoutingTable::cost(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  return trees_[a].dist[b];
+}
+
+bool WeightedRoutingTable::reachable(NodeId a, NodeId b) const {
+  return cost(a, b) != std::numeric_limits<double>::infinity();
+}
+
+std::vector<NodeId> WeightedRoutingTable::route(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  SPLACE_EXPECTS(reachable(a, b));
+  const NodeId root = std::min(a, b);
+  const NodeId leaf = std::max(a, b);
+  std::vector<NodeId> path = extract_path(trees_[root], leaf);
+  if (a != root) std::reverse(path.begin(), path.end());
+  SPLACE_ENSURES(!path.empty() && path.front() == a && path.back() == b);
+  return path;
+}
+
+double WeightedRoutingTable::link_weight(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  SPLACE_EXPECTS(weight_[u][v] > 0.0);
+  return weight_[u][v];
+}
+
+}  // namespace splace

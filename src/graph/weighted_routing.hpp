@@ -1,0 +1,42 @@
+// Weighted (latency-based) routing: the same one-route-per-pair contract as
+// RoutingTable, but shortest paths minimize a per-link cost (propagation
+// delay, IGP metric) instead of hop count. Plug the resulting route provider
+// into ProblemInstance to study monitoring-aware placement under latency
+// QoS — Section III-A's "latency as the QoS measure" taken literally.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace splace {
+
+class WeightedRoutingTable {
+ public:
+  /// `link_weights[i]` is the cost of g.edges()[i]; all weights must be > 0
+  /// and the vector must align with the edge list.
+  WeightedRoutingTable(const Graph& g, std::vector<double> link_weights);
+
+  std::size_t node_count() const { return trees_.size(); }
+
+  /// Total path cost between a and b (+inf when disconnected).
+  double cost(NodeId a, NodeId b) const;
+
+  bool reachable(NodeId a, NodeId b) const;
+
+  /// The unique min-cost route from a to b (endpoints included);
+  /// orientation-independent node set, like RoutingTable::route.
+  std::vector<NodeId> route(NodeId a, NodeId b) const;
+
+  /// Weight of one existing link.
+  double link_weight(NodeId u, NodeId v) const;
+
+ private:
+  std::vector<WeightedTree> trees_;
+  std::vector<std::vector<double>> weight_;  ///< dense symmetric lookup
+
+  void check_node(NodeId v) const;
+};
+
+}  // namespace splace

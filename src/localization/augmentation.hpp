@@ -1,0 +1,57 @@
+// Active-probe augmentation planning.
+//
+// The paper's passive observations are deliberately minimal; its
+// introduction notes they "can be augmented with other information (e.g.,
+// traceroutes and other active probes) to uniquely localize failures" and
+// that a good placement "minimizes the need of additional measurements".
+// This module plans that augmentation: given the candidate failure sets an
+// observation left indistinguishable, greedily pick the fewest extra probe
+// paths (from a caller-supplied pool, e.g. host-to-node traceroutes) whose
+// outcomes would tell every remaining pair of candidates apart.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/routing.hpp"
+#include "monitoring/path.hpp"
+
+namespace splace {
+
+struct AugmentationPlan {
+  /// Indices into the probe pool, in selection order.
+  std::vector<std::size_t> probes;
+  /// True iff the chosen probes separate every candidate pair (then a
+  /// second observation round localizes the failure uniquely).
+  bool fully_disambiguates = false;
+  /// Candidate pairs still indistinguishable after the plan.
+  std::size_t remaining_pairs = 0;
+};
+
+/// A probe separates candidates F, F' iff it intersects exactly one of
+/// them (their hypothetical states under the probe would differ).
+bool probe_separates(const MeasurementPath& probe,
+                     const std::vector<NodeId>& a,
+                     const std::vector<NodeId>& b);
+
+/// Greedy max-separation planning: repeatedly pick the pool probe that
+/// separates the most still-unseparated candidate pairs; stop when all
+/// pairs are separated or no probe helps. Candidates must share the pool's
+/// node universe. With < 2 candidates the plan is trivially complete.
+AugmentationPlan plan_augmentation(
+    const std::vector<MeasurementPath>& pool,
+    const std::vector<std::vector<NodeId>>& candidates);
+
+/// Standard probe pool for a set of vantage nodes: one routed path from
+/// each vantage to every reachable node (traceroute-style).
+std::vector<MeasurementPath> probe_pool(const RoutingTable& routing,
+                                        const std::vector<NodeId>& vantages);
+
+/// Smallest separating probe set by exhaustive search (tests/tiny pools
+/// only); empty optional when even the full pool cannot separate all pairs.
+std::vector<std::size_t> minimum_augmentation_exact(
+    const std::vector<MeasurementPath>& pool,
+    const std::vector<std::vector<NodeId>>& candidates);
+
+}  // namespace splace

@@ -1,0 +1,42 @@
+#include "localization/fusion.hpp"
+
+#include <algorithm>
+
+#include "monitoring/failure_sets.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+
+EvidenceFusion::EvidenceFusion(const PathSet& paths, std::size_t k)
+    : paths_(paths), k_(k) {
+  for_each_failure_set(paths.node_count(), k,
+                       [this](const std::vector<NodeId>& f) {
+                         candidates_.push_back(f);
+                       });
+}
+
+EpochEvidence EvidenceFusion::full_observation(
+    const PathSet& paths, const DynamicBitset& failed_paths) {
+  EpochEvidence evidence;
+  evidence.exercised = DynamicBitset(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) evidence.exercised.set(i);
+  evidence.failed = failed_paths;
+  return evidence;
+}
+
+void EvidenceFusion::add_evidence(const EpochEvidence& evidence) {
+  SPLACE_EXPECTS(evidence.exercised.size() == paths_.size());
+  SPLACE_EXPECTS(evidence.failed.size() == paths_.size());
+  SPLACE_EXPECTS(evidence.failed.is_subset_of(evidence.exercised));
+
+  std::erase_if(candidates_, [&](const std::vector<NodeId>& candidate) {
+    const DynamicBitset hypothetical = paths_.affected_paths(candidate);
+    // Consistent iff, restricted to the exercised paths, the hypothetical
+    // failure pattern equals the observed one.
+    DynamicBitset masked = hypothetical;
+    masked &= evidence.exercised;
+    return !(masked == evidence.failed);
+  });
+}
+
+}  // namespace splace

@@ -1,0 +1,61 @@
+// Temporal fusion of localization evidence.
+//
+// A persistent failure is observed many times: different monitoring epochs
+// see different subsets of paths exercised (and, with noise, different
+// verdicts). Each observation constrains the candidate set; fusing them
+// shrinks ambiguity monotonically — often to a single candidate long before
+// any one epoch would localize uniquely. This is the temporal complement of
+// the spatial augmentation planner (augmentation.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "localization/localizer.hpp"
+#include "monitoring/path.hpp"
+#include "util/bitset.hpp"
+
+namespace splace {
+
+/// One epoch's evidence: which paths were exercised and, of those, which
+/// failed. Paths not exercised say nothing.
+struct EpochEvidence {
+  DynamicBitset exercised;  ///< over the path-set indices
+  DynamicBitset failed;     ///< subset of exercised
+};
+
+/// Accumulates evidence about a *persistent* failure set of size ≤ k.
+class EvidenceFusion {
+ public:
+  /// Starts from all failure sets of size ≤ k being possible.
+  EvidenceFusion(const PathSet& paths, std::size_t k);
+
+  std::size_t k() const { return k_; }
+
+  /// Incorporates one epoch: keeps only candidates whose hypothetical
+  /// states match the observation on every exercised path. Requires
+  /// evidence dimensions to match the path set and failed ⊆ exercised.
+  void add_evidence(const EpochEvidence& evidence);
+
+  /// Candidates still consistent with everything seen (sorted lists,
+  /// enumeration order).
+  const std::vector<std::vector<NodeId>>& candidates() const {
+    return candidates_;
+  }
+
+  bool unique() const { return candidates_.size() == 1; }
+  bool contradictory() const { return candidates_.empty(); }
+
+  /// Convenience: evidence from a full-epoch scenario where every path was
+  /// exercised.
+  static EpochEvidence full_observation(const PathSet& paths,
+                                        const DynamicBitset& failed_paths);
+
+ private:
+  const PathSet& paths_;
+  std::size_t k_;
+  std::vector<std::vector<NodeId>> candidates_;
+};
+
+}  // namespace splace

@@ -1,0 +1,93 @@
+#include "localization/inspection.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+std::size_t inspections_until_found(const std::vector<NodeId>& order,
+                                    const std::vector<NodeId>& truth,
+                                    std::size_t node_count) {
+  if (truth.empty()) return 0;
+  for (NodeId v : truth) SPLACE_EXPECTS(v < node_count);
+
+  std::vector<bool> listed(node_count, false);
+  std::vector<NodeId> full = order;
+  for (NodeId v : order) {
+    SPLACE_EXPECTS(v < node_count);
+    listed[v] = true;
+  }
+  for (NodeId v = 0; v < node_count; ++v)
+    if (!listed[v]) full.push_back(v);
+
+  std::size_t remaining = truth.size();
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (std::find(truth.begin(), truth.end(), full[i]) != truth.end()) {
+      if (--remaining == 0) return i + 1;
+    }
+  }
+  throw ContractViolation("truth nodes missing from inspection universe");
+}
+
+std::vector<NodeId> localization_inspection_order(
+    const LocalizationResult& result) {
+  const std::size_t n = result.exonerated.size();
+  // Score each suspect by how many candidate explanations implicate it.
+  std::map<NodeId, std::size_t> implication_count;
+  for (const auto& candidate : result.consistent_sets)
+    for (NodeId v : candidate) ++implication_count[v];
+
+  std::vector<NodeId> suspects;
+  result.suspects.for_each([&suspects](std::size_t v) {
+    suspects.push_back(static_cast<NodeId>(v));
+  });
+  std::stable_sort(suspects.begin(), suspects.end(),
+                   [&implication_count](NodeId a, NodeId b) {
+                     const std::size_t ca = implication_count.count(a)
+                                                ? implication_count.at(a)
+                                                : 0;
+                     const std::size_t cb = implication_count.count(b)
+                                                ? implication_count.at(b)
+                                                : 0;
+                     if (ca != cb) return ca > cb;
+                     return a < b;
+                   });
+
+  std::vector<NodeId> order = suspects;
+  result.unobserved.for_each([&order](std::size_t v) {
+    order.push_back(static_cast<NodeId>(v));
+  });
+  result.exonerated.for_each([&order](std::size_t v) {
+    order.push_back(static_cast<NodeId>(v));
+  });
+  SPLACE_ENSURES(order.size() == n);
+  return order;
+}
+
+std::vector<NodeId> ranked_inspection_order(
+    const std::vector<RankedCandidate>& ranked, std::size_t node_count) {
+  std::vector<bool> listed(node_count, false);
+  std::vector<NodeId> order;
+  for (const RankedCandidate& candidate : ranked) {
+    for (NodeId v : candidate.failure_set) {
+      SPLACE_EXPECTS(v < node_count);
+      if (!listed[v]) {
+        listed[v] = true;
+        order.push_back(v);
+      }
+    }
+  }
+  return order;
+}
+
+std::size_t troubleshooting_cost(const PathSet& paths,
+                                 const FailureScenario& scenario,
+                                 std::size_t k) {
+  const LocalizationResult result = localize(paths, scenario, k);
+  return inspections_until_found(localization_inspection_order(result),
+                                 scenario.failed_nodes, paths.node_count());
+}
+
+}  // namespace splace

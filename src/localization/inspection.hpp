@@ -1,0 +1,47 @@
+// Troubleshooting-cost model on top of localization results.
+//
+// After the localizer narrows an outage to a set of candidate explanations,
+// an operator inspects nodes one by one until the true failure set is fully
+// confirmed. This module turns localization ambiguity into the operational
+// quantity the paper's introduction motivates ("helps to speed up
+// recovery"): the number of node inspections needed under a given
+// inspection order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "localization/localizer.hpp"
+#include "localization/probabilistic.hpp"
+
+namespace splace {
+
+/// Inspections needed when checking nodes in the given order until every
+/// member of `truth` has been inspected (each inspection reveals one node's
+/// true state). Nodes absent from `order` are appended in id order, so the
+/// result is always defined. Returns 0 when truth is empty.
+std::size_t inspections_until_found(const std::vector<NodeId>& order,
+                                    const std::vector<NodeId>& truth,
+                                    std::size_t node_count);
+
+/// Inspection order derived from a localization result: suspects implicated
+/// by the most failed candidate sets first (ties by node id), then
+/// unobserved nodes, then everything else. Exonerated nodes are never
+/// inspected before the rest since their state is already known — they are
+/// appended last for completeness.
+std::vector<NodeId> localization_inspection_order(
+    const LocalizationResult& result);
+
+/// Inspection order from a posterior ranking: walk the ranked candidate
+/// sets, emitting their not-yet-listed member nodes.
+std::vector<NodeId> ranked_inspection_order(
+    const std::vector<RankedCandidate>& ranked, std::size_t node_count);
+
+/// Expected inspections for a failure scenario under a placement's path
+/// set: localizes, derives the order, counts inspections to confirm truth.
+std::size_t troubleshooting_cost(const PathSet& paths,
+                                 const FailureScenario& scenario,
+                                 std::size_t k);
+
+}  // namespace splace

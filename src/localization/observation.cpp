@@ -1,0 +1,27 @@
+#include "localization/observation.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+FailureScenario observe(const PathSet& paths, std::vector<NodeId> failed) {
+  std::sort(failed.begin(), failed.end());
+  SPLACE_EXPECTS(std::adjacent_find(failed.begin(), failed.end()) ==
+                 failed.end());
+  FailureScenario scenario;
+  scenario.failed_paths = paths.affected_paths(failed);
+  scenario.failed_nodes = std::move(failed);
+  return scenario;
+}
+
+FailureScenario random_scenario(const PathSet& paths, std::size_t failures,
+                                Rng& rng) {
+  SPLACE_EXPECTS(failures <= paths.node_count());
+  std::vector<NodeId> pool(paths.node_count());
+  for (NodeId v = 0; v < paths.node_count(); ++v) pool[v] = v;
+  return observe(paths, rng.sample(std::move(pool), failures));
+}
+
+}  // namespace splace

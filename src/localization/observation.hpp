@@ -1,0 +1,29 @@
+// Failure injection and the end-to-end observation model (paper Section I):
+// the operator sees only the binary state of each measurement path — failed
+// iff the path traverses at least one failed node.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "monitoring/path.hpp"
+#include "util/bitset.hpp"
+#include "util/random.hpp"
+
+namespace splace {
+
+/// Ground truth plus what the monitoring layer observes.
+struct FailureScenario {
+  std::vector<NodeId> failed_nodes;  ///< true failure set F (sorted)
+  DynamicBitset failed_paths;        ///< P_F, over path indices
+};
+
+/// Applies a failure set to a path set. Node ids must be valid.
+FailureScenario observe(const PathSet& paths, std::vector<NodeId> failed);
+
+/// Draws `failures` distinct failed nodes uniformly and observes them.
+/// Requires failures <= node count.
+FailureScenario random_scenario(const PathSet& paths, std::size_t failures,
+                                Rng& rng);
+
+}  // namespace splace

@@ -1,0 +1,122 @@
+#include "localization/probabilistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "monitoring/failure_sets.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+
+NodePriors NodePriors::uniform(std::size_t n, double prob) {
+  SPLACE_EXPECTS(prob > 0.0 && prob < 1.0);
+  NodePriors priors;
+  priors.p.assign(n, prob);
+  return priors;
+}
+
+DynamicBitset noisy_observe(const PathSet& paths,
+                            const std::vector<NodeId>& failure_set,
+                            const NoiseModel& noise, Rng& rng) {
+  SPLACE_EXPECTS(noise.false_positive >= 0.0 && noise.false_positive < 1.0);
+  SPLACE_EXPECTS(noise.false_negative >= 0.0 && noise.false_negative < 1.0);
+  const DynamicBitset truth = paths.affected_paths(failure_set);
+  DynamicBitset observed(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const bool failed = truth.test(i);
+    const bool flip = failed ? rng.bernoulli(noise.false_negative)
+                             : rng.bernoulli(noise.false_positive);
+    if (failed != flip) observed.set(i);
+  }
+  return observed;
+}
+
+DynamicBitset estimate_path_states(const PathSet& paths,
+                                   const std::vector<NodeId>& failure_set,
+                                   const NoiseModel& noise,
+                                   std::size_t trials, Rng& rng) {
+  SPLACE_EXPECTS(trials >= 1);
+  std::vector<std::size_t> failed_votes(paths.size(), 0);
+  for (std::size_t t = 0; t < trials; ++t) {
+    const DynamicBitset obs = noisy_observe(paths, failure_set, noise, rng);
+    obs.for_each([&failed_votes](std::size_t i) { ++failed_votes[i]; });
+  }
+  DynamicBitset estimate(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i)
+    if (2 * failed_votes[i] >= trials) estimate.set(i);
+  return estimate;
+}
+
+namespace {
+
+/// log P(observed | true path states from F) under the noise model.
+/// Zero-noise observations that contradict F yield -inf.
+double log_likelihood(const DynamicBitset& truth,
+                      const DynamicBitset& observed,
+                      const NoiseModel& noise) {
+  double ll = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool t = truth.test(i);
+    const bool o = observed.test(i);
+    double prob;
+    if (t)
+      prob = o ? 1.0 - noise.false_negative : noise.false_negative;
+    else
+      prob = o ? noise.false_positive : 1.0 - noise.false_positive;
+    if (prob <= 0.0) return -std::numeric_limits<double>::infinity();
+    ll += std::log(prob);
+  }
+  return ll;
+}
+
+double log_prior(const std::vector<NodeId>& failure_set,
+                 const NodePriors& priors) {
+  // Σ_{v∈F} log p_v + Σ_{v∉F} log(1−p_v); compute as base + adjustments.
+  double lp = 0;
+  std::size_t idx = 0;
+  for (std::size_t v = 0; v < priors.p.size(); ++v) {
+    const bool in_f = idx < failure_set.size() && failure_set[idx] == v;
+    if (in_f) ++idx;
+    const double pv = priors.p[v];
+    lp += std::log(in_f ? pv : 1.0 - pv);
+  }
+  return lp;
+}
+
+}  // namespace
+
+std::vector<RankedCandidate> rank_failure_sets(const PathSet& paths,
+                                               const DynamicBitset& observed,
+                                               std::size_t k,
+                                               const NodePriors& priors,
+                                               const NoiseModel& noise) {
+  SPLACE_EXPECTS(priors.p.size() == paths.node_count());
+  SPLACE_EXPECTS(observed.size() == paths.size());
+  for (double pv : priors.p) SPLACE_EXPECTS(pv > 0.0 && pv < 1.0);
+
+  std::vector<RankedCandidate> ranked;
+  for_each_failure_set(
+      paths.node_count(), k, [&](const std::vector<NodeId>& f) {
+        const DynamicBitset truth = paths.affected_paths(f);
+        const double ll = log_likelihood(truth, observed, noise);
+        if (std::isinf(ll)) return;  // impossible under zero noise
+        ranked.push_back(RankedCandidate{f, log_prior(f, priors) + ll});
+      });
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedCandidate& a, const RankedCandidate& b) {
+                     return a.log_posterior > b.log_posterior;
+                   });
+  return ranked;
+}
+
+RankedCandidate map_failure_set(const PathSet& paths,
+                                const DynamicBitset& observed, std::size_t k,
+                                const NodePriors& priors,
+                                const NoiseModel& noise) {
+  const auto ranked = rank_failure_sets(paths, observed, k, priors, noise);
+  SPLACE_EXPECTS(!ranked.empty());
+  return ranked.front();
+}
+
+}  // namespace splace

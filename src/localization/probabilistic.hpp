@@ -1,0 +1,76 @@
+// Probabilistic extensions to the Boolean-tomography localizer, following
+// the directions the paper cites as complements to its minimum-observation
+// model: ranking candidate failure sets by prior failure probabilities (as
+// in the paper's reference [13]) and coping with noisy path-state estimates
+// (reference [3]).
+//
+// Model: node v fails independently with prior probability p_v; a path
+// measurement misreports with per-path false-positive rate fp (normal path
+// observed failed) and false-negative rate fn (failed path observed normal).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "monitoring/path.hpp"
+#include "util/bitset.hpp"
+#include "util/random.hpp"
+
+namespace splace {
+
+/// Per-path measurement noise.
+struct NoiseModel {
+  double false_positive = 0.0;  ///< P(observed failed | path normal)
+  double false_negative = 0.0;  ///< P(observed normal | path failed)
+};
+
+/// Independent per-node prior failure probabilities. Probabilities must lie
+/// in (0, 1) so log-likelihoods stay finite.
+struct NodePriors {
+  std::vector<double> p;
+
+  /// Uniform prior p for every one of `n` nodes.
+  static NodePriors uniform(std::size_t n, double prob);
+};
+
+/// Samples a noisy observation of the true path states induced by
+/// `failure_set`: each path's true state flips per the noise model.
+DynamicBitset noisy_observe(const PathSet& paths,
+                            const std::vector<NodeId>& failure_set,
+                            const NoiseModel& noise, Rng& rng);
+
+/// Majority-vote estimate of the path-state vector over `trials` independent
+/// noisy observations (ties read as failed). With trials >> 1 this recovers
+/// the true states, the standard remedy for noisy measurements.
+DynamicBitset estimate_path_states(const PathSet& paths,
+                                   const std::vector<NodeId>& failure_set,
+                                   const NoiseModel& noise,
+                                   std::size_t trials, Rng& rng);
+
+/// A candidate failure set with its posterior score.
+struct RankedCandidate {
+  std::vector<NodeId> failure_set;
+  double log_posterior = 0;  ///< log P(F) + log P(obs | F), unnormalized
+};
+
+/// Ranks every failure set of size ≤ k by unnormalized posterior given a
+/// (possibly noisy) observed path-state vector: candidates sorted by
+/// descending score; deterministic tie-break by enumeration order.
+/// With zero noise, sets inconsistent with the observation score -inf and
+/// are omitted — the result is then exactly the consistent sets of
+/// localize(), ordered by prior.
+std::vector<RankedCandidate> rank_failure_sets(const PathSet& paths,
+                                               const DynamicBitset& observed,
+                                               std::size_t k,
+                                               const NodePriors& priors,
+                                               const NoiseModel& noise);
+
+/// Maximum-a-posteriori failure set (first entry of rank_failure_sets).
+/// Requires at least one candidate with finite score.
+RankedCandidate map_failure_set(const PathSet& paths,
+                                const DynamicBitset& observed, std::size_t k,
+                                const NodePriors& priors,
+                                const NoiseModel& noise);
+
+}  // namespace splace

@@ -1,0 +1,46 @@
+// Composite monitoring objective: a non-negative weighted blend of the
+// three measures, each normalized to [0, 1] by its instance-independent
+// ceiling (|N| for coverage/identifiability, C(|N|+1, 2) for k = 1
+// distinguishability; the general-k ceilings use |F_k|).
+//
+// Rationale: the paper finds GD best *overall*, but an operator may care
+// about, say, 70% distinguishability + 30% coverage. A non-negative
+// combination of monotone submodular functions is monotone submodular, so
+// any blend with zero identifiability weight keeps the greedy 1/2
+// guarantee; adding identifiability weight degrades it to a heuristic
+// exactly as GI does.
+#pragma once
+
+#include <memory>
+
+#include "monitoring/objective.hpp"
+
+namespace splace {
+
+struct ObjectiveWeights {
+  double coverage = 0;
+  double identifiability = 0;
+  double distinguishability = 1;
+
+  bool valid() const {
+    return coverage >= 0 && identifiability >= 0 &&
+           distinguishability >= 0 &&
+           coverage + identifiability + distinguishability > 0;
+  }
+
+  /// True iff the blend is provably submodular (no identifiability mass).
+  bool submodular() const { return identifiability == 0; }
+};
+
+/// Incremental state computing
+///   w_c·|C(P)|/|N| + w_i·|S_k(P)|/|N| + w_d·|D_k(P)|/max_pairs(k).
+/// Pluggable into greedy_placement / lazy_greedy_placement like any other
+/// ObjectiveState. Requires weights.valid() and k >= 1.
+std::unique_ptr<ObjectiveState> make_composite_objective_state(
+    std::size_t node_count, std::size_t k, const ObjectiveWeights& weights);
+
+/// One-shot evaluation of the blended objective over a path set.
+double evaluate_composite(const PathSet& paths, std::size_t k,
+                          const ObjectiveWeights& weights);
+
+}  // namespace splace

@@ -1,0 +1,15 @@
+#include "monitoring/coverage.hpp"
+
+namespace splace {
+
+DynamicBitset covered_set(const PathSet& paths) {
+  DynamicBitset covered(paths.node_count());
+  for (const MeasurementPath& p : paths.paths()) covered |= p.node_set();
+  return covered;
+}
+
+std::size_t coverage(const PathSet& paths) {
+  return covered_set(paths).count();
+}
+
+}  // namespace splace

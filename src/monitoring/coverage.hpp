@@ -1,0 +1,17 @@
+// Coverage measure |C(P)| (paper Section II-B.1): the number of nodes
+// traversed by at least one measurement path — i.e., the nodes whose failures
+// are detectable at all.
+#pragma once
+
+#include "monitoring/path.hpp"
+#include "util/bitset.hpp"
+
+namespace splace {
+
+/// C(P): the set of covered nodes.
+DynamicBitset covered_set(const PathSet& paths);
+
+/// |C(P)|.
+std::size_t coverage(const PathSet& paths);
+
+}  // namespace splace

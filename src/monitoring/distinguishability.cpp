@@ -1,0 +1,44 @@
+#include "monitoring/distinguishability.hpp"
+
+namespace splace {
+
+std::size_t distinguishability(const SignatureGroups& groups) {
+  const std::size_t total = groups.total_sets();
+  std::size_t pairs = total * (total - 1) / 2;
+  for (std::size_t g = 0; g < groups.group_count(); ++g) {
+    const std::size_t size = groups.group(g).size();
+    pairs -= size * (size - 1) / 2;
+  }
+  return pairs;
+}
+
+std::size_t distinguishability(const PathSet& paths, std::size_t k) {
+  return distinguishability(SignatureGroups(paths, k));
+}
+
+std::size_t uncertainty_of(const PathSet& paths, std::size_t k,
+                           const std::vector<NodeId>& failure_set) {
+  return SignatureGroups(paths, k).indistinguishable_count(paths, failure_set);
+}
+
+double average_uncertainty(const PathSet& paths, std::size_t k) {
+  const SignatureGroups groups(paths, k);
+  // Every member of a group of size m has m-1 indistinguishable peers.
+  std::size_t total = 0;
+  for (std::size_t g = 0; g < groups.group_count(); ++g) {
+    const std::size_t size = groups.group(g).size();
+    total += size * (size - 1);
+  }
+  return static_cast<double>(total) /
+         static_cast<double>(groups.total_sets());
+}
+
+double lemma3_closed_form(const PathSet& paths, std::size_t k) {
+  const SignatureGroups groups(paths, k);
+  const auto total = static_cast<double>(groups.total_sets());
+  const double all_pairs = total * (total - 1) / 2;
+  const auto dk = static_cast<double>(distinguishability(groups));
+  return 2.0 / total * (all_pairs - dk);
+}
+
+}  // namespace splace

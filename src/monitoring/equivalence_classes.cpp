@@ -1,0 +1,93 @@
+#include "monitoring/equivalence_classes.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+EquivalenceClasses::EquivalenceClasses(std::size_t node_count)
+    : node_count_(node_count), class_index_(node_count + 1, 0) {
+  std::vector<NodeId> all(node_count + 1);
+  for (std::size_t x = 0; x <= node_count; ++x)
+    all[x] = static_cast<NodeId>(x);
+  classes_.push_back(std::move(all));
+}
+
+void EquivalenceClasses::check_vertex(NodeId x) const {
+  SPLACE_EXPECTS(x <= node_count_);
+}
+
+void EquivalenceClasses::add_path(const MeasurementPath& path) {
+  SPLACE_EXPECTS(path.node_universe() == node_count_);
+  // Only classes containing at least one path node can split; find them via
+  // the path's (short) node list instead of scanning all classes.
+  std::vector<std::size_t> touched;
+  for (NodeId v : path.nodes()) {
+    const std::size_t ci = class_index_[v];
+    if (std::find(touched.begin(), touched.end(), ci) == touched.end())
+      touched.push_back(ci);
+  }
+  for (std::size_t ci : touched) {
+    std::vector<NodeId>& cls = classes_[ci];
+    std::vector<NodeId> inside;
+    std::vector<NodeId> outside;
+    for (NodeId x : cls) {
+      // v0 (x == node_count_) is never on a path.
+      if (x < node_count_ && path.traverses(x))
+        inside.push_back(x);
+      else
+        outside.push_back(x);
+    }
+    if (inside.empty() || outside.empty()) continue;  // no split
+    cls = std::move(inside);
+    const std::size_t new_index = classes_.size();
+    for (NodeId x : outside) class_index_[x] = new_index;
+    classes_.push_back(std::move(outside));
+  }
+}
+
+void EquivalenceClasses::add_paths(const PathSet& paths) {
+  for (const MeasurementPath& p : paths.paths()) add_path(p);
+}
+
+const std::vector<NodeId>& EquivalenceClasses::class_of(NodeId x) const {
+  check_vertex(x);
+  return classes_[class_index_[x]];
+}
+
+std::size_t EquivalenceClasses::class_size(NodeId x) const {
+  return class_of(x).size();
+}
+
+bool EquivalenceClasses::indistinguishable(NodeId v, NodeId w) const {
+  check_vertex(v);
+  check_vertex(w);
+  return class_index_[v] == class_index_[w];
+}
+
+std::size_t EquivalenceClasses::identifiable_count() const {
+  std::size_t count = 0;
+  for (const auto& cls : classes_)
+    if (cls.size() == 1 && cls.front() != virtual_node()) ++count;
+  return count;
+}
+
+std::size_t EquivalenceClasses::distinguishable_pairs() const {
+  const std::size_t m = node_count_ + 1;
+  std::size_t total = m * (m - 1) / 2;
+  for (const auto& cls : classes_) total -= cls.size() * (cls.size() - 1) / 2;
+  return total;
+}
+
+std::size_t EquivalenceClasses::degree_of_uncertainty(NodeId x) const {
+  return class_size(x) - 1;
+}
+
+Histogram EquivalenceClasses::uncertainty_distribution() const {
+  Histogram hist;
+  for (const auto& cls : classes_) hist.add(cls.size() - 1, cls.size());
+  return hist;
+}
+
+}  // namespace splace

@@ -1,0 +1,76 @@
+// Partition-refinement form of the paper's equivalence graph Q
+// (Section III-B.1).
+//
+// Two single-node failure sets {v}, {w} are indistinguishable iff P_v = P_w,
+// which is an equivalence relation: Q (plus the virtual no-failure node v0)
+// is a disjoint union of cliques, i.e., a partition of N ∪ {v0} by
+// path-incidence signature. Adding a measurement path p refines the partition
+// by splitting every class into (class ∩ p, class ∖ p) — O(|N|) per path,
+// much cheaper than maintaining the O(|N|^2) adjacency of Algorithm 1 and
+// exactly the incremental reuse the paper suggests for the greedy
+// distinguishability heuristic (Section V-D.1).
+//
+// All k = 1 quantities fall out of the class sizes:
+//   |S_1(P)|  = # singleton classes not containing v0;
+//   |D_1(P)|  = C(|N|+1, 2) − Σ_class C(|class|, 2);
+//   degree of uncertainty of x (Fig. 8) = |class(x)| − 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "monitoring/path.hpp"
+#include "util/stats.hpp"
+
+namespace splace {
+
+class EquivalenceClasses {
+ public:
+  /// Starts from the no-measurement state: one class = N ∪ {v0}.
+  explicit EquivalenceClasses(std::size_t node_count);
+
+  std::size_t node_count() const { return node_count_; }
+
+  /// The virtual no-failure vertex id (== node_count()).
+  NodeId virtual_node() const { return static_cast<NodeId>(node_count_); }
+
+  /// Refines the partition with one measurement path.
+  void add_path(const MeasurementPath& path);
+
+  /// Refines with every path of a set.
+  void add_paths(const PathSet& paths);
+
+  std::size_t class_count() const { return classes_.size(); }
+
+  /// Members of the class containing vertex x (x may be virtual_node()).
+  const std::vector<NodeId>& class_of(NodeId x) const;
+
+  /// |class(x)|.
+  std::size_t class_size(NodeId x) const;
+
+  /// True iff {v} and {w} are indistinguishable so far (same class);
+  /// w or v may be virtual_node(). Mirrors "edge present in Q".
+  bool indistinguishable(NodeId v, NodeId w) const;
+
+  /// |S_1(P)|: # real nodes whose single-failure state is identifiable.
+  std::size_t identifiable_count() const;
+
+  /// |D_1(P)|: # distinguishable unordered pairs among N ∪ {v0}.
+  std::size_t distinguishable_pairs() const;
+
+  /// Degree of x in Q = |class(x)| − 1 (paper's "degree of uncertainty").
+  std::size_t degree_of_uncertainty(NodeId x) const;
+
+  /// Fig. 8 distribution: histogram of degree of uncertainty over all
+  /// vertices of Q including v0.
+  Histogram uncertainty_distribution() const;
+
+ private:
+  std::size_t node_count_;
+  std::vector<std::vector<NodeId>> classes_;
+  std::vector<std::size_t> class_index_;  ///< vertex -> class position
+
+  void check_vertex(NodeId x) const;
+};
+
+}  // namespace splace

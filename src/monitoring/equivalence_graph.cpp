@@ -1,0 +1,76 @@
+#include "monitoring/equivalence_graph.hpp"
+
+#include "util/error.hpp"
+
+namespace splace {
+
+EquivalenceGraph::EquivalenceGraph(std::size_t node_count)
+    : node_count_(node_count),
+      adjacency_(node_count + 1, DynamicBitset(node_count + 1)) {
+  for (NodeId v = 0; v <= node_count_; ++v)
+    for (NodeId w = 0; w <= node_count_; ++w)
+      if (v != w) adjacency_[v].set(w);
+}
+
+void EquivalenceGraph::check_vertex(NodeId x) const {
+  SPLACE_EXPECTS(x <= node_count_);
+}
+
+void EquivalenceGraph::remove_edge(NodeId v, NodeId w) {
+  adjacency_[v].reset(w);
+  adjacency_[w].reset(v);
+}
+
+void EquivalenceGraph::add_path(const MeasurementPath& path) {
+  SPLACE_EXPECTS(path.node_universe() == node_count_);
+  for (NodeId v : path.nodes()) {
+    // Line 4: a traversed node becomes distinguishable from "no failure".
+    remove_edge(v, virtual_node());
+    // Lines 5-6: a traversed node becomes distinguishable from every
+    // non-traversed node.
+    for (NodeId w = 0; w < node_count_; ++w)
+      if (w != v && !path.traverses(w)) remove_edge(v, w);
+  }
+}
+
+void EquivalenceGraph::add_paths(const PathSet& paths) {
+  for (const MeasurementPath& p : paths.paths()) add_path(p);
+}
+
+bool EquivalenceGraph::has_edge(NodeId v, NodeId w) const {
+  check_vertex(v);
+  check_vertex(w);
+  SPLACE_EXPECTS(v != w);
+  return adjacency_[v].test(w);
+}
+
+std::size_t EquivalenceGraph::degree(NodeId x) const {
+  check_vertex(x);
+  return adjacency_[x].count();
+}
+
+std::size_t EquivalenceGraph::edge_count() const {
+  std::size_t total = 0;
+  for (const DynamicBitset& row : adjacency_) total += row.count();
+  return total / 2;
+}
+
+std::size_t EquivalenceGraph::identifiable_count() const {
+  std::size_t count = 0;
+  for (NodeId v = 0; v < node_count_; ++v)
+    if (adjacency_[v].none()) ++count;
+  return count;
+}
+
+std::size_t EquivalenceGraph::distinguishable_pairs() const {
+  const std::size_t m = node_count_ + 1;
+  return m * (m - 1) / 2 - edge_count();
+}
+
+Histogram EquivalenceGraph::uncertainty_distribution() const {
+  Histogram hist;
+  for (NodeId x = 0; x <= node_count_; ++x) hist.add(degree(x));
+  return hist;
+}
+
+}  // namespace splace

@@ -1,0 +1,61 @@
+// Literal implementation of the paper's Algorithm 1 ("Construct Equivalence
+// Graph"): an adjacency-matrix graph Q over N ∪ {v0} that starts complete and
+// loses the edge (v, w) as soon as some measurement path distinguishes the
+// single-failure sets {v} and {w}.
+//
+// This is the paper-faithful O(|N|^2 |P|) reference; EquivalenceClasses is
+// the optimized equivalent used by the placement algorithms. Tests verify
+// they agree on every derived quantity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "monitoring/path.hpp"
+#include "util/bitset.hpp"
+#include "util/stats.hpp"
+
+namespace splace {
+
+class EquivalenceGraph {
+ public:
+  /// Line 1 of Algorithm 1: complete graph over {v0} ∪ N.
+  explicit EquivalenceGraph(std::size_t node_count);
+
+  std::size_t node_count() const { return node_count_; }
+  NodeId virtual_node() const { return static_cast<NodeId>(node_count_); }
+
+  /// Lines 3-6 of Algorithm 1 for one path.
+  void add_path(const MeasurementPath& path);
+
+  /// Runs Algorithm 1 over a whole path set.
+  void add_paths(const PathSet& paths);
+
+  /// Edge present in Q ⇔ {v} and {w} (or no-failure for v0) remain
+  /// indistinguishable.
+  bool has_edge(NodeId v, NodeId w) const;
+
+  /// Degree of x in Q (the paper's degree of uncertainty).
+  std::size_t degree(NodeId x) const;
+
+  /// # edges currently in Q.
+  std::size_t edge_count() const;
+
+  /// |S_1(P)|: isolated vertices of Q excluding v0.
+  std::size_t identifiable_count() const;
+
+  /// |D_1(P)|: # vertex pairs *not* linked in Q.
+  std::size_t distinguishable_pairs() const;
+
+  /// Fig. 8 distribution over all vertices of Q including v0.
+  Histogram uncertainty_distribution() const;
+
+ private:
+  std::size_t node_count_;
+  std::vector<DynamicBitset> adjacency_;  ///< (node_count+1)^2 symmetric
+
+  void remove_edge(NodeId v, NodeId w);
+  void check_vertex(NodeId x) const;
+};
+
+}  // namespace splace

@@ -1,0 +1,100 @@
+#include "monitoring/failure_partition.hpp"
+
+#include <algorithm>
+
+#include "monitoring/failure_sets.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+
+FailureSetPartition::FailureSetPartition(std::size_t node_count,
+                                         std::size_t k)
+    : node_count_(node_count), k_(k) {
+  for_each_failure_set(node_count, k, [this](const std::vector<NodeId>& f) {
+    sets_.push_back(f);
+  });
+  std::vector<std::uint32_t> all(sets_.size());
+  for (std::uint32_t i = 0; i < sets_.size(); ++i) all[i] = i;
+  class_index_.assign(sets_.size(), 0);
+  classes_.push_back(std::move(all));
+}
+
+void FailureSetPartition::add_path(const MeasurementPath& path) {
+  SPLACE_EXPECTS(path.node_universe() == node_count_);
+  const std::size_t original_classes = classes_.size();
+  for (std::size_t c = 0; c < original_classes; ++c) {
+    std::vector<std::uint32_t>& cls = classes_[c];
+    std::vector<std::uint32_t> hit;
+    std::vector<std::uint32_t> miss;
+    for (std::uint32_t idx : cls) {
+      bool intersects = false;
+      for (NodeId v : sets_[idx]) {
+        if (path.traverses(v)) {
+          intersects = true;
+          break;
+        }
+      }
+      (intersects ? hit : miss).push_back(idx);
+    }
+    if (hit.empty() || miss.empty()) continue;
+    cls = std::move(hit);
+    const std::uint32_t new_index = static_cast<std::uint32_t>(classes_.size());
+    for (std::uint32_t idx : miss) class_index_[idx] = new_index;
+    classes_.push_back(std::move(miss));
+  }
+}
+
+void FailureSetPartition::add_paths(const PathSet& paths) {
+  for (const MeasurementPath& p : paths.paths()) add_path(p);
+}
+
+std::size_t FailureSetPartition::distinguishability() const {
+  const std::size_t total = sets_.size();
+  std::size_t pairs = total * (total - 1) / 2;
+  for (const auto& cls : classes_) pairs -= cls.size() * (cls.size() - 1) / 2;
+  return pairs;
+}
+
+std::size_t FailureSetPartition::identifiability() const {
+  std::vector<bool> bad(node_count_, false);
+  std::vector<std::size_t> occurrences(node_count_, 0);
+  std::vector<NodeId> touched;
+  for (const auto& cls : classes_) {
+    if (cls.size() < 2) continue;
+    touched.clear();
+    for (std::uint32_t idx : cls) {
+      for (NodeId v : sets_[idx]) {
+        if (occurrences[v] == 0) touched.push_back(v);
+        ++occurrences[v];
+      }
+    }
+    for (NodeId v : touched) {
+      if (occurrences[v] < cls.size()) bad[v] = true;
+      occurrences[v] = 0;
+    }
+  }
+  std::size_t count = 0;
+  for (NodeId v = 0; v < node_count_; ++v)
+    if (!bad[v]) ++count;
+  return count;
+}
+
+std::size_t FailureSetPartition::find_set_index(
+    const std::vector<NodeId>& failure_set) const {
+  SPLACE_EXPECTS(failure_set.size() <= k_);
+  SPLACE_EXPECTS(std::is_sorted(failure_set.begin(), failure_set.end()));
+  // Enumeration is ordered by size then lexicographically; binary search
+  // within the size stratum would work, but a linear scan is fine for the
+  // sizes this structure targets. Keep it simple and verifiable.
+  for (std::size_t i = 0; i < sets_.size(); ++i)
+    if (sets_[i] == failure_set) return i;
+  throw ContractViolation("failure set outside the enumerated F_k");
+}
+
+std::size_t FailureSetPartition::uncertainty_of(
+    const std::vector<NodeId>& failure_set) const {
+  const std::size_t idx = find_set_index(failure_set);
+  return classes_[class_index_[idx]].size() - 1;
+}
+
+}  // namespace splace

@@ -1,0 +1,73 @@
+// Incremental partition of the failure-set space F_k by observable
+// signature — the general-k analogue of EquivalenceClasses.
+//
+// Two failure sets are indistinguishable wrt P iff they hit exactly the same
+// paths. That equivalence refines as paths are added: a new path p splits
+// every class into {F : F ∩ p ≠ ∅} and {F : F ∩ p = ∅}. Maintaining the
+// partition costs O(|F_k|) per path, turning the greedy algorithm's
+// general-k objective evaluations from full re-enumeration
+// (O(|F_k|·|P|) per evaluation) into cheap clone-and-refine steps — the
+// same trick Section V-D.1 describes for k = 1.
+//
+// Derived quantities:
+//   |D_k(P)|  = C(|F_k|, 2) − Σ_class C(|class|, 2)
+//   |S_k(P)|  = # nodes v with no class containing both a set ∋ v and a
+//               set ∌ v
+//   |I_k(F;P)| = |class(F)| − 1
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "monitoring/path.hpp"
+#include "util/bitset.hpp"
+
+namespace splace {
+
+class FailureSetPartition {
+ public:
+  /// Enumerates F_k over `node_count` nodes (cost O(|F_k|·k)); starts with
+  /// the single all-indistinguishable class. Keep |F_k| moderate — this is
+  /// an exact structure, not a bound.
+  FailureSetPartition(std::size_t node_count, std::size_t k);
+
+  std::size_t node_count() const { return node_count_; }
+  std::size_t k() const { return k_; }
+  std::size_t total_sets() const { return sets_.size(); }
+  std::size_t class_count() const { return classes_.size(); }
+
+  /// Refines by one measurement path / a whole path set.
+  void add_path(const MeasurementPath& path);
+  void add_paths(const PathSet& paths);
+
+  /// |D_k(P)| for the paths added so far.
+  std::size_t distinguishability() const;
+
+  /// |S_k(P)| (cost O(Σ_F |F|) per call).
+  std::size_t identifiability() const;
+
+  /// |I_k(F; P)|: peers indistinguishable from the given failure set.
+  /// Requires |failure_set| ≤ k, sorted, distinct, valid ids.
+  std::size_t uncertainty_of(const std::vector<NodeId>& failure_set) const;
+
+  /// Members (indices into the internal F_k enumeration) of class `c`.
+  const std::vector<std::uint32_t>& class_members(std::size_t c) const {
+    return classes_[c];
+  }
+
+  /// The failure set at enumeration index i.
+  const std::vector<NodeId>& failure_set(std::size_t i) const {
+    return sets_[i];
+  }
+
+ private:
+  std::size_t node_count_;
+  std::size_t k_;
+  std::vector<std::vector<NodeId>> sets_;         ///< F_k enumeration
+  std::vector<std::vector<std::uint32_t>> classes_;
+  std::vector<std::uint32_t> class_index_;        ///< set idx -> class pos
+
+  std::size_t find_set_index(const std::vector<NodeId>& failure_set) const;
+};
+
+}  // namespace splace

@@ -1,0 +1,100 @@
+#include "monitoring/failure_sets.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+std::size_t failure_set_count(std::size_t n, std::size_t k) {
+  std::size_t total = 0;
+  std::size_t binom = 1;  // C(n, 0)
+  for (std::size_t i = 0; i <= k && i <= n; ++i) {
+    if (total > std::numeric_limits<std::size_t>::max() - binom)
+      return std::numeric_limits<std::size_t>::max();
+    total += binom;
+    // C(n, i+1) = C(n, i) * (n-i) / (i+1); watch for overflow.
+    if (i < n) {
+      const std::size_t numer = n - i;
+      if (binom > std::numeric_limits<std::size_t>::max() / numer)
+        return std::numeric_limits<std::size_t>::max();
+      binom = binom * numer / (i + 1);
+    }
+  }
+  return total;
+}
+
+namespace {
+void enumerate_rec(std::size_t n, std::size_t size, NodeId first,
+                   std::vector<NodeId>& current,
+                   const std::function<void(const std::vector<NodeId>&)>& fn) {
+  if (current.size() == size) {
+    fn(current);
+    return;
+  }
+  const std::size_t remaining = size - current.size();
+  for (NodeId v = first; v + remaining <= n; ++v) {
+    current.push_back(v);
+    enumerate_rec(n, size, v + 1, current, fn);
+    current.pop_back();
+  }
+}
+}  // namespace
+
+void for_each_failure_set(
+    std::size_t n, std::size_t k,
+    const std::function<void(const std::vector<NodeId>&)>& fn) {
+  std::vector<NodeId> current;
+  for (std::size_t size = 0; size <= k && size <= n; ++size)
+    enumerate_rec(n, size, 0, current, fn);
+}
+
+std::vector<std::vector<NodeId>> enumerate_failure_sets(std::size_t n,
+                                                        std::size_t k) {
+  std::vector<std::vector<NodeId>> out;
+  out.reserve(failure_set_count(n, k));
+  for_each_failure_set(n, k,
+                       [&out](const std::vector<NodeId>& f) { out.push_back(f); });
+  return out;
+}
+
+SignatureGroups::SignatureGroups(const PathSet& paths, std::size_t k) : k_(k) {
+  for_each_failure_set(
+      paths.node_count(), k, [&](const std::vector<NodeId>& f) {
+        ++total_sets_;
+        DynamicBitset sig = paths.affected_paths(f);
+        const std::size_t g = find_group(sig);
+        if (g == groups_.size()) {
+          by_hash_[sig.hash()].push_back(groups_.size());
+          groups_.emplace_back();
+          groups_.back().push_back(f);
+          signatures_.push_back(std::move(sig));
+        } else {
+          groups_[g].push_back(f);
+        }
+      });
+}
+
+std::size_t SignatureGroups::find_group(const DynamicBitset& signature) const {
+  auto it = by_hash_.find(signature.hash());
+  if (it == by_hash_.end()) return groups_.size();
+  for (std::size_t g : it->second)
+    if (signatures_[g] == signature) return g;
+  return groups_.size();
+}
+
+const std::vector<std::vector<NodeId>>& SignatureGroups::group_of(
+    const PathSet& paths, const std::vector<NodeId>& failure_set) const {
+  SPLACE_EXPECTS(failure_set.size() <= k_);
+  const DynamicBitset sig = paths.affected_paths(failure_set);
+  const std::size_t g = find_group(sig);
+  SPLACE_ENSURES(g < groups_.size());
+  return groups_[g];
+}
+
+std::size_t SignatureGroups::indistinguishable_count(
+    const PathSet& paths, const std::vector<NodeId>& failure_set) const {
+  return group_of(paths, failure_set).size() - 1;
+}
+
+}  // namespace splace

@@ -1,0 +1,72 @@
+// Enumeration of candidate failure sets F_k = { F ⊆ N : |F| ≤ k }
+// (paper Section II-B.3) and their observable signatures P_F.
+//
+// |F_k| grows as O(|N|^k); the exact general-k measures built on this
+// enumeration are intended for moderate instances (tests, small networks,
+// ground truth for the scalable k = 1 machinery and the GSC bounds).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "monitoring/path.hpp"
+#include "util/bitset.hpp"
+
+namespace splace {
+
+/// |F_k| = Σ_{i=0..k} C(n, i); saturates at SIZE_MAX on overflow.
+std::size_t failure_set_count(std::size_t n, std::size_t k);
+
+/// Calls `fn(F)` once for every F ⊆ {0..n-1} with |F| ≤ k, in increasing
+/// size then lexicographic order, starting with the empty set.
+void for_each_failure_set(
+    std::size_t n, std::size_t k,
+    const std::function<void(const std::vector<NodeId>&)>& fn);
+
+/// Materializes F_k (use only when failure_set_count is small).
+std::vector<std::vector<NodeId>> enumerate_failure_sets(std::size_t n,
+                                                        std::size_t k);
+
+/// Groups every F ∈ F_k by its path-state signature P_F.
+/// Result: one entry per distinct signature, listing the member failure sets
+/// (by index into the enumeration order) and, per member, whether it is the
+/// empty set. Powers exact |D_k|, |S_k| and I_k(F; P).
+class SignatureGroups {
+ public:
+  SignatureGroups(const PathSet& paths, std::size_t k);
+
+  std::size_t k() const { return k_; }
+  std::size_t total_sets() const { return total_sets_; }
+  std::size_t group_count() const { return groups_.size(); }
+
+  /// Failure sets (node lists) of group g.
+  const std::vector<std::vector<NodeId>>& group(std::size_t g) const {
+    return groups_[g];
+  }
+
+  /// The signature group containing the given failure set.
+  /// Requires |failure_set| ≤ k and valid node ids.
+  const std::vector<std::vector<NodeId>>& group_of(
+      const PathSet& paths, const std::vector<NodeId>& failure_set) const;
+
+  /// |I_k(F; P)|: # failure sets (≠ F) indistinguishable from F.
+  std::size_t indistinguishable_count(
+      const PathSet& paths, const std::vector<NodeId>& failure_set) const;
+
+ private:
+  std::size_t k_;
+  std::size_t total_sets_ = 0;
+  std::vector<std::vector<std::vector<NodeId>>> groups_;
+  // signature hash -> candidate group indices (rare collisions resolved by
+  // comparing stored signatures).
+  std::vector<DynamicBitset> signatures_;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_hash_;
+
+  std::size_t find_group(const DynamicBitset& signature) const;
+};
+
+}  // namespace splace

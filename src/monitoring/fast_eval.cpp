@@ -1,0 +1,66 @@
+#include "monitoring/fast_eval.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+FastK1Evaluator::FastK1Evaluator(
+    std::size_t node_count, const std::vector<std::vector<PathSet>>& options)
+    : node_count_(node_count), scratch_(node_count + 1) {
+  std::size_t offset = 0;
+  masks_.reserve(options.size());
+  for (const std::vector<PathSet>& slot_options : options) {
+    SPLACE_EXPECTS(!slot_options.empty());
+    slot_bits_.push_back(offset);
+    std::size_t width = 0;
+    std::vector<std::vector<std::uint64_t>> slot_masks;
+    slot_masks.reserve(slot_options.size());
+    for (const PathSet& paths : slot_options) {
+      SPLACE_EXPECTS(paths.node_count() == node_count);
+      width = std::max(width, paths.size());
+      std::vector<std::uint64_t> node_mask(node_count, 0);
+      for (std::size_t pi = 0; pi < paths.size(); ++pi)
+        for (NodeId v : paths[pi].nodes())
+          node_mask[v] |= std::uint64_t{1} << (offset + pi);
+      slot_masks.push_back(std::move(node_mask));
+    }
+    offset += width;
+    SPLACE_EXPECTS(offset <= 64);
+    masks_.push_back(std::move(slot_masks));
+  }
+}
+
+FastK1Evaluator::Metrics FastK1Evaluator::evaluate(
+    const std::vector<std::size_t>& choice) const {
+  SPLACE_EXPECTS(choice.size() == slot_count());
+  std::vector<std::uint64_t>& sigs = scratch_;
+  std::fill(sigs.begin(), sigs.end(), 0);  // last entry stays 0: that is v0
+  for (std::size_t slot = 0; slot < choice.size(); ++slot) {
+    SPLACE_EXPECTS(choice[slot] < masks_[slot].size());
+    const std::vector<std::uint64_t>& mask = masks_[slot][choice[slot]];
+    for (std::size_t v = 0; v < node_count_; ++v) sigs[v] |= mask[v];
+  }
+
+  Metrics m;
+  for (std::size_t v = 0; v < node_count_; ++v)
+    if (sigs[v] != 0) ++m.coverage;
+
+  std::sort(sigs.begin(), sigs.end());
+  const std::size_t total = sigs.size();  // |N| + 1 vertices of Q
+  std::size_t pairs = total * (total - 1) / 2;
+  std::size_t run_start = 0;
+  for (std::size_t i = 1; i <= total; ++i) {
+    if (i == total || sigs[i] != sigs[run_start]) {
+      const std::size_t run = i - run_start;
+      pairs -= run * (run - 1) / 2;
+      if (run == 1 && sigs[run_start] != 0) ++m.identifiability;
+      run_start = i;
+    }
+  }
+  m.distinguishability = pairs;
+  return m;
+}
+
+}  // namespace splace

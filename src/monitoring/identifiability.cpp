@@ -1,0 +1,83 @@
+#include "monitoring/identifiability.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+DynamicBitset identifiable_nodes(const SignatureGroups& groups,
+                                 std::size_t node_count) {
+  // v is NOT k-identifiable iff some signature group holds both a failure
+  // set containing v and one excluding v. Within a group of size m, that is
+  // "v occurs in between 1 and m-1 member sets".
+  DynamicBitset identifiable(node_count);
+  for (NodeId v = 0; v < node_count; ++v) identifiable.set(v);
+
+  std::vector<std::size_t> occurrences(node_count, 0);
+  for (std::size_t g = 0; g < groups.group_count(); ++g) {
+    const auto& members = groups.group(g);
+    if (members.size() < 2) continue;
+    std::vector<NodeId> touched;
+    for (const std::vector<NodeId>& f : members) {
+      for (NodeId v : f) {
+        if (occurrences[v] == 0) touched.push_back(v);
+        ++occurrences[v];
+      }
+    }
+    for (NodeId v : touched) {
+      if (occurrences[v] < members.size()) identifiable.reset(v);
+      occurrences[v] = 0;
+    }
+  }
+
+  // A node traversed by no path at all is indistinguishable from the empty
+  // failure set ({v} and ∅ share the all-normal signature); the grouping
+  // above already handles this because both land in the same group. Nothing
+  // more to do.
+  return identifiable;
+}
+
+DynamicBitset identifiable_nodes(const PathSet& paths, std::size_t k) {
+  return identifiable_nodes(SignatureGroups(paths, k), paths.node_count());
+}
+
+std::size_t identifiability(const PathSet& paths, std::size_t k) {
+  return identifiable_nodes(paths, k).count();
+}
+
+bool is_k_identifiable(NodeId v, const PathSet& paths, std::size_t k) {
+  SPLACE_EXPECTS(v < paths.node_count());
+  // Literal Definition 2: compare every pair of failure sets differing in v.
+  std::vector<std::vector<NodeId>> with_v;
+  std::vector<DynamicBitset> with_v_sig;
+  std::vector<std::vector<NodeId>> without_v;
+  std::vector<DynamicBitset> without_v_sig;
+  for_each_failure_set(paths.node_count(), k,
+                       [&](const std::vector<NodeId>& f) {
+                         const bool has_v =
+                             std::find(f.begin(), f.end(), v) != f.end();
+                         if (has_v) {
+                           with_v.push_back(f);
+                           with_v_sig.push_back(paths.affected_paths(f));
+                         } else {
+                           without_v.push_back(f);
+                           without_v_sig.push_back(paths.affected_paths(f));
+                         }
+                       });
+  for (std::size_t i = 0; i < with_v.size(); ++i)
+    for (std::size_t j = 0; j < without_v.size(); ++j)
+      if (with_v_sig[i] == without_v_sig[j]) return false;
+  return true;
+}
+
+std::size_t non_identifiable_failure_sets(const PathSet& paths,
+                                          std::size_t k) {
+  const SignatureGroups groups(paths, k);
+  std::size_t count = 0;
+  for (std::size_t g = 0; g < groups.group_count(); ++g)
+    if (groups.group(g).size() > 1) count += groups.group(g).size();
+  return count;
+}
+
+}  // namespace splace

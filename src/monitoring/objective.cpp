@@ -1,0 +1,119 @@
+#include "monitoring/objective.hpp"
+
+#include "monitoring/coverage.hpp"
+#include "monitoring/distinguishability.hpp"
+#include "monitoring/equivalence_classes.hpp"
+#include "monitoring/failure_partition.hpp"
+#include "monitoring/identifiability.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+
+std::string to_string(ObjectiveKind kind) {
+  switch (kind) {
+    case ObjectiveKind::Coverage: return "coverage";
+    case ObjectiveKind::Identifiability: return "identifiability";
+    case ObjectiveKind::Distinguishability: return "distinguishability";
+  }
+  return "?";
+}
+
+namespace {
+
+class CoverageState final : public ObjectiveState {
+ public:
+  explicit CoverageState(std::size_t node_count) : covered_(node_count) {}
+
+  std::unique_ptr<ObjectiveState> clone() const override {
+    return std::make_unique<CoverageState>(*this);
+  }
+
+  void add_path(const MeasurementPath& path) override {
+    covered_ |= path.node_set();
+  }
+
+  double value() const override {
+    return static_cast<double>(covered_.count());
+  }
+
+ private:
+  DynamicBitset covered_;
+};
+
+/// k = 1 identifiability/distinguishability on the incremental partition.
+class EquivalenceState final : public ObjectiveState {
+ public:
+  EquivalenceState(std::size_t node_count, ObjectiveKind kind)
+      : kind_(kind), classes_(node_count) {}
+
+  std::unique_ptr<ObjectiveState> clone() const override {
+    return std::make_unique<EquivalenceState>(*this);
+  }
+
+  void add_path(const MeasurementPath& path) override {
+    classes_.add_path(path);
+  }
+
+  double value() const override {
+    return kind_ == ObjectiveKind::Identifiability
+               ? static_cast<double>(classes_.identifiable_count())
+               : static_cast<double>(classes_.distinguishable_pairs());
+  }
+
+ private:
+  ObjectiveKind kind_;
+  EquivalenceClasses classes_;
+};
+
+/// General-k exact state on the incremental failure-set partition
+/// (O(|F_k|) per added path instead of full re-enumeration per evaluation).
+class EnumerationState final : public ObjectiveState {
+ public:
+  EnumerationState(std::size_t node_count, ObjectiveKind kind, std::size_t k)
+      : kind_(kind), partition_(node_count, k) {}
+
+  std::unique_ptr<ObjectiveState> clone() const override {
+    return std::make_unique<EnumerationState>(*this);
+  }
+
+  void add_path(const MeasurementPath& path) override {
+    partition_.add_path(path);
+  }
+
+  double value() const override {
+    return kind_ == ObjectiveKind::Identifiability
+               ? static_cast<double>(partition_.identifiability())
+               : static_cast<double>(partition_.distinguishability());
+  }
+
+ private:
+  ObjectiveKind kind_;
+  FailureSetPartition partition_;
+};
+
+}  // namespace
+
+std::unique_ptr<ObjectiveState> make_objective_state(ObjectiveKind kind,
+                                                     std::size_t node_count,
+                                                     std::size_t k) {
+  SPLACE_EXPECTS(k >= 1);
+  switch (kind) {
+    case ObjectiveKind::Coverage:
+      return std::make_unique<CoverageState>(node_count);
+    case ObjectiveKind::Identifiability:
+    case ObjectiveKind::Distinguishability:
+      if (k == 1) return std::make_unique<EquivalenceState>(node_count, kind);
+      return std::make_unique<EnumerationState>(node_count, kind, k);
+  }
+  throw ContractViolation("unknown objective kind");
+}
+
+double evaluate_objective(ObjectiveKind kind, const PathSet& paths,
+                          std::size_t k) {
+  const std::unique_ptr<ObjectiveState> state =
+      make_objective_state(kind, paths.node_count(), k);
+  state->add_paths(paths);
+  return state->value();
+}
+
+}  // namespace splace

@@ -1,0 +1,66 @@
+// Monitoring objective functions f(P) in incremental form.
+//
+// The greedy placement (Algorithm 2) must evaluate f(P ∪ P(C_s, h)) for many
+// candidate (service, host) pairs per iteration. ObjectiveState captures the
+// paper's reuse trick (Section V-D.1): keep the state for the already-placed
+// paths, clone it cheaply, push the candidate's paths, read the value.
+//
+// Kinds:
+//   Coverage            |C(P)|                       (monotone submodular)
+//   Identifiability     |S_k(P)|                     (monotone, NOT submodular)
+//   Distinguishability  |D_k(P)|                     (monotone submodular)
+//
+// For k = 1 the identifiability/distinguishability states run on
+// EquivalenceClasses (incremental); for k > 1 they re-derive from a stored
+// PathSet via exact enumeration (use on small instances only).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "monitoring/path.hpp"
+
+namespace splace {
+
+enum class ObjectiveKind { Coverage, Identifiability, Distinguishability };
+
+/// Short display name ("coverage", "identifiability", "distinguishability").
+std::string to_string(ObjectiveKind kind);
+
+/// Incremental evaluation state for one objective over a growing path set.
+class ObjectiveState {
+ public:
+  virtual ~ObjectiveState() = default;
+
+  /// Deep copy, used for hypothetical candidate evaluation.
+  virtual std::unique_ptr<ObjectiveState> clone() const = 0;
+
+  /// Extends the path set this state describes.
+  virtual void add_path(const MeasurementPath& path) = 0;
+
+  /// Current f(P).
+  virtual double value() const = 0;
+
+  void add_paths(const PathSet& paths) {
+    for (const MeasurementPath& p : paths.paths()) add_path(p);
+  }
+
+  /// f(P ∪ extra) without mutating this state.
+  double value_with(const PathSet& extra) const {
+    const std::unique_ptr<ObjectiveState> trial = clone();
+    trial->add_paths(extra);
+    return trial->value();
+  }
+};
+
+/// Creates the evaluation state for `kind` over `node_count` nodes with
+/// failure bound `k` (ignored by Coverage). Requires k >= 1.
+std::unique_ptr<ObjectiveState> make_objective_state(ObjectiveKind kind,
+                                                     std::size_t node_count,
+                                                     std::size_t k = 1);
+
+/// One-shot evaluation of an objective over a complete path set.
+double evaluate_objective(ObjectiveKind kind, const PathSet& paths,
+                          std::size_t k = 1);
+
+}  // namespace splace

@@ -1,0 +1,78 @@
+#include "monitoring/path.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+MeasurementPath::MeasurementPath(std::size_t node_count,
+                                 const std::vector<NodeId>& nodes)
+    : members_(node_count) {
+  SPLACE_EXPECTS(!nodes.empty());
+  for (NodeId v : nodes) {
+    SPLACE_EXPECTS(v < node_count);
+    members_.set(v);
+  }
+  sorted_nodes_.reserve(nodes.size());
+  members_.for_each([this](std::size_t v) {
+    sorted_nodes_.push_back(static_cast<NodeId>(v));
+  });
+}
+
+bool PathSet::add(MeasurementPath path) {
+  SPLACE_EXPECTS(path.node_universe() == node_count_);
+  if (find(path) != paths_.size()) return false;
+  by_hash_[path.node_set().hash()].push_back(paths_.size());
+  paths_.push_back(std::move(path));
+  return true;
+}
+
+bool PathSet::add_nodes(const std::vector<NodeId>& nodes) {
+  return add(MeasurementPath(node_count_, nodes));
+}
+
+std::size_t PathSet::add_all(const PathSet& other) {
+  SPLACE_EXPECTS(other.node_count_ == node_count_);
+  std::size_t added = 0;
+  for (const MeasurementPath& p : other.paths_)
+    if (add(p)) ++added;
+  return added;
+}
+
+bool PathSet::contains(const MeasurementPath& path) const {
+  return find(path) != paths_.size();
+}
+
+std::size_t PathSet::find(const MeasurementPath& path) const {
+  auto it = by_hash_.find(path.node_set().hash());
+  if (it == by_hash_.end()) return paths_.size();
+  for (std::size_t idx : it->second)
+    if (paths_[idx] == path) return idx;
+  return paths_.size();
+}
+
+std::vector<DynamicBitset> PathSet::node_incidence() const {
+  std::vector<DynamicBitset> incidence(node_count_,
+                                       DynamicBitset(paths_.size()));
+  for (std::size_t i = 0; i < paths_.size(); ++i)
+    for (NodeId v : paths_[i].nodes()) incidence[v].set(i);
+  return incidence;
+}
+
+DynamicBitset PathSet::affected_paths(
+    const std::vector<NodeId>& failure_set) const {
+  DynamicBitset affected(paths_.size());
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    for (NodeId v : failure_set) {
+      SPLACE_EXPECTS(v < node_count_);
+      if (paths_[i].traverses(v)) {
+        affected.set(i);
+        break;
+      }
+    }
+  }
+  return affected;
+}
+
+}  // namespace splace

@@ -1,0 +1,88 @@
+// Measurement paths and path sets (paper Section II-A).
+//
+// A measurement path is the *set of nodes* traversed by one client-server
+// connection (endpoints included): its observed state is normal iff every
+// traversed node is normal, so only the node set matters for monitoring.
+// A PathSet is a duplicate-free collection of such paths — the paper's P.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/bitset.hpp"
+
+namespace splace {
+
+/// One end-to-end measurement path over a fixed node universe.
+class MeasurementPath {
+ public:
+  /// Builds the path from the traversed node sequence (order is irrelevant
+  /// for monitoring; duplicates are collapsed). Requires a non-empty node
+  /// list — a degenerate single-node path (service co-located with its
+  /// client) is explicitly allowed, matching the paper's footnote 3.
+  MeasurementPath(std::size_t node_count, const std::vector<NodeId>& nodes);
+
+  std::size_t node_universe() const { return members_.size(); }
+
+  /// The traversed node set.
+  const DynamicBitset& node_set() const { return members_; }
+
+  /// Traversed nodes in ascending id order.
+  const std::vector<NodeId>& nodes() const { return sorted_nodes_; }
+
+  std::size_t length() const { return sorted_nodes_.size(); }
+
+  bool traverses(NodeId v) const { return members_.test(v); }
+
+  /// Paths are equal iff they traverse the same node set.
+  friend bool operator==(const MeasurementPath& a, const MeasurementPath& b) {
+    return a.members_ == b.members_;
+  }
+
+ private:
+  DynamicBitset members_;
+  std::vector<NodeId> sorted_nodes_;
+};
+
+/// A set (no duplicates) of measurement paths over a common node universe.
+class PathSet {
+ public:
+  explicit PathSet(std::size_t node_count) : node_count_(node_count) {}
+
+  std::size_t node_count() const { return node_count_; }
+  std::size_t size() const { return paths_.size(); }
+  bool empty() const { return paths_.empty(); }
+
+  const MeasurementPath& operator[](std::size_t i) const { return paths_[i]; }
+  const std::vector<MeasurementPath>& paths() const { return paths_; }
+
+  /// Inserts a path; returns false (and keeps the set unchanged) when an
+  /// equal path is already present. Requires a matching node universe.
+  bool add(MeasurementPath path);
+
+  /// Convenience: add(MeasurementPath(node_count(), nodes)).
+  bool add_nodes(const std::vector<NodeId>& nodes);
+
+  /// Set-union of another path set into this one; returns #paths added.
+  std::size_t add_all(const PathSet& other);
+
+  bool contains(const MeasurementPath& path) const;
+
+  /// P_v for every node v: incidence[v] = set of path indices traversing v.
+  std::vector<DynamicBitset> node_incidence() const;
+
+  /// P_F: indices of paths traversing at least one node of `failure_set`.
+  DynamicBitset affected_paths(const std::vector<NodeId>& failure_set) const;
+
+ private:
+  std::size_t node_count_;
+  std::vector<MeasurementPath> paths_;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_hash_;
+
+  /// Index of an equal path, or size() if absent.
+  std::size_t find(const MeasurementPath& path) const;
+};
+
+}  // namespace splace

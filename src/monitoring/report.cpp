@@ -1,0 +1,81 @@
+#include "monitoring/report.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+std::string to_string(NodeMonitoringStatus status) {
+  switch (status) {
+    case NodeMonitoringStatus::Identifiable: return "identifiable";
+    case NodeMonitoringStatus::Ambiguous: return "ambiguous";
+    case NodeMonitoringStatus::Uncovered: return "uncovered";
+  }
+  return "?";
+}
+
+std::vector<NodeId> MonitoringAssessment::with_status(
+    NodeMonitoringStatus status) const {
+  std::vector<NodeId> out;
+  for (const NodeAssessment& a : nodes)
+    if (a.status == status) out.push_back(a.node);
+  return out;
+}
+
+MonitoringAssessment assess(const PathSet& paths) {
+  const std::size_t n = paths.node_count();
+  EquivalenceClasses classes(n);
+  classes.add_paths(paths);
+  const std::vector<DynamicBitset> incidence = paths.node_incidence();
+
+  MonitoringAssessment result;
+  result.nodes.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    NodeAssessment a;
+    a.node = v;
+    a.witnessing_paths = incidence[v].count();
+    if (a.witnessing_paths == 0) {
+      a.status = NodeMonitoringStatus::Uncovered;
+      ++result.uncovered;
+    } else if (classes.class_size(v) == 1) {
+      a.status = NodeMonitoringStatus::Identifiable;
+      ++result.identifiable;
+    } else {
+      a.status = NodeMonitoringStatus::Ambiguous;
+      ++result.ambiguous;
+    }
+    if (a.status != NodeMonitoringStatus::Identifiable) {
+      for (NodeId peer : classes.class_of(v))
+        if (peer != v && peer != classes.virtual_node())
+          a.confusable_with.push_back(peer);
+      std::sort(a.confusable_with.begin(), a.confusable_with.end());
+    }
+    result.nodes.push_back(std::move(a));
+  }
+  return result;
+}
+
+void print_assessment(const MonitoringAssessment& assessment,
+                      std::ostream& os) {
+  const std::size_t total = assessment.nodes.size();
+  os << "monitoring assessment: " << assessment.identifiable << "/" << total
+     << " identifiable, " << assessment.ambiguous << " ambiguous, "
+     << assessment.uncovered << " uncovered\n";
+  for (const NodeAssessment& a : assessment.nodes) {
+    if (a.status == NodeMonitoringStatus::Identifiable) continue;
+    os << "  node " << a.node << ": " << to_string(a.status);
+    if (a.status == NodeMonitoringStatus::Ambiguous) {
+      os << " (" << a.witnessing_paths << " paths; confusable with";
+      for (NodeId peer : a.confusable_with) os << ' ' << peer;
+      os << ')';
+    } else if (!a.confusable_with.empty()) {
+      os << " (like nodes";
+      for (NodeId peer : a.confusable_with) os << ' ' << peer;
+      os << ')';
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace splace

@@ -1,0 +1,53 @@
+// Human-readable monitoring assessment of a placement: for every node, what
+// the operator could conclude if it failed — the per-node story behind the
+// aggregate |C|, |S_1|, |D_1| numbers and the Fig. 8 distribution.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "monitoring/equivalence_classes.hpp"
+#include "monitoring/path.hpp"
+
+namespace splace {
+
+enum class NodeMonitoringStatus {
+  Identifiable,   ///< failure detected and uniquely located
+  Ambiguous,      ///< failure detected, location narrowed to a group
+  Uncovered,      ///< failure invisible to every measurement path
+};
+
+struct NodeAssessment {
+  NodeId node = kInvalidNode;
+  NodeMonitoringStatus status = NodeMonitoringStatus::Uncovered;
+  /// Peers indistinguishable from this node (empty when identifiable);
+  /// for uncovered nodes: the other uncovered nodes.
+  std::vector<NodeId> confusable_with;
+  /// # paths that would fail if this node failed.
+  std::size_t witnessing_paths = 0;
+};
+
+struct MonitoringAssessment {
+  std::vector<NodeAssessment> nodes;  ///< one entry per node, ascending id
+  std::size_t identifiable = 0;
+  std::size_t ambiguous = 0;
+  std::size_t uncovered = 0;
+
+  /// Nodes with the given status, ascending id.
+  std::vector<NodeId> with_status(NodeMonitoringStatus status) const;
+};
+
+/// Analyzes a path set at k = 1.
+MonitoringAssessment assess(const PathSet& paths);
+
+/// Pretty-prints the assessment: summary counts plus one line per
+/// non-identifiable node (identifiable nodes are summarized, not listed,
+/// to keep the report short). Stable, diff-friendly output.
+void print_assessment(const MonitoringAssessment& assessment,
+                      std::ostream& os);
+
+/// Status name ("identifiable" / "ambiguous" / "uncovered").
+std::string to_string(NodeMonitoringStatus status);
+
+}  // namespace splace

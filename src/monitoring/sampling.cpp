@@ -1,0 +1,73 @@
+#include "monitoring/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "monitoring/failure_sets.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+
+std::vector<NodeId> sample_failure_set(std::size_t node_count, std::size_t k,
+                                       Rng& rng) {
+  SPLACE_EXPECTS(node_count >= 1);
+  // Uniform over F_k: first choose the size with probability
+  // C(n, s) / |F_k|, then a uniform s-subset.
+  const std::size_t k_eff = std::min(k, node_count);
+  std::vector<double> weights(k_eff + 1);
+  double binom = 1;  // C(n, 0)
+  for (std::size_t s = 0; s <= k_eff; ++s) {
+    weights[s] = binom;
+    binom = binom * static_cast<double>(node_count - s) /
+            static_cast<double>(s + 1);
+  }
+  const std::size_t size = rng.weighted_index(weights);
+  if (size == 0) return {};
+  std::vector<NodeId> pool(node_count);
+  for (NodeId v = 0; v < node_count; ++v) pool[v] = v;
+  std::vector<NodeId> chosen = rng.sample(std::move(pool), size);
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+DistinguishabilityEstimate estimate_distinguishability(const PathSet& paths,
+                                                       std::size_t k,
+                                                       std::size_t samples,
+                                                       Rng& rng) {
+  SPLACE_EXPECTS(samples >= 1);
+  SPLACE_EXPECTS(paths.node_count() >= 1);
+  SPLACE_EXPECTS(k >= 1);  // k = 0 leaves a single candidate set (∅)
+
+  std::size_t distinguishable = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    std::vector<NodeId> a = sample_failure_set(paths.node_count(), k, rng);
+    std::vector<NodeId> b;
+    do {
+      b = sample_failure_set(paths.node_count(), k, rng);
+    } while (b == a);  // unordered pairs of *distinct* sets
+    if (!(paths.affected_paths(a) == paths.affected_paths(b)))
+      ++distinguishable;
+  }
+
+  DistinguishabilityEstimate estimate;
+  estimate.samples = samples;
+  estimate.fraction = static_cast<double>(distinguishable) /
+                      static_cast<double>(samples);
+  estimate.std_error = std::sqrt(
+      estimate.fraction * (1.0 - estimate.fraction) /
+      static_cast<double>(samples));
+
+  // |F_k| in floating point (exact failure_set_count may saturate).
+  double total = 0;
+  double binom = 1;
+  for (std::size_t s = 0; s <= std::min(k, paths.node_count()); ++s) {
+    total += binom;
+    binom = binom * static_cast<double>(paths.node_count() - s) /
+            static_cast<double>(s + 1);
+  }
+  estimate.total_sets = total;
+  estimate.estimated_pairs = estimate.fraction * total * (total - 1) / 2.0;
+  return estimate;
+}
+
+}  // namespace splace

@@ -1,0 +1,41 @@
+// Monte-Carlo estimation of the distinguishability measure for failure
+// budgets where |F_k| makes exact enumeration impossible.
+//
+// |D_k(P)| / C(|F_k|, 2) is the probability that two failure sets drawn
+// uniformly (without replacement) from F_k are distinguishable. Sampling
+// pairs and testing P_F ≠ P_F' gives an unbiased estimate of that fraction
+// with a standard binomial confidence interval — enough to compare
+// placements at k = 3..5 on networks where |F_k| is astronomical.
+#pragma once
+
+#include <cstddef>
+
+#include "monitoring/path.hpp"
+#include "util/random.hpp"
+
+namespace splace {
+
+struct DistinguishabilityEstimate {
+  double fraction = 0;        ///< estimated P(pair distinguishable)
+  double std_error = 0;       ///< binomial standard error of `fraction`
+  std::size_t samples = 0;    ///< pairs actually tested
+  /// |F_k| as a double (may round for huge k) and the implied estimate of
+  /// |D_k| = fraction * C(|F_k|, 2).
+  double total_sets = 0;
+  double estimated_pairs = 0;
+};
+
+/// Estimates the distinguishable fraction over `samples` uniformly drawn
+/// unordered pairs of distinct failure sets of size ≤ k. Requires
+/// samples >= 1 and at least two distinct failure sets (n >= 1).
+DistinguishabilityEstimate estimate_distinguishability(const PathSet& paths,
+                                                       std::size_t k,
+                                                       std::size_t samples,
+                                                       Rng& rng);
+
+/// Draws one failure set uniformly from F_k (all subsets of size ≤ k
+/// equally likely), returned sorted. Exposed for tests.
+std::vector<NodeId> sample_failure_set(std::size_t node_count, std::size_t k,
+                                       Rng& rng);
+
+}  // namespace splace

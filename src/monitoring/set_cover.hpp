@@ -1,0 +1,67 @@
+// Minimum set cover machinery behind the identifiability bounds
+// (paper Section III-B, Theorem 4, Corollary 5, eq. (4)).
+//
+// MSC(v; P) is the minimum number of nodes other than v whose combined paths
+// cover P_v (all paths through v). Computing it is NP-complete, so the paper
+// bounds it with the classic greedy set-cover GSC(v; P), which satisfies
+// GSC/(ln|P_v|+1) ≤ MSC ≤ GSC.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "monitoring/path.hpp"
+#include "util/bitset.hpp"
+
+namespace splace {
+
+/// Reported when no selection of candidate sets covers the universe
+/// (MSC = ∞: v's paths cannot all be disrupted without failing v itself,
+/// making every identifiability condition on v hold for any k).
+inline constexpr std::size_t kUncoverable =
+    std::numeric_limits<std::size_t>::max();
+
+/// Greedy set cover: repeatedly picks the candidate covering the most
+/// still-uncovered universe elements (smallest index wins ties).
+/// Returns the chosen candidate indices, or nullopt if uncoverable.
+std::optional<std::vector<std::size_t>> greedy_set_cover(
+    const DynamicBitset& universe, const std::vector<DynamicBitset>& candidates);
+
+/// Exact minimum set cover size by exhaustive search (tests / tiny inputs
+/// only); kUncoverable if no cover exists.
+std::size_t minimum_set_cover_size(const DynamicBitset& universe,
+                                   const std::vector<DynamicBitset>& candidates);
+
+/// GSC(v; P): size of the greedy cover of P_v by {P_w : w ≠ v};
+/// kUncoverable when P_v cannot be covered. A node with no paths (P_v = ∅)
+/// reports 0 — such a node is never identifiable and callers must gate on
+/// coverage first, exactly as the paper's conditions implicitly do.
+std::size_t gsc(NodeId v, const PathSet& paths);
+
+/// GSC for every node at once (shares the incidence computation).
+std::vector<std::size_t> gsc_all(const PathSet& paths);
+
+/// Exact MSC(v; P) by exhaustive search (tests / tiny inputs only).
+std::size_t msc_exact(NodeId v, const PathSet& paths);
+
+/// Identifiability bounds from eq. (4), with ln|P_v|+1 as the greedy
+/// set-cover approximation ratio:
+///   lower  = #{ v : GSC(v)/(ln|P_v|+1) ≥ k+1 }      (⇒ MSC ≥ k+1 ⇒ v ∈ S_k)
+///   greedy = #{ v : GSC(v) ≥ k+1 }   (heuristic count treating GSC ≈ MSC;
+///            the paper observes GSC ≈ MSC in most cases)
+///   upper  = #{ v : GSC(v) ≥ k }                    (⊇ {v : MSC ≥ k} ⊇ S_k)
+/// satisfying lower ≤ |S_k(P)| ≤ upper. Nodes with P_v = ∅ have GSC = 0 and
+/// drop out automatically for k ≥ 1.
+struct IdentifiabilityBounds {
+  std::size_t lower = 0;
+  std::size_t greedy = 0;
+  std::size_t upper = 0;
+};
+
+IdentifiabilityBounds identifiability_bounds(const PathSet& paths,
+                                             std::size_t k);
+
+}  // namespace splace

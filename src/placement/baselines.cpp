@@ -1,0 +1,41 @@
+#include "placement/baselines.hpp"
+
+namespace splace {
+
+Placement best_qos_placement(const ProblemInstance& instance) {
+  Placement placement(instance.service_count());
+  for (std::size_t s = 0; s < instance.service_count(); ++s)
+    placement[s] = instance.best_qos_host(s);
+  return placement;
+}
+
+Placement k_median_placement(const ProblemInstance& instance) {
+  Placement placement(instance.service_count());
+  for (std::size_t s = 0; s < instance.service_count(); ++s) {
+    NodeId best = kInvalidNode;
+    std::uint64_t best_total = 0;
+    for (NodeId h : instance.candidate_hosts(s)) {
+      std::uint64_t total = 0;
+      for (NodeId c : instance.services()[s].clients)
+        total += instance.route(c, h).size() - 1;  // hop count under the
+                                                   // instance's routing
+      if (best == kInvalidNode || total < best_total) {
+        best = h;
+        best_total = total;
+      }
+    }
+    placement[s] = best;
+  }
+  return placement;
+}
+
+Placement random_placement(const ProblemInstance& instance, Rng& rng) {
+  Placement placement(instance.service_count());
+  for (std::size_t s = 0; s < instance.service_count(); ++s) {
+    const std::vector<NodeId>& hosts = instance.candidate_hosts(s);
+    placement[s] = hosts[rng.index(hosts.size())];
+  }
+  return placement;
+}
+
+}  // namespace splace

@@ -1,0 +1,24 @@
+// The paper's baseline placements (Section VI):
+//  * QoS — each service at a host minimizing the maximum client distance
+//    (what a traditional QoS-only placement would do);
+//  * RD  — uniform random host from each service's QoS-feasible candidates.
+#pragma once
+
+#include "placement/service.hpp"
+#include "util/random.hpp"
+
+namespace splace {
+
+/// Best-QoS placement: deterministic, ignores monitoring entirely.
+Placement best_qos_placement(const ProblemInstance& instance);
+
+/// Random placement under QoS constraints: h_s uniform over H_s.
+Placement random_placement(const ProblemInstance& instance, Rng& rng);
+
+/// k-median-style baseline: each service at the candidate host minimizing
+/// the *sum* of client distances (the other classic facility-location
+/// objective; best_qos_placement minimizes the maximum). Restricted to H_s,
+/// smallest id among ties.
+Placement k_median_placement(const ProblemInstance& instance);
+
+}  // namespace splace

@@ -1,0 +1,38 @@
+// Exact optimal placement by branch and bound.
+//
+// Brute force scales as Π_s |H_s|; for submodular objectives (coverage,
+// distinguishability — Lemmas 13/17) a much smaller search tree suffices.
+// Services are assigned depth-first in index order; at each partial
+// placement the subtree is bounded by
+//
+//     f(current) + Σ_{unplaced s} max_{h ∈ H_s} [f(current ∪ P(C_s,h)) − f(current)]
+//
+// which over-estimates any completion because submodular marginal gains only
+// shrink as paths accumulate. Subtrees whose bound cannot beat the incumbent
+// (warm-started from greedy, which is already ≥ 1/2-optimal) are pruned.
+//
+// Restricted to submodular objectives: with identifiability the bound is
+// invalid (Proposition 15) and the search would not be exact.
+#pragma once
+
+#include <cstdint>
+
+#include "monitoring/objective.hpp"
+#include "placement/service.hpp"
+
+namespace splace {
+
+struct BranchBoundResult {
+  Placement placement;
+  double value = 0;
+  std::uint64_t nodes_explored = 0;  ///< partial placements expanded
+  std::uint64_t nodes_pruned = 0;    ///< subtrees cut by the bound
+};
+
+/// Exact optimum of MCSP (kind = Coverage) or MDSP (kind =
+/// Distinguishability) for the given k. Throws ContractViolation for the
+/// identifiability objective.
+BranchBoundResult branch_and_bound(const ProblemInstance& instance,
+                                   ObjectiveKind kind, std::size_t k = 1);
+
+}  // namespace splace

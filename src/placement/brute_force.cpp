@@ -1,0 +1,169 @@
+#include "placement/brute_force.hpp"
+
+#include <limits>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+std::uint64_t search_space_size(const ProblemInstance& instance) {
+  std::uint64_t total = 1;
+  for (std::size_t s = 0; s < instance.service_count(); ++s) {
+    const std::uint64_t options = instance.candidate_hosts(s).size();
+    if (total > std::numeric_limits<std::uint64_t>::max() / options)
+      return std::numeric_limits<std::uint64_t>::max();
+    total *= options;
+  }
+  return total;
+}
+
+namespace {
+
+/// Iterates `choice` through the mixed-radix counter over option counts.
+/// Returns false after the last combination.
+bool next_choice(std::vector<std::size_t>& choice,
+                 const ProblemInstance& instance) {
+  for (std::size_t s = 0; s < choice.size(); ++s) {
+    if (++choice[s] < instance.candidate_hosts(s).size()) return true;
+    choice[s] = 0;
+  }
+  return false;
+}
+
+Placement to_placement(const std::vector<std::size_t>& choice,
+                       const ProblemInstance& instance) {
+  Placement placement(choice.size());
+  for (std::size_t s = 0; s < choice.size(); ++s)
+    placement[s] = instance.candidate_hosts(s)[choice[s]];
+  return placement;
+}
+
+}  // namespace
+
+std::optional<BruteForceK1Result> brute_force_k1(
+    const ProblemInstance& instance, std::uint64_t max_placements) {
+  if (search_space_size(instance) > max_placements) return std::nullopt;
+
+  std::vector<std::vector<PathSet>> options(instance.service_count());
+  for (std::size_t s = 0; s < instance.service_count(); ++s)
+    for (NodeId h : instance.candidate_hosts(s))
+      options[s].push_back(instance.paths_for(s, h));
+  const FastK1Evaluator evaluator(instance.node_count(), options);
+
+  BruteForceK1Result result;
+  std::vector<std::size_t> choice(instance.service_count(), 0);
+  bool first = true;
+  do {
+    const FastK1Evaluator::Metrics m = evaluator.evaluate(choice);
+    ++result.placements_searched;
+    if (first || m.coverage > result.coverage.value) {
+      result.coverage = {to_placement(choice, instance), m.coverage};
+    }
+    if (first || m.identifiability > result.identifiability.value) {
+      result.identifiability = {to_placement(choice, instance),
+                                m.identifiability};
+    }
+    if (first || m.distinguishability > result.distinguishability.value) {
+      result.distinguishability = {to_placement(choice, instance),
+                                   m.distinguishability};
+    }
+    first = false;
+  } while (next_choice(choice, instance));
+
+  return result;
+}
+
+namespace {
+
+/// Merge rule for ties: larger value wins; equal values keep the
+/// lexicographically smaller placement (deterministic across thread
+/// schedules).
+void merge_optimum(OptimumK1& into, const OptimumK1& candidate, bool first) {
+  if (first || candidate.value > into.value ||
+      (candidate.value == into.value &&
+       candidate.placement < into.placement)) {
+    into = candidate;
+  }
+}
+
+}  // namespace
+
+std::optional<BruteForceK1Result> brute_force_k1_parallel(
+    const ProblemInstance& instance, ThreadPool& pool,
+    std::uint64_t max_placements) {
+  if (search_space_size(instance) > max_placements) return std::nullopt;
+
+  std::vector<std::vector<PathSet>> options(instance.service_count());
+  for (std::size_t s = 0; s < instance.service_count(); ++s)
+    for (NodeId h : instance.candidate_hosts(s))
+      options[s].push_back(instance.paths_for(s, h));
+
+  std::mutex merge_mutex;
+  BruteForceK1Result result;
+  bool any = false;
+
+  const std::size_t first_options = instance.candidate_hosts(0).size();
+  parallel_for(pool, first_options, [&](std::size_t begin, std::size_t end) {
+    // Private evaluator: FastK1Evaluator's scratch is not thread-safe.
+    const FastK1Evaluator evaluator(instance.node_count(), options);
+    BruteForceK1Result local;
+    std::uint64_t searched = 0;
+    bool local_any = false;
+
+    for (std::size_t first = begin; first < end; ++first) {
+      std::vector<std::size_t> choice(instance.service_count(), 0);
+      choice[0] = first;
+      while (true) {
+        const FastK1Evaluator::Metrics m = evaluator.evaluate(choice);
+        ++searched;
+        const Placement placement = to_placement(choice, instance);
+        merge_optimum(local.coverage, {placement, m.coverage}, !local_any);
+        merge_optimum(local.identifiability, {placement, m.identifiability},
+                      !local_any);
+        merge_optimum(local.distinguishability,
+                      {placement, m.distinguishability}, !local_any);
+        local_any = true;
+        // Mixed-radix increment over slots 1..S-1 (slot 0 is pinned).
+        std::size_t s = 1;
+        for (; s < choice.size(); ++s) {
+          if (++choice[s] < instance.candidate_hosts(s).size()) break;
+          choice[s] = 0;
+        }
+        if (s == choice.size()) break;
+      }
+    }
+
+    std::unique_lock<std::mutex> lock(merge_mutex);
+    if (local_any) {
+      merge_optimum(result.coverage, local.coverage, !any);
+      merge_optimum(result.identifiability, local.identifiability, !any);
+      merge_optimum(result.distinguishability, local.distinguishability,
+                    !any);
+      any = true;
+    }
+    result.placements_searched += searched;
+  });
+
+  return result;
+}
+
+BruteForceObjectiveResult brute_force_objective(
+    const ProblemInstance& instance, ObjectiveKind kind, std::size_t k) {
+  BruteForceObjectiveResult best;
+  bool first = true;
+  std::vector<std::size_t> choice(instance.service_count(), 0);
+  do {
+    const Placement placement = to_placement(choice, instance);
+    const double value =
+        evaluate_objective(kind, instance.paths_for_placement(placement), k);
+    if (first || value > best.value) {
+      best.placement = placement;
+      best.value = value;
+      first = false;
+    }
+  } while (next_choice(choice, instance));
+  return best;
+}
+
+}  // namespace splace

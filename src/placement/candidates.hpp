@@ -1,0 +1,41 @@
+// Candidate host computation (paper Section III-A).
+//
+// The QoS constraint is relative: a host h is feasible for service s iff its
+// worst-case client distance d(C_s, h), normalized against the best and worst
+// achievable over all hosts,
+//
+//     d̄(C_s, h) = (d(C_s, h) − d_min(C_s)) / (d_max(C_s) − d_min(C_s)),
+//
+// does not exceed α_s. H_s is nonempty for every α_s ≥ 0 (it contains the
+// d_min host), and at α_s = 1 every (reachable) node qualifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/routing.hpp"
+
+namespace splace {
+
+/// Distance profile of one client set over all potential hosts.
+struct DistanceProfile {
+  /// d(C_s, h) per host; kUnreachable where some client cannot reach h.
+  std::vector<std::uint32_t> worst;
+  std::uint32_t d_min = 0;  ///< over reachable hosts
+  std::uint32_t d_max = 0;
+};
+
+/// Computes d(C_s, ·), d_min, d_max. Requires ≥1 client and ≥1 host
+/// reachable from every client.
+DistanceProfile distance_profile(const RoutingTable& routing,
+                                 const std::vector<NodeId>& clients);
+
+/// d̄(C_s, h) from a profile; 0 when d_max == d_min. Requires h reachable.
+double relative_distance(const DistanceProfile& profile, NodeId h);
+
+/// H_s = { h : d̄(C_s, h) ≤ alpha }, ascending id. Requires alpha in [0, 1].
+std::vector<NodeId> candidate_hosts(const DistanceProfile& profile,
+                                    double alpha);
+
+}  // namespace splace

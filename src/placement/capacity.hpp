@@ -1,0 +1,41 @@
+// Capacity-constrained greedy placement (paper Section VII-A).
+//
+// Node capacities  Σ_{s : h_s = h} r_s ≤ R_h  break the partition-matroid
+// structure, but the feasible partial placements still form a p-independence
+// system with p = ⌈r_max / r_min⌉ + 1, so the same greedy achieves a
+// 1/(p+1)-approximation for the submodular objectives (Theorem 21) — at best
+// 1/3 when all services consume equal resources.
+#pragma once
+
+#include <vector>
+
+#include "monitoring/objective.hpp"
+#include "placement/service.hpp"
+
+namespace splace {
+
+/// Per-host resource budgets R_h (indexed by node id). Service demands r_s
+/// come from Service::demand.
+struct CapacityConstraints {
+  std::vector<double> host_capacity;
+};
+
+/// p = ⌈r_max / r_min⌉ + 1 for the instance's demands (Section VII-A).
+/// Requires every demand > 0.
+std::size_t p_independence_parameter(const ProblemInstance& instance);
+
+struct CapacityGreedyResult {
+  Placement placement;            ///< kInvalidNode where a service is unplaced
+  bool complete = false;          ///< true iff every service was placed
+  double objective_value = 0;
+};
+
+/// Algorithm 2 restricted to capacity-feasible (service, host) pairs. A
+/// service with no remaining feasible host stays unplaced (complete=false) —
+/// greedy over a p-independence system has no backtracking.
+/// Requires capacity vector sized to the node count and positive demands.
+CapacityGreedyResult greedy_capacity_placement(
+    const ProblemInstance& instance, const CapacityConstraints& constraints,
+    ObjectiveKind kind, std::size_t k = 1);
+
+}  // namespace splace

@@ -1,0 +1,56 @@
+#include "placement/greedy.hpp"
+
+#include "util/error.hpp"
+
+namespace splace {
+
+GreedyResult greedy_placement(const ProblemInstance& instance,
+                              std::unique_ptr<ObjectiveState> state) {
+  SPLACE_EXPECTS(state != nullptr);
+  const std::size_t n_services = instance.service_count();
+
+  GreedyResult result;
+  result.placement.assign(n_services, kInvalidNode);
+  std::vector<bool> placed(n_services, false);
+
+  for (std::size_t iter = 0; iter < n_services; ++iter) {
+    std::size_t best_service = n_services;
+    NodeId best_host = kInvalidNode;
+    double best_value = 0;
+    bool have_best = false;
+
+    // Line 4: arg max over unplaced services and their candidate hosts of
+    // f(P ∪ P(C_s, h)). Ties resolve to the first candidate in (service,
+    // host-id) order, making runs deterministic.
+    for (std::size_t s = 0; s < n_services; ++s) {
+      if (placed[s]) continue;
+      for (NodeId h : instance.candidate_hosts(s)) {
+        const double value = state->value_with(instance.paths_for(s, h));
+        if (!have_best || value > best_value) {
+          have_best = true;
+          best_value = value;
+          best_service = s;
+          best_host = h;
+        }
+      }
+    }
+    SPLACE_ENSURES(have_best);
+
+    // Lines 5-7: commit the winner.
+    placed[best_service] = true;
+    result.placement[best_service] = best_host;
+    result.order.push_back(best_service);
+    state->add_paths(instance.paths_for(best_service, best_host));
+  }
+
+  result.objective_value = state->value();
+  return result;
+}
+
+GreedyResult greedy_placement(const ProblemInstance& instance,
+                              ObjectiveKind kind, std::size_t k) {
+  return greedy_placement(
+      instance, make_objective_state(kind, instance.node_count(), k));
+}
+
+}  // namespace splace

@@ -1,0 +1,35 @@
+// Greedy service placement — the paper's Algorithm 2.
+//
+// Iteratively commits the (service, host) pair whose measurement paths raise
+// the objective the most, until every service is placed. For the monotone
+// submodular objectives (coverage, distinguishability) this is a
+// 1/2-approximation over the partition-matroid constraint (Theorem 11,
+// Corollaries 14 and 18); for identifiability it is the paper's GI heuristic
+// without a guarantee (Proposition 15).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "monitoring/objective.hpp"
+#include "placement/service.hpp"
+
+namespace splace {
+
+/// Outcome of a greedy run.
+struct GreedyResult {
+  Placement placement;               ///< host per service
+  double objective_value = 0;        ///< f(⋃ P(C_s, h_s)) at termination
+  std::vector<std::size_t> order;    ///< service indices in placement order
+};
+
+/// Algorithm 2 with a caller-supplied objective state (takes ownership of
+/// `state`, which must be freshly constructed / empty).
+GreedyResult greedy_placement(const ProblemInstance& instance,
+                              std::unique_ptr<ObjectiveState> state);
+
+/// Algorithm 2 for one of the paper's objectives (GC / GI / GD).
+GreedyResult greedy_placement(const ProblemInstance& instance,
+                              ObjectiveKind kind, std::size_t k = 1);
+
+}  // namespace splace

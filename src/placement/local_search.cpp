@@ -1,0 +1,69 @@
+#include "placement/local_search.hpp"
+
+#include "util/error.hpp"
+
+namespace splace {
+
+namespace {
+
+/// f(paths of `placement`) via a fresh objective state.
+double placement_value(const ProblemInstance& instance,
+                       const Placement& placement, ObjectiveKind kind,
+                       std::size_t k, std::size_t& evaluations) {
+  std::unique_ptr<ObjectiveState> state =
+      make_objective_state(kind, instance.node_count(), k);
+  state->add_paths(instance.paths_for_placement(placement));
+  ++evaluations;
+  return state->value();
+}
+
+}  // namespace
+
+LocalSearchResult local_search_placement(const ProblemInstance& instance,
+                                         const Placement& start,
+                                         ObjectiveKind kind, std::size_t k,
+                                         std::size_t max_moves) {
+  SPLACE_EXPECTS(start.size() == instance.service_count());
+  for (std::size_t s = 0; s < start.size(); ++s)
+    SPLACE_EXPECTS(instance.is_candidate(s, start[s]));
+
+  LocalSearchResult result;
+  result.placement = start;
+  result.objective_value =
+      placement_value(instance, result.placement, kind, k,
+                      result.evaluations);
+
+  while (result.moves.size() < max_moves) {
+    // Best single-service move. Unlike the greedy's marginal-gain loop we
+    // must re-evaluate the full placement per move: removing a service's
+    // paths is not an incremental operation on the refinement structures.
+    std::size_t best_service = instance.service_count();
+    NodeId best_host = kInvalidNode;
+    double best_value = result.objective_value;
+
+    for (std::size_t s = 0; s < instance.service_count(); ++s) {
+      const NodeId current_host = result.placement[s];
+      for (NodeId h : instance.candidate_hosts(s)) {
+        if (h == current_host) continue;
+        Placement trial = result.placement;
+        trial[s] = h;
+        const double value =
+            placement_value(instance, trial, kind, k, result.evaluations);
+        if (value > best_value) {  // strict improvement only
+          best_value = value;
+          best_service = s;
+          best_host = h;
+        }
+      }
+    }
+
+    if (best_service == instance.service_count()) break;  // local optimum
+    result.moves.push_back(LocalSearchResult::Move{
+        best_service, result.placement[best_service], best_host});
+    result.placement[best_service] = best_host;
+    result.objective_value = best_value;
+  }
+  return result;
+}
+
+}  // namespace splace

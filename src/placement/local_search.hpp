@@ -1,0 +1,54 @@
+// Local search and bounded migration on top of an existing placement.
+//
+// Two operational situations the one-shot greedy does not cover:
+//  * polish — start from any placement (greedy, QoS, legacy) and hill-climb
+//    by single-service host moves until no move improves the objective;
+//  * migration — the network changed (or monitoring was an afterthought)
+//    and only a few services may be moved without disrupting users; choose
+//    the best ≤ max_moves single-service relocations. This mirrors the
+//    iterative placement/migration line of work the paper cites ([8]).
+//
+// Both are heuristics: each accepted move is the best available
+// single-service change (strict improvement, deterministic tie-breaks).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "monitoring/objective.hpp"
+#include "placement/service.hpp"
+
+namespace splace {
+
+struct LocalSearchResult {
+  Placement placement;
+  double objective_value = 0;
+  /// Accepted moves in order: (service, old host, new host).
+  struct Move {
+    std::size_t service;
+    NodeId from;
+    NodeId to;
+  };
+  std::vector<Move> moves;
+  std::size_t evaluations = 0;  ///< objective evaluations spent
+};
+
+/// Hill-climbs from `start` (must assign a candidate host per service) by
+/// best-improvement single-service moves until a local optimum; at most
+/// `max_moves` moves (SIZE_MAX = unbounded).
+LocalSearchResult local_search_placement(
+    const ProblemInstance& instance, const Placement& start,
+    ObjectiveKind kind, std::size_t k = 1,
+    std::size_t max_moves = static_cast<std::size_t>(-1));
+
+/// Bounded migration: exactly local_search_placement with a move budget —
+/// named separately because intent differs (minimal disruption vs polish).
+inline LocalSearchResult migrate_placement(const ProblemInstance& instance,
+                                           const Placement& current,
+                                           std::size_t max_moves,
+                                           ObjectiveKind kind,
+                                           std::size_t k = 1) {
+  return local_search_placement(instance, current, kind, k, max_moves);
+}
+
+}  // namespace splace

@@ -1,0 +1,86 @@
+#include "placement/monitor_placement.hpp"
+
+#include "util/error.hpp"
+
+namespace splace {
+
+PathSet monitor_paths(const RoutingTable& routing, NodeId m) {
+  SPLACE_EXPECTS(m < routing.node_count());
+  PathSet paths(routing.node_count());
+  for (NodeId d = 0; d < routing.node_count(); ++d) {
+    if (!routing.reachable(m, d)) continue;
+    paths.add(MeasurementPath(routing.node_count(), routing.route(m, d)));
+  }
+  return paths;
+}
+
+MonitorPlacementResult greedy_monitor_placement(
+    const RoutingTable& routing, const std::vector<NodeId>& candidates,
+    std::size_t budget, ObjectiveKind kind, std::size_t k) {
+  SPLACE_EXPECTS(budget >= 1);
+  SPLACE_EXPECTS(!candidates.empty());
+
+  // Precompute each candidate's probe paths once.
+  std::vector<PathSet> probe_paths;
+  probe_paths.reserve(candidates.size());
+  for (NodeId m : candidates) probe_paths.push_back(monitor_paths(routing, m));
+
+  std::unique_ptr<ObjectiveState> state =
+      make_objective_state(kind, routing.node_count(), k);
+  std::vector<bool> used(candidates.size(), false);
+
+  MonitorPlacementResult result;
+  for (std::size_t round = 0; round < budget; ++round) {
+    const double current = state->value();
+    std::size_t best = candidates.size();
+    double best_value = current;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      const double value = state->value_with(probe_paths[i]);
+      if (value > best_value) {
+        best_value = value;
+        best = i;
+      }
+    }
+    if (best == candidates.size()) break;  // no candidate adds value
+    used[best] = true;
+    state->add_paths(probe_paths[best]);
+    result.monitors.push_back(candidates[best]);
+    result.value_curve.push_back(state->value());
+  }
+  result.objective_value = state->value();
+  return result;
+}
+
+MonitorPlacementResult greedy_monitor_placement(const RoutingTable& routing,
+                                                std::size_t budget,
+                                                ObjectiveKind kind,
+                                                std::size_t k) {
+  std::vector<NodeId> all(routing.node_count());
+  for (NodeId v = 0; v < routing.node_count(); ++v) all[v] = v;
+  return greedy_monitor_placement(routing, all, budget, kind, k);
+}
+
+MonitorPlacementResult monitors_to_reach(const RoutingTable& routing,
+                                         const std::vector<NodeId>& candidates,
+                                         double target, ObjectiveKind kind,
+                                         std::size_t k) {
+  const MonitorPlacementResult full = greedy_monitor_placement(
+      routing, candidates, candidates.size(), kind, k);
+  for (std::size_t used = 0; used < full.value_curve.size(); ++used) {
+    if (full.value_curve[used] >= target) {
+      MonitorPlacementResult trimmed;
+      trimmed.monitors.assign(full.monitors.begin(),
+                              full.monitors.begin() +
+                                  static_cast<std::ptrdiff_t>(used + 1));
+      trimmed.value_curve.assign(full.value_curve.begin(),
+                                 full.value_curve.begin() +
+                                     static_cast<std::ptrdiff_t>(used + 1));
+      trimmed.objective_value = full.value_curve[used];
+      return trimmed;
+    }
+  }
+  return full;
+}
+
+}  // namespace splace

@@ -1,0 +1,59 @@
+// Dedicated-monitor placement — the related-work alternative the paper
+// contrasts itself against (Section I-B, references [9]/[10]): instead of
+// choosing *service hosts* under QoS constraints, choose a budget of monitor
+// nodes that probe every node via round-trip measurements (ping/traceroute
+// style: only the probe source must be a monitor, so each monitor m yields
+// one measurement path per destination node — the routed m↔d path).
+//
+// Implemented as greedy submodular maximization of coverage or
+// distinguishability over the candidate monitor set, mirroring the greedy
+// approximation of [9]. This lets examples/benches answer: how many
+// dedicated monitors does it take to match what a monitoring-aware *service*
+// placement gets for free from its client traffic?
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/routing.hpp"
+#include "monitoring/objective.hpp"
+
+namespace splace {
+
+struct MonitorPlacementResult {
+  std::vector<NodeId> monitors;   ///< chosen monitor nodes, selection order
+  double objective_value = 0;     ///< f(all probe paths of the monitors)
+  /// Objective value after each successive monitor (size = monitors.size());
+  /// useful for budget-vs-benefit curves.
+  std::vector<double> value_curve;
+};
+
+/// The probe paths a monitor placed at `m` observes: one round-trip path per
+/// reachable destination (the m↔d route's node set; the degenerate {m} path
+/// for d = m).
+PathSet monitor_paths(const RoutingTable& routing, NodeId m);
+
+/// Greedily selects up to `budget` monitors from `candidates` maximizing the
+/// objective over the union of their probe paths. Stops early when no
+/// remaining candidate adds value. Requires budget >= 1 and nonempty
+/// candidates.
+MonitorPlacementResult greedy_monitor_placement(
+    const RoutingTable& routing, const std::vector<NodeId>& candidates,
+    std::size_t budget, ObjectiveKind kind, std::size_t k = 1);
+
+/// Convenience: all nodes are candidate monitors.
+MonitorPlacementResult greedy_monitor_placement(const RoutingTable& routing,
+                                                std::size_t budget,
+                                                ObjectiveKind kind,
+                                                std::size_t k = 1);
+
+/// Smallest number of monitors (chosen greedily from `candidates`) whose
+/// probe paths reach at least `target` on the objective; returns the result
+/// with exactly that many monitors, or the full-budget result if the target
+/// is unreachable even with every candidate.
+MonitorPlacementResult monitors_to_reach(const RoutingTable& routing,
+                                         const std::vector<NodeId>& candidates,
+                                         double target, ObjectiveKind kind,
+                                         std::size_t k = 1);
+
+}  // namespace splace

@@ -1,0 +1,83 @@
+#include "placement/online.hpp"
+
+#include "util/error.hpp"
+
+namespace splace {
+
+OnlinePlacer::OnlinePlacer(Graph graph, ObjectiveKind kind, std::size_t k)
+    : graph_(std::move(graph)),
+      routing_(graph_),
+      kind_(kind),
+      k_(k),
+      state_(make_objective_state(kind, graph_.node_count(), k)) {}
+
+PathSet OnlinePlacer::paths_for(const Service& service, NodeId h) const {
+  PathSet paths(graph_.node_count());
+  for (NodeId c : service.clients)
+    paths.add(MeasurementPath(graph_.node_count(), routing_.route(c, h)));
+  return paths;
+}
+
+NodeId OnlinePlacer::add_service(const Service& service) {
+  SPLACE_EXPECTS(!service.clients.empty());
+  SPLACE_EXPECTS(service.alpha >= 0.0 && service.alpha <= 1.0);
+  for (NodeId c : service.clients)
+    SPLACE_EXPECTS(graph_.is_valid_node(c));
+
+  const DistanceProfile profile =
+      distance_profile(routing_, service.clients);
+  const std::vector<NodeId> hosts =
+      candidate_hosts(profile, service.alpha);
+
+  NodeId best = kInvalidNode;
+  double best_value = 0;
+  bool have_best = false;
+  for (NodeId h : hosts) {
+    const double value = state_->value_with(paths_for(service, h));
+    if (!have_best || value > best_value) {
+      have_best = true;
+      best_value = value;
+      best = h;
+    }
+  }
+  SPLACE_ENSURES(have_best);
+
+  state_->add_paths(paths_for(service, best));
+  services_.push_back(Entry{service, best, true});
+  return best;
+}
+
+void OnlinePlacer::remove_service(std::size_t service_id) {
+  SPLACE_EXPECTS(service_id < services_.size());
+  SPLACE_EXPECTS(services_[service_id].active);
+  services_[service_id].active = false;
+  rebuild_state();
+}
+
+void OnlinePlacer::rebuild_state() {
+  state_ = make_objective_state(kind_, graph_.node_count(), k_);
+  for (const Entry& entry : services_)
+    if (entry.active)
+      state_->add_paths(paths_for(entry.service, entry.host));
+}
+
+std::vector<OnlinePlacer::ActiveService> OnlinePlacer::active_services()
+    const {
+  std::vector<ActiveService> out;
+  for (std::size_t id = 0; id < services_.size(); ++id)
+    if (services_[id].active)
+      out.push_back(
+          ActiveService{id, services_[id].service, services_[id].host});
+  return out;
+}
+
+double OnlinePlacer::objective_value() const { return state_->value(); }
+
+PathSet OnlinePlacer::current_paths() const {
+  PathSet all(graph_.node_count());
+  for (const Entry& entry : services_)
+    if (entry.active) all.add_all(paths_for(entry.service, entry.host));
+  return all;
+}
+
+}  // namespace splace

@@ -1,0 +1,76 @@
+// Online monitoring-aware placement: services arrive (and leave) over time.
+//
+// Real deployments do not place all services at once — tenants onboard one
+// by one. OnlinePlacer keeps the incremental objective state of everything
+// placed so far and serves each arrival with one Algorithm-2 step: the
+// candidate host maximizing the marginal objective gain given the paths
+// already being monitored. For monotone submodular objectives this is the
+// natural online greedy; departures rebuild the state (path removal is not
+// incremental on the refinement structures) and optionally trigger a
+// bounded re-optimization via local_search_placement.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/routing.hpp"
+#include "monitoring/objective.hpp"
+#include "placement/candidates.hpp"
+#include "placement/service.hpp"
+
+namespace splace {
+
+class OnlinePlacer {
+ public:
+  /// Binds to a network. All services later added share this topology and
+  /// the given objective. Requires k >= 1.
+  OnlinePlacer(Graph graph, ObjectiveKind kind, std::size_t k = 1);
+
+  const Graph& graph() const { return graph_; }
+  std::size_t service_count() const { return services_.size(); }
+
+  /// Places `service` (clients + α validated against the topology) on its
+  /// best candidate host given everything already placed; returns the host.
+  NodeId add_service(const Service& service);
+
+  /// Removes the i-th still-active service (index into arrival order,
+  /// skipping removed ones is the caller's bookkeeping: use ids from
+  /// active_services()). Rebuilds the objective state from the survivors.
+  void remove_service(std::size_t service_id);
+
+  /// Currently active (service_id, host) assignments, ascending id.
+  struct ActiveService {
+    std::size_t id;
+    Service service;
+    NodeId host;
+  };
+  std::vector<ActiveService> active_services() const;
+
+  /// Current objective value over all active services' paths.
+  double objective_value() const;
+
+  /// The union path set currently monitored.
+  PathSet current_paths() const;
+
+ private:
+  Graph graph_;
+  RoutingTable routing_;
+  ObjectiveKind kind_;
+  std::size_t k_;
+  std::unique_ptr<ObjectiveState> state_;
+
+  struct Entry {
+    Service service;
+    NodeId host;
+    bool active;
+  };
+  std::vector<Entry> services_;
+
+  /// One path per client for `service` hosted at `h`.
+  PathSet paths_for(const Service& service, NodeId h) const;
+  void rebuild_state();
+};
+
+}  // namespace splace

@@ -1,0 +1,148 @@
+#include "placement/service.hpp"
+
+#include <algorithm>
+
+#include "placement/candidates.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+
+ProblemInstance::ProblemInstance(Graph graph, std::vector<Service> services)
+    : ProblemInstance(std::move(graph), std::move(services),
+                      RouteProvider{}) {}
+
+ProblemInstance::ProblemInstance(Graph graph, std::vector<Service> services,
+                                 RouteProvider provider)
+    : graph_(std::move(graph)),
+      routing_(graph_),
+      provider_(std::move(provider)),
+      services_(std::move(services)) {
+  SPLACE_EXPECTS(!services_.empty());
+  const std::size_t n = graph_.node_count();
+
+  candidates_.reserve(services_.size());
+  worst_dist_.reserve(services_.size());
+  paths_.reserve(services_.size());
+  qos_hosts_.reserve(services_.size());
+
+  for (const Service& svc : services_) {
+    SPLACE_EXPECTS(!svc.clients.empty());
+    SPLACE_EXPECTS(svc.alpha >= 0.0 && svc.alpha <= 1.0);
+    for (NodeId c : svc.clients) SPLACE_EXPECTS(c < n);
+
+    const DistanceProfile profile =
+        provider_ ? provider_profile(svc.clients)
+                  : distance_profile(routing_, svc.clients);
+    std::vector<NodeId> hosts = splace::candidate_hosts(profile, svc.alpha);
+
+    // Best-QoS host: smallest id achieving d_min (always feasible).
+    NodeId qos = kInvalidNode;
+    for (NodeId h = 0; h < n; ++h) {
+      if (profile.worst[h] == profile.d_min) {
+        qos = h;
+        break;
+      }
+    }
+    SPLACE_ENSURES(qos != kInvalidNode);
+    qos_hosts_.push_back(qos);
+
+    std::vector<PathSet> host_paths;
+    host_paths.reserve(hosts.size());
+    for (NodeId h : hosts) {
+      PathSet paths(n);
+      for (NodeId c : svc.clients)
+        paths.add(MeasurementPath(n, route(c, h)));
+      host_paths.push_back(std::move(paths));
+    }
+
+    candidates_.push_back(std::move(hosts));
+    worst_dist_.push_back(profile.worst);
+    paths_.push_back(std::move(host_paths));
+  }
+}
+
+void ProblemInstance::check_service(std::size_t s) const {
+  SPLACE_EXPECTS(s < services_.size());
+}
+
+const std::vector<NodeId>& ProblemInstance::candidate_hosts(
+    std::size_t s) const {
+  check_service(s);
+  return candidates_[s];
+}
+
+std::uint32_t ProblemInstance::worst_distance(std::size_t s, NodeId h) const {
+  check_service(s);
+  SPLACE_EXPECTS(h < node_count());
+  return worst_dist_[s][h];
+}
+
+std::size_t ProblemInstance::candidate_index(std::size_t s, NodeId h) const {
+  const auto& hosts = candidates_[s];
+  const auto it = std::lower_bound(hosts.begin(), hosts.end(), h);
+  SPLACE_EXPECTS(it != hosts.end() && *it == h);
+  return static_cast<std::size_t>(it - hosts.begin());
+}
+
+const PathSet& ProblemInstance::paths_for(std::size_t s, NodeId h) const {
+  check_service(s);
+  return paths_[s][candidate_index(s, h)];
+}
+
+bool ProblemInstance::is_candidate(std::size_t s, NodeId h) const {
+  check_service(s);
+  const auto& hosts = candidates_[s];
+  return std::binary_search(hosts.begin(), hosts.end(), h);
+}
+
+PathSet ProblemInstance::paths_for_placement(const Placement& placement) const {
+  SPLACE_EXPECTS(placement.size() == services_.size());
+  PathSet all(node_count());
+  for (std::size_t s = 0; s < placement.size(); ++s)
+    all.add_all(paths_for(s, placement[s]));
+  return all;
+}
+
+NodeId ProblemInstance::best_qos_host(std::size_t s) const {
+  check_service(s);
+  return qos_hosts_[s];
+}
+
+std::vector<NodeId> ProblemInstance::route(NodeId a, NodeId b) const {
+  SPLACE_EXPECTS(a < node_count() && b < node_count());
+  if (!provider_) return routing_.route(a, b);
+  std::vector<NodeId> r = provider_(a, b);
+  SPLACE_ENSURES(!r.empty());
+  return r;
+}
+
+DistanceProfile ProblemInstance::provider_profile(
+    const std::vector<NodeId>& clients) const {
+  const std::size_t n = graph_.node_count();
+  DistanceProfile profile;
+  profile.worst.assign(n, 0);
+  profile.d_min = kUnreachable;
+  profile.d_max = 0;
+  bool any_reachable = false;
+  for (NodeId h = 0; h < n; ++h) {
+    std::uint32_t worst = 0;
+    for (NodeId c : clients) {
+      const std::vector<NodeId> r = provider_(c, h);
+      if (r.empty()) {
+        worst = kUnreachable;
+        break;
+      }
+      worst = std::max(worst, static_cast<std::uint32_t>(r.size() - 1));
+    }
+    profile.worst[h] = worst;
+    if (worst != kUnreachable) {
+      any_reachable = true;
+      profile.d_min = std::min(profile.d_min, worst);
+      profile.d_max = std::max(profile.d_max, worst);
+    }
+  }
+  SPLACE_ENSURES(any_reachable);
+  return profile;
+}
+
+}  // namespace splace

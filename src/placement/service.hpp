@@ -1,0 +1,103 @@
+// Problem-instance types for monitoring-aware service placement
+// (paper Section II-C): the service network, the services with their client
+// sets and QoS slack α, and the measurement paths each candidate placement
+// would generate.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/routing.hpp"
+#include "monitoring/path.hpp"
+#include "placement/candidates.hpp"
+
+namespace splace {
+
+/// One service to be placed.
+struct Service {
+  std::string name;
+  std::vector<NodeId> clients;  ///< C_s: access points interested in s
+  double alpha = 0.0;           ///< α_s: max tolerable relative distance
+  double demand = 1.0;          ///< r_s: resource use (capacity extension)
+};
+
+/// A placement assigns one host per service, indexed like
+/// ProblemInstance::services().
+using Placement = std::vector<NodeId>;
+
+/// Custom routing hook: returns the node sequence of the unique route
+/// between two nodes (endpoints included), or an empty vector when the pair
+/// is unreachable. Must be symmetric in node-set (the same nodes for (a,b)
+/// and (b,a)), mirroring the paper's one-path-per-pair assumption.
+using RouteProvider =
+    std::function<std::vector<NodeId>(NodeId client, NodeId host)>;
+
+/// An immutable service-placement problem: topology + routing + services,
+/// with candidate hosts (Section III-A) and per-(service, host) measurement
+/// paths precomputed.
+class ProblemInstance {
+ public:
+  /// Builds routing, candidate sets H_s, and the path sets P(C_s, h) for
+  /// every s and h ∈ H_s. Requires ≥1 service, every client a valid node,
+  /// every service's clients mutually reachable through some host, and
+  /// every α_s in [0, 1]. Uses deterministic hop-count shortest paths.
+  ProblemInstance(Graph graph, std::vector<Service> services);
+
+  /// Same, but routes come from `provider` (e.g. a WeightedRoutingTable) and
+  /// the QoS distance d(C_s, h) is the hop length of the provided route.
+  ProblemInstance(Graph graph, std::vector<Service> services,
+                  RouteProvider provider);
+
+  const Graph& graph() const { return graph_; }
+  const RoutingTable& routing() const { return routing_; }
+  const std::vector<Service>& services() const { return services_; }
+  std::size_t service_count() const { return services_.size(); }
+  std::size_t node_count() const { return graph_.node_count(); }
+
+  /// H_s: candidate hosts of service s, ascending node id.
+  const std::vector<NodeId>& candidate_hosts(std::size_t s) const;
+
+  /// Worst-case client distance d(C_s, h).
+  std::uint32_t worst_distance(std::size_t s, NodeId h) const;
+
+  /// P(C_s, h): one path per client of s when hosted at h.
+  /// Requires h ∈ H_s (paths are only materialized for feasible hosts).
+  const PathSet& paths_for(std::size_t s, NodeId h) const;
+
+  /// True iff h ∈ H_s.
+  bool is_candidate(std::size_t s, NodeId h) const;
+
+  /// ⋃_s P(C_s, placement[s]): the full measurement path set of a placement.
+  PathSet paths_for_placement(const Placement& placement) const;
+
+  /// The host minimizing d(C_s, ·) (smallest id among ties) — the best-QoS
+  /// choice for service s; always a member of H_s.
+  NodeId best_qos_host(std::size_t s) const;
+
+  /// The route this instance's routing assigns to a pair (the custom
+  /// provider when one was given, hop-count shortest path otherwise).
+  /// Requires the pair to be connected under that routing.
+  std::vector<NodeId> route(NodeId a, NodeId b) const;
+
+ private:
+  Graph graph_;
+  RoutingTable routing_;
+  RouteProvider provider_;  ///< empty = default shortest-path routing
+  std::vector<Service> services_;
+  std::vector<std::vector<NodeId>> candidates_;          ///< per service
+  std::vector<std::vector<std::uint32_t>> worst_dist_;   ///< [s][h]
+  std::vector<NodeId> qos_hosts_;                        ///< per service
+  /// paths_[s][i] aligns with candidates_[s][i].
+  std::vector<std::vector<PathSet>> paths_;
+
+  std::size_t candidate_index(std::size_t s, NodeId h) const;
+  void check_service(std::size_t s) const;
+
+  /// Distance profile from the custom provider (hop length of its routes).
+  DistanceProfile provider_profile(const std::vector<NodeId>& clients) const;
+};
+
+}  // namespace splace

@@ -1,0 +1,77 @@
+// Discrete-event simulation of passive service-layer monitoring.
+//
+// The paper's premise (Section I) is that client-server connection states
+// are observed "as a byproduct of fulfilling the service". This module
+// simulates exactly that operational loop so placements can be judged on
+// runtime outcomes, not just the static measures:
+//
+//   * clients issue requests to their service hosts as Poisson processes;
+//   * nodes fail and recover as alternating exponential (MTBF/MTTR)
+//     processes;
+//   * a request succeeds iff every node on its routed path is up; the
+//     monitor sees only these per-request binary outcomes;
+//   * at the end of every monitoring epoch, the monitor runs Boolean
+//     tomography (localization/localizer.hpp) over the paths that carried
+//     at least one request — paths with no traffic contribute nothing,
+//     which is precisely what makes placement matter.
+//
+// Reported: request availability, failure detection rate and latency, and
+// localization ambiguity. bench_sim compares QoS vs GD placements on these.
+#pragma once
+
+#include <cstdint>
+
+#include "localization/probabilistic.hpp"
+#include "placement/service.hpp"
+
+namespace splace::sim {
+
+struct SimConfig {
+  double duration = 2000.0;      ///< simulated time horizon
+  double request_rate = 1.0;     ///< per client-service pair (Poisson)
+  double mtbf = 2000.0;          ///< per-node mean time between failures
+  double mttr = 100.0;           ///< per-node mean time to repair
+  double epoch = 5.0;            ///< monitoring/localization window
+  std::size_t k = 1;             ///< localizer failure budget
+  std::uint64_t seed = 1;
+  /// Per-request observation noise: a request's success/failure may be
+  /// misreported to the monitor (the service layer saw a timeout that was
+  /// really congestion, etc.). Availability always uses the true outcome.
+  NoiseModel observation_noise;
+
+  /// Basic sanity: all rates/durations positive, noise rates in [0, 1).
+  bool valid() const {
+    return duration > 0 && request_rate > 0 && mtbf > 0 && mttr > 0 &&
+           epoch > 0 && k >= 1 && observation_noise.false_positive >= 0 &&
+           observation_noise.false_positive < 1 &&
+           observation_noise.false_negative >= 0 &&
+           observation_noise.false_negative < 1;
+  }
+};
+
+struct SimReport {
+  // Traffic.
+  std::size_t requests_total = 0;
+  std::size_t requests_failed = 0;
+  /// Fraction of requests served successfully.
+  double availability = 0;
+
+  // Failure process and detection.
+  std::size_t failures_injected = 0;
+  std::size_t failures_detected = 0;   ///< seen by >=1 failed observed path
+  double mean_detection_latency = 0;   ///< over detected failures
+
+  // Localization (epochs whose observations showed >=1 failed path and at
+  // most k nodes were actually down).
+  std::size_t localizations_attempted = 0;
+  std::size_t localizations_unique = 0;
+  std::size_t localizations_containing_truth = 0;
+  double mean_ambiguity = 0;           ///< candidate sets beyond the first
+};
+
+/// Runs the simulation for one placement. Requires config.valid() and a
+/// placement assigning a candidate host to every service.
+SimReport simulate(const ProblemInstance& instance, const Placement& placement,
+                   const SimConfig& config);
+
+}  // namespace splace::sim

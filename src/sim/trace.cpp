@@ -1,0 +1,33 @@
+#include "sim/trace.hpp"
+
+#include "util/csv.hpp"
+
+namespace splace::sim {
+
+std::size_t SimTrace::eventful_epochs() const {
+  std::size_t count = 0;
+  for (const EpochRecord& e : epochs)
+    if (e.failed_paths > 0) ++count;
+  return count;
+}
+
+void SimTrace::to_csv(std::ostream& os) const {
+  CsvWriter csv(os);
+  csv.write_row({"time", "down_nodes", "observed_paths", "failed_paths",
+                 "localization_ran", "candidates", "truth_among_candidates"});
+  for (const EpochRecord& e : epochs) {
+    std::string down;
+    for (std::size_t i = 0; i < e.down_nodes.size(); ++i) {
+      if (i) down += ' ';
+      down += std::to_string(e.down_nodes[i]);
+    }
+    csv.write_row({std::to_string(e.time), down,
+                   std::to_string(e.observed_paths),
+                   std::to_string(e.failed_paths),
+                   e.localization_ran ? "1" : "0",
+                   std::to_string(e.candidates),
+                   e.truth_among_candidates ? "1" : "0"});
+  }
+}
+
+}  // namespace splace::sim

@@ -1,0 +1,40 @@
+// Named catalog of evaluation topologies together with the paper's
+// per-network experiment parameters (Section VI-A): number of services,
+// clients per service, and how candidate client nodes are chosen.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "topology/isp_generator.hpp"
+
+namespace splace::topology {
+
+/// Evaluation setup for one network, mirroring Section VI-A.
+struct CatalogEntry {
+  IspSpec spec;
+  std::size_t services = 0;            ///< # services placed in this network
+  std::size_t clients_per_service = 3; ///< fixed at 3 in the paper
+  /// # extra (non-dangling) candidate clients drawn at random; only Abovenet
+  /// needs them ("we randomly choose 6 other nodes ... due to the small
+  /// number of dangling nodes").
+  std::size_t extra_candidate_clients = 0;
+  std::uint64_t client_seed = 7;       ///< seed for the extra-client draw
+};
+
+/// All evaluation networks, in paper order (Abovenet, Tiscali, AT&T).
+const std::vector<CatalogEntry>& catalog();
+
+/// Looks an entry up by case-insensitive name; throws InvalidInput if absent.
+const CatalogEntry& catalog_entry(const std::string& name);
+
+/// Instantiates the entry's topology.
+Graph build(const CatalogEntry& entry);
+
+/// Candidate client nodes for an entry: all dangling nodes plus
+/// `extra_candidate_clients` random non-dangling nodes (deterministic seed).
+std::vector<NodeId> candidate_clients(const CatalogEntry& entry,
+                                      const Graph& g);
+
+}  // namespace splace::topology

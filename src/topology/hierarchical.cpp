@@ -1,0 +1,122 @@
+#include "topology/hierarchical.hpp"
+
+#include <algorithm>
+
+#include "graph/components.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace splace::topology {
+
+namespace {
+std::size_t pairs_of(std::size_t n) { return n * (n - 1) / 2; }
+
+std::size_t core_ring_links(std::size_t core) {
+  if (core <= 1) return 0;
+  if (core == 2) return 1;
+  return core;
+}
+}  // namespace
+
+std::size_t HierarchicalSpec::min_links() const {
+  const std::size_t homes = std::min<std::size_t>(2, core);
+  return core_ring_links(core) + aggregation * homes + access;
+}
+
+std::size_t HierarchicalSpec::max_links() const {
+  const std::size_t homes = std::min<std::size_t>(2, core);
+  return pairs_of(core) + aggregation * homes + pairs_of(aggregation) +
+         access;
+}
+
+bool HierarchicalSpec::feasible() const {
+  if (core < 1 || aggregation < 1) return false;
+  const std::size_t target = links == 0 ? min_links() : links;
+  return target >= min_links() && target <= max_links();
+}
+
+Graph generate_hierarchical(const HierarchicalSpec& spec) {
+  if (!spec.feasible())
+    throw InvalidInput("infeasible hierarchical spec '" + spec.name + "'");
+  const std::size_t target_links =
+      spec.links == 0 ? spec.min_links() : spec.links;
+
+  Rng rng(spec.seed);
+  Graph g(spec.nodes());
+  const NodeId agg_base = static_cast<NodeId>(spec.core);
+  const NodeId access_base =
+      static_cast<NodeId>(spec.core + spec.aggregation);
+
+  // Core ring (mesh comes from extras below).
+  if (spec.core == 2) {
+    g.add_edge(0, 1);
+  } else if (spec.core >= 3) {
+    for (NodeId v = 0; v < spec.core; ++v)
+      g.add_edge(v, static_cast<NodeId>((v + 1) % spec.core));
+  }
+
+  // Aggregation tier: dual-homed to two distinct random core nodes.
+  for (std::size_t a = 0; a < spec.aggregation; ++a) {
+    const NodeId agg = static_cast<NodeId>(agg_base + a);
+    const NodeId first = static_cast<NodeId>(rng.index(spec.core));
+    g.add_edge(agg, first);
+    if (spec.core >= 2) {
+      NodeId second;
+      do {
+        second = static_cast<NodeId>(rng.index(spec.core));
+      } while (second == first);
+      g.add_edge(agg, second);
+    }
+  }
+
+  // Access tier: round-robin over aggregation POPs.
+  for (std::size_t x = 0; x < spec.access; ++x) {
+    g.add_edge(static_cast<NodeId>(access_base + x),
+               static_cast<NodeId>(agg_base + x % spec.aggregation));
+  }
+
+  // Extras: densify the core first, then the aggregation tier.
+  auto add_extras = [&](NodeId lo, NodeId hi, std::size_t budget) {
+    std::vector<std::pair<NodeId, NodeId>> candidates;
+    for (NodeId u = lo; u < hi; ++u)
+      for (NodeId v = static_cast<NodeId>(u + 1); v < hi; ++v)
+        if (!g.has_edge(u, v)) candidates.emplace_back(u, v);
+    rng.shuffle(candidates);
+    std::size_t used = 0;
+    for (const auto& [u, v] : candidates) {
+      if (used == budget) break;
+      g.add_edge(u, v);
+      ++used;
+    }
+    return used;
+  };
+  std::size_t extra = target_links - g.edge_count();
+  extra -= add_extras(0, static_cast<NodeId>(spec.core), extra);
+  extra -= add_extras(agg_base, access_base, extra);
+  SPLACE_ENSURES(extra == 0);
+
+  const TopologyStats stats = stats_of(g);
+  SPLACE_ENSURES(stats.nodes == spec.nodes());
+  SPLACE_ENSURES(stats.links == target_links);
+  SPLACE_ENSURES(stats.dangling == spec.access);
+  SPLACE_ENSURES(is_connected(g));
+  return g;
+}
+
+Graph hierarchical_standin(const IspSpec& table1_spec) {
+  HierarchicalSpec spec;
+  spec.name = table1_spec.name + "-hier";
+  spec.access = table1_spec.dangling;
+  SPLACE_EXPECTS(table1_spec.nodes > table1_spec.dangling);
+  const std::size_t remaining = table1_spec.nodes - table1_spec.dangling;
+  spec.core = std::max<std::size_t>(1, remaining / 3);
+  spec.aggregation = remaining - spec.core;
+  spec.links = table1_spec.links;
+  spec.seed = table1_spec.seed ^ 0x41e7u;
+  if (!spec.feasible())
+    throw InvalidInput("no hierarchical stand-in for '" + table1_spec.name +
+                       "'");
+  return generate_hierarchical(spec);
+}
+
+}  // namespace splace::topology

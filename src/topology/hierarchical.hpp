@@ -1,0 +1,53 @@
+// Three-tier hierarchical ISP generator — an alternative stand-in family for
+// the Rocketfuel POP maps, used to check that the reproduced figure shapes
+// are robust to the choice of synthetic topology (ablation A7) rather than
+// artifacts of the preferential-attachment generator in isp_generator.hpp.
+//
+// Structure mirrors textbook ISP design:
+//   * core tier: a small densely meshed backbone;
+//   * aggregation tier: each aggregation POP dual-homed to two core nodes
+//     (single-homed when the core has one node);
+//   * access tier: degree-1 access nodes attached round-robin to
+//     aggregation POPs (they model the paper's "dangling" client nodes).
+// Leftover links beyond the structural minimum are added inside the core,
+// then between aggregation nodes, keeping the target counts exact.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "topology/isp_generator.hpp"
+
+namespace splace::topology {
+
+/// Parameters for the tiered generator. Node/link/dangling counts follow
+/// the same semantics as IspSpec so the two generators are interchangeable.
+struct HierarchicalSpec {
+  std::string name;
+  std::size_t core = 4;         ///< backbone nodes
+  std::size_t aggregation = 8;  ///< mid-tier POPs
+  std::size_t access = 16;      ///< degree-1 access nodes
+  std::size_t links = 0;        ///< total links; 0 = structural minimum
+  std::uint64_t seed = 1;
+
+  std::size_t nodes() const { return core + aggregation + access; }
+
+  /// Structural minimum: core ring/mesh + dual-homing + access links.
+  std::size_t min_links() const;
+  /// Capacity: full core mesh + all agg-core + all agg-agg pairs + access.
+  std::size_t max_links() const;
+  bool feasible() const;
+};
+
+/// Generates the tiered topology. Node ids: [0, core) backbone,
+/// [core, core+aggregation) mid-tier, rest access. Matches nodes()/links
+/// exactly and yields exactly `access` degree-1 nodes. Deterministic per
+/// seed. Throws InvalidInput for infeasible specs.
+Graph generate_hierarchical(const HierarchicalSpec& spec);
+
+/// A hierarchical stand-in shaped to an IspSpec's Table-I statistics:
+/// access = dangling, aggregation ≈ 2×core among the remaining nodes.
+/// Requires the implied HierarchicalSpec to be feasible.
+Graph hierarchical_standin(const IspSpec& table1_spec);
+
+}  // namespace splace::topology

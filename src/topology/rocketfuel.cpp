@@ -1,0 +1,24 @@
+#include "topology/rocketfuel.hpp"
+
+namespace splace::topology {
+
+const IspSpec& abovenet_spec() {
+  static const IspSpec spec{"Abovenet", 22, 80, 2, /*seed=*/20160801};
+  return spec;
+}
+
+const IspSpec& tiscali_spec() {
+  static const IspSpec spec{"Tiscali", 51, 129, 13, /*seed=*/20160802};
+  return spec;
+}
+
+const IspSpec& att_spec() {
+  static const IspSpec spec{"AT&T", 108, 141, 78, /*seed=*/20160803};
+  return spec;
+}
+
+Graph abovenet() { return generate_isp(abovenet_spec()); }
+Graph tiscali() { return generate_isp(tiscali_spec()); }
+Graph att() { return generate_isp(att_spec()); }
+
+}  // namespace splace::topology

@@ -1,0 +1,27 @@
+// Stand-ins for the three Rocketfuel POP-level ISP topologies the paper
+// evaluates on (Table I). Each factory is deterministic (fixed seed) and the
+// produced graph matches the paper's reported #nodes / #links / #dangling
+// exactly; see isp_generator.hpp and DESIGN.md §4 for the substitution
+// rationale.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "topology/isp_generator.hpp"
+
+namespace splace::topology {
+
+/// Abovenet: 22 nodes, 80 links, 2 dangling (paper Table I, "small").
+Graph abovenet();
+
+/// Tiscali: 51 nodes, 129 links, 13 dangling (paper Table I, "medium").
+Graph tiscali();
+
+/// AT&T: 108 nodes, 141 links, 78 dangling (paper Table I, "large").
+Graph att();
+
+/// The Table I specs themselves (name, nodes, links, dangling).
+const IspSpec& abovenet_spec();
+const IspSpec& tiscali_spec();
+const IspSpec& att_spec();
+
+}  // namespace splace::topology

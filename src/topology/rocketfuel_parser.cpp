@@ -1,0 +1,117 @@
+#include "topology/rocketfuel_parser.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace splace::topology {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw InvalidInput("cch line " + std::to_string(line) + ": " + message);
+}
+
+struct RawRouter {
+  RocketfuelNode node;
+  std::vector<long> neighbor_uids;
+};
+
+/// Parses one internal-router line.
+RawRouter parse_router_line(std::size_t line_no, const std::string& line) {
+  std::istringstream fields(line);
+  RawRouter router;
+  if (!(fields >> router.node.uid))
+    fail(line_no, "expected a numeric uid: " + line);
+
+  bool seen_arrow = false;
+  std::string token;
+  while (fields >> token) {
+    if (token == "->") {
+      seen_arrow = true;
+    } else if (token.front() == '@') {
+      router.node.location = token.substr(1);
+      // Rocketfuel writes "@city,+" — strip trailing punctuation.
+      while (!router.node.location.empty() &&
+             (router.node.location.back() == ',' ||
+              router.node.location.back() == '+'))
+        router.node.location.pop_back();
+    } else if (token == "bb" || token == "+bb") {
+      router.node.backbone = true;
+    } else if (token.front() == '<') {
+      // Internal neighbor: <uid> or <-uid> (directionality ignored; the
+      // physical link is undirected).
+      std::string digits = token;
+      std::erase_if(digits, [](char c) {
+        return c == '<' || c == '>' || c == '-';
+      });
+      if (digits.empty()) fail(line_no, "malformed neighbor '" + token + "'");
+      try {
+        router.neighbor_uids.push_back(std::stol(digits));
+      } catch (const std::logic_error&) {
+        fail(line_no, "malformed neighbor '" + token + "'");
+      }
+    } else if (token.front() == '{' || token.front() == '&' ||
+               token.front() == '=' || token.front() == '(' ||
+               token.front() == '+' || token.front() == '!' ||
+               token == "r" || (token.front() == 'r' && token.size() <= 4)) {
+      // External neighbors {..}, external counts &N, DNS names =..., the
+      // neighbor count (N), standalone flags, and rN radius markers carry
+      // no topology information for us.
+      continue;
+    } else if (!seen_arrow) {
+      // Unknown pre-arrow decoration: tolerate (format variants exist).
+      continue;
+    } else {
+      fail(line_no, "unrecognized token '" + token + "' after '->'");
+    }
+  }
+  return router;
+}
+
+}  // namespace
+
+RocketfuelMap parse_cch(std::istream& in) {
+  std::vector<RawRouter> routers;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view content = trim(line);
+    if (content.empty() || content.front() == '#') continue;
+    if (content.front() == '-') continue;  // external address placeholder
+    routers.push_back(parse_router_line(line_no, std::string(content)));
+  }
+
+  RocketfuelMap map;
+  map.graph = Graph(routers.size());
+  map.nodes.reserve(routers.size());
+  for (std::size_t i = 0; i < routers.size(); ++i) {
+    const long uid = routers[i].node.uid;
+    if (!map.uid_to_node.emplace(uid, static_cast<NodeId>(i)).second)
+      throw InvalidInput("cch: duplicate router uid " + std::to_string(uid));
+    map.nodes.push_back(routers[i].node);
+  }
+
+  for (std::size_t i = 0; i < routers.size(); ++i) {
+    const NodeId u = static_cast<NodeId>(i);
+    for (long nuid : routers[i].neighbor_uids) {
+      const auto it = map.uid_to_node.find(nuid);
+      if (it == map.uid_to_node.end()) continue;  // external / pruned uid
+      const NodeId v = it->second;
+      if (u == v)
+        throw InvalidInput("cch: self-link on uid " +
+                           std::to_string(routers[i].node.uid));
+      if (!map.graph.has_edge(u, v)) map.graph.add_edge(u, v);
+    }
+  }
+  return map;
+}
+
+RocketfuelMap parse_cch(const std::string& text) {
+  std::istringstream in(text);
+  return parse_cch(in);
+}
+
+}  // namespace splace::topology

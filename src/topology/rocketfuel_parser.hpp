@@ -1,0 +1,58 @@
+// Parser for the Rocketfuel ISP-maps `.cch` router-level format, so the
+// synthetic Table-I stand-ins can be swapped for the real data wherever a
+// user has it (the dataset itself is not redistributable with this
+// library).
+//
+// Grammar handled (one router per line; fields after the uid may appear in
+// the orders Rocketfuel ships):
+//
+//   <uid> @<location> [+] [bb] (<#neigh>) [&<#ext>] -> <->nuid> ... [{...}] =name rN
+//   -<euid> ... external placeholder lines (ignored)
+//
+// Example:
+//   121 @ny,+ bb (3) &2 -> <303> <-404> <1422> {-907} =r0.nyc r0
+//
+// We keep what monitoring needs: internal routers, their adjacency, the
+// backbone flag, and the location string. External (&/-prefixed) neighbors
+// and DNS decorations are dropped. Uids are arbitrary integers and are
+// remapped to dense NodeIds.
+#pragma once
+
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace splace::topology {
+
+struct RocketfuelNode {
+  long uid = 0;             ///< original Rocketfuel uid
+  std::string location;     ///< "@city" tag, without the '@'
+  bool backbone = false;    ///< had the "bb" marker
+};
+
+struct RocketfuelMap {
+  Graph graph;                            ///< dense-id undirected topology
+  std::vector<RocketfuelNode> nodes;      ///< per dense NodeId
+  std::map<long, NodeId> uid_to_node;     ///< original uid -> dense id
+
+  /// Table-I style statistics of the parsed map.
+  std::size_t dangling_count() const {
+    return graph.degree_one_nodes().size();
+  }
+};
+
+/// Parses a .cch document. Lines starting with '-' (external address
+/// placeholders) and blank/comment ('#') lines are skipped; unknown
+/// decorations within a router line are ignored. Links referencing a uid
+/// that never appears as a router line are dropped (Rocketfuel maps cite
+/// external neighbors this way). Throws InvalidInput on malformed router
+/// lines, duplicate uids, or self-links.
+RocketfuelMap parse_cch(std::istream& in);
+
+/// Convenience overload over a string.
+RocketfuelMap parse_cch(const std::string& text);
+
+}  // namespace splace::topology

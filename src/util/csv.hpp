@@ -1,0 +1,26 @@
+// Minimal CSV emission so benchmark series can be redirected into plotting
+// tools. Values containing separators/quotes are quoted per RFC 4180.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace splace {
+
+/// Streams rows of a CSV document to an ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row_values(const std::vector<double>& cells, int precision = 4);
+
+  /// Escapes one cell per RFC 4180 (quote iff it contains , " or newline).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace splace

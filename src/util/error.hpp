@@ -1,0 +1,50 @@
+// Contract-checking and error-reporting support for the splace library.
+//
+// Follows the C++ Core Guidelines (I.6/I.8): preconditions and postconditions
+// are stated with Expects/Ensures-style macros. Violations throw
+// `splace::ContractViolation` rather than aborting, so library users (and our
+// tests) can observe them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace splace {
+
+/// Thrown when a precondition/postcondition stated by the library is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+/// Thrown when input data (topology files, parameters) is malformed.
+class InvalidInput : public std::runtime_error {
+ public:
+  explicit InvalidInput(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace splace
+
+#define SPLACE_EXPECTS(cond)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::splace::detail::contract_fail("precondition", #cond, __FILE__,   \
+                                      __LINE__);                          \
+  } while (false)
+
+#define SPLACE_ENSURES(cond)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::splace::detail::contract_fail("postcondition", #cond, __FILE__,  \
+                                      __LINE__);                          \
+  } while (false)

@@ -1,0 +1,35 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace splace {
+
+namespace {
+LogLevel g_level = LogLevel::Off;
+std::ostream* g_sink = nullptr;
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::set_level(LogLevel level) { g_level = level; }
+
+void Logger::set_sink(std::ostream* sink) { g_sink = sink; }
+
+const char* Logger::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Off: return "OFF";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Debug: return "DEBUG";
+  }
+  return "?";
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (g_level < level || level == LogLevel::Off) return;
+  std::ostream& os = g_sink ? *g_sink : std::clog;
+  os << "[" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace splace

@@ -1,0 +1,55 @@
+// A tiny leveled logger. The library itself logs nothing by default
+// (level Off); benches/examples raise the level to narrate long runs.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace splace {
+
+enum class LogLevel { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+/// Process-wide logging configuration (single-threaded use by design:
+/// the library is a deterministic algorithm suite, not a server).
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void set_sink(std::ostream* sink);  ///< nullptr restores std::clog
+  static void write(LogLevel level, const std::string& message);
+
+  static const char* level_name(LogLevel level);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::write(level_, oss_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+}  // namespace detail
+
+}  // namespace splace
+
+#define SPLACE_LOG(splace_log_lvl)                            \
+  if (::splace::Logger::level() < (splace_log_lvl)) {         \
+  } else                                                      \
+    ::splace::detail::LogLine(splace_log_lvl)
+
+#define SPLACE_LOG_INFO SPLACE_LOG(::splace::LogLevel::Info)
+#define SPLACE_LOG_WARN SPLACE_LOG(::splace::LogLevel::Warn)
+#define SPLACE_LOG_ERROR SPLACE_LOG(::splace::LogLevel::Error)
+#define SPLACE_LOG_DEBUG SPLACE_LOG(::splace::LogLevel::Debug)

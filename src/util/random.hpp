@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// The library never uses std::random_device or global state: every randomized
+// component (topology generator, random-placement baseline, property tests)
+// takes an explicit Rng seeded by the caller, so a given seed always produces
+// the same topology, placement, and benchmark row on every platform.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Samples `count` distinct elements from `pool` (order randomized).
+  /// Requires count <= pool.size().
+  template <typename T>
+  std::vector<T> sample(std::vector<T> pool, std::size_t count) {
+    SPLACE_EXPECTS(count <= pool.size());
+    shuffle(pool);
+    pool.resize(count);
+    return pool;
+  }
+
+  /// Draws an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace splace

@@ -1,0 +1,69 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace splace {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  return s;
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  SPLACE_EXPECTS(!sorted.empty());
+  SPLACE_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+BoxStats box_stats(std::vector<double> values) {
+  SPLACE_EXPECTS(!values.empty());
+  std::sort(values.begin(), values.end());
+  BoxStats b;
+  b.min = values.front();
+  b.q1 = quantile_sorted(values, 0.25);
+  b.median = quantile_sorted(values, 0.5);
+  b.q3 = quantile_sorted(values, 0.75);
+  b.max = values.back();
+  return b;
+}
+
+void Histogram::add(std::size_t value, std::size_t weight) {
+  counts_[value] += weight;
+  total_ += weight;
+}
+
+double Histogram::fraction(std::size_t value) const {
+  if (total_ == 0) return 0.0;
+  auto it = counts_.find(value);
+  if (it == counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(total_);
+}
+
+std::size_t Histogram::max_value() const {
+  if (counts_.empty()) return 0;
+  return counts_.rbegin()->first;
+}
+
+}  // namespace splace

@@ -1,0 +1,57 @@
+// Descriptive statistics used by the benchmark harness: summary moments,
+// five-number box-plot statistics (for the paper's Fig. 4), and histograms
+// (for the paper's Fig. 8 degree-of-uncertainty distributions).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace splace {
+
+/// Moments and extremes of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;  ///< population standard deviation
+  double min = 0;
+  double max = 0;
+};
+
+Summary summarize(const std::vector<double>& values);
+
+/// Five-number summary used for box plots (paper Fig. 4).
+struct BoxStats {
+  double min = 0;
+  double q1 = 0;      ///< first quartile (linear interpolation)
+  double median = 0;
+  double q3 = 0;      ///< third quartile
+  double max = 0;
+};
+
+/// Computes box-plot statistics; requires a non-empty sample.
+BoxStats box_stats(std::vector<double> values);
+
+/// Linear-interpolated quantile of a *sorted* sample, q in [0,1].
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Discrete histogram: value -> count, with normalized fractions on demand.
+class Histogram {
+ public:
+  void add(std::size_t value, std::size_t weight = 1);
+
+  std::size_t total() const { return total_; }
+  const std::map<std::size_t, std::size_t>& counts() const { return counts_; }
+
+  /// Fraction of observations equal to `value` (0 if total()==0).
+  double fraction(std::size_t value) const;
+
+  /// Largest observed value (0 if empty).
+  std::size_t max_value() const;
+
+ private:
+  std::map<std::size_t, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace splace

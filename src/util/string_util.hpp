@@ -1,0 +1,26 @@
+// Small string helpers shared by the I/O and reporting code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace splace {
+
+/// Splits on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string format_double(double value, int precision = 2);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace splace

@@ -1,0 +1,37 @@
+// Aligned ASCII table rendering for the benchmark harness. Every reproduced
+// table/figure prints its rows/series through this class so the bench output
+// is directly comparable with the paper.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace splace {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row. Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with to_string / format_double.
+  void add_row_values(const std::vector<double>& cells, int precision = 2);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace splace

@@ -1,0 +1,58 @@
+// A small fixed-size worker pool for embarrassingly parallel search work
+// (parallel brute force, multi-seed experiment sweeps).
+//
+// Deliberately minimal: fire-and-forget tasks plus a wait-for-drain barrier.
+// Exceptions thrown by tasks are captured and rethrown from wait() (first
+// one wins), so callers never silently lose failures.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace splace {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>=1; defaults to hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task. Must not be called after destruction begins.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished; rethrows the first
+  /// task exception, if any (clearing it for subsequent waits).
+  void wait();
+
+ private:
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable drained_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+
+  void worker_loop();
+};
+
+/// Splits [0, n) into roughly even chunks, runs `body(begin, end)` on the
+/// pool, and waits for completion (propagating task exceptions).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace splace

@@ -1,0 +1,150 @@
+#include "localization/augmentation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "localization/localizer.hpp"
+#include "localization/observation.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(ProbeSeparates, ExactlyOneSideHit) {
+  const MeasurementPath probe(5, {0, 1});
+  EXPECT_TRUE(probe_separates(probe, {0}, {2}));
+  EXPECT_FALSE(probe_separates(probe, {0}, {1}));   // both hit
+  EXPECT_FALSE(probe_separates(probe, {2}, {3}));   // neither hit
+  EXPECT_TRUE(probe_separates(probe, {0, 2}, {3})); // one side hit
+  EXPECT_TRUE(probe_separates(probe, {}, {1}));     // empty vs hit
+}
+
+TEST(PlanAugmentation, TrivialWithOneCandidate) {
+  const AugmentationPlan plan = plan_augmentation({}, {{1}});
+  EXPECT_TRUE(plan.fully_disambiguates);
+  EXPECT_TRUE(plan.probes.empty());
+}
+
+TEST(PlanAugmentation, SingleProbeSplitsPair) {
+  std::vector<MeasurementPath> pool{MeasurementPath(4, {0})};
+  const AugmentationPlan plan = plan_augmentation(pool, {{0}, {1}});
+  EXPECT_TRUE(plan.fully_disambiguates);
+  EXPECT_EQ(plan.probes, (std::vector<std::size_t>{0}));
+}
+
+TEST(PlanAugmentation, ReportsIrreducibleAmbiguity) {
+  // No probe distinguishes {0} from {1} when every pool path covers both.
+  std::vector<MeasurementPath> pool{MeasurementPath(4, {0, 1}),
+                                    MeasurementPath(4, {0, 1, 2})};
+  const AugmentationPlan plan = plan_augmentation(pool, {{0}, {1}});
+  EXPECT_FALSE(plan.fully_disambiguates);
+  EXPECT_EQ(plan.remaining_pairs, 1u);
+}
+
+TEST(PlanAugmentation, GreedyPicksHighestGainFirst) {
+  // Probe 0 separates only one pair; probe 1 separates both -> picked first
+  // and alone suffices.
+  std::vector<MeasurementPath> pool{MeasurementPath(6, {0}),
+                                    MeasurementPath(6, {0, 1})};
+  const std::vector<std::vector<NodeId>> candidates{{0}, {1}, {2}};
+  // pairs: (0,1): probe0 separates ({0} hit, {1} no) yes; probe1 no (both
+  // hit? {1} hit by probe1, {0} hit -> no). (0,2): probe0 yes, probe1 yes.
+  // (1,2): probe0 no, probe1 yes ({1} hit, {2} not).
+  const AugmentationPlan plan = plan_augmentation(pool, candidates);
+  EXPECT_TRUE(plan.fully_disambiguates);
+  // probe0 separates 2 pairs, probe1 separates 2 pairs; tie -> smaller
+  // index (probe0), then probe1 finishes (1,2).
+  ASSERT_EQ(plan.probes.size(), 2u);
+  EXPECT_EQ(plan.probes[0], 0u);
+  EXPECT_EQ(plan.probes[1], 1u);
+}
+
+TEST(PlanAugmentation, NeverWorseThanExactByLogFactor) {
+  Rng rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 5 + rng.index(3);
+    std::vector<MeasurementPath> pool;
+    for (int p = 0; p < 6; ++p)
+      pool.emplace_back(n, testing::random_path_nodes(n, 1 + rng.index(3),
+                                                      rng));
+    std::vector<std::vector<NodeId>> candidates;
+    for (int c = 0; c < 4; ++c)
+      candidates.push_back(testing::random_path_nodes(n, 1, rng));
+
+    const AugmentationPlan greedy = plan_augmentation(pool, candidates);
+    if (!greedy.fully_disambiguates) {
+      // Then no subset works either (greedy stops only when nothing helps
+      // and separation is monotone).
+      EXPECT_THROW(minimum_augmentation_exact(pool, candidates),
+                   InvalidInput);
+      continue;
+    }
+    const auto exact = minimum_augmentation_exact(pool, candidates);
+    EXPECT_GE(greedy.probes.size(), exact.size());
+    // Greedy set cover bound: |greedy| <= (ln(pairs)+1)|OPT|; with <= 6
+    // pairs that is <= 2.8 |OPT|.
+    EXPECT_LE(static_cast<double>(greedy.probes.size()),
+              2.8 * static_cast<double>(std::max<std::size_t>(exact.size(),
+                                                              1)));
+  }
+}
+
+TEST(ProbePool, OnePathPerReachableTarget) {
+  Rng rng(4);
+  const Graph g = random_connected(10, 16, rng);
+  const RoutingTable routing(g);
+  const auto pool = probe_pool(routing, {0, 5});
+  EXPECT_EQ(pool.size(), 20u);
+  EXPECT_THROW(probe_pool(routing, {99}), ContractViolation);
+}
+
+TEST(Augmentation, EndToEndDisambiguatesRealObservation) {
+  // Build an ambiguous passive observation, plan probes, verify that the
+  // probes' (hypothetical) outcomes isolate the truth.
+  Rng rng(5);
+  const Graph g = random_connected(12, 18, rng);
+  const RoutingTable routing(g);
+
+  PathSet passive(g.node_count());
+  passive.add(MeasurementPath(g.node_count(), routing.route(0, 6)));
+  passive.add(MeasurementPath(g.node_count(), routing.route(1, 7)));
+
+  // Find a failing node that leaves ambiguity.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const FailureScenario scenario = observe(passive, {v});
+    if (scenario.failed_paths.none()) continue;
+    const LocalizationResult loc = localize(passive, scenario, 1);
+    if (loc.unique()) continue;
+
+    const auto pool = probe_pool(routing, {0, 1, 2});
+    const AugmentationPlan plan =
+        plan_augmentation(pool, loc.consistent_sets);
+    if (!plan.fully_disambiguates) continue;
+
+    // Simulate the probe outcomes under the true failure and check that
+    // exactly one candidate matches all of them.
+    std::size_t matching = 0;
+    for (const auto& candidate : loc.consistent_sets) {
+      bool consistent = true;
+      for (std::size_t p : plan.probes) {
+        auto hits = [&](const std::vector<NodeId>& f) {
+          for (NodeId x : f)
+            if (pool[p].traverses(x)) return true;
+          return false;
+        };
+        if (hits(candidate) != hits(scenario.failed_nodes)) {
+          consistent = false;
+          break;
+        }
+      }
+      if (consistent) ++matching;
+    }
+    EXPECT_EQ(matching, 1u);
+    return;  // one full end-to-end case is enough
+  }
+  GTEST_SKIP() << "no ambiguous scenario found for this seed";
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,98 @@
+#include "placement/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace splace {
+namespace {
+
+TEST(QosBaseline, PicksMinimaxHost) {
+  Service svc;
+  svc.clients = {0, 4};
+  svc.alpha = 1.0;
+  const ProblemInstance inst(path_graph(5), {svc});
+  const Placement p = best_qos_placement(inst);
+  EXPECT_EQ(p, (Placement{2}));
+}
+
+TEST(QosBaseline, IndependentOfAlpha) {
+  // QoS placement deterministically minimizes distance, so relaxing alpha
+  // must not change it (the paper's flat QoS curves).
+  Rng rng(8);
+  const Graph g = random_connected(16, 28, rng);
+  const std::vector<NodeId> clients =
+      testing::random_path_nodes(16, 3, rng);
+  Placement last;
+  for (double alpha : {0.0, 0.3, 0.7, 1.0}) {
+    Service svc;
+    svc.clients = clients;
+    svc.alpha = alpha;
+    Graph copy = g;
+    const ProblemInstance inst(std::move(copy), {svc});
+    const Placement p = best_qos_placement(inst);
+    if (!last.empty()) {
+      EXPECT_EQ(p, last);
+    }
+    last = p;
+  }
+}
+
+TEST(QosBaseline, EachServiceIndependently) {
+  Service a;
+  a.clients = {0};
+  a.alpha = 1.0;
+  Service b;
+  b.clients = {4};
+  b.alpha = 1.0;
+  const ProblemInstance inst(path_graph(5), {a, b});
+  const Placement p = best_qos_placement(inst);
+  EXPECT_EQ(p, (Placement{0, 4}));
+}
+
+TEST(RandomBaseline, StaysWithinCandidates) {
+  Rng rng(9);
+  const auto inst = testing::random_instance(14, 24, 4, 2, 0.4, rng);
+  Rng placement_rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Placement p = random_placement(inst, placement_rng);
+    ASSERT_EQ(p.size(), inst.service_count());
+    for (std::size_t s = 0; s < p.size(); ++s)
+      EXPECT_TRUE(inst.is_candidate(s, p[s]));
+  }
+}
+
+TEST(RandomBaseline, DeterministicGivenSeed) {
+  Rng rng(10);
+  const auto inst = testing::random_instance(14, 24, 3, 2, 1.0, rng);
+  Rng r1(77);
+  Rng r2(77);
+  EXPECT_EQ(random_placement(inst, r1), random_placement(inst, r2));
+}
+
+TEST(RandomBaseline, ExploresTheCandidateSet) {
+  Rng rng(11);
+  const auto inst = testing::random_instance(16, 30, 1, 2, 1.0, rng);
+  Rng placement_rng(5);
+  std::set<NodeId> seen;
+  for (int trial = 0; trial < 200; ++trial)
+    seen.insert(random_placement(inst, placement_rng)[0]);
+  // With alpha=1 every node is a candidate; 200 draws should hit many.
+  EXPECT_GE(seen.size(), inst.candidate_hosts(0).size() / 2);
+}
+
+TEST(RandomBaseline, AlphaZeroPinsToOptimalHosts) {
+  Service svc;
+  svc.clients = {0, 4};
+  svc.alpha = 0.0;
+  const ProblemInstance inst(path_graph(5), {svc});
+  Rng placement_rng(3);
+  for (int trial = 0; trial < 10; ++trial)
+    EXPECT_EQ(random_placement(inst, placement_rng)[0], 2u);
+}
+
+}  // namespace
+}  // namespace splace

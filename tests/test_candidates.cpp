@@ -1,0 +1,146 @@
+#include "placement/candidates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(DistanceProfile, WorstCaseOverClients) {
+  // Path 0-1-2-3-4, clients {0, 4}.
+  const RoutingTable routes(path_graph(5));
+  const DistanceProfile profile = distance_profile(routes, {0, 4});
+  // d(C, h) = max(h, 4-h): h=2 -> 2 (best), h=0 -> 4 (worst).
+  EXPECT_EQ(profile.worst[2], 2u);
+  EXPECT_EQ(profile.worst[0], 4u);
+  EXPECT_EQ(profile.worst[4], 4u);
+  EXPECT_EQ(profile.d_min, 2u);
+  EXPECT_EQ(profile.d_max, 4u);
+}
+
+TEST(DistanceProfile, SingleClient) {
+  const RoutingTable routes(path_graph(4));
+  const DistanceProfile profile = distance_profile(routes, {0});
+  EXPECT_EQ(profile.d_min, 0u);  // host co-located with client
+  EXPECT_EQ(profile.d_max, 3u);
+}
+
+TEST(DistanceProfile, EmptyClientsRejected) {
+  const RoutingTable routes(path_graph(3));
+  EXPECT_THROW(distance_profile(routes, {}), ContractViolation);
+}
+
+TEST(DistanceProfile, UnreachableHostsMarked) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const RoutingTable routes(g);
+  const DistanceProfile profile = distance_profile(routes, {0});
+  EXPECT_EQ(profile.worst[2], kUnreachable);
+  EXPECT_EQ(profile.worst[3], kUnreachable);
+  EXPECT_EQ(profile.d_max, 1u);  // over reachable hosts only
+}
+
+TEST(RelativeDistance, PaperFormula) {
+  const RoutingTable routes(path_graph(5));
+  const DistanceProfile profile = distance_profile(routes, {0, 4});
+  // d̄ = (d − d_min)/(d_max − d_min) = (d − 2)/2.
+  EXPECT_DOUBLE_EQ(relative_distance(profile, 2), 0.0);
+  EXPECT_DOUBLE_EQ(relative_distance(profile, 1), 0.5);
+  EXPECT_DOUBLE_EQ(relative_distance(profile, 0), 1.0);
+}
+
+TEST(RelativeDistance, DegenerateAllEqualIsZero) {
+  // Complete graph + client on every node: worst distance 1 everywhere
+  // except... use K_2 with client {0}: d(0)=0, d(1)=1. Use instead a case
+  // where d_min == d_max: single node graph.
+  const RoutingTable routes(Graph(1));
+  const DistanceProfile profile = distance_profile(routes, {0});
+  EXPECT_DOUBLE_EQ(relative_distance(profile, 0), 0.0);
+}
+
+TEST(RelativeDistance, AlwaysInUnitInterval) {
+  Rng rng(12);
+  const Graph g = random_connected(20, 35, rng);
+  const RoutingTable routes(g);
+  const DistanceProfile profile = distance_profile(routes, {3, 7, 11});
+  for (NodeId h = 0; h < 20; ++h) {
+    const double rd = relative_distance(profile, h);
+    EXPECT_GE(rd, 0.0);
+    EXPECT_LE(rd, 1.0);
+  }
+}
+
+TEST(CandidateHosts, AlphaZeroKeepsOnlyOptimal) {
+  const RoutingTable routes(path_graph(5));
+  const DistanceProfile profile = distance_profile(routes, {0, 4});
+  const auto hosts = candidate_hosts(profile, 0.0);
+  EXPECT_EQ(hosts, (std::vector<NodeId>{2}));
+}
+
+TEST(CandidateHosts, AlphaZeroCanKeepMultipleOptima) {
+  // Ring of 4, clients {0, 2}: hosts 1 and 3 both achieve worst distance 1;
+  // 0 and 2 achieve 2. d_min=1.
+  const RoutingTable routes(ring_graph(4));
+  const DistanceProfile profile = distance_profile(routes, {0, 2});
+  const auto hosts = candidate_hosts(profile, 0.0);
+  EXPECT_EQ(hosts, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(CandidateHosts, AlphaOneIncludesAllReachable) {
+  Rng rng(13);
+  const Graph g = random_connected(15, 25, rng);
+  const RoutingTable routes(g);
+  const DistanceProfile profile = distance_profile(routes, {2, 5});
+  EXPECT_EQ(candidate_hosts(profile, 1.0).size(), 15u);
+}
+
+TEST(CandidateHosts, MonotoneInAlpha) {
+  Rng rng(14);
+  const Graph g = random_connected(18, 30, rng);
+  const RoutingTable routes(g);
+  const DistanceProfile profile = distance_profile(routes, {0, 9, 13});
+  std::size_t last = 0;
+  for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const std::size_t now = candidate_hosts(profile, alpha).size();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(CandidateHosts, NeverEmpty) {
+  // Guaranteed nonempty for any alpha >= 0 (paper Section III-A).
+  Rng rng(15);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_connected(12, 20, rng);
+    const RoutingTable routes(g);
+    const DistanceProfile profile =
+        distance_profile(routes, testing::random_path_nodes(12, 3, rng));
+    EXPECT_FALSE(candidate_hosts(profile, 0.0).empty());
+  }
+}
+
+TEST(CandidateHosts, InvalidAlphaRejected) {
+  const RoutingTable routes(path_graph(3));
+  const DistanceProfile profile = distance_profile(routes, {0});
+  EXPECT_THROW(candidate_hosts(profile, -0.1), ContractViolation);
+  EXPECT_THROW(candidate_hosts(profile, 1.1), ContractViolation);
+}
+
+TEST(CandidateHosts, ExcludesUnreachable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const RoutingTable routes(g);
+  const DistanceProfile profile = distance_profile(routes, {0});
+  const auto hosts = candidate_hosts(profile, 1.0);
+  EXPECT_EQ(hosts, (std::vector<NodeId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace splace

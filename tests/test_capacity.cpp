@@ -1,0 +1,197 @@
+#include "placement/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+#include "placement/greedy.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+ProblemInstance two_service_instance(double demand_a, double demand_b) {
+  Service a;
+  a.clients = {0};
+  a.alpha = 1.0;
+  a.demand = demand_a;
+  Service b;
+  b.clients = {4};
+  b.alpha = 1.0;
+  b.demand = demand_b;
+  return ProblemInstance(path_graph(5), {a, b});
+}
+
+TEST(Capacity, PIndependenceParameter) {
+  // Equal demands -> p = 2 (best ratio 1/3 per the paper).
+  EXPECT_EQ(p_independence_parameter(two_service_instance(1, 1)), 2u);
+  // r_max/r_min = 3 -> p = 4.
+  EXPECT_EQ(p_independence_parameter(two_service_instance(1, 3)), 4u);
+  // Fractional ratio 2.5 -> ceil + 1 = 4.
+  EXPECT_EQ(p_independence_parameter(two_service_instance(2, 5)), 4u);
+}
+
+TEST(Capacity, NonPositiveDemandRejected) {
+  const auto inst = two_service_instance(0.0, 1.0);
+  EXPECT_THROW(p_independence_parameter(inst), ContractViolation);
+}
+
+TEST(Capacity, WrongCapacityVectorRejected) {
+  const auto inst = two_service_instance(1, 1);
+  CapacityConstraints constraints;
+  constraints.host_capacity = {1.0, 1.0};  // needs 5 entries
+  EXPECT_THROW(greedy_capacity_placement(inst, constraints,
+                                         ObjectiveKind::Coverage),
+               ContractViolation);
+}
+
+TEST(Capacity, UnlimitedCapacityMatchesPlainGreedy) {
+  Rng rng(5);
+  const auto inst = testing::random_instance(12, 20, 3, 2, 1.0, rng);
+  CapacityConstraints constraints;
+  constraints.host_capacity.assign(inst.node_count(), 1e9);
+  const auto capped = greedy_capacity_placement(
+      inst, constraints, ObjectiveKind::Distinguishability);
+  const auto plain =
+      greedy_placement(inst, ObjectiveKind::Distinguishability);
+  EXPECT_TRUE(capped.complete);
+  EXPECT_EQ(capped.placement, plain.placement);
+  EXPECT_DOUBLE_EQ(capped.objective_value, plain.objective_value);
+}
+
+TEST(Capacity, RespectsHostBudgets) {
+  Rng rng(6);
+  const auto inst = testing::random_instance(12, 20, 4, 2, 1.0, rng);
+  CapacityConstraints constraints;
+  constraints.host_capacity.assign(inst.node_count(), 1.0);  // one each
+  const auto result = greedy_capacity_placement(inst, constraints,
+                                                ObjectiveKind::Coverage);
+  EXPECT_TRUE(result.complete);
+  std::map<NodeId, double> load;
+  for (std::size_t s = 0; s < result.placement.size(); ++s)
+    load[result.placement[s]] += inst.services()[s].demand;
+  for (const auto& [host, used] : load) EXPECT_LE(used, 1.0 + 1e-12);
+}
+
+TEST(Capacity, ForcesSpreadWhenSingleHostFull) {
+  // Both services prefer the same host under distinguishability? Regardless,
+  // capacity 1 per host forbids stacking; resulting hosts must differ when
+  // each service demands the full budget.
+  const auto inst = two_service_instance(1.0, 1.0);
+  CapacityConstraints constraints;
+  constraints.host_capacity.assign(5, 1.0);
+  const auto result = greedy_capacity_placement(inst, constraints,
+                                                ObjectiveKind::Coverage);
+  EXPECT_TRUE(result.complete);
+  EXPECT_NE(result.placement[0], result.placement[1]);
+}
+
+TEST(Capacity, IncompleteWhenInfeasible) {
+  // Total capacity 1, two services of demand 1: second cannot be placed.
+  const auto inst = two_service_instance(1.0, 1.0);
+  CapacityConstraints constraints;
+  constraints.host_capacity.assign(5, 0.0);
+  constraints.host_capacity[2] = 1.0;
+  const auto result = greedy_capacity_placement(inst, constraints,
+                                                ObjectiveKind::Coverage);
+  EXPECT_FALSE(result.complete);
+  std::size_t placed = 0;
+  for (NodeId h : result.placement)
+    if (h != kInvalidNode) ++placed;
+  EXPECT_EQ(placed, 1u);
+}
+
+TEST(Capacity, ZeroCapacityEverywherePlacesNothing) {
+  const auto inst = two_service_instance(1.0, 1.0);
+  CapacityConstraints constraints;
+  constraints.host_capacity.assign(5, 0.0);
+  const auto result = greedy_capacity_placement(inst, constraints,
+                                                ObjectiveKind::Coverage);
+  EXPECT_FALSE(result.complete);
+  for (NodeId h : result.placement) EXPECT_EQ(h, kInvalidNode);
+  EXPECT_DOUBLE_EQ(result.objective_value, 0.0);
+}
+
+// Theorem 21: greedy over the p-independence system achieves a
+// 1/(p+1)-approximation for monotone submodular objectives. Verified
+// against the capacity-feasible optimum by exhaustive search.
+class Theorem21 : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace detail {
+
+/// Exhaustive capacity-feasible optimum (coverage, k = 1).
+double capacity_optimum(const ProblemInstance& inst,
+                        const CapacityConstraints& constraints,
+                        ObjectiveKind kind) {
+  double best = 0;
+  std::vector<std::size_t> idx(inst.service_count(), 0);
+  while (true) {
+    Placement p(inst.service_count());
+    std::vector<double> load(inst.node_count(), 0);
+    bool feasible = true;
+    for (std::size_t s = 0; s < p.size() && feasible; ++s) {
+      p[s] = inst.candidate_hosts(s)[idx[s]];
+      load[p[s]] += inst.services()[s].demand;
+      feasible = load[p[s]] <= constraints.host_capacity[p[s]] + 1e-12;
+    }
+    if (feasible) {
+      best = std::max(best, evaluate_objective(
+                                kind, inst.paths_for_placement(p), 1));
+    }
+    std::size_t s = 0;
+    for (; s < idx.size(); ++s) {
+      if (++idx[s] < inst.candidate_hosts(s).size()) break;
+      idx[s] = 0;
+    }
+    if (s == idx.size()) break;
+  }
+  return best;
+}
+
+}  // namespace detail
+
+TEST_P(Theorem21, GreedyWithinOneOverPPlusOne) {
+  Rng rng(600 + GetParam());
+  auto inst = testing::random_instance(9, 14, 3, 2, 1.0, rng);
+  // Demands alternate 1 and 2 -> p = ceil(2/1)+1 = 3; capacity 2 per host.
+  std::vector<Service> services = inst.services();
+  for (std::size_t s = 0; s < services.size(); ++s)
+    services[s].demand = (s % 2 == 0) ? 1.0 : 2.0;
+  Graph g = inst.graph();
+  const ProblemInstance capped_inst(std::move(g), services);
+
+  CapacityConstraints constraints;
+  constraints.host_capacity.assign(capped_inst.node_count(), 2.0);
+
+  for (ObjectiveKind kind :
+       {ObjectiveKind::Coverage, ObjectiveKind::Distinguishability}) {
+    const CapacityGreedyResult greedy =
+        greedy_capacity_placement(capped_inst, constraints, kind);
+    const double optimum =
+        detail::capacity_optimum(capped_inst, constraints, kind);
+    const double p =
+        static_cast<double>(p_independence_parameter(capped_inst));
+    EXPECT_GE((p + 1.0) * greedy.objective_value + 1e-9, optimum)
+        << to_string(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem21,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Capacity, FractionalDemandsPack) {
+  const auto inst = two_service_instance(0.5, 0.5);
+  CapacityConstraints constraints;
+  constraints.host_capacity.assign(5, 0.0);
+  constraints.host_capacity[1] = 1.0;
+  const auto result = greedy_capacity_placement(inst, constraints,
+                                                ObjectiveKind::Coverage);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.placement[0], 1u);
+  EXPECT_EQ(result.placement[1], 1u);
+}
+
+}  // namespace
+}  // namespace splace

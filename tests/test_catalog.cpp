@@ -1,0 +1,84 @@
+#include "topology/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/rocketfuel.hpp"
+#include "util/error.hpp"
+
+namespace splace::topology {
+namespace {
+
+TEST(Catalog, HasThreePaperNetworksInOrder) {
+  const auto& entries = catalog();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].spec.name, "Abovenet");
+  EXPECT_EQ(entries[1].spec.name, "Tiscali");
+  EXPECT_EQ(entries[2].spec.name, "AT&T");
+}
+
+TEST(Catalog, PaperExperimentParameters) {
+  EXPECT_EQ(catalog_entry("Abovenet").services, 5u);
+  EXPECT_EQ(catalog_entry("Tiscali").services, 3u);
+  EXPECT_EQ(catalog_entry("AT&T").services, 7u);
+  for (const CatalogEntry& e : catalog())
+    EXPECT_EQ(e.clients_per_service, 3u);
+  // Only Abovenet augments its client pool.
+  EXPECT_EQ(catalog_entry("Abovenet").extra_candidate_clients, 6u);
+  EXPECT_EQ(catalog_entry("Tiscali").extra_candidate_clients, 0u);
+}
+
+TEST(Catalog, LookupIsCaseInsensitive) {
+  EXPECT_EQ(catalog_entry("abovenet").spec.name, "Abovenet");
+  EXPECT_EQ(catalog_entry("at&t").spec.name, "AT&T");
+}
+
+TEST(Catalog, UnknownNameThrows) {
+  EXPECT_THROW(catalog_entry("sprint"), InvalidInput);
+}
+
+TEST(Catalog, BuildMatchesSpec) {
+  const CatalogEntry& entry = catalog_entry("Tiscali");
+  const Graph g = build(entry);
+  const TopologyStats stats = stats_of(g);
+  EXPECT_EQ(stats.nodes, entry.spec.nodes);
+  EXPECT_EQ(stats.links, entry.spec.links);
+  EXPECT_EQ(stats.dangling, entry.spec.dangling);
+}
+
+TEST(Catalog, CandidateClientsAreDanglingPlusExtras) {
+  const CatalogEntry& abovenet_entry = catalog_entry("Abovenet");
+  const Graph g = build(abovenet_entry);
+  const std::vector<NodeId> clients = candidate_clients(abovenet_entry, g);
+  // 2 dangling + 6 extra = 8 candidate clients, as in Section VI-A.
+  EXPECT_EQ(clients.size(), 8u);
+  std::set<NodeId> unique(clients.begin(), clients.end());
+  EXPECT_EQ(unique.size(), 8u);
+  // Every dangling node included.
+  for (NodeId v : g.degree_one_nodes()) EXPECT_TRUE(unique.count(v));
+}
+
+TEST(Catalog, CandidateClientsForLargeNetworksAreDanglingOnly) {
+  const CatalogEntry& att_entry = catalog_entry("AT&T");
+  const Graph g = build(att_entry);
+  const std::vector<NodeId> clients = candidate_clients(att_entry, g);
+  EXPECT_EQ(clients.size(), 78u);
+  for (NodeId v : clients) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Catalog, CandidateClientsDeterministic) {
+  const CatalogEntry& entry = catalog_entry("Abovenet");
+  const Graph g = build(entry);
+  EXPECT_EQ(candidate_clients(entry, g), candidate_clients(entry, g));
+}
+
+TEST(Catalog, CandidateClientsSorted) {
+  const CatalogEntry& entry = catalog_entry("Abovenet");
+  const Graph g = build(entry);
+  const auto clients = candidate_clients(entry, g);
+  EXPECT_TRUE(std::is_sorted(clients.begin(), clients.end()));
+}
+
+}  // namespace
+}  // namespace splace::topology

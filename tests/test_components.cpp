@@ -1,0 +1,69 @@
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace splace {
+namespace {
+
+TEST(Components, EmptyGraph) {
+  const ComponentLabeling lbl = connected_components(Graph{});
+  EXPECT_EQ(lbl.component_count, 0u);
+  EXPECT_TRUE(is_connected(Graph{}));
+  EXPECT_EQ(largest_component_size(Graph{}), 0u);
+}
+
+TEST(Components, SingleNode) {
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_EQ(largest_component_size(Graph(1)), 1u);
+}
+
+TEST(Components, IsolatedNodesEachOwnComponent) {
+  const ComponentLabeling lbl = connected_components(Graph(4));
+  EXPECT_EQ(lbl.component_count, 4u);
+  EXPECT_FALSE(is_connected(Graph(4)));
+}
+
+TEST(Components, TwoComponents) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const ComponentLabeling lbl = connected_components(g);
+  EXPECT_EQ(lbl.component_count, 2u);
+  EXPECT_EQ(lbl.label[0], lbl.label[1]);
+  EXPECT_EQ(lbl.label[1], lbl.label[2]);
+  EXPECT_EQ(lbl.label[3], lbl.label[4]);
+  EXPECT_NE(lbl.label[0], lbl.label[3]);
+  EXPECT_EQ(largest_component_size(g), 3u);
+}
+
+TEST(Components, LabelsOrderedBySmallestMember) {
+  Graph g(4);
+  g.add_edge(2, 3);
+  const ComponentLabeling lbl = connected_components(g);
+  EXPECT_EQ(lbl.label[0], 0u);
+  EXPECT_EQ(lbl.label[1], 1u);
+  EXPECT_EQ(lbl.label[2], 2u);
+  EXPECT_EQ(lbl.label[3], 2u);
+}
+
+TEST(Components, ConnectedFamilies) {
+  EXPECT_TRUE(is_connected(path_graph(10)));
+  EXPECT_TRUE(is_connected(ring_graph(7)));
+  EXPECT_TRUE(is_connected(star_graph(9)));
+  EXPECT_TRUE(is_connected(grid_graph(4, 5)));
+  EXPECT_TRUE(is_connected(complete_graph(6)));
+}
+
+TEST(Components, RandomConnectedIsConnected) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    EXPECT_TRUE(is_connected(random_connected(30, 45, rng)));
+  }
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,49 @@
+#include "monitoring/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace splace {
+namespace {
+
+TEST(Coverage, EmptyPathSet) {
+  const PathSet set(10);
+  EXPECT_EQ(coverage(set), 0u);
+  EXPECT_TRUE(covered_set(set).none());
+}
+
+TEST(Coverage, UnionOfPaths) {
+  const PathSet set = testing::make_paths(8, {{0, 1, 2}, {2, 3}, {7}});
+  EXPECT_EQ(coverage(set), 5u);
+  const DynamicBitset covered = covered_set(set);
+  for (NodeId v : {0u, 1u, 2u, 3u, 7u}) EXPECT_TRUE(covered.test(v));
+  for (NodeId v : {4u, 5u, 6u}) EXPECT_FALSE(covered.test(v));
+}
+
+TEST(Coverage, OverlappingPathsCountOnce) {
+  const PathSet set = testing::make_paths(5, {{0, 1}, {1, 0, 2}, {2, 1}});
+  EXPECT_EQ(coverage(set), 3u);
+}
+
+TEST(Coverage, FullCoverage) {
+  const PathSet set = testing::make_paths(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(coverage(set), 4u);
+}
+
+TEST(Coverage, MonotoneUnderPathAddition) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    PathSet set(15);
+    std::size_t previous = 0;
+    for (int i = 0; i < 10; ++i) {
+      set.add_nodes(testing::random_path_nodes(15, 1 + rng.index(6), rng));
+      const std::size_t now = coverage(set);
+      EXPECT_GE(now, previous);
+      previous = now;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,124 @@
+#include "monitoring/distinguishability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "monitoring/equivalence_classes.hpp"
+#include "test_helpers.hpp"
+
+namespace splace {
+namespace {
+
+TEST(Distinguishability, NoPathsNothingDistinguishable) {
+  const PathSet paths(5);
+  EXPECT_EQ(distinguishability(paths, 1), 0u);
+  EXPECT_EQ(distinguishability(paths, 2), 0u);
+}
+
+TEST(Distinguishability, SinglePathK1) {
+  // Paths {0,1}: F_1 = {∅,{0},...,{4}}. Signature classes:
+  // {∅,{2},{3},{4}} (no failure observed) and {{0},{1}}.
+  // D_1 = C(6,2) − C(4,2) − C(2,2) = 15 − 6 − 1 = 8.
+  const PathSet paths = testing::make_paths(5, {{0, 1}});
+  EXPECT_EQ(distinguishability(paths, 1), 8u);
+}
+
+TEST(Distinguishability, K1MatchesEquivalencePartition) {
+  Rng rng(9);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 4 + rng.index(8);
+    const PathSet paths = testing::random_path_set(n, 8, 4, rng);
+    EquivalenceClasses classes(n);
+    classes.add_paths(paths);
+    EXPECT_EQ(distinguishability(paths, 1), classes.distinguishable_pairs());
+  }
+}
+
+TEST(Distinguishability, FullySeparatedSmallCase) {
+  // Singleton path per node: every pair of failure sets of any size is
+  // distinguishable, so D_k = C(|F_k|, 2).
+  const PathSet paths = testing::make_paths(4, {{0}, {1}, {2}, {3}});
+  const std::size_t total2 = failure_set_count(4, 2);
+  EXPECT_EQ(distinguishability(paths, 2), total2 * (total2 - 1) / 2);
+}
+
+TEST(Distinguishability, K2HandComputedExample) {
+  // One path {0,1} over 3 nodes, k = 2.
+  // F_2 = {∅,{0},{1},{2},{01},{02},{12}}: 7 sets.
+  // Failed-signature groups: {∅,{2}} and {{0},{1},{01},{02},{12}}.
+  // D_2 = C(7,2) − C(2,2) − C(5,2) = 21 − 1 − 10 = 10.
+  const PathSet paths = testing::make_paths(3, {{0, 1}});
+  EXPECT_EQ(distinguishability(paths, 2), 10u);
+}
+
+TEST(Distinguishability, MonotoneInPaths) {
+  Rng rng(10);
+  for (int trial = 0; trial < 10; ++trial) {
+    PathSet paths(6);
+    std::size_t last = 0;
+    for (int i = 0; i < 8; ++i) {
+      paths.add_nodes(testing::random_path_nodes(6, 1 + rng.index(4), rng));
+      const std::size_t now = distinguishability(paths, 2);
+      EXPECT_GE(now, last);
+      last = now;
+    }
+  }
+}
+
+TEST(Distinguishability, MonotoneInK) {
+  // More possible failure sets -> more pairs overall; D_k grows with k.
+  Rng rng(11);
+  const PathSet paths = testing::random_path_set(6, 5, 3, rng);
+  std::size_t last = 0;
+  for (std::size_t k = 1; k <= 3; ++k) {
+    const std::size_t now = distinguishability(paths, k);
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(UncertaintyOf, IndistinguishableSetsCounted) {
+  const PathSet paths = testing::make_paths(4, {{0, 1}});
+  // {0} and {1} share the signature; each sees 1 alternative at k=1.
+  EXPECT_EQ(uncertainty_of(paths, 1, {0}), 1u);
+  EXPECT_EQ(uncertainty_of(paths, 1, {1}), 1u);
+  // ∅ is indistinguishable from {2} and {3}.
+  EXPECT_EQ(uncertainty_of(paths, 1, {}), 2u);
+}
+
+TEST(UncertaintyOf, UniqueSignatureZeroUncertainty) {
+  const PathSet paths = testing::make_paths(3, {{0}, {1}, {2}});
+  EXPECT_EQ(uncertainty_of(paths, 1, {1}), 0u);
+  EXPECT_EQ(uncertainty_of(paths, 1, {}), 0u);
+}
+
+// Lemma 3: average uncertainty == (2/|F_k|) (C(|F_k|,2) − |D_k(P)|).
+class Lemma3 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma3, IdentityHoldsOnRandomInstances) {
+  Rng rng(GetParam());
+  const std::size_t n = 4 + rng.index(6);
+  const std::size_t k = 1 + rng.index(3);
+  const PathSet paths =
+      testing::random_path_set(n, 1 + rng.index(8), 4, rng);
+  EXPECT_DOUBLE_EQ(average_uncertainty(paths, k),
+                   lemma3_closed_form(paths, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma3, ::testing::Range<std::uint64_t>(0, 16));
+
+TEST(Lemma3Identity, EmptyPathsExtreme) {
+  // With no measurements every pair is indistinguishable: average
+  // uncertainty = |F_k| − 1.
+  const PathSet paths(5);
+  const double total = static_cast<double>(failure_set_count(5, 2));
+  EXPECT_DOUBLE_EQ(average_uncertainty(paths, 2), total - 1);
+  EXPECT_DOUBLE_EQ(lemma3_closed_form(paths, 2), total - 1);
+}
+
+TEST(Lemma3Identity, FullySeparatedExtreme) {
+  const PathSet paths = testing::make_paths(4, {{0}, {1}, {2}, {3}});
+  EXPECT_DOUBLE_EQ(average_uncertainty(paths, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace splace

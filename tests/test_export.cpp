@@ -1,0 +1,94 @@
+#include "core/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace splace {
+namespace {
+
+SweepResult tiny_sweep() {
+  SweepResult sweep;
+  sweep.alphas = {0.0, 1.0};
+  sweep.series[Algorithm::QoS] = {MetricPoint{10, 2, 100},
+                                  MetricPoint{10, 2, 100}};
+  sweep.series[Algorithm::GD] = {MetricPoint{12, 3, 130},
+                                 MetricPoint{15, 5, 180}};
+  return sweep;
+}
+
+TEST(ExportCsv, HeaderAndRowCount) {
+  std::ostringstream oss;
+  sweep_to_csv(tiny_sweep(), oss);
+  const auto lines = split(oss.str(), '\n');
+  // header + 2 algorithms x 2 alphas + trailing empty.
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[0],
+            "alpha,algorithm,coverage,identifiability,distinguishability");
+  EXPECT_TRUE(lines.back().empty());
+}
+
+TEST(ExportCsv, RowsContainSeriesValues) {
+  std::ostringstream oss;
+  sweep_to_csv(tiny_sweep(), oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("1.00,GD,15.0000,5.0000,180.0000"), std::string::npos);
+  EXPECT_NE(out.find("0.00,QoS,10.0000,2.0000,100.0000"), std::string::npos);
+}
+
+TEST(ExportJson, WellFormedAndComplete) {
+  std::ostringstream oss;
+  sweep_to_json(tiny_sweep(), oss);
+  const std::string out = oss.str();
+  EXPECT_TRUE(out.front() == '{' && out.back() == '}');
+  EXPECT_NE(out.find("\"alphas\":[0.0000,1.0000]"), std::string::npos);
+  EXPECT_NE(out.find("\"GD\":{"), std::string::npos);
+  EXPECT_NE(out.find("\"QoS\":{"), std::string::npos);
+  EXPECT_NE(out.find("\"distinguishability\":[130.0000,180.0000]"),
+            std::string::npos);
+  // Balanced braces/brackets (crude well-formedness check).
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+}
+
+TEST(ExportJson, DeterministicOutput) {
+  std::ostringstream a;
+  std::ostringstream b;
+  sweep_to_json(tiny_sweep(), a);
+  sweep_to_json(tiny_sweep(), b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ExportCandidateHosts, CsvShape) {
+  std::vector<CandidateHostsPoint> points;
+  points.push_back({0.5, BoxStats{1, 2, 3, 4, 5}});
+  std::ostringstream oss;
+  candidate_hosts_to_csv(points, oss);
+  const auto lines = split(oss.str(), '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "alpha,min,q1,median,q3,max");
+  EXPECT_EQ(lines[1], "0.5000,1.0000,2.0000,3.0000,4.0000,5.0000");
+}
+
+TEST(ExportEndToEnd, RealSweepSerializes) {
+  const topology::CatalogEntry& entry = topology::catalog_entry("Abovenet");
+  SweepConfig config;
+  config.alphas = {0.2};
+  config.rd_trials = 2;
+  const SweepResult sweep = run_sweep(entry, config);
+  std::ostringstream csv;
+  sweep_to_csv(sweep, csv);
+  std::ostringstream json;
+  sweep_to_json(sweep, json);
+  // 5 algorithms x 1 alpha + header (+ trailing newline split artifact).
+  EXPECT_EQ(split(csv.str(), '\n').size(), 7u);
+  EXPECT_NE(json.str().find("\"GC\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,126 @@
+#include "monitoring/failure_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "monitoring/distinguishability.hpp"
+#include "monitoring/equivalence_classes.hpp"
+#include "monitoring/failure_sets.hpp"
+#include "monitoring/identifiability.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(FailurePartition, InitialState) {
+  const FailureSetPartition partition(5, 2);
+  EXPECT_EQ(partition.total_sets(), failure_set_count(5, 2));
+  EXPECT_EQ(partition.class_count(), 1u);
+  EXPECT_EQ(partition.distinguishability(), 0u);
+  EXPECT_EQ(partition.identifiability(), 0u);
+}
+
+TEST(FailurePartition, UniverseMismatchRejected) {
+  FailureSetPartition partition(5, 1);
+  EXPECT_THROW(partition.add_path(MeasurementPath(6, {0})),
+               ContractViolation);
+}
+
+// The incremental partition must agree with the one-shot exact functions on
+// every prefix of a random path sequence.
+class PartitionMatchesExact
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(PartitionMatchesExact, DkAndSkAgreeAfterEveryPath) {
+  const auto [seed, k] = GetParam();
+  Rng rng(seed);
+  const std::size_t n = 4 + rng.index(4);
+  FailureSetPartition partition(n, k);
+  PathSet accumulated(n);
+  for (int i = 0; i < 8; ++i) {
+    const MeasurementPath path(
+        n, testing::random_path_nodes(n, 1 + rng.index(3), rng));
+    partition.add_path(path);
+    accumulated.add(path);
+    ASSERT_EQ(partition.distinguishability(),
+              distinguishability(accumulated, k))
+        << "seed=" << seed << " k=" << k << " step=" << i;
+    ASSERT_EQ(partition.identifiability(), identifiability(accumulated, k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, PartitionMatchesExact,
+    ::testing::Combine(::testing::Range<std::uint64_t>(0, 8),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3})));
+
+TEST(FailurePartition, K1MatchesEquivalenceClasses) {
+  Rng rng(5);
+  const std::size_t n = 8;
+  FailureSetPartition partition(n, 1);
+  EquivalenceClasses classes(n);
+  for (int i = 0; i < 10; ++i) {
+    const MeasurementPath path(
+        n, testing::random_path_nodes(n, 1 + rng.index(4), rng));
+    partition.add_path(path);
+    classes.add_path(path);
+    // F_1 = {∅} ∪ singletons maps 1:1 onto N ∪ {v0}.
+    EXPECT_EQ(partition.distinguishability(),
+              classes.distinguishable_pairs());
+    EXPECT_EQ(partition.identifiability(), classes.identifiable_count());
+  }
+}
+
+TEST(FailurePartition, UncertaintyMatchesSignatureGroups) {
+  Rng rng(6);
+  const std::size_t n = 6;
+  const PathSet paths = testing::random_path_set(n, 5, 3, rng);
+  FailureSetPartition partition(n, 2);
+  partition.add_paths(paths);
+  const SignatureGroups groups(paths, 2);
+  for_each_failure_set(n, 2, [&](const std::vector<NodeId>& f) {
+    EXPECT_EQ(partition.uncertainty_of(f),
+              groups.indistinguishable_count(paths, f));
+  });
+}
+
+TEST(FailurePartition, UncertaintyValidatesInput) {
+  FailureSetPartition partition(5, 1);
+  EXPECT_THROW(partition.uncertainty_of({0, 1}), ContractViolation);  // > k
+  EXPECT_THROW(partition.uncertainty_of({7}), ContractViolation);     // bad id
+}
+
+TEST(FailurePartition, DuplicatePathIsNoop) {
+  FailureSetPartition partition(5, 2);
+  partition.add_path(MeasurementPath(5, {0, 1}));
+  const std::size_t d = partition.distinguishability();
+  const std::size_t c = partition.class_count();
+  partition.add_path(MeasurementPath(5, {1, 0}));
+  EXPECT_EQ(partition.distinguishability(), d);
+  EXPECT_EQ(partition.class_count(), c);
+}
+
+TEST(FailurePartition, ClassesPartitionAllSets) {
+  Rng rng(7);
+  FailureSetPartition partition(6, 2);
+  partition.add_paths(testing::random_path_set(6, 6, 3, rng));
+  std::size_t members = 0;
+  for (std::size_t c = 0; c < partition.class_count(); ++c)
+    members += partition.class_members(c).size();
+  EXPECT_EQ(members, partition.total_sets());
+}
+
+TEST(FailurePartition, SingletonPathsFullySeparate) {
+  FailureSetPartition partition(4, 2);
+  for (NodeId v = 0; v < 4; ++v)
+    partition.add_path(MeasurementPath(4, {v}));
+  const std::size_t total = partition.total_sets();
+  EXPECT_EQ(partition.distinguishability(), total * (total - 1) / 2);
+  EXPECT_EQ(partition.identifiability(), 4u);
+  EXPECT_EQ(partition.class_count(), total);
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,116 @@
+#include "monitoring/failure_sets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_helpers.hpp"
+
+namespace splace {
+namespace {
+
+TEST(FailureSetCount, SmallValues) {
+  EXPECT_EQ(failure_set_count(5, 0), 1u);            // just ∅
+  EXPECT_EQ(failure_set_count(5, 1), 6u);            // ∅ + 5 singletons
+  EXPECT_EQ(failure_set_count(5, 2), 16u);           // + C(5,2)=10
+  EXPECT_EQ(failure_set_count(5, 5), 32u);           // full power set
+  EXPECT_EQ(failure_set_count(5, 9), 32u);           // k > n saturates at 2^n
+  EXPECT_EQ(failure_set_count(0, 3), 1u);
+}
+
+TEST(FailureSetCount, MatchesEnumeration) {
+  for (std::size_t n = 1; n <= 8; ++n)
+    for (std::size_t k = 0; k <= 4; ++k)
+      EXPECT_EQ(enumerate_failure_sets(n, k).size(), failure_set_count(n, k))
+          << "n=" << n << " k=" << k;
+}
+
+TEST(FailureSetCount, OverflowSaturates) {
+  EXPECT_EQ(failure_set_count(200, 200),
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST(FailureSetEnumeration, OrderAndContent) {
+  const auto sets = enumerate_failure_sets(3, 2);
+  const std::vector<std::vector<NodeId>> expected = {
+      {}, {0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}};
+  EXPECT_EQ(sets, expected);
+}
+
+TEST(FailureSetEnumeration, AllDistinct) {
+  const auto sets = enumerate_failure_sets(7, 3);
+  std::set<std::vector<NodeId>> unique(sets.begin(), sets.end());
+  EXPECT_EQ(unique.size(), sets.size());
+}
+
+TEST(FailureSetEnumeration, MembersSortedAndBounded) {
+  for (const auto& f : enumerate_failure_sets(6, 3)) {
+    EXPECT_LE(f.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(f.begin(), f.end()));
+    for (NodeId v : f) EXPECT_LT(v, 6u);
+  }
+}
+
+TEST(SignatureGroups, GroupsPartitionAllSets) {
+  Rng rng(5);
+  const PathSet paths = testing::random_path_set(7, 6, 4, rng);
+  const SignatureGroups groups(paths, 2);
+  EXPECT_EQ(groups.total_sets(), failure_set_count(7, 2));
+  std::size_t members = 0;
+  for (std::size_t g = 0; g < groups.group_count(); ++g)
+    members += groups.group(g).size();
+  EXPECT_EQ(members, groups.total_sets());
+}
+
+TEST(SignatureGroups, MembersOfAGroupShareSignature) {
+  Rng rng(6);
+  const PathSet paths = testing::random_path_set(7, 6, 4, rng);
+  const SignatureGroups groups(paths, 2);
+  for (std::size_t g = 0; g < groups.group_count(); ++g) {
+    const auto& members = groups.group(g);
+    const DynamicBitset sig = paths.affected_paths(members.front());
+    for (const auto& f : members)
+      EXPECT_EQ(paths.affected_paths(f), sig);
+  }
+}
+
+TEST(SignatureGroups, DistinctGroupsDifferInSignature) {
+  Rng rng(7);
+  const PathSet paths = testing::random_path_set(6, 5, 3, rng);
+  const SignatureGroups groups(paths, 2);
+  for (std::size_t g1 = 0; g1 < groups.group_count(); ++g1)
+    for (std::size_t g2 = g1 + 1; g2 < groups.group_count(); ++g2)
+      EXPECT_NE(paths.affected_paths(groups.group(g1).front()),
+                paths.affected_paths(groups.group(g2).front()));
+}
+
+TEST(SignatureGroups, GroupOfFindsOwnGroup) {
+  Rng rng(8);
+  const PathSet paths = testing::random_path_set(6, 5, 3, rng);
+  const SignatureGroups groups(paths, 2);
+  for (const auto& f : enumerate_failure_sets(6, 2)) {
+    const auto& group = groups.group_of(paths, f);
+    EXPECT_TRUE(std::find(group.begin(), group.end(), f) != group.end());
+  }
+}
+
+TEST(SignatureGroups, IndistinguishableCountIsGroupSizeMinusOne) {
+  // Two nodes always covered together are mutually indistinguishable.
+  const PathSet paths = testing::make_paths(4, {{0, 1}});
+  const SignatureGroups groups(paths, 1);
+  EXPECT_EQ(groups.indistinguishable_count(paths, {0}), 1u);  // {1}
+  EXPECT_EQ(groups.indistinguishable_count(paths, {1}), 1u);  // {0}
+  // ∅, {2}, {3} all produce no failed path.
+  EXPECT_EQ(groups.indistinguishable_count(paths, {}), 2u);
+  EXPECT_EQ(groups.indistinguishable_count(paths, {2}), 2u);
+}
+
+TEST(SignatureGroups, NoPathsMeansOneGroup) {
+  const PathSet paths(5);
+  const SignatureGroups groups(paths, 2);
+  EXPECT_EQ(groups.group_count(), 1u);
+  EXPECT_EQ(groups.group(0).size(), failure_set_count(5, 2));
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,116 @@
+#include "monitoring/fast_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics_report.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+/// Builds random (slot, option) path structures and cross-checks the packed
+/// evaluator against the reference equivalence-partition evaluation.
+class FastEvalAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FastEvalAgreement, MatchesReferenceOnAllChoices) {
+  Rng rng(GetParam());
+  const std::size_t n = 5 + rng.index(8);
+  const std::size_t slots = 2 + rng.index(3);
+  const std::size_t options_per_slot = 2 + rng.index(3);
+  const std::size_t paths_per_option = 1 + rng.index(3);
+
+  std::vector<std::vector<PathSet>> options(slots);
+  for (auto& slot : options) {
+    for (std::size_t o = 0; o < options_per_slot; ++o) {
+      PathSet set(n);
+      for (std::size_t p = 0; p < paths_per_option; ++p)
+        set.add_nodes(testing::random_path_nodes(n, 1 + rng.index(4), rng));
+      slot.push_back(std::move(set));
+    }
+  }
+
+  const FastK1Evaluator evaluator(n, options);
+  ASSERT_EQ(evaluator.slot_count(), slots);
+
+  // Exhaustively compare every choice vector.
+  std::vector<std::size_t> choice(slots, 0);
+  while (true) {
+    const auto fast = evaluator.evaluate(choice);
+
+    PathSet all(n);
+    for (std::size_t s = 0; s < slots; ++s) all.add_all(options[s][choice[s]]);
+    const MetricReport ref = evaluate_paths_k1(all);
+
+    ASSERT_EQ(fast.coverage, ref.coverage);
+    ASSERT_EQ(fast.identifiability, ref.identifiability);
+    ASSERT_EQ(fast.distinguishability, ref.distinguishability);
+
+    std::size_t s = 0;
+    for (; s < slots; ++s) {
+      if (++choice[s] < options_per_slot) break;
+      choice[s] = 0;
+    }
+    if (s == slots) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastEvalAgreement,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+TEST(FastEval, DuplicatePathsAcrossSlotsHarmless) {
+  // The same physical path appearing under two services must not change any
+  // equality pattern.
+  PathSet a(4);
+  a.add_nodes({0, 1});
+  PathSet b(4);
+  b.add_nodes({0, 1});
+  b.add_nodes({2});
+  const FastK1Evaluator evaluator(4, {{a}, {b}});
+  const auto m = evaluator.evaluate({0, 0});
+
+  PathSet merged(4);
+  merged.add_all(a);
+  merged.add_all(b);
+  const MetricReport ref = evaluate_paths_k1(merged);
+  EXPECT_EQ(m.coverage, ref.coverage);
+  EXPECT_EQ(m.identifiability, ref.identifiability);
+  EXPECT_EQ(m.distinguishability, ref.distinguishability);
+}
+
+TEST(FastEval, RejectsOver64Paths) {
+  PathSet big(70);
+  for (NodeId v = 0; v < 65; ++v) big.add_nodes({v});
+  EXPECT_THROW(FastK1Evaluator(70, {{big}}), ContractViolation);
+}
+
+TEST(FastEval, RejectsWrongUniverse) {
+  PathSet set(5);
+  set.add_nodes({0});
+  EXPECT_THROW(FastK1Evaluator(6, {{set}}), ContractViolation);
+}
+
+TEST(FastEval, RejectsEmptySlot) {
+  EXPECT_THROW(FastK1Evaluator(5, {{}}), ContractViolation);
+}
+
+TEST(FastEval, RejectsBadChoice) {
+  PathSet set(5);
+  set.add_nodes({0});
+  const FastK1Evaluator evaluator(5, {{set}});
+  EXPECT_THROW(evaluator.evaluate({1}), ContractViolation);
+  EXPECT_THROW(evaluator.evaluate({0, 0}), ContractViolation);
+}
+
+TEST(FastEval, EmptyUniverseOfPathsScoresZero) {
+  // One slot whose single option is an empty path set: nothing covered; v0
+  // and all nodes share the zero signature.
+  const FastK1Evaluator evaluator(3, {{PathSet(3)}});
+  const auto m = evaluator.evaluate({0});
+  EXPECT_EQ(m.coverage, 0u);
+  EXPECT_EQ(m.identifiability, 0u);
+  EXPECT_EQ(m.distinguishability, 0u);
+}
+
+}  // namespace
+}  // namespace splace

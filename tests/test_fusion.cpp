@@ -1,0 +1,144 @@
+#include "localization/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "localization/observation.hpp"
+#include "monitoring/failure_sets.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+DynamicBitset bits(std::size_t n, const std::vector<std::size_t>& idx) {
+  DynamicBitset b(n);
+  for (std::size_t i : idx) b.set(i);
+  return b;
+}
+
+TEST(Fusion, StartsWithAllOfFk) {
+  const PathSet paths = testing::make_paths(4, {{0, 1}, {2}});
+  const EvidenceFusion fusion(paths, 2);
+  EXPECT_EQ(fusion.candidates().size(), failure_set_count(4, 2));
+  EXPECT_FALSE(fusion.unique());
+}
+
+TEST(Fusion, ValidatesEvidenceDimensions) {
+  const PathSet paths = testing::make_paths(4, {{0, 1}, {2}});
+  EvidenceFusion fusion(paths, 1);
+  EpochEvidence bad;
+  bad.exercised = DynamicBitset(1);
+  bad.failed = DynamicBitset(1);
+  EXPECT_THROW(fusion.add_evidence(bad), ContractViolation);
+
+  EpochEvidence not_subset;
+  not_subset.exercised = bits(2, {0});
+  not_subset.failed = bits(2, {1});  // failed path not exercised
+  EXPECT_THROW(fusion.add_evidence(not_subset), ContractViolation);
+}
+
+TEST(Fusion, FullObservationMatchesLocalizer) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 5 + rng.index(4);
+    const PathSet paths =
+        testing::random_path_set(n, 2 + rng.index(6), 3, rng);
+    const FailureScenario scenario = random_scenario(paths, 1, rng);
+
+    EvidenceFusion fusion(paths, 1);
+    fusion.add_evidence(
+        EvidenceFusion::full_observation(paths, scenario.failed_paths));
+    const LocalizationResult loc = localize(paths, scenario, 1);
+    EXPECT_EQ(fusion.candidates(), loc.consistent_sets);
+  }
+}
+
+TEST(Fusion, PartialObservationIsWeaker) {
+  // Exercising fewer paths can only leave MORE candidates.
+  const PathSet paths = testing::make_paths(4, {{0}, {1}, {2}, {3}});
+  const FailureScenario scenario = observe(paths, {2});
+
+  EvidenceFusion full(paths, 1);
+  full.add_evidence(
+      EvidenceFusion::full_observation(paths, scenario.failed_paths));
+
+  EvidenceFusion partial(paths, 1);
+  EpochEvidence e;
+  e.exercised = bits(4, {2});  // only path 2 exercised
+  e.failed = bits(4, {2});
+  partial.add_evidence(e);
+
+  EXPECT_TRUE(full.unique());
+  EXPECT_GE(partial.candidates().size(), full.candidates().size());
+  // With singleton paths even the partial view pins {2}; a shared-path
+  // instance shows the actual weakening:
+  const PathSet shared = testing::make_paths(3, {{0, 1}, {1, 2}});
+  EvidenceFusion weak(shared, 1);
+  EpochEvidence only_first;
+  only_first.exercised = bits(2, {0});
+  only_first.failed = bits(2, {0});
+  weak.add_evidence(only_first);
+  // Path {0,1} failed, path {1,2} unobserved: {0}, {1} both possible.
+  EXPECT_EQ(weak.candidates().size(), 2u);
+}
+
+TEST(Fusion, SequentialEpochsShrinkMonotonically) {
+  Rng rng(2);
+  const PathSet paths = testing::random_path_set(8, 8, 3, rng);
+  const FailureScenario scenario = random_scenario(paths, 1, rng);
+
+  EvidenceFusion fusion(paths, 1);
+  std::size_t last = fusion.candidates().size();
+  // Reveal paths a few at a time, always consistently with the truth.
+  for (std::size_t start = 0; start < paths.size(); start += 3) {
+    EpochEvidence e;
+    e.exercised = DynamicBitset(paths.size());
+    e.failed = DynamicBitset(paths.size());
+    for (std::size_t i = start; i < std::min(paths.size(), start + 3); ++i) {
+      e.exercised.set(i);
+      if (scenario.failed_paths.test(i)) e.failed.set(i);
+    }
+    fusion.add_evidence(e);
+    EXPECT_LE(fusion.candidates().size(), last);
+    last = fusion.candidates().size();
+    // Truth always survives consistent evidence.
+    EXPECT_TRUE(std::find(fusion.candidates().begin(),
+                          fusion.candidates().end(),
+                          scenario.failed_nodes) !=
+                fusion.candidates().end());
+  }
+}
+
+TEST(Fusion, ContradictoryEvidenceEmptiesCandidates) {
+  const PathSet paths = testing::make_paths(3, {{0}, {0, 1}});
+  EvidenceFusion fusion(paths, 1);
+  EpochEvidence impossible;
+  impossible.exercised = bits(2, {0, 1});
+  impossible.failed = bits(2, {0});  // {0} failed but superset path normal
+  fusion.add_evidence(impossible);
+  EXPECT_TRUE(fusion.contradictory());
+}
+
+TEST(Fusion, DifferentEpochViewsCombineToUnique) {
+  // Two nodes share path A; path B separates them but is exercised only in
+  // a later epoch: fusion becomes unique exactly then.
+  const PathSet paths = testing::make_paths(3, {{0, 1}, {1, 2}});
+  const FailureScenario scenario = observe(paths, {1});
+
+  EvidenceFusion fusion(paths, 1);
+  EpochEvidence first;
+  first.exercised = bits(2, {0});
+  first.failed = bits(2, {0});
+  fusion.add_evidence(first);
+  EXPECT_FALSE(fusion.unique());  // {0} and {1} both explain epoch 1
+
+  EpochEvidence second;
+  second.exercised = bits(2, {1});
+  second.failed = bits(2, {1});  // path {1,2} failed too -> must be node 1
+  fusion.add_evidence(second);
+  ASSERT_TRUE(fusion.unique());
+  EXPECT_EQ(fusion.candidates().front(), scenario.failed_nodes);
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,90 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.nodes().empty());
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, AddNodeExtends) {
+  Graph g(1);
+  const NodeId v = g.add_node();
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+  g.add_edge(0, v);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Graph, EdgesNormalizedLowHigh) {
+  Graph g(4);
+  g.add_edge(3, 1);
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edges()[0].u, 1u);
+  EXPECT_EQ(g.edges()[0].v, 3u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), ContractViolation);
+}
+
+TEST(Graph, DuplicateEdgeRejected) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), ContractViolation);
+  EXPECT_THROW(g.add_edge(1, 0), ContractViolation);
+}
+
+TEST(Graph, InvalidNodeRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), ContractViolation);
+  EXPECT_THROW(g.degree(5), ContractViolation);
+  EXPECT_THROW(g.neighbors(2), ContractViolation);
+}
+
+TEST(Graph, DegreesAndNeighborsSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.neighbors(2), (std::vector<NodeId>{0, 3, 4}));
+}
+
+TEST(Graph, DegreeOneNodes) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.degree_one_nodes(), (std::vector<NodeId>{3}));
+}
+
+TEST(Graph, NodesEnumeration) {
+  Graph g(3);
+  EXPECT_EQ(g.nodes(), (std::vector<NodeId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace splace

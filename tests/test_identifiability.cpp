@@ -1,0 +1,146 @@
+#include "monitoring/identifiability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "monitoring/equivalence_classes.hpp"
+#include "test_helpers.hpp"
+
+namespace splace {
+namespace {
+
+TEST(Identifiability, NoPathsNothingIdentifiable) {
+  const PathSet paths(5);
+  EXPECT_EQ(identifiability(paths, 1), 0u);
+  EXPECT_EQ(identifiability(paths, 2), 0u);
+}
+
+TEST(Identifiability, SingletonPathsIdentifyEverything) {
+  const PathSet paths = testing::make_paths(4, {{0}, {1}, {2}, {3}});
+  for (std::size_t k = 1; k <= 4; ++k)
+    EXPECT_EQ(identifiability(paths, k), 4u) << "k=" << k;
+}
+
+TEST(Identifiability, SharedPathNodesNotIdentifiable) {
+  // {0,1} covered together only: neither identifiable; 2 uncovered.
+  const PathSet paths = testing::make_paths(3, {{0, 1}});
+  EXPECT_EQ(identifiability(paths, 1), 0u);
+  const DynamicBitset s1 = identifiable_nodes(paths, 1);
+  EXPECT_TRUE(s1.none());
+}
+
+TEST(Identifiability, UncoveredNodeNeverIdentifiable) {
+  const PathSet paths = testing::make_paths(3, {{0}, {1}});
+  const DynamicBitset s1 = identifiable_nodes(paths, 1);
+  EXPECT_TRUE(s1.test(0));
+  EXPECT_TRUE(s1.test(1));
+  EXPECT_FALSE(s1.test(2));  // {2} ~ ∅
+}
+
+TEST(Identifiability, K1MatchesEquivalencePartition) {
+  Rng rng(21);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 4 + rng.index(8);
+    const PathSet paths = testing::random_path_set(n, 8, 4, rng);
+    EquivalenceClasses classes(n);
+    classes.add_paths(paths);
+    EXPECT_EQ(identifiability(paths, 1), classes.identifiable_count());
+    const DynamicBitset s1 = identifiable_nodes(paths, 1);
+    for (NodeId v = 0; v < n; ++v)
+      EXPECT_EQ(s1.test(v), classes.class_size(v) == 1) << "node " << v;
+  }
+}
+
+// Grouped implementation must agree with the literal Definition 2 oracle.
+class DefinitionOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DefinitionOracle, GroupedMatchesPairwiseDefinition) {
+  Rng rng(GetParam());
+  const std::size_t n = 4 + rng.index(4);
+  const std::size_t k = 1 + rng.index(2);
+  const PathSet paths =
+      testing::random_path_set(n, 1 + rng.index(7), 3, rng);
+  const DynamicBitset grouped = identifiable_nodes(paths, k);
+  for (NodeId v = 0; v < n; ++v)
+    EXPECT_EQ(grouped.test(v), is_k_identifiable(v, paths, k))
+        << "node " << v << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DefinitionOracle,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+TEST(Identifiability, HigherKIsHarder) {
+  // S_{k+1} ⊆ S_k: identifiability under more simultaneous failures is a
+  // stronger requirement.
+  Rng rng(23);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 4 + rng.index(5);
+    const PathSet paths =
+        testing::random_path_set(n, 1 + rng.index(8), 3, rng);
+    const DynamicBitset s1 = identifiable_nodes(paths, 1);
+    const DynamicBitset s2 = identifiable_nodes(paths, 2);
+    const DynamicBitset s3 = identifiable_nodes(paths, 3);
+    EXPECT_TRUE(s2.is_subset_of(s1));
+    EXPECT_TRUE(s3.is_subset_of(s2));
+  }
+}
+
+TEST(Identifiability, MonotoneInPaths) {
+  Rng rng(24);
+  for (int trial = 0; trial < 10; ++trial) {
+    PathSet paths(6);
+    std::size_t last = 0;
+    for (int i = 0; i < 8; ++i) {
+      paths.add_nodes(testing::random_path_nodes(6, 1 + rng.index(4), rng));
+      const std::size_t now = identifiability(paths, 2);
+      EXPECT_GE(now, last);
+      last = now;
+    }
+  }
+}
+
+// Paper Fig. 3 / Proposition 15: |S_k| is NOT submodular. The marginal gain
+// of p0 = {v2} increases after p1 = {v1,v2} is present.
+TEST(Identifiability, PaperFig3NonSubmodularityWitness) {
+  const std::size_t n = 3;  // v1=0, v2=1, v3=2
+  const std::vector<NodeId> p0{1};
+  const std::vector<NodeId> p1{0, 1};
+  const std::vector<NodeId> p2{1, 2};
+
+  auto s1_of = [n](const std::vector<std::vector<NodeId>>& paths) {
+    return identifiability(testing::make_paths(n, paths), 1);
+  };
+
+  // Paper's values: S_1(∅)=0, S_1({p0})={v2}, S_1({p1})=∅,
+  // S_1({p0,p1})={v1,v2}, S_1({p1,p2})={v1,v2,v3} ... gains of adding p0:
+  const std::size_t gain_empty = s1_of({p0}) - s1_of({});
+  const std::size_t gain_after_p1 = s1_of({p0, p1}) - s1_of({p1});
+  EXPECT_EQ(s1_of({}), 0u);
+  EXPECT_EQ(s1_of({p0}), 1u);
+  EXPECT_EQ(s1_of({p1}), 0u);
+  EXPECT_EQ(s1_of({p0, p1}), 2u);
+  EXPECT_EQ(s1_of({p1, p2}), 3u);
+  EXPECT_EQ(s1_of({p0, p1, p2}), 3u);
+  // Submodularity would require gain_after_p1 <= gain_empty; here 2 > 1.
+  EXPECT_GT(gain_after_p1, gain_empty);
+}
+
+TEST(NonIdentifiableFailureSets, CountsAmbiguousSets) {
+  // Path {0,1} over 3 nodes, k=1: groups {∅,{2}} and {{0},{1}} -> all 4 of
+  // these sets are ambiguous; 5 total sets, so 4 non-identifiable.
+  const PathSet paths = testing::make_paths(3, {{0, 1}});
+  EXPECT_EQ(non_identifiable_failure_sets(paths, 1), 4u);
+}
+
+TEST(NonIdentifiableFailureSets, ZeroWhenFullySeparated) {
+  const PathSet paths = testing::make_paths(3, {{0}, {1}, {2}});
+  EXPECT_EQ(non_identifiable_failure_sets(paths, 2), 0u);
+}
+
+TEST(NonIdentifiableFailureSets, AllWhenNoPaths) {
+  const PathSet paths(4);
+  EXPECT_EQ(non_identifiable_failure_sets(paths, 1),
+            failure_set_count(4, 1));
+}
+
+}  // namespace
+}  // namespace splace

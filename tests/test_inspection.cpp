@@ -1,0 +1,121 @@
+#include "localization/inspection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "placement/baselines.hpp"
+#include "placement/greedy.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(InspectionsUntilFound, EmptyTruthIsFree) {
+  EXPECT_EQ(inspections_until_found({0, 1, 2}, {}, 3), 0u);
+}
+
+TEST(InspectionsUntilFound, PositionOfSingleFailure) {
+  EXPECT_EQ(inspections_until_found({2, 0, 1}, {0}, 3), 2u);
+  EXPECT_EQ(inspections_until_found({2, 0, 1}, {2}, 3), 1u);
+  EXPECT_EQ(inspections_until_found({2, 0, 1}, {1}, 3), 3u);
+}
+
+TEST(InspectionsUntilFound, MultipleFailuresNeedAll) {
+  // Both 0 and 3 must be inspected: the later one determines the count.
+  EXPECT_EQ(inspections_until_found({3, 1, 0, 2}, {0, 3}, 4), 3u);
+}
+
+TEST(InspectionsUntilFound, MissingNodesAppendedInIdOrder) {
+  // Order lists only node 1; nodes 0, 2 are appended as 0 then 2.
+  EXPECT_EQ(inspections_until_found({1}, {2}, 3), 3u);
+  EXPECT_EQ(inspections_until_found({1}, {0}, 3), 2u);
+}
+
+TEST(InspectionsUntilFound, InvalidNodesRejected) {
+  EXPECT_THROW(inspections_until_found({0}, {5}, 3), ContractViolation);
+  EXPECT_THROW(inspections_until_found({5}, {0}, 3), ContractViolation);
+}
+
+TEST(LocalizationOrder, SuspectsBeforeUnobservedBeforeExonerated) {
+  const PathSet paths = testing::make_paths(5, {{0, 1}, {2}});
+  // Fail node 0: path {0,1} fails, path {2} normal -> 2 exonerated;
+  // suspects {0,1}; unobserved {3,4}.
+  const LocalizationResult loc = localize(paths, observe(paths, {0}), 1);
+  const std::vector<NodeId> order = localization_inspection_order(loc);
+  ASSERT_EQ(order.size(), 5u);
+  // First two are the suspects (both implicated once -> id order).
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+  // Unobserved next.
+  EXPECT_EQ(order[2], 3u);
+  EXPECT_EQ(order[3], 4u);
+  // Exonerated last.
+  EXPECT_EQ(order[4], 2u);
+}
+
+TEST(LocalizationOrder, MoreImplicatedSuspectsFirst) {
+  // Paths {0,1} and {0,2} both fail when 0 fails; candidates at k=1: only
+  // {0} (node 1 cannot explain path {0,2}). So 0 is implicated once and is
+  // a suspect; 1 and 2 are exonerated? No: all their paths failed, so they
+  // are suspects too, but appear in no consistent set.
+  const PathSet paths = testing::make_paths(4, {{0, 1}, {0, 2}});
+  const LocalizationResult loc = localize(paths, observe(paths, {0}), 1);
+  const std::vector<NodeId> order = localization_inspection_order(loc);
+  EXPECT_EQ(order.front(), 0u);  // the only implicated node leads
+}
+
+TEST(RankedOrder, WalksCandidatesInPosteriorOrder) {
+  std::vector<RankedCandidate> ranked;
+  ranked.push_back({{2}, -1.0});
+  ranked.push_back({{0, 2}, -2.0});
+  ranked.push_back({{1}, -3.0});
+  const std::vector<NodeId> order = ranked_inspection_order(ranked, 4);
+  EXPECT_EQ(order, (std::vector<NodeId>{2, 0, 1}));
+}
+
+TEST(RankedOrder, RejectsInvalidNodes) {
+  std::vector<RankedCandidate> ranked;
+  ranked.push_back({{9}, -1.0});
+  EXPECT_THROW(ranked_inspection_order(ranked, 4), ContractViolation);
+}
+
+TEST(TroubleshootingCost, IdentifiableFailureCostsOne) {
+  const PathSet paths = testing::make_paths(3, {{0}, {1}, {2}});
+  for (NodeId v = 0; v < 3; ++v)
+    EXPECT_EQ(troubleshooting_cost(paths, observe(paths, {v}), 1), 1u);
+}
+
+TEST(TroubleshootingCost, AmbiguityRaisesCost) {
+  // {0,1} share all paths: failing 1 costs 2 inspections (0 is tried first
+  // by id order among equally implicated suspects).
+  const PathSet paths = testing::make_paths(3, {{0, 1}});
+  EXPECT_EQ(troubleshooting_cost(paths, observe(paths, {1}), 1), 2u);
+  EXPECT_EQ(troubleshooting_cost(paths, observe(paths, {0}), 1), 1u);
+}
+
+TEST(TroubleshootingCost, BetterPlacementLowersMeanCost) {
+  // Monte-Carlo version of the paper's motivation on Tiscali.
+  const auto entry = topology::catalog_entry("Tiscali");
+  const ProblemInstance inst = make_instance(entry, 0.8);
+  const PathSet qos_paths =
+      inst.paths_for_placement(best_qos_placement(inst));
+  const PathSet gd_paths = inst.paths_for_placement(
+      greedy_placement(inst, ObjectiveKind::Distinguishability).placement);
+
+  Rng rng(99);
+  double qos_cost = 0;
+  double gd_cost = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    const NodeId v = static_cast<NodeId>(rng.index(inst.node_count()));
+    qos_cost += static_cast<double>(
+        troubleshooting_cost(qos_paths, observe(qos_paths, {v}), 1));
+    gd_cost += static_cast<double>(
+        troubleshooting_cost(gd_paths, observe(gd_paths, {v}), 1));
+  }
+  EXPECT_LE(gd_cost, qos_cost);
+}
+
+}  // namespace
+}  // namespace splace

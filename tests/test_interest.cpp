@@ -1,0 +1,167 @@
+#include "placement/interest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "monitoring/coverage.hpp"
+#include "monitoring/distinguishability.hpp"
+#include "monitoring/identifiability.hpp"
+#include "placement/greedy.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+DynamicBitset interest_of(std::size_t n, const std::vector<NodeId>& nodes) {
+  DynamicBitset b(n);
+  for (NodeId v : nodes) b.set(v);
+  return b;
+}
+
+DynamicBitset full_interest(std::size_t n) {
+  DynamicBitset b(n);
+  for (std::size_t v = 0; v < n; ++v) b.set(v);
+  return b;
+}
+
+// With N_I = N the restricted measures must equal the full ones.
+class FullInterestReduction : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FullInterestReduction, MatchesUnrestrictedMeasures) {
+  Rng rng(GetParam());
+  const std::size_t n = 4 + rng.index(5);
+  const std::size_t k = 1 + rng.index(2);
+  const PathSet paths =
+      testing::random_path_set(n, 1 + rng.index(8), 4, rng);
+  const DynamicBitset all = full_interest(n);
+  EXPECT_EQ(interest_coverage(paths, all), coverage(paths));
+  EXPECT_EQ(interest_identifiability(paths, k, all),
+            identifiability(paths, k));
+  // With every node of interest, only pairs {∅, F} with F ≠ ∅ plus all other
+  // pairs qualify... in fact the only pair NOT involving an interest set is
+  // the non-pair (∅ alone cannot pair with itself), so the restricted count
+  // equals the full |D_k|.
+  EXPECT_EQ(interest_distinguishability(paths, k, all),
+            distinguishability(paths, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullInterestReduction,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(InterestCoverage, CountsOnlyInterestNodes) {
+  const PathSet paths = testing::make_paths(6, {{0, 1, 2}});
+  EXPECT_EQ(interest_coverage(paths, interest_of(6, {0, 5})), 1u);
+  EXPECT_EQ(interest_coverage(paths, interest_of(6, {3, 4, 5})), 0u);
+  EXPECT_EQ(interest_coverage(paths, interest_of(6, {})), 0u);
+}
+
+TEST(InterestIdentifiability, RestrictsToSubset) {
+  const PathSet paths = testing::make_paths(4, {{0}, {1}});
+  // S_1 = {0, 1}.
+  EXPECT_EQ(interest_identifiability(paths, 1, interest_of(4, {0})), 1u);
+  EXPECT_EQ(interest_identifiability(paths, 1, interest_of(4, {2, 3})), 0u);
+}
+
+TEST(InterestDistinguishability, HandComputedK1) {
+  // Path {0,1} over 3 nodes. Vertices of Q: {0,1},{2,v0}. N_I = {2}.
+  // Interest single-failure sets: {2} only. Pairs with >=1 interest member:
+  // ({2},∅), ({2},{0}), ({2},{1}) -> of these ({2},∅) indistinguishable.
+  // So restricted distinguishability = 2.
+  const PathSet paths = testing::make_paths(3, {{0, 1}});
+  EXPECT_EQ(interest_distinguishability(paths, 1, interest_of(3, {2})), 2u);
+}
+
+TEST(InterestDistinguishability, EmptyInterestIsZero) {
+  Rng rng(5);
+  const PathSet paths = testing::random_path_set(6, 5, 3, rng);
+  EXPECT_EQ(interest_distinguishability(paths, 1, interest_of(6, {})), 0u);
+  EXPECT_EQ(interest_distinguishability(paths, 2, interest_of(6, {})), 0u);
+}
+
+// k = 1 partition-based fast path agrees with enumeration.
+class InterestK1Agreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InterestK1Agreement, PartitionMatchesEnumeration) {
+  Rng rng(GetParam());
+  const std::size_t n = 4 + rng.index(6);
+  const PathSet paths =
+      testing::random_path_set(n, 1 + rng.index(8), 4, rng);
+  DynamicBitset interest(n);
+  for (std::size_t v = 0; v < n; ++v)
+    if (rng.bernoulli(0.4)) interest.set(v);
+
+  EquivalenceClasses classes(n);
+  classes.add_paths(paths);
+  EXPECT_EQ(interest_identifiability_k1(classes, interest),
+            interest_identifiability(paths, 1, interest));
+  EXPECT_EQ(interest_distinguishability_k1(classes, interest),
+            interest_distinguishability(paths, 1, interest));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterestK1Agreement,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+TEST(InterestObjectiveState, PluggableIntoGreedy) {
+  Rng rng(8);
+  const auto inst = testing::random_instance(12, 20, 3, 2, 1.0, rng);
+  DynamicBitset interest(inst.node_count());
+  for (NodeId v = 0; v < 6; ++v) interest.set(v);
+
+  for (ObjectiveKind kind :
+       {ObjectiveKind::Coverage, ObjectiveKind::Identifiability,
+        ObjectiveKind::Distinguishability}) {
+    auto state = make_interest_objective_state(kind, inst.node_count(), 1,
+                                               interest);
+    const GreedyResult result = greedy_placement(inst, std::move(state));
+    ASSERT_EQ(result.placement.size(), 3u);
+    for (std::size_t s = 0; s < 3; ++s)
+      EXPECT_TRUE(inst.is_candidate(s, result.placement[s]));
+
+    // Reported value consistent with direct evaluation.
+    const PathSet paths = inst.paths_for_placement(result.placement);
+    double expected = 0;
+    if (kind == ObjectiveKind::Coverage)
+      expected = static_cast<double>(interest_coverage(paths, interest));
+    else if (kind == ObjectiveKind::Identifiability)
+      expected =
+          static_cast<double>(interest_identifiability(paths, 1, interest));
+    else
+      expected = static_cast<double>(
+          interest_distinguishability(paths, 1, interest));
+    EXPECT_DOUBLE_EQ(result.objective_value, expected);
+  }
+}
+
+TEST(InterestObjectiveState, K2EnumerationBackend) {
+  Rng rng(9);
+  const PathSet paths = testing::random_path_set(6, 5, 3, rng);
+  DynamicBitset interest = interest_of(6, {0, 3});
+  auto state = make_interest_objective_state(
+      ObjectiveKind::Distinguishability, 6, 2, interest);
+  state->add_paths(paths);
+  EXPECT_DOUBLE_EQ(
+      state->value(),
+      static_cast<double>(interest_distinguishability(paths, 2, interest)));
+}
+
+TEST(InterestObjectiveState, SizeMismatchRejected) {
+  EXPECT_THROW(make_interest_objective_state(ObjectiveKind::Coverage, 5, 1,
+                                             DynamicBitset(4)),
+               ContractViolation);
+}
+
+TEST(InterestMeasures, MonotoneInInterestSet) {
+  Rng rng(10);
+  const PathSet paths = testing::random_path_set(7, 6, 3, rng);
+  const DynamicBitset small = interest_of(7, {1, 2});
+  const DynamicBitset large = interest_of(7, {1, 2, 3, 4});
+  EXPECT_LE(interest_coverage(paths, small), interest_coverage(paths, large));
+  EXPECT_LE(interest_identifiability(paths, 1, small),
+            interest_identifiability(paths, 1, large));
+  EXPECT_LE(interest_distinguishability(paths, 1, small),
+            interest_distinguishability(paths, 1, large));
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,100 @@
+#include "placement/lazy_greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(LazyGreedy, PlacesEveryServiceOnACandidate) {
+  Rng rng(1);
+  const auto inst = testing::random_instance(14, 24, 4, 2, 0.7, rng);
+  const LazyGreedyResult result =
+      lazy_greedy_placement(inst, ObjectiveKind::Distinguishability);
+  ASSERT_EQ(result.placement.size(), inst.service_count());
+  for (std::size_t s = 0; s < inst.service_count(); ++s)
+    EXPECT_TRUE(inst.is_candidate(s, result.placement[s]));
+}
+
+TEST(LazyGreedy, NullStateRejected) {
+  Rng rng(2);
+  const auto inst = testing::random_instance(8, 12, 1, 1, 1.0, rng);
+  EXPECT_THROW(lazy_greedy_placement(inst, nullptr), ContractViolation);
+}
+
+// For the submodular objectives the lazy variant must return the same value
+// as plain Algorithm 2 (selections may differ only on exact gain ties, which
+// both resolve the same way).
+class LazyMatchesPlain : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LazyMatchesPlain, CoverageIdenticalResult) {
+  Rng rng(GetParam());
+  const auto inst = testing::random_instance(12, 20, 4, 2, 1.0, rng);
+  const GreedyResult plain = greedy_placement(inst, ObjectiveKind::Coverage);
+  const LazyGreedyResult lazy =
+      lazy_greedy_placement(inst, ObjectiveKind::Coverage);
+  EXPECT_DOUBLE_EQ(lazy.objective_value, plain.objective_value);
+  EXPECT_EQ(lazy.placement, plain.placement);
+}
+
+TEST_P(LazyMatchesPlain, DistinguishabilityIdenticalResult) {
+  Rng rng(GetParam() + 500);
+  const auto inst = testing::random_instance(12, 20, 4, 2, 1.0, rng);
+  const GreedyResult plain =
+      greedy_placement(inst, ObjectiveKind::Distinguishability);
+  const LazyGreedyResult lazy =
+      lazy_greedy_placement(inst, ObjectiveKind::Distinguishability);
+  EXPECT_DOUBLE_EQ(lazy.objective_value, plain.objective_value);
+  EXPECT_EQ(lazy.placement, plain.placement);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyMatchesPlain,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(LazyGreedy, SavesEvaluations) {
+  Rng rng(9);
+  const auto inst = testing::random_instance(16, 30, 5, 2, 1.0, rng);
+  const LazyGreedyResult lazy =
+      lazy_greedy_placement(inst, ObjectiveKind::Distinguishability);
+  const std::size_t plain = plain_greedy_evaluation_count(inst);
+  EXPECT_LT(lazy.evaluations, plain);
+  // Lower bound: it must at least evaluate every candidate once.
+  std::size_t total_candidates = 0;
+  for (std::size_t s = 0; s < inst.service_count(); ++s)
+    total_candidates += inst.candidate_hosts(s).size();
+  EXPECT_GE(lazy.evaluations, total_candidates);
+}
+
+TEST(LazyGreedy, PlainEvaluationCountFormula) {
+  Rng rng(10);
+  const auto inst = testing::random_instance(10, 18, 3, 2, 1.0, rng);
+  // All services share alpha and clients are random; with alpha=1 every
+  // |H_s| = 10, so the count is 30 + 20 + 10.
+  EXPECT_EQ(plain_greedy_evaluation_count(inst), 60u);
+}
+
+TEST(LazyGreedy, OrderIsPermutation) {
+  Rng rng(11);
+  const auto inst = testing::random_instance(12, 20, 4, 2, 1.0, rng);
+  const LazyGreedyResult lazy =
+      lazy_greedy_placement(inst, ObjectiveKind::Coverage);
+  std::vector<std::size_t> sorted = lazy.order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(LazyGreedy, DeterministicAcrossRuns) {
+  Rng rng(12);
+  const auto inst = testing::random_instance(12, 22, 3, 2, 0.8, rng);
+  const LazyGreedyResult a =
+      lazy_greedy_placement(inst, ObjectiveKind::Distinguishability);
+  const LazyGreedyResult b =
+      lazy_greedy_placement(inst, ObjectiveKind::Distinguishability);
+  EXPECT_EQ(a.placement, b.placement);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+}  // namespace
+}  // namespace splace

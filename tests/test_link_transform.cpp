@@ -1,0 +1,147 @@
+#include "graph/link_transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/routing.hpp"
+#include "localization/localizer.hpp"
+#include "localization/observation.hpp"
+#include "placement/greedy.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(LinkTransform, AugmentedShape) {
+  const Graph g = ring_graph(4);  // 4 nodes, 4 links
+  const LinkNodeTransform transform(g);
+  EXPECT_EQ(transform.augmented().node_count(), 8u);
+  EXPECT_EQ(transform.augmented().edge_count(), 8u);  // 2 per original link
+  EXPECT_EQ(transform.original_node_count(), 4u);
+  EXPECT_EQ(transform.link_count(), 4u);
+  EXPECT_TRUE(is_connected(transform.augmented()));
+}
+
+TEST(LinkTransform, LinkNodeLookups) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const LinkNodeTransform transform(g);
+  EXPECT_EQ(transform.link_node(0), 3u);
+  EXPECT_EQ(transform.link_node(1), 4u);
+  EXPECT_EQ(transform.link_node(0, 1), 3u);
+  EXPECT_EQ(transform.link_node(1, 0), 3u);  // symmetric
+  EXPECT_FALSE(transform.is_link_node(2));
+  EXPECT_TRUE(transform.is_link_node(3));
+  const Edge e = transform.original_link(4);
+  EXPECT_EQ(e.u, 1u);
+  EXPECT_EQ(e.v, 2u);
+  EXPECT_THROW(transform.link_node(0, 2), ContractViolation);  // no link
+  EXPECT_THROW(transform.original_link(1), ContractViolation);
+}
+
+TEST(LinkTransform, EveryLinkNodeHasDegreeTwo) {
+  Rng rng(1);
+  const Graph g = random_connected(14, 24, rng);
+  const LinkNodeTransform transform(g);
+  for (std::size_t i = 0; i < transform.link_count(); ++i)
+    EXPECT_EQ(transform.augmented().degree(transform.link_node(i)), 2u);
+  // Original nodes keep their degree.
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    EXPECT_EQ(transform.augmented().degree(v), g.degree(v));
+}
+
+TEST(LinkTransform, AugmentRouteInterleaves) {
+  const Graph g = path_graph(4);
+  const LinkNodeTransform transform(g);
+  const std::vector<NodeId> route{0, 1, 2, 3};
+  const std::vector<NodeId> augmented = transform.augment_route(route);
+  ASSERT_EQ(augmented.size(), 7u);
+  EXPECT_EQ(transform.project_nodes(augmented), route);
+  for (std::size_t i = 1; i < augmented.size(); i += 2)
+    EXPECT_TRUE(transform.is_link_node(augmented[i]));
+}
+
+TEST(LinkTransform, AugmentedRoutingMatchesAugmentedRoutes) {
+  // BFS on the augmented graph must produce exactly the augmented original
+  // routes (hop counts double, tie-breaking stays consistent because the
+  // subdivision preserves path structure).
+  Rng rng(2);
+  const Graph g = random_connected(12, 20, rng);
+  const LinkNodeTransform transform(g);
+  const RoutingTable original(g);
+  const RoutingTable augmented(transform.augmented());
+  for (NodeId a = 0; a < g.node_count(); ++a) {
+    for (NodeId b = 0; b < g.node_count(); ++b) {
+      EXPECT_EQ(augmented.distance(a, b), 2 * original.distance(a, b));
+      const std::vector<NodeId> projected =
+          transform.project_nodes(augmented.route(a, b));
+      EXPECT_EQ(projected.size(), original.route(a, b).size());
+      EXPECT_EQ(projected.front(), a);
+      EXPECT_EQ(projected.back(), b);
+    }
+  }
+}
+
+TEST(LinkTransform, LinkFailureLocalizedLikeNodeFailure) {
+  // End to end: place services on the augmented network and localize a
+  // *link* failure from end-to-end observations.
+  const Graph g = ring_graph(6);
+  const LinkNodeTransform transform(g);
+
+  Service svc;
+  svc.clients = {0, 3};
+  svc.alpha = 1.0;
+  const ProblemInstance inst(transform.augmented(), {svc});
+  const GreedyResult gd =
+      greedy_placement(inst, ObjectiveKind::Distinguishability);
+  const PathSet paths = inst.paths_for_placement(gd.placement);
+
+  const NodeId failed_link = transform.link_node(0, 1);
+  const FailureScenario scenario = observe(paths, {failed_link});
+  const LocalizationResult loc = localize(paths, scenario, 1);
+  // The true link is among the candidates, and every candidate that is a
+  // link node maps back to a real link.
+  bool truth_found = false;
+  for (const auto& candidate : loc.consistent_sets) {
+    if (candidate == scenario.failed_nodes) truth_found = true;
+    for (NodeId v : candidate)
+      if (transform.is_link_node(v))
+        EXPECT_NO_THROW(transform.original_link(v));
+  }
+  EXPECT_TRUE(truth_found);
+}
+
+TEST(LinkTransform, MixedNodeAndLinkFailures) {
+  Rng rng(3);
+  const Graph g = random_connected(10, 16, rng);
+  const LinkNodeTransform transform(g);
+  const RoutingTable routing(transform.augmented());
+
+  // Build measurement paths between a few node pairs on the augmented net.
+  PathSet paths(transform.augmented().node_count());
+  for (NodeId a = 0; a < 5; ++a)
+    paths.add(MeasurementPath(transform.augmented().node_count(),
+                              routing.route(a, static_cast<NodeId>(a + 5))));
+
+  const std::vector<NodeId> truth{2, transform.link_node(0)};
+  const FailureScenario scenario = observe(paths, truth);
+  const LocalizationResult loc = localize(paths, scenario, 2);
+  EXPECT_TRUE(std::find(loc.consistent_sets.begin(),
+                        loc.consistent_sets.end(),
+                        scenario.failed_nodes) != loc.consistent_sets.end());
+}
+
+TEST(LinkTransform, EmptyGraphAndNoEdges) {
+  const LinkNodeTransform transform(Graph(3));
+  EXPECT_EQ(transform.augmented().node_count(), 3u);
+  EXPECT_EQ(transform.link_count(), 0u);
+  EXPECT_THROW(transform.link_node(std::size_t{0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,173 @@
+#include "localization/localizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "localization/observation.hpp"
+#include "monitoring/distinguishability.hpp"
+#include "monitoring/identifiability.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(Observation, FailedPathsAreAffectedPaths) {
+  const PathSet paths = testing::make_paths(5, {{0, 1}, {1, 2}, {3}});
+  const FailureScenario scenario = observe(paths, {1});
+  EXPECT_EQ(scenario.failed_nodes, (std::vector<NodeId>{1}));
+  EXPECT_EQ(scenario.failed_paths.to_indices(),
+            (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Observation, SortsFailureSet) {
+  const PathSet paths = testing::make_paths(5, {{0}});
+  const FailureScenario scenario = observe(paths, {4, 2});
+  EXPECT_EQ(scenario.failed_nodes, (std::vector<NodeId>{2, 4}));
+}
+
+TEST(Observation, DuplicateNodesRejected) {
+  const PathSet paths = testing::make_paths(5, {{0}});
+  EXPECT_THROW(observe(paths, {1, 1}), ContractViolation);
+}
+
+TEST(Observation, NoFailuresNothingFails) {
+  const PathSet paths = testing::make_paths(4, {{0, 1}, {2}});
+  const FailureScenario scenario = observe(paths, {});
+  EXPECT_TRUE(scenario.failed_paths.none());
+}
+
+TEST(Observation, RandomScenarioSizes) {
+  Rng rng(1);
+  const PathSet paths = testing::make_paths(8, {{0, 1, 2}});
+  const FailureScenario scenario = random_scenario(paths, 3, rng);
+  EXPECT_EQ(scenario.failed_nodes.size(), 3u);
+  EXPECT_THROW(random_scenario(paths, 9, rng), ContractViolation);
+}
+
+TEST(Localizer, ExoneratesNodesOnNormalPaths) {
+  const PathSet paths = testing::make_paths(5, {{0, 1}, {1, 2}, {3}});
+  const FailureScenario scenario = observe(paths, {3});
+  const LocalizationResult result = localize(paths, scenario, 1);
+  // Paths {0,1} and {1,2} normal -> 0,1,2 exonerated; 3 suspect; 4 unseen.
+  EXPECT_TRUE(result.exonerated.test(0));
+  EXPECT_TRUE(result.exonerated.test(1));
+  EXPECT_TRUE(result.exonerated.test(2));
+  EXPECT_TRUE(result.suspects.test(3));
+  EXPECT_TRUE(result.unobserved.test(4));
+  EXPECT_FALSE(result.suspects.test(0));
+}
+
+TEST(Localizer, TruthAlwaysAmongConsistentSets) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 5 + rng.index(5);
+    const PathSet paths =
+        testing::random_path_set(n, 1 + rng.index(8), 4, rng);
+    const std::size_t k = 1 + rng.index(2);
+    const FailureScenario scenario =
+        random_scenario(paths, rng.index(k + 1), rng);
+    const LocalizationResult result = localize(paths, scenario, k);
+    EXPECT_TRUE(std::find(result.consistent_sets.begin(),
+                          result.consistent_sets.end(),
+                          scenario.failed_nodes) !=
+                result.consistent_sets.end());
+  }
+}
+
+TEST(Localizer, ConsistentSetsProduceObservedSignature) {
+  Rng rng(3);
+  const PathSet paths = testing::random_path_set(8, 7, 4, rng);
+  const FailureScenario scenario = random_scenario(paths, 2, rng);
+  const LocalizationResult result = localize(paths, scenario, 2);
+  for (const auto& f : result.consistent_sets)
+    EXPECT_EQ(paths.affected_paths(f), scenario.failed_paths);
+}
+
+TEST(Localizer, AmbiguityMatchesUncertaintyMeasure) {
+  // ambiguity() == |I_k(F; P)| from the distinguishability module.
+  Rng rng(4);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 5 + rng.index(4);
+    const PathSet paths =
+        testing::random_path_set(n, 1 + rng.index(7), 3, rng);
+    const std::size_t k = 1 + rng.index(2);
+    const FailureScenario scenario =
+        random_scenario(paths, rng.index(k + 1), rng);
+    const LocalizationResult result = localize(paths, scenario, k);
+    EXPECT_EQ(result.ambiguity(),
+              uncertainty_of(paths, k, scenario.failed_nodes));
+  }
+}
+
+TEST(Localizer, UniqueWhenNodeIdentifiable) {
+  // Singleton paths identify everything: every single failure localizes
+  // uniquely.
+  const PathSet paths = testing::make_paths(4, {{0}, {1}, {2}, {3}});
+  for (NodeId v = 0; v < 4; ++v) {
+    const LocalizationResult result = localize(paths, observe(paths, {v}), 1);
+    ASSERT_TRUE(result.unique());
+    EXPECT_EQ(result.consistent_sets.front(), (std::vector<NodeId>{v}));
+  }
+}
+
+TEST(Localizer, AmbiguousWhenNodesShareAllPaths) {
+  const PathSet paths = testing::make_paths(3, {{0, 1}});
+  const LocalizationResult result = localize(paths, observe(paths, {0}), 1);
+  // {0} and {1} both explain the single failed path.
+  EXPECT_EQ(result.consistent_sets.size(), 2u);
+  EXPECT_FALSE(result.unique());
+}
+
+TEST(Localizer, NoFailureObservationIncludesEmptySet) {
+  const PathSet paths = testing::make_paths(4, {{0, 1}});
+  const LocalizationResult result = localize(paths, observe(paths, {}), 1);
+  // ∅, {2}, {3} all consistent (2, 3 unobserved).
+  EXPECT_EQ(result.consistent_sets.size(), 3u);
+  EXPECT_TRUE(result.minimal_explanation.empty());
+}
+
+TEST(Localizer, MinimalExplanationCoversFailedPaths) {
+  Rng rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 6 + rng.index(4);
+    const PathSet paths =
+        testing::random_path_set(n, 2 + rng.index(6), 4, rng);
+    const FailureScenario scenario = random_scenario(paths, 2, rng);
+    const LocalizationResult result = localize(paths, scenario, 2);
+    if (result.minimal_explanation.empty()) {
+      EXPECT_TRUE(scenario.failed_paths.none());
+      continue;
+    }
+    EXPECT_EQ(paths.affected_paths(result.minimal_explanation),
+              scenario.failed_paths);
+    for (NodeId v : result.minimal_explanation)
+      EXPECT_TRUE(result.suspects.test(v));
+  }
+}
+
+TEST(Localizer, SizeMismatchRejected) {
+  const PathSet paths = testing::make_paths(4, {{0}});
+  EXPECT_THROW(localize(paths, DynamicBitset(3), 1), ContractViolation);
+}
+
+TEST(Localizer, PartitionOfNodesIsDisjointAndComplete) {
+  Rng rng(6);
+  const PathSet paths = testing::random_path_set(9, 6, 4, rng);
+  const FailureScenario scenario = random_scenario(paths, 1, rng);
+  const LocalizationResult r = localize(paths, scenario, 1);
+  for (NodeId v = 0; v < 9; ++v) {
+    const int membership = static_cast<int>(r.exonerated.test(v)) +
+                           static_cast<int>(r.suspects.test(v)) +
+                           static_cast<int>(r.unobserved.test(v));
+    EXPECT_LE(membership, 1);
+    // A node is in some category unless it is covered, not exonerated, and
+    // only on normal paths -- impossible; or covered, not exonerated, on no
+    // failed path -- also impossible. So membership is exactly 1.
+    EXPECT_EQ(membership, 1) << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace splace

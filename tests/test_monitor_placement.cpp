@@ -1,0 +1,144 @@
+#include "placement/monitor_placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "monitoring/coverage.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(MonitorPaths, OnePathPerReachableDestination) {
+  const RoutingTable routing(path_graph(4));
+  const PathSet paths = monitor_paths(routing, 0);
+  EXPECT_EQ(paths.size(), 4u);  // incl. degenerate {0}
+  EXPECT_TRUE(paths.contains(MeasurementPath(4, {0})));
+  EXPECT_TRUE(paths.contains(MeasurementPath(4, {0, 1, 2, 3})));
+}
+
+TEST(MonitorPaths, SkipsUnreachable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const RoutingTable routing(g);
+  EXPECT_EQ(monitor_paths(routing, 0).size(), 2u);
+}
+
+TEST(MonitorPaths, SingleMonitorCoversItsTrees) {
+  Rng rng(1);
+  const Graph g = random_connected(12, 20, rng);
+  const RoutingTable routing(g);
+  // Probing every destination covers the whole (connected) network.
+  EXPECT_EQ(coverage(monitor_paths(routing, 3)), 12u);
+}
+
+TEST(GreedyMonitors, ValidatesInputs) {
+  const RoutingTable routing(path_graph(3));
+  EXPECT_THROW(
+      greedy_monitor_placement(routing, {0}, 0, ObjectiveKind::Coverage),
+      ContractViolation);
+  EXPECT_THROW(greedy_monitor_placement(routing, std::vector<NodeId>{}, 1,
+                                        ObjectiveKind::Coverage),
+               ContractViolation);
+}
+
+TEST(GreedyMonitors, RespectsBudgetAndCandidates) {
+  Rng rng(2);
+  const Graph g = random_connected(15, 26, rng);
+  const RoutingTable routing(g);
+  const std::vector<NodeId> candidates{1, 4, 7, 10};
+  const MonitorPlacementResult result = greedy_monitor_placement(
+      routing, candidates, 2, ObjectiveKind::Distinguishability);
+  EXPECT_LE(result.monitors.size(), 2u);
+  for (NodeId m : result.monitors)
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), m) !=
+                candidates.end());
+}
+
+TEST(GreedyMonitors, NoDuplicateMonitors) {
+  Rng rng(3);
+  const Graph g = random_connected(12, 20, rng);
+  const RoutingTable routing(g);
+  const MonitorPlacementResult result =
+      greedy_monitor_placement(routing, 5, ObjectiveKind::Coverage);
+  std::set<NodeId> unique(result.monitors.begin(), result.monitors.end());
+  EXPECT_EQ(unique.size(), result.monitors.size());
+}
+
+TEST(GreedyMonitors, StopsWhenSaturated) {
+  // One monitor already covers a connected graph; coverage saturates so the
+  // greedy must stop adding monitors.
+  Rng rng(4);
+  const Graph g = random_connected(10, 18, rng);
+  const RoutingTable routing(g);
+  const MonitorPlacementResult result =
+      greedy_monitor_placement(routing, 10, ObjectiveKind::Coverage);
+  EXPECT_EQ(result.monitors.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.objective_value, 10.0);
+}
+
+TEST(GreedyMonitors, ValueCurveMonotoneAndConsistent) {
+  Rng rng(5);
+  const Graph g = random_connected(14, 24, rng);
+  const RoutingTable routing(g);
+  const MonitorPlacementResult result = greedy_monitor_placement(
+      routing, 6, ObjectiveKind::Distinguishability);
+  ASSERT_EQ(result.value_curve.size(), result.monitors.size());
+  for (std::size_t i = 1; i < result.value_curve.size(); ++i)
+    EXPECT_GE(result.value_curve[i], result.value_curve[i - 1]);
+  EXPECT_DOUBLE_EQ(result.value_curve.back(), result.objective_value);
+}
+
+TEST(GreedyMonitors, CurveValuesMatchDirectEvaluation) {
+  Rng rng(6);
+  const Graph g = random_connected(12, 20, rng);
+  const RoutingTable routing(g);
+  const MonitorPlacementResult result =
+      greedy_monitor_placement(routing, 3, ObjectiveKind::Distinguishability);
+  PathSet accumulated(g.node_count());
+  for (std::size_t i = 0; i < result.monitors.size(); ++i) {
+    accumulated.add_all(monitor_paths(routing, result.monitors[i]));
+    EXPECT_DOUBLE_EQ(result.value_curve[i],
+                     evaluate_objective(ObjectiveKind::Distinguishability,
+                                        accumulated, 1));
+  }
+}
+
+TEST(MonitorsToReach, FindsSmallestGreedyPrefix) {
+  // Two disconnected 4-node paths: a single monitor can only cover its own
+  // component, so full coverage provably needs >= 2 monitors.
+  Graph g(8);
+  for (NodeId v : {0u, 1u, 2u}) g.add_edge(v, v + 1);
+  for (NodeId v : {4u, 5u, 6u}) g.add_edge(v, v + 1);
+  const RoutingTable routing(g);
+  std::vector<NodeId> all(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) all[v] = v;
+
+  const MonitorPlacementResult full = greedy_monitor_placement(
+      routing, all, all.size(), ObjectiveKind::Coverage);
+  const MonitorPlacementResult trimmed =
+      monitors_to_reach(routing, all, 8.0, ObjectiveKind::Coverage);
+  EXPECT_DOUBLE_EQ(trimmed.objective_value, 8.0);
+  EXPECT_EQ(trimmed.monitors.size(), 2u);
+  // Prefix property: trimmed selection is a prefix of the full greedy run.
+  for (std::size_t i = 0; i < trimmed.monitors.size(); ++i)
+    EXPECT_EQ(trimmed.monitors[i], full.monitors[i]);
+}
+
+TEST(MonitorsToReach, UnreachableTargetReturnsFullRun) {
+  Rng rng(8);
+  const Graph g = random_connected(10, 16, rng);
+  const RoutingTable routing(g);
+  std::vector<NodeId> all(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) all[v] = v;
+  const MonitorPlacementResult result = monitors_to_reach(
+      routing, all, 1e18, ObjectiveKind::Distinguishability);
+  EXPECT_LT(result.objective_value, 1e18);
+}
+
+}  // namespace
+}  // namespace splace

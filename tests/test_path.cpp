@@ -1,0 +1,118 @@
+#include "monitoring/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(MeasurementPath, BuildsNodeSetFromSequence) {
+  const MeasurementPath p(10, {3, 1, 4});
+  EXPECT_EQ(p.node_universe(), 10u);
+  EXPECT_EQ(p.length(), 3u);
+  EXPECT_EQ(p.nodes(), (std::vector<NodeId>{1, 3, 4}));
+  EXPECT_TRUE(p.traverses(1));
+  EXPECT_TRUE(p.traverses(3));
+  EXPECT_FALSE(p.traverses(0));
+}
+
+TEST(MeasurementPath, CollapsesDuplicates) {
+  const MeasurementPath p(5, {2, 2, 2});
+  EXPECT_EQ(p.length(), 1u);
+}
+
+TEST(MeasurementPath, DegenerateSingleNodeAllowed) {
+  // Paper footnote 3: a service co-located with a client yields {v}.
+  const MeasurementPath p(5, {4});
+  EXPECT_EQ(p.length(), 1u);
+  EXPECT_TRUE(p.traverses(4));
+}
+
+TEST(MeasurementPath, EmptyRejected) {
+  EXPECT_THROW(MeasurementPath(5, {}), ContractViolation);
+}
+
+TEST(MeasurementPath, OutOfUniverseRejected) {
+  EXPECT_THROW(MeasurementPath(5, {5}), ContractViolation);
+}
+
+TEST(MeasurementPath, EqualityIsSetEquality) {
+  EXPECT_EQ(MeasurementPath(6, {1, 2, 3}), MeasurementPath(6, {3, 2, 1}));
+  EXPECT_FALSE(MeasurementPath(6, {1, 2}) == MeasurementPath(6, {1, 3}));
+}
+
+TEST(PathSet, AddDeduplicates) {
+  PathSet set(8);
+  EXPECT_TRUE(set.add_nodes({0, 1, 2}));
+  EXPECT_FALSE(set.add_nodes({2, 1, 0}));  // same node set
+  EXPECT_TRUE(set.add_nodes({0, 1}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PathSet, ContainsChecksSetEquality) {
+  PathSet set(8);
+  set.add_nodes({0, 5});
+  EXPECT_TRUE(set.contains(MeasurementPath(8, {5, 0})));
+  EXPECT_FALSE(set.contains(MeasurementPath(8, {5})));
+}
+
+TEST(PathSet, UniverseMismatchRejected) {
+  PathSet set(8);
+  EXPECT_THROW(set.add(MeasurementPath(7, {0})), ContractViolation);
+}
+
+TEST(PathSet, AddAllIsSetUnion) {
+  PathSet a(6);
+  a.add_nodes({0, 1});
+  a.add_nodes({2, 3});
+  PathSet b(6);
+  b.add_nodes({1, 0});   // duplicate of a's first
+  b.add_nodes({4, 5});   // new
+  EXPECT_EQ(a.add_all(b), 1u);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(PathSet, NodeIncidence) {
+  PathSet set(5);
+  set.add_nodes({0, 1});     // path 0
+  set.add_nodes({1, 2, 3});  // path 1
+  const auto incidence = set.node_incidence();
+  ASSERT_EQ(incidence.size(), 5u);
+  EXPECT_EQ(incidence[0].to_indices(), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(incidence[1].to_indices(), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(incidence[3].to_indices(), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(incidence[4].none());
+}
+
+TEST(PathSet, AffectedPaths) {
+  PathSet set(5);
+  set.add_nodes({0, 1});
+  set.add_nodes({1, 2});
+  set.add_nodes({3});
+  EXPECT_EQ(set.affected_paths({1}).to_indices(),
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(set.affected_paths({3}).to_indices(),
+            (std::vector<std::size_t>{2}));
+  EXPECT_TRUE(set.affected_paths({}).none());
+  EXPECT_TRUE(set.affected_paths({4}).none());
+  EXPECT_EQ(set.affected_paths({0, 3}).count(), 2u);
+}
+
+TEST(PathSet, AffectedPathsInvalidNodeThrows) {
+  PathSet set(5);
+  set.add_nodes({0});
+  EXPECT_THROW(set.affected_paths({5}), ContractViolation);
+}
+
+TEST(PathSet, RandomSetsStayDeduplicated) {
+  Rng rng(77);
+  const PathSet set = testing::random_path_set(12, 40, 5, rng);
+  for (std::size_t i = 0; i < set.size(); ++i)
+    for (std::size_t j = i + 1; j < set.size(); ++j)
+      EXPECT_FALSE(set[i] == set[j]);
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,174 @@
+#include "localization/probabilistic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "localization/localizer.hpp"
+#include "localization/observation.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(NodePriors, UniformConstruction) {
+  const NodePriors priors = NodePriors::uniform(4, 0.1);
+  ASSERT_EQ(priors.p.size(), 4u);
+  for (double p : priors.p) EXPECT_DOUBLE_EQ(p, 0.1);
+  EXPECT_THROW(NodePriors::uniform(4, 0.0), ContractViolation);
+  EXPECT_THROW(NodePriors::uniform(4, 1.0), ContractViolation);
+}
+
+TEST(NoisyObserve, ZeroNoiseIsTruth) {
+  Rng rng(1);
+  const PathSet paths = testing::make_paths(5, {{0, 1}, {2}, {3, 4}});
+  const DynamicBitset obs = noisy_observe(paths, {2}, NoiseModel{}, rng);
+  EXPECT_EQ(obs, paths.affected_paths({2}));
+}
+
+TEST(NoisyObserve, FullFalsePositiveRateFlipsNormalPaths) {
+  Rng rng(2);
+  const PathSet paths = testing::make_paths(4, {{0}, {1}});
+  NoiseModel noise;
+  noise.false_positive = 0.999999;
+  const DynamicBitset obs = noisy_observe(paths, {}, noise, rng);
+  EXPECT_EQ(obs.count(), 2u);  // both normal paths misreported
+}
+
+TEST(NoisyObserve, RatesOutOfRangeRejected) {
+  Rng rng(3);
+  const PathSet paths = testing::make_paths(3, {{0}});
+  NoiseModel bad;
+  bad.false_positive = 1.0;
+  EXPECT_THROW(noisy_observe(paths, {}, bad, rng), ContractViolation);
+}
+
+TEST(EstimatePathStates, MajorityVoteRecoversTruth) {
+  Rng rng(4);
+  const PathSet paths = testing::make_paths(6, {{0, 1}, {2, 3}, {4}});
+  NoiseModel noise;
+  noise.false_positive = 0.15;
+  noise.false_negative = 0.15;
+  const DynamicBitset estimate =
+      estimate_path_states(paths, {2}, noise, /*trials=*/101, rng);
+  EXPECT_EQ(estimate, paths.affected_paths({2}));
+}
+
+TEST(EstimatePathStates, SingleTrialEqualsOneObservation) {
+  Rng a(5);
+  Rng b(5);
+  const PathSet paths = testing::make_paths(5, {{0, 1}, {2}});
+  NoiseModel noise;
+  noise.false_positive = 0.4;
+  EXPECT_EQ(estimate_path_states(paths, {0}, noise, 1, a),
+            noisy_observe(paths, {0}, noise, b));
+}
+
+TEST(RankFailureSets, ZeroNoiseMatchesConsistentSets) {
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 5 + rng.index(4);
+    const PathSet paths =
+        testing::random_path_set(n, 1 + rng.index(6), 3, rng);
+    const FailureScenario scenario = random_scenario(paths, 1, rng);
+    const auto ranked = rank_failure_sets(paths, scenario.failed_paths, 1,
+                                          NodePriors::uniform(n, 0.05),
+                                          NoiseModel{});
+    const LocalizationResult loc = localize(paths, scenario, 1);
+    ASSERT_EQ(ranked.size(), loc.consistent_sets.size());
+    for (const RankedCandidate& candidate : ranked)
+      EXPECT_TRUE(std::find(loc.consistent_sets.begin(),
+                            loc.consistent_sets.end(), candidate.failure_set)
+                  != loc.consistent_sets.end());
+  }
+}
+
+TEST(RankFailureSets, PriorOrdersConsistentCandidates) {
+  // Path {0,1}: failing {0} or {1} is indistinguishable. Give node 0 a much
+  // higher prior: it must rank first.
+  const PathSet paths = testing::make_paths(3, {{0, 1}});
+  NodePriors priors;
+  priors.p = {0.4, 0.01, 0.01};
+  const DynamicBitset observed = paths.affected_paths({0});
+  const auto ranked =
+      rank_failure_sets(paths, observed, 1, priors, NoiseModel{});
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].failure_set, (std::vector<NodeId>{0}));
+  EXPECT_EQ(ranked[1].failure_set, (std::vector<NodeId>{1}));
+  EXPECT_GT(ranked[0].log_posterior, ranked[1].log_posterior);
+}
+
+TEST(RankFailureSets, SmallerSetsWinUnderLowPriors) {
+  // With small uniform priors the MAP prefers fewer failed nodes (Occam),
+  // matching the minimal-explanation heuristics the paper cites.
+  const PathSet paths = testing::make_paths(4, {{0, 1}, {1, 2}});
+  const DynamicBitset observed = paths.affected_paths({1});
+  const auto ranked = rank_failure_sets(paths, observed, 2,
+                                        NodePriors::uniform(4, 0.01),
+                                        NoiseModel{});
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked.front().failure_set, (std::vector<NodeId>{1}));
+}
+
+TEST(MapFailureSet, NoisyObservationStillRecoverable) {
+  // Even with an inconsistent (noisy) observation, MAP inference over a
+  // noise-aware likelihood returns the most plausible set.
+  const PathSet paths = testing::make_paths(4, {{0}, {1}, {2}, {3}});
+  NoiseModel noise;
+  noise.false_positive = 0.05;
+  noise.false_negative = 0.05;
+  // True failure {2}; observation flips path 0 to failed as well. Failures
+  // must be likelier than measurement noise (p = 0.2 >> fp), otherwise the
+  // rational MAP answer is "it was all noise" (= ∅).
+  DynamicBitset observed = paths.affected_paths({2});
+  observed.set(0);
+  const RankedCandidate map = map_failure_set(
+      paths, observed, 2, NodePriors::uniform(4, 0.2), noise);
+  // Every high-likelihood explanation of the dominant evidence (path 2
+  // failed) contains node 2, whether or not the flipped path is believed.
+  EXPECT_TRUE(std::find(map.failure_set.begin(), map.failure_set.end(),
+                        NodeId{2}) != map.failure_set.end());
+}
+
+TEST(MapFailureSet, ZeroNoiseInconsistentObservationThrows) {
+  // Observation that no failure set can produce: path {0} failed while the
+  // superset path {0,1} stayed normal. With zero noise every candidate
+  // scores -inf, so ranking is empty and MAP has no answer.
+  const PathSet tricky = testing::make_paths(3, {{0}, {0, 1}});
+  DynamicBitset observed(2);
+  observed.set(0);  // {0} failed => node 0 failed => path {0,1} must fail too
+  const auto ranked = rank_failure_sets(tricky, observed, 1,
+                                        NodePriors::uniform(3, 0.05),
+                                        NoiseModel{});
+  EXPECT_TRUE(ranked.empty());
+  EXPECT_THROW(map_failure_set(tricky, observed, 1,
+                               NodePriors::uniform(3, 0.05), NoiseModel{}),
+               ContractViolation);
+}
+
+TEST(RankFailureSets, DimensionMismatchesRejected) {
+  const PathSet paths = testing::make_paths(3, {{0}});
+  EXPECT_THROW(rank_failure_sets(paths, DynamicBitset(2), 1,
+                                 NodePriors::uniform(3, 0.1), NoiseModel{}),
+               ContractViolation);
+  EXPECT_THROW(rank_failure_sets(paths, DynamicBitset(1), 1,
+                                 NodePriors::uniform(2, 0.1), NoiseModel{}),
+               ContractViolation);
+}
+
+TEST(RankFailureSets, PosteriorsDecreaseDownTheRanking) {
+  Rng rng(8);
+  const PathSet paths = testing::random_path_set(6, 5, 3, rng);
+  NoiseModel noise;
+  noise.false_positive = 0.05;
+  noise.false_negative = 0.05;
+  const DynamicBitset observed = noisy_observe(paths, {1, 3}, noise, rng);
+  const auto ranked = rank_failure_sets(paths, observed, 2,
+                                        NodePriors::uniform(6, 0.1), noise);
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_GE(ranked[i - 1].log_posterior, ranked[i].log_posterior);
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,136 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(Random, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Random, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Random, UniformDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Random, UniformInvalidRangeThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(6, 5), ContractViolation);
+}
+
+TEST(Random, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Random, IndexBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) EXPECT_LT(rng.index(7), 7u);
+  EXPECT_THROW(rng.index(0), ContractViolation);
+}
+
+TEST(Random, Uniform01InHalfOpenInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Random, Uniform01MeanRoughlyHalf) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Random, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Random, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Random, SampleDistinctAndSized) {
+  Rng rng(19);
+  std::vector<int> pool{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<int> picked = rng.sample(pool, 4);
+  EXPECT_EQ(picked.size(), 4u);
+  std::set<int> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (int x : picked)
+    EXPECT_TRUE(std::find(pool.begin(), pool.end(), x) != pool.end());
+}
+
+TEST(Random, SampleTooManyThrows) {
+  Rng rng(19);
+  std::vector<int> pool{1, 2};
+  EXPECT_THROW(rng.sample(pool, 3), ContractViolation);
+}
+
+TEST(Random, WeightedIndexRespectsZeroWeights) {
+  Rng rng(23);
+  const std::vector<double> weights{0.0, 1.0, 0.0, 2.0};
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t idx = rng.weighted_index(weights);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+TEST(Random, WeightedIndexProportions) {
+  Rng rng(29);
+  const std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.weighted_index(weights) == 1) ++ones;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(Random, WeightedIndexAllZeroThrows) {
+  Rng rng(31);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace splace

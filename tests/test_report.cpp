@@ -1,0 +1,99 @@
+#include "monitoring/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "monitoring/coverage.hpp"
+#include "monitoring/identifiability.hpp"
+#include "test_helpers.hpp"
+
+namespace splace {
+namespace {
+
+TEST(Assessment, StatusNames) {
+  EXPECT_EQ(to_string(NodeMonitoringStatus::Identifiable), "identifiable");
+  EXPECT_EQ(to_string(NodeMonitoringStatus::Ambiguous), "ambiguous");
+  EXPECT_EQ(to_string(NodeMonitoringStatus::Uncovered), "uncovered");
+}
+
+TEST(Assessment, ClassifiesThreeWays) {
+  // {0,1} covered together (ambiguous pair), {2} alone (identifiable),
+  // {3,4} uncovered.
+  const PathSet paths = testing::make_paths(5, {{0, 1}, {2}});
+  const MonitoringAssessment a = assess(paths);
+  ASSERT_EQ(a.nodes.size(), 5u);
+  EXPECT_EQ(a.nodes[0].status, NodeMonitoringStatus::Ambiguous);
+  EXPECT_EQ(a.nodes[1].status, NodeMonitoringStatus::Ambiguous);
+  EXPECT_EQ(a.nodes[2].status, NodeMonitoringStatus::Identifiable);
+  EXPECT_EQ(a.nodes[3].status, NodeMonitoringStatus::Uncovered);
+  EXPECT_EQ(a.nodes[4].status, NodeMonitoringStatus::Uncovered);
+  EXPECT_EQ(a.identifiable, 1u);
+  EXPECT_EQ(a.ambiguous, 2u);
+  EXPECT_EQ(a.uncovered, 2u);
+}
+
+TEST(Assessment, ConfusablePeers) {
+  const PathSet paths = testing::make_paths(5, {{0, 1}, {2}});
+  const MonitoringAssessment a = assess(paths);
+  EXPECT_EQ(a.nodes[0].confusable_with, (std::vector<NodeId>{1}));
+  EXPECT_EQ(a.nodes[1].confusable_with, (std::vector<NodeId>{0}));
+  EXPECT_TRUE(a.nodes[2].confusable_with.empty());
+  // Uncovered nodes are confusable with the other uncovered nodes (v0 is
+  // excluded from the peer list).
+  EXPECT_EQ(a.nodes[3].confusable_with, (std::vector<NodeId>{4}));
+}
+
+TEST(Assessment, WitnessingPathCounts) {
+  const PathSet paths = testing::make_paths(4, {{0, 1}, {0, 2}});
+  const MonitoringAssessment a = assess(paths);
+  EXPECT_EQ(a.nodes[0].witnessing_paths, 2u);
+  EXPECT_EQ(a.nodes[1].witnessing_paths, 1u);
+  EXPECT_EQ(a.nodes[3].witnessing_paths, 0u);
+}
+
+TEST(Assessment, CountsMatchAggregateMeasures) {
+  Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 5 + rng.index(6);
+    const PathSet paths =
+        testing::random_path_set(n, rng.index(8), 4, rng);
+    const MonitoringAssessment a = assess(paths);
+    EXPECT_EQ(a.identifiable, identifiability(paths, 1));
+    EXPECT_EQ(a.uncovered, n - coverage(paths));
+    EXPECT_EQ(a.identifiable + a.ambiguous + a.uncovered, n);
+  }
+}
+
+TEST(Assessment, WithStatusFilters) {
+  const PathSet paths = testing::make_paths(5, {{0, 1}, {2}});
+  const MonitoringAssessment a = assess(paths);
+  EXPECT_EQ(a.with_status(NodeMonitoringStatus::Identifiable),
+            (std::vector<NodeId>{2}));
+  EXPECT_EQ(a.with_status(NodeMonitoringStatus::Uncovered),
+            (std::vector<NodeId>{3, 4}));
+}
+
+TEST(Assessment, PrintedReportShape) {
+  const PathSet paths = testing::make_paths(5, {{0, 1}, {2}});
+  std::ostringstream oss;
+  print_assessment(assess(paths), oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("1/5 identifiable"), std::string::npos);
+  EXPECT_NE(out.find("node 0: ambiguous"), std::string::npos);
+  EXPECT_NE(out.find("node 3: uncovered"), std::string::npos);
+  // Identifiable nodes are not listed individually.
+  EXPECT_EQ(out.find("node 2:"), std::string::npos);
+}
+
+TEST(Assessment, FullyMonitoredNetworkPrintsOnlySummary) {
+  const PathSet paths = testing::make_paths(3, {{0}, {1}, {2}});
+  std::ostringstream oss;
+  print_assessment(assess(paths), oss);
+  const std::string out = oss.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,111 @@
+#include "topology/rocketfuel_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace splace::topology {
+namespace {
+
+// A miniature .cch document exercising the format features: locations,
+// backbone markers, neighbor-count parens, external counts, external
+// neighbor braces, DNS decorations, reverse-direction links, placeholder
+// lines, and comments.
+const char* kSample = R"(# miniature rocketfuel-style map
+1 @newyork,+ bb (2) &1 -> <2> <3> {-99} =r0.nyc r0
+2 @boston bb (2) -> <1> <4> r1
+3 @albany (1) -> <-1> r2
+4 @maine (1) -> <2> r2
+-99 external placeholder
+)";
+
+TEST(CchParser, ParsesNodesAndLinks) {
+  const RocketfuelMap map = parse_cch(std::string(kSample));
+  ASSERT_EQ(map.graph.node_count(), 4u);
+  // Links: 1-2, 1-3 (cited twice, once reversed), 2-4.
+  EXPECT_EQ(map.graph.edge_count(), 3u);
+  const NodeId n1 = map.uid_to_node.at(1);
+  const NodeId n2 = map.uid_to_node.at(2);
+  const NodeId n3 = map.uid_to_node.at(3);
+  const NodeId n4 = map.uid_to_node.at(4);
+  EXPECT_TRUE(map.graph.has_edge(n1, n2));
+  EXPECT_TRUE(map.graph.has_edge(n1, n3));
+  EXPECT_TRUE(map.graph.has_edge(n2, n4));
+  EXPECT_FALSE(map.graph.has_edge(n3, n4));
+}
+
+TEST(CchParser, KeepsAttributes) {
+  const RocketfuelMap map = parse_cch(std::string(kSample));
+  const RocketfuelNode& ny = map.nodes[map.uid_to_node.at(1)];
+  EXPECT_EQ(ny.location, "newyork");
+  EXPECT_TRUE(ny.backbone);
+  const RocketfuelNode& albany = map.nodes[map.uid_to_node.at(3)];
+  EXPECT_EQ(albany.location, "albany");
+  EXPECT_FALSE(albany.backbone);
+}
+
+TEST(CchParser, DanglingCountMatchesDegreeOne) {
+  const RocketfuelMap map = parse_cch(std::string(kSample));
+  EXPECT_EQ(map.dangling_count(), 2u);  // albany and maine
+}
+
+TEST(CchParser, ExternalNeighborsDropped) {
+  // uid 99 never appears as a router, so the {-99} and any <99> citation
+  // must not create nodes or links.
+  const RocketfuelMap map = parse_cch(
+      "1 @a (1) -> <99>\n"
+      "2 @b (1) -> <1>\n");
+  EXPECT_EQ(map.graph.node_count(), 2u);
+  EXPECT_EQ(map.graph.edge_count(), 1u);
+}
+
+TEST(CchParser, DuplicateLinkCitationsCollapse) {
+  const RocketfuelMap map = parse_cch(
+      "1 @a (1) -> <2>\n"
+      "2 @b (1) -> <1>\n");
+  EXPECT_EQ(map.graph.edge_count(), 1u);
+}
+
+TEST(CchParser, EmptyAndCommentOnlyDocuments) {
+  EXPECT_EQ(parse_cch(std::string("")).graph.node_count(), 0u);
+  EXPECT_EQ(parse_cch(std::string("# nothing\n\n")).graph.node_count(), 0u);
+}
+
+TEST(CchParser, Errors) {
+  // Non-numeric uid.
+  EXPECT_THROW(parse_cch(std::string("abc @x (0) ->\n")), InvalidInput);
+  // Duplicate uid.
+  EXPECT_THROW(parse_cch(std::string("1 @a (0) ->\n1 @b (0) ->\n")),
+               InvalidInput);
+  // Self-link.
+  EXPECT_THROW(parse_cch(std::string("1 @a (1) -> <1>\n")), InvalidInput);
+  // Garbage neighbor token.
+  EXPECT_THROW(parse_cch(std::string("1 @a (1) -> <>\n")), InvalidInput);
+  // Unknown token after the arrow.
+  EXPECT_THROW(parse_cch(std::string("1 @a (1) -> banana\n")), InvalidInput);
+}
+
+TEST(CchParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_cch(std::string("1 @a (0) ->\nbogus line here ->\n"));
+    FAIL() << "expected InvalidInput";
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(CchParser, ParsedMapDrivesThePipeline) {
+  // The parsed graph is a normal splace Graph: run a placement on it.
+  const RocketfuelMap map = parse_cch(
+      "10 @core bb (3) -> <20> <30> <40>\n"
+      "20 @pop (2) -> <10> <50>\n"
+      "30 @pop (1) -> <10>\n"
+      "40 @pop (1) -> <10>\n"
+      "50 @access (1) -> <20>\n");
+  EXPECT_EQ(map.graph.node_count(), 5u);
+  EXPECT_EQ(map.dangling_count(), 3u);
+  EXPECT_EQ(map.nodes[map.uid_to_node.at(10)].backbone, true);
+}
+
+}  // namespace
+}  // namespace splace::topology

@@ -1,0 +1,110 @@
+#include "graph/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace splace {
+namespace {
+
+TEST(Routing, DistancesSymmetric) {
+  Rng rng(1);
+  const Graph g = random_connected(25, 50, rng);
+  const RoutingTable routes(g);
+  for (NodeId a = 0; a < 25; ++a)
+    for (NodeId b = 0; b < 25; ++b)
+      EXPECT_EQ(routes.distance(a, b), routes.distance(b, a));
+}
+
+TEST(Routing, RouteIsShortestAndValid) {
+  Rng rng(2);
+  const Graph g = random_connected(20, 35, rng);
+  const RoutingTable routes(g);
+  for (NodeId a = 0; a < 20; ++a) {
+    for (NodeId b = 0; b < 20; ++b) {
+      const auto route = routes.route(a, b);
+      ASSERT_FALSE(route.empty());
+      EXPECT_EQ(route.front(), a);
+      EXPECT_EQ(route.back(), b);
+      EXPECT_EQ(route.size(), routes.distance(a, b) + 1u);
+      for (std::size_t i = 1; i < route.size(); ++i)
+        EXPECT_TRUE(g.has_edge(route[i - 1], route[i]));
+    }
+  }
+}
+
+TEST(Routing, RouteOrientationIndependentNodeSet) {
+  Rng rng(3);
+  const Graph g = random_connected(18, 30, rng);
+  const RoutingTable routes(g);
+  for (NodeId a = 0; a < 18; ++a) {
+    for (NodeId b = a + 1; b < 18; ++b) {
+      auto ab = routes.route(a, b);
+      auto ba = routes.route(b, a);
+      std::reverse(ba.begin(), ba.end());
+      EXPECT_EQ(ab, ba) << "pair " << a << "," << b;
+    }
+  }
+}
+
+TEST(Routing, RouteNodeSetMatchesRoute) {
+  Rng rng(4);
+  const Graph g = random_connected(15, 25, rng);
+  const RoutingTable routes(g);
+  const auto route = routes.route(2, 9);
+  const DynamicBitset set = routes.route_node_set(2, 9);
+  EXPECT_EQ(set.count(), route.size());
+  for (NodeId v : route) EXPECT_TRUE(set.test(v));
+}
+
+TEST(Routing, SelfRoute) {
+  const Graph g = path_graph(4);
+  const RoutingTable routes(g);
+  EXPECT_EQ(routes.route(2, 2), (std::vector<NodeId>{2}));
+  EXPECT_EQ(routes.distance(2, 2), 0u);
+}
+
+TEST(Routing, DeterministicAcrossInstances) {
+  Rng rng(5);
+  const Graph g = random_connected(22, 44, rng);
+  const RoutingTable r1(g);
+  const RoutingTable r2(g);
+  for (NodeId a = 0; a < 22; ++a)
+    for (NodeId b = 0; b < 22; ++b)
+      EXPECT_EQ(r1.route(a, b), r2.route(a, b));
+}
+
+TEST(Routing, UnreachablePairs) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const RoutingTable routes(g);
+  EXPECT_FALSE(routes.reachable(0, 2));
+  EXPECT_EQ(routes.distance(0, 3), kUnreachable);
+  EXPECT_THROW(routes.route(0, 2), ContractViolation);
+}
+
+TEST(Routing, DiameterOfRing) {
+  const RoutingTable routes(ring_graph(8));
+  EXPECT_EQ(routes.diameter(), 4u);
+}
+
+TEST(Routing, DiameterIgnoresDisconnection) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const RoutingTable routes(g);
+  EXPECT_EQ(routes.diameter(), 1u);
+}
+
+TEST(Routing, InvalidNodeThrows) {
+  const RoutingTable routes(path_graph(3));
+  EXPECT_THROW(routes.distance(0, 3), ContractViolation);
+  EXPECT_THROW(routes.route(3, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace splace

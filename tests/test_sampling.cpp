@@ -1,0 +1,121 @@
+#include "monitoring/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/experiment.hpp"
+#include "monitoring/distinguishability.hpp"
+#include "monitoring/failure_sets.hpp"
+#include "placement/baselines.hpp"
+#include "placement/greedy.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(SampleFailureSet, SizesWithinBudgetAndSorted) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto f = sample_failure_set(8, 3, rng);
+    EXPECT_LE(f.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(f.begin(), f.end()));
+    EXPECT_TRUE(std::adjacent_find(f.begin(), f.end()) == f.end());
+    for (NodeId v : f) EXPECT_LT(v, 8u);
+  }
+}
+
+TEST(SampleFailureSet, ApproximatelyUniformOverFk) {
+  // n=4, k=2: |F_2| = 11 sets; sample heavily and check each set's share.
+  Rng rng(2);
+  std::map<std::vector<NodeId>, std::size_t> counts;
+  const std::size_t draws = 22000;
+  for (std::size_t i = 0; i < draws; ++i)
+    ++counts[sample_failure_set(4, 2, rng)];
+  EXPECT_EQ(counts.size(), failure_set_count(4, 2));
+  const double expected = static_cast<double>(draws) / 11.0;
+  for (const auto& [set, count] : counts)
+    EXPECT_NEAR(static_cast<double>(count), expected, expected * 0.15);
+}
+
+TEST(SampleFailureSet, KLargerThanNClamps) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_LE(sample_failure_set(3, 10, rng).size(), 3u);
+}
+
+TEST(EstimateDistinguishability, ValidatesInput) {
+  const PathSet paths = testing::make_paths(4, {{0}});
+  Rng rng(4);
+  EXPECT_THROW(estimate_distinguishability(paths, 1, 0, rng),
+               ContractViolation);
+  EXPECT_THROW(estimate_distinguishability(paths, 0, 10, rng),
+               ContractViolation);
+}
+
+TEST(EstimateDistinguishability, ExtremesAreExact) {
+  Rng rng(5);
+  // No paths: nothing distinguishable.
+  const PathSet empty(5);
+  const auto zero = estimate_distinguishability(empty, 2, 200, rng);
+  EXPECT_DOUBLE_EQ(zero.fraction, 0.0);
+  EXPECT_DOUBLE_EQ(zero.estimated_pairs, 0.0);
+
+  // Singleton paths everywhere: every pair distinguishable.
+  const PathSet full = testing::make_paths(4, {{0}, {1}, {2}, {3}});
+  const auto one = estimate_distinguishability(full, 2, 200, rng);
+  EXPECT_DOUBLE_EQ(one.fraction, 1.0);
+  EXPECT_DOUBLE_EQ(one.std_error, 0.0);
+}
+
+TEST(EstimateDistinguishability, ConvergesToExactFraction) {
+  Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 5 + rng.index(3);
+    const std::size_t k = 1 + rng.index(2);
+    const PathSet paths =
+        testing::random_path_set(n, 2 + rng.index(6), 3, rng);
+
+    const std::size_t total = failure_set_count(n, k);
+    const double exact_fraction =
+        static_cast<double>(distinguishability(paths, k)) /
+        (static_cast<double>(total) * (total - 1) / 2.0);
+
+    const auto estimate =
+        estimate_distinguishability(paths, k, 4000, rng);
+    // Within 5 standard errors (plus slack for tiny fractions).
+    EXPECT_NEAR(estimate.fraction, exact_fraction,
+                5.0 * estimate.std_error + 0.02);
+    EXPECT_NEAR(estimate.total_sets, static_cast<double>(total),
+                1e-6 * static_cast<double>(total));
+  }
+}
+
+TEST(EstimateDistinguishability, LargeKRunsWhereExactCannot) {
+  // n=40, k=4: |F_4| ≈ 102k sets, C(|F_4|,2) ≈ 5.2e9 pairs — exact
+  // enumeration of pairs is hopeless, sampling is instant.
+  Rng rng(7);
+  const PathSet paths = testing::random_path_set(40, 30, 6, rng);
+  const auto estimate = estimate_distinguishability(paths, 4, 500, rng);
+  EXPECT_GT(estimate.fraction, 0.0);
+  EXPECT_LE(estimate.fraction, 1.0);
+  EXPECT_GT(estimate.total_sets, 100000.0);
+}
+
+TEST(EstimateDistinguishability, BetterPlacementScoresHigher) {
+  // Sampling must preserve the GD > QoS ordering at k = 3.
+  const topology::CatalogEntry& entry = topology::catalog_entry("Tiscali");
+  const ProblemInstance inst = make_instance(entry, 0.8);
+  const PathSet qos_paths =
+      inst.paths_for_placement(best_qos_placement(inst));
+  const PathSet gd_paths = inst.paths_for_placement(
+      greedy_placement(inst, ObjectiveKind::Distinguishability).placement);
+  Rng rng(8);
+  const auto qos_est = estimate_distinguishability(qos_paths, 3, 3000, rng);
+  const auto gd_est = estimate_distinguishability(gd_paths, 3, 3000, rng);
+  EXPECT_GT(gd_est.fraction, qos_est.fraction);
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,190 @@
+#include "monitoring/set_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "monitoring/identifiability.hpp"
+#include "test_helpers.hpp"
+
+namespace splace {
+namespace {
+
+DynamicBitset bits(std::size_t n, const std::vector<std::size_t>& idx) {
+  DynamicBitset b(n);
+  for (std::size_t i : idx) b.set(i);
+  return b;
+}
+
+TEST(GreedySetCover, EmptyUniverseNeedsNothing) {
+  const auto cover = greedy_set_cover(DynamicBitset(5), {bits(5, {0, 1})});
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_TRUE(cover->empty());
+}
+
+TEST(GreedySetCover, PicksLargestFirst) {
+  const auto cover = greedy_set_cover(
+      bits(6, {0, 1, 2, 3, 4, 5}),
+      {bits(6, {0, 1}), bits(6, {0, 1, 2, 3}), bits(6, {4, 5})});
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(*cover, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(GreedySetCover, UncoverableReturnsNullopt) {
+  EXPECT_FALSE(
+      greedy_set_cover(bits(4, {0, 3}), {bits(4, {0}), bits(4, {1})}));
+  EXPECT_FALSE(greedy_set_cover(bits(4, {0}), {}));
+}
+
+TEST(GreedySetCover, TieBreaksToSmallestIndex) {
+  const auto cover = greedy_set_cover(
+      bits(4, {0, 1}), {bits(4, {0, 1}), bits(4, {1, 0})});
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(*cover, (std::vector<std::size_t>{0}));
+}
+
+TEST(MinimumSetCover, ExactOnKnownInstance) {
+  // Universe {0..4}; {0,1},{2,3},{4},{0,2,4}: optimum is 3 sets but greedy
+  // might also find 3; the classic greedy-suboptimal instance follows below.
+  EXPECT_EQ(minimum_set_cover_size(
+                bits(5, {0, 1, 2, 3, 4}),
+                {bits(5, {0, 1}), bits(5, {2, 3}), bits(5, {4}),
+                 bits(5, {0, 2, 4})}),
+            3u);
+}
+
+TEST(MinimumSetCover, UncoverableIsSentinel) {
+  EXPECT_EQ(minimum_set_cover_size(bits(3, {2}), {bits(3, {0})}),
+            kUncoverable);
+}
+
+TEST(MinimumSetCover, GreedyCanBeSuboptimalButBounded) {
+  // Classic instance: universe {0..5}, optimum {0,2,4},{1,3,5} (2 sets);
+  // greedy takes {2,3,4,5} first then needs two more -> 3 sets.
+  const DynamicBitset universe = bits(6, {0, 1, 2, 3, 4, 5});
+  const std::vector<DynamicBitset> candidates = {
+      bits(6, {2, 3, 4, 5}), bits(6, {0, 2, 4}), bits(6, {1, 3, 5})};
+  EXPECT_EQ(minimum_set_cover_size(universe, candidates), 2u);
+  const auto greedy = greedy_set_cover(universe, candidates);
+  ASSERT_TRUE(greedy.has_value());
+  EXPECT_EQ(greedy->size(), 3u);
+  // ln(6)+1 ≈ 2.79: 3 <= 2 * 2.79.
+  EXPECT_LE(static_cast<double>(greedy->size()),
+            2.0 * (std::log(6.0) + 1.0));
+}
+
+TEST(GreedySetCover, CoversUniverse) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 6 + rng.index(8);
+    DynamicBitset universe(n);
+    for (std::size_t i = 0; i < n; ++i)
+      if (rng.bernoulli(0.7)) universe.set(i);
+    std::vector<DynamicBitset> candidates;
+    for (int c = 0; c < 8; ++c) {
+      DynamicBitset s(n);
+      for (std::size_t i = 0; i < n; ++i)
+        if (rng.bernoulli(0.3)) s.set(i);
+      candidates.push_back(std::move(s));
+    }
+    const auto cover = greedy_set_cover(universe, candidates);
+    if (!cover) continue;
+    DynamicBitset covered(n);
+    for (std::size_t i : *cover) covered |= candidates[i];
+    EXPECT_TRUE(universe.is_subset_of(covered));
+  }
+}
+
+TEST(GreedySetCover, NeverSmallerThanExact) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 5 + rng.index(4);
+    DynamicBitset universe(n);
+    for (std::size_t i = 0; i < n; ++i)
+      if (rng.bernoulli(0.6)) universe.set(i);
+    std::vector<DynamicBitset> candidates;
+    for (int c = 0; c < 7; ++c) {
+      DynamicBitset s(n);
+      for (std::size_t i = 0; i < n; ++i)
+        if (rng.bernoulli(0.35)) s.set(i);
+      candidates.push_back(std::move(s));
+    }
+    const std::size_t exact = minimum_set_cover_size(universe, candidates);
+    const auto greedy = greedy_set_cover(universe, candidates);
+    if (exact == kUncoverable) {
+      EXPECT_FALSE(greedy.has_value());
+    } else {
+      ASSERT_TRUE(greedy.has_value());
+      EXPECT_GE(greedy->size(), exact);
+    }
+  }
+}
+
+TEST(Gsc, EmptyPvIsZero) {
+  const PathSet paths = testing::make_paths(4, {{0, 1}});
+  EXPECT_EQ(gsc(3, paths), 0u);
+  EXPECT_EQ(msc_exact(3, paths), 0u);
+}
+
+TEST(Gsc, UncoverableWhenNodeHasPrivatePath) {
+  // Path {2} can only be disrupted by node 2 itself.
+  const PathSet paths = testing::make_paths(4, {{2}});
+  EXPECT_EQ(gsc(2, paths), kUncoverable);
+  EXPECT_EQ(msc_exact(2, paths), kUncoverable);
+}
+
+TEST(Gsc, HandComputedValue) {
+  // v=0 on paths {0,1} and {0,2}: cover by {1} and {2} -> MSC=GSC=2.
+  const PathSet paths = testing::make_paths(3, {{0, 1}, {0, 2}});
+  EXPECT_EQ(gsc(0, paths), 2u);
+  EXPECT_EQ(msc_exact(0, paths), 2u);
+}
+
+TEST(Gsc, AllMatchesPerNode) {
+  Rng rng(6);
+  const PathSet paths = testing::random_path_set(8, 10, 4, rng);
+  const auto all = gsc_all(paths);
+  ASSERT_EQ(all.size(), 8u);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(all[v], gsc(v, paths));
+}
+
+TEST(Gsc, NeverBelowExactMsc) {
+  Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 5 + rng.index(3);
+    const PathSet paths =
+        testing::random_path_set(n, 1 + rng.index(8), 3, rng);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::size_t exact = msc_exact(v, paths);
+      const std::size_t greedy = gsc(v, paths);
+      if (exact == kUncoverable) {
+        EXPECT_EQ(greedy, kUncoverable);
+      } else {
+        EXPECT_GE(greedy, exact);
+      }
+    }
+  }
+}
+
+// Corollary 5 / eq. (4): lower ≤ |S_k| ≤ upper on random instances.
+class BoundsSandwich : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundsSandwich, IdentifiabilityBoundsHold) {
+  Rng rng(GetParam());
+  const std::size_t n = 5 + rng.index(4);
+  const std::size_t k = 1 + rng.index(2);
+  const PathSet paths =
+      testing::random_path_set(n, 1 + rng.index(10), 4, rng);
+  const IdentifiabilityBounds bounds = identifiability_bounds(paths, k);
+  const std::size_t exact = identifiability(paths, k);
+  EXPECT_LE(bounds.lower, exact) << "n=" << n << " k=" << k;
+  EXPECT_GE(bounds.upper, exact) << "n=" << n << " k=" << k;
+  EXPECT_LE(bounds.lower, bounds.greedy);
+  EXPECT_LE(bounds.greedy, bounds.upper);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsSandwich,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace splace

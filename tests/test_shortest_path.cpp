@@ -1,0 +1,121 @@
+#include "graph/shortest_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(Bfs, DistancesOnPathGraph) {
+  const Graph g = path_graph(5);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, SourceHasNoParent) {
+  const Graph g = path_graph(3);
+  const BfsTree t = bfs_tree(g, 1);
+  EXPECT_EQ(t.parent[1], kInvalidNode);
+  EXPECT_EQ(t.dist[1], 0u);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  // 2, 3 disconnected from 0.
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+  EXPECT_EQ(dist[1], 1u);
+}
+
+TEST(Bfs, InvalidSourceThrows) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(bfs_tree(g, 3), ContractViolation);
+}
+
+TEST(Bfs, SmallestIdParentTieBreak) {
+  // Diamond: 0-1, 0-2, 1-3, 2-3. Node 3 is reachable at distance 2 via both
+  // 1 and 2; the deterministic rule keeps parent 1.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const BfsTree t = bfs_tree(g, 0);
+  EXPECT_EQ(t.parent[3], 1u);
+}
+
+TEST(Bfs, SmallestParentEvenWhenDiscoveredLater) {
+  // 0-2, 0-1, 2-3, 1-3: both 1 and 2 are distance-1; 3 picks parent 1.
+  Graph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  const BfsTree t = bfs_tree(g, 0);
+  EXPECT_EQ(t.parent[3], 1u);
+}
+
+TEST(Bfs, ExtractPathEndpointsAndLength) {
+  const Graph g = ring_graph(6);
+  const BfsTree t = bfs_tree(g, 0);
+  const auto path = extract_path(t, 3);
+  ASSERT_EQ(path.size(), 4u);  // dist 3 on a 6-ring
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+  // Consecutive nodes adjacent.
+  for (std::size_t i = 1; i < path.size(); ++i)
+    EXPECT_TRUE(g.has_edge(path[i - 1], path[i]));
+}
+
+TEST(Bfs, ExtractPathUnreachableEmpty) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const BfsTree t = bfs_tree(g, 0);
+  EXPECT_TRUE(extract_path(t, 2).empty());
+}
+
+TEST(Bfs, PathToSelfIsSingleton) {
+  const Graph g = path_graph(3);
+  const BfsTree t = bfs_tree(g, 1);
+  EXPECT_EQ(extract_path(t, 1), (std::vector<NodeId>{1}));
+}
+
+TEST(Dijkstra, MatchesBfsOnUnitWeights) {
+  Rng rng(5);
+  const Graph g = random_connected(20, 40, rng);
+  const BfsTree bfs = bfs_tree(g, 0);
+  const WeightedTree dij =
+      dijkstra_tree(g, 0, [](NodeId, NodeId) { return 1.0; });
+  for (NodeId v = 0; v < 20; ++v)
+    EXPECT_DOUBLE_EQ(dij.dist[v], static_cast<double>(bfs.dist[v]));
+}
+
+TEST(Dijkstra, WeightedRouteAvoidsExpensiveEdge) {
+  // Triangle: 0-1 cheap+cheap via 2, 0-1 direct expensive.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 1);
+  auto weight = [](NodeId u, NodeId v) {
+    return (std::min(u, v) == 0 && std::max(u, v) == 1) ? 10.0 : 1.0;
+  };
+  const WeightedTree t = dijkstra_tree(g, 0, weight);
+  EXPECT_DOUBLE_EQ(t.dist[1], 2.0);
+  EXPECT_EQ(extract_path(t, 1), (std::vector<NodeId>{0, 2, 1}));
+}
+
+TEST(Dijkstra, UnreachableInfinite) {
+  Graph g(2);
+  const WeightedTree t = dijkstra_tree(g, 0, [](NodeId, NodeId) { return 1.0; });
+  EXPECT_TRUE(std::isinf(t.dist[1]));
+  EXPECT_TRUE(extract_path(t, 1).empty());
+}
+
+}  // namespace
+}  // namespace splace

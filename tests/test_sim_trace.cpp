@@ -1,0 +1,119 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "placement/baselines.hpp"
+#include "placement/greedy.hpp"
+#include "test_helpers.hpp"
+#include "util/string_util.hpp"
+
+namespace splace {
+namespace {
+
+sim::SimConfig trace_config() {
+  sim::SimConfig config;
+  config.duration = 300.0;
+  config.request_rate = 2.0;
+  config.mtbf = 200.0;
+  config.mttr = 25.0;
+  config.epoch = 2.0;
+  config.seed = 3;
+  return config;
+}
+
+TEST(SimTrace, SameAggregateReportAsUntraced) {
+  Rng rng(1);
+  const auto inst = testing::random_instance(12, 20, 3, 2, 1.0, rng);
+  const Placement placement = best_qos_placement(inst);
+  const sim::SimReport plain = sim::simulate(inst, placement, trace_config());
+  const sim::TracedRun traced =
+      sim::simulate_traced(inst, placement, trace_config());
+  EXPECT_EQ(traced.report.requests_total, plain.requests_total);
+  EXPECT_EQ(traced.report.failures_injected, plain.failures_injected);
+  EXPECT_EQ(traced.report.failures_detected, plain.failures_detected);
+  EXPECT_EQ(traced.report.localizations_attempted,
+            plain.localizations_attempted);
+  EXPECT_DOUBLE_EQ(traced.report.mean_ambiguity, plain.mean_ambiguity);
+}
+
+TEST(SimTrace, OneRecordPerEpoch) {
+  Rng rng(2);
+  const auto inst = testing::random_instance(10, 16, 2, 2, 1.0, rng);
+  const sim::SimConfig config = trace_config();
+  const sim::TracedRun run =
+      sim::simulate_traced(inst, best_qos_placement(inst), config);
+  // Epochs fire at epoch, 2*epoch, ... <= duration.
+  const auto expected =
+      static_cast<std::size_t>(config.duration / config.epoch);
+  EXPECT_EQ(run.trace.epochs.size(), expected);
+  // Times strictly increasing by epoch.
+  for (std::size_t i = 1; i < run.trace.epochs.size(); ++i)
+    EXPECT_GT(run.trace.epochs[i].time, run.trace.epochs[i - 1].time);
+}
+
+TEST(SimTrace, RecordsAreInternallyConsistent) {
+  Rng rng(3);
+  const auto inst = testing::random_instance(12, 22, 3, 2, 1.0, rng);
+  const sim::TracedRun run = sim::simulate_traced(
+      inst,
+      greedy_placement(inst, ObjectiveKind::Distinguishability).placement,
+      trace_config());
+  std::size_t attempted = 0;
+  std::size_t truthful = 0;
+  for (const sim::EpochRecord& e : run.trace.epochs) {
+    EXPECT_LE(e.failed_paths, e.observed_paths);
+    if (e.localization_ran) {
+      ++attempted;
+      EXPECT_GT(e.failed_paths, 0u);
+      // candidates may be 0: a failure mid-epoch can yield an observation
+      // no *static* failure set explains (one path saw the node up, another
+      // saw it down). Truth membership then must be false.
+      if (e.candidates == 0) EXPECT_FALSE(e.truth_among_candidates);
+      if (e.truth_among_candidates) ++truthful;
+    }
+  }
+  EXPECT_EQ(attempted, run.report.localizations_attempted);
+  EXPECT_EQ(truthful, run.report.localizations_containing_truth);
+}
+
+TEST(SimTrace, EventfulEpochCountsFailedObservations) {
+  Rng rng(4);
+  const auto inst = testing::random_instance(10, 16, 2, 2, 1.0, rng);
+  const sim::TracedRun run =
+      sim::simulate_traced(inst, best_qos_placement(inst), trace_config());
+  std::size_t manual = 0;
+  for (const sim::EpochRecord& e : run.trace.epochs)
+    if (e.failed_paths > 0) ++manual;
+  EXPECT_EQ(run.trace.eventful_epochs(), manual);
+}
+
+TEST(SimTrace, CsvShape) {
+  Rng rng(5);
+  const auto inst = testing::random_instance(10, 16, 2, 2, 1.0, rng);
+  const sim::TracedRun run =
+      sim::simulate_traced(inst, best_qos_placement(inst), trace_config());
+  std::ostringstream oss;
+  run.trace.to_csv(oss);
+  const auto lines = split(oss.str(), '\n');
+  EXPECT_EQ(lines[0],
+            "time,down_nodes,observed_paths,failed_paths,localization_ran,"
+            "candidates,truth_among_candidates");
+  // header + one row per epoch + trailing empty.
+  EXPECT_EQ(lines.size(), run.trace.epochs.size() + 2);
+}
+
+TEST(SimTrace, DeterministicForSameSeed) {
+  Rng rng(6);
+  const auto inst = testing::random_instance(10, 18, 2, 2, 1.0, rng);
+  const Placement placement = best_qos_placement(inst);
+  std::ostringstream a;
+  std::ostringstream b;
+  sim::simulate_traced(inst, placement, trace_config()).trace.to_csv(a);
+  sim::simulate_traced(inst, placement, trace_config()).trace.to_csv(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,97 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(Summary, EmptySample) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  const Summary s = summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+}
+
+TEST(Summary, KnownMoments) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic population-stddev example
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+}
+
+TEST(Quantile, EndpointsAndMedian) {
+  const std::vector<double> sorted{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 3.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> sorted{0, 10};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.75), 7.5);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile_sorted({7.0}, 0.9), 7.0);
+}
+
+TEST(Quantile, PreconditionViolations) {
+  EXPECT_THROW(quantile_sorted({}, 0.5), ContractViolation);
+  EXPECT_THROW(quantile_sorted({1.0}, 1.5), ContractViolation);
+}
+
+TEST(BoxStats, FiveNumberSummary) {
+  const BoxStats b = box_stats({7, 1, 3, 5, 9});  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.max, 9.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 7.0);
+}
+
+TEST(BoxStats, ConstantSample) {
+  const BoxStats b = box_stats({4, 4, 4});
+  EXPECT_DOUBLE_EQ(b.min, 4.0);
+  EXPECT_DOUBLE_EQ(b.q1, 4.0);
+  EXPECT_DOUBLE_EQ(b.median, 4.0);
+  EXPECT_DOUBLE_EQ(b.q3, 4.0);
+  EXPECT_DOUBLE_EQ(b.max, 4.0);
+}
+
+TEST(BoxStats, EmptyThrows) { EXPECT_THROW(box_stats({}), ContractViolation); }
+
+TEST(Histogram, CountsAndFractions) {
+  Histogram h;
+  h.add(0);
+  h.add(0);
+  h.add(3);
+  h.add(5, 2);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.2);
+  EXPECT_DOUBLE_EQ(h.fraction(5), 0.4);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+  EXPECT_EQ(h.max_value(), 5u);
+}
+
+TEST(Histogram, EmptyHistogram) {
+  const Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+  EXPECT_EQ(h.max_value(), 0u);
+}
+
+}  // namespace
+}  // namespace splace

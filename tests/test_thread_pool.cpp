@@ -1,0 +1,120 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(ThreadPool, SpawnsRequestedWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i)
+    pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  // Two tasks that each wait for the other's side effect deadlock unless
+  // at least two workers run them concurrently.
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&arrived] {
+      ++arrived;
+      while (arrived.load() < 2) std::this_thread::yield();
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error is consumed; subsequent waits are clean.
+  pool.submit([] {});
+  EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPool, NullTaskRejected) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), ContractViolation);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&counter] { ++counter; });
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&hits](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(pool, 0, [&ran](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<long> partial(pool.thread_count() * 4 + 1, 0);
+  std::atomic<std::size_t> chunk_id{0};
+  std::atomic<long> total{0};
+  parallel_for(pool, 10000, [&](std::size_t begin, std::size_t end) {
+    long sum = 0;
+    for (std::size_t i = begin; i < end; ++i) sum += static_cast<long>(i);
+    total += sum;
+    (void)chunk_id;
+    (void)partial;
+  });
+  EXPECT_EQ(total.load(), 10000L * 9999 / 2);
+}
+
+TEST(ParallelFor, ExceptionInBodyPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 10,
+                   [](std::size_t begin, std::size_t) {
+                     if (begin == 0) throw std::runtime_error("bad chunk");
+                   }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,92 @@
+#include "core/tradeoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "placement/baselines.hpp"
+#include "placement/greedy.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+TEST(QosCost, QosPlacementSpendsNothing) {
+  Rng rng(1);
+  const auto inst = testing::random_instance(14, 24, 3, 2, 1.0, rng);
+  const QosCost cost = qos_cost(inst, best_qos_placement(inst));
+  EXPECT_DOUBLE_EQ(cost.mean_relative_distance, 0.0);
+  EXPECT_DOUBLE_EQ(cost.max_relative_distance, 0.0);
+  EXPECT_DOUBLE_EQ(cost.mean_extra_hops, 0.0);
+}
+
+TEST(QosCost, WithinUnitInterval) {
+  Rng rng(2);
+  const auto inst = testing::random_instance(14, 24, 3, 2, 1.0, rng);
+  Rng placement_rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const QosCost cost =
+        qos_cost(inst, random_placement(inst, placement_rng));
+    EXPECT_GE(cost.mean_relative_distance, 0.0);
+    EXPECT_LE(cost.mean_relative_distance, 1.0);
+    EXPECT_GE(cost.max_relative_distance, cost.mean_relative_distance);
+    EXPECT_LE(cost.max_relative_distance, 1.0);
+    EXPECT_GE(cost.mean_extra_hops, 0.0);
+  }
+}
+
+TEST(QosCost, HandComputedOnPath) {
+  // Path 0-1-2-3-4, clients {0,4}: d = max(h, 4-h), d_min=2 (h=2), d_max=4.
+  Service svc;
+  svc.clients = {0, 4};
+  svc.alpha = 1.0;
+  const ProblemInstance inst(path_graph(5), {svc});
+  EXPECT_DOUBLE_EQ(qos_cost(inst, {2}).mean_relative_distance, 0.0);
+  EXPECT_DOUBLE_EQ(qos_cost(inst, {1}).mean_relative_distance, 0.5);
+  EXPECT_DOUBLE_EQ(qos_cost(inst, {0}).mean_relative_distance, 1.0);
+  EXPECT_DOUBLE_EQ(qos_cost(inst, {1}).mean_extra_hops, 1.0);
+}
+
+TEST(QosCost, ValidatesPlacement) {
+  Rng rng(3);
+  const auto inst = testing::random_instance(10, 16, 2, 2, 1.0, rng);
+  EXPECT_THROW(qos_cost(inst, Placement{0}), ContractViolation);
+}
+
+TEST(Tradeoff, SpentNeverExceedsBudget) {
+  const topology::CatalogEntry& entry = topology::catalog_entry("Tiscali");
+  const auto frontier =
+      qos_tradeoff(entry, Algorithm::GD, {0.0, 0.4, 0.8});
+  ASSERT_EQ(frontier.size(), 3u);
+  for (const TradeoffPoint& p : frontier) {
+    // The placement honors its own QoS constraint: spent <= budget
+    // (+epsilon for the discrete-distance rounding of d̄).
+    EXPECT_LE(p.cost.max_relative_distance, p.alpha + 1e-9);
+  }
+}
+
+TEST(Tradeoff, QosAlgorithmFrontierIsFlat) {
+  const topology::CatalogEntry& entry = topology::catalog_entry("Abovenet");
+  const auto frontier =
+      qos_tradeoff(entry, Algorithm::QoS, {0.0, 0.5, 1.0});
+  for (const TradeoffPoint& p : frontier) {
+    EXPECT_DOUBLE_EQ(p.cost.mean_relative_distance, 0.0);
+    EXPECT_EQ(p.metrics.distinguishability,
+              frontier.front().metrics.distinguishability);
+  }
+}
+
+TEST(Tradeoff, MonitoringGrowsAlongGdFrontier) {
+  const topology::CatalogEntry& entry = topology::catalog_entry("Tiscali");
+  const auto frontier =
+      qos_tradeoff(entry, Algorithm::GD, {0.0, 0.5, 1.0});
+  EXPECT_GE(frontier[1].metrics.distinguishability,
+            frontier[0].metrics.distinguishability);
+  EXPECT_GE(frontier[2].metrics.distinguishability,
+            frontier[1].metrics.distinguishability);
+  // And the gain is real on this network.
+  EXPECT_GT(frontier[2].metrics.distinguishability,
+            frontier[0].metrics.distinguishability);
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,159 @@
+#include "graph/weighted_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/routing.hpp"
+#include "placement/baselines.hpp"
+#include "placement/greedy.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace splace {
+namespace {
+
+std::vector<double> unit_weights(const Graph& g) {
+  return std::vector<double>(g.edge_count(), 1.0);
+}
+
+TEST(WeightedRouting, ValidatesInputs) {
+  const Graph g = path_graph(4);
+  EXPECT_THROW(WeightedRoutingTable(g, {1.0}), ContractViolation);
+  std::vector<double> bad(g.edge_count(), 1.0);
+  bad[0] = 0.0;
+  EXPECT_THROW(WeightedRoutingTable(g, bad), ContractViolation);
+}
+
+TEST(WeightedRouting, UnitWeightsMatchHopRouting) {
+  Rng rng(1);
+  const Graph g = random_connected(15, 28, rng);
+  const RoutingTable hop(g);
+  const WeightedRoutingTable weighted(g, unit_weights(g));
+  for (NodeId a = 0; a < 15; ++a)
+    for (NodeId b = 0; b < 15; ++b)
+      EXPECT_DOUBLE_EQ(weighted.cost(a, b),
+                       static_cast<double>(hop.distance(a, b)));
+}
+
+TEST(WeightedRouting, AvoidsExpensiveLink) {
+  // Triangle 0-1 (10), 0-2 (1), 1-2 (1): route 0->1 detours via 2.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const WeightedRoutingTable weighted(g, {10.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(weighted.cost(0, 1), 2.0);
+  EXPECT_EQ(weighted.route(0, 1), (std::vector<NodeId>{0, 2, 1}));
+  EXPECT_DOUBLE_EQ(weighted.link_weight(0, 1), 10.0);
+}
+
+TEST(WeightedRouting, RouteOrientationIndependentNodeSet) {
+  Rng rng(2);
+  const Graph g = random_connected(12, 22, rng);
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < g.edge_count(); ++i)
+    weights.push_back(1.0 + rng.uniform01() * 4.0);
+  const WeightedRoutingTable weighted(g, weights);
+  for (NodeId a = 0; a < 12; ++a) {
+    for (NodeId b = a + 1; b < 12; ++b) {
+      auto ab = weighted.route(a, b);
+      auto ba = weighted.route(b, a);
+      std::reverse(ba.begin(), ba.end());
+      EXPECT_EQ(ab, ba);
+    }
+  }
+}
+
+TEST(WeightedRouting, UnreachableHandled) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const WeightedRoutingTable weighted(g, {1.0, 1.0});
+  EXPECT_FALSE(weighted.reachable(0, 2));
+  EXPECT_THROW(weighted.route(0, 2), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// RouteProvider integration: ProblemInstance over weighted routing.
+// ---------------------------------------------------------------------------
+
+TEST(RouteProvider, UnitWeightsReproduceDefaultInstance) {
+  Rng rng(3);
+  const Graph g = random_connected(14, 24, rng);
+  std::vector<Service> services;
+  Service svc;
+  svc.clients = {0, 7, 11};
+  svc.alpha = 0.5;
+  services.push_back(svc);
+
+  Graph g1 = g;
+  const ProblemInstance plain(std::move(g1), services);
+
+  Graph g2 = g;
+  const WeightedRoutingTable weighted(g, unit_weights(g));
+  Graph g3 = g;
+  const ProblemInstance custom(
+      std::move(g3), services,
+      [&weighted](NodeId c, NodeId h) { return weighted.route(c, h); });
+
+  // Same candidate sets and distances (both are hop-count shortest paths
+  // with the same deterministic tie-breaking).
+  EXPECT_EQ(custom.candidate_hosts(0), plain.candidate_hosts(0));
+  for (NodeId h : plain.candidate_hosts(0))
+    EXPECT_EQ(custom.worst_distance(0, h), plain.worst_distance(0, h));
+}
+
+TEST(RouteProvider, WeightedRoutesChangeMeasurementPaths) {
+  // Square 0-1-3-2-0 plus heavy diagonal-ish weighting: client 0, host 3.
+  Graph g(4);
+  g.add_edge(0, 1);  // weight 10
+  g.add_edge(0, 2);  // weight 1
+  g.add_edge(1, 3);  // weight 1
+  g.add_edge(2, 3);  // weight 1
+  const WeightedRoutingTable weighted(g, {10.0, 1.0, 1.0, 1.0});
+
+  Service svc;
+  svc.clients = {0};
+  svc.alpha = 1.0;
+  Graph copy = g;
+  const ProblemInstance inst(
+      std::move(copy), {svc},
+      [&weighted](NodeId c, NodeId h) { return weighted.route(c, h); });
+
+  // Under hop routing 0->3 could go via 1; under weights it must go via 2.
+  const PathSet& paths = inst.paths_for(0, 3);
+  EXPECT_TRUE(paths.contains(MeasurementPath(4, {0, 2, 3})));
+  EXPECT_FALSE(paths.contains(MeasurementPath(4, {0, 1, 3})));
+  EXPECT_EQ(inst.route(0, 3), (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(RouteProvider, PlacementAlgorithmsRunOnWeightedInstance) {
+  Rng rng(4);
+  const Graph g = random_connected(12, 20, rng);
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < g.edge_count(); ++i)
+    weights.push_back(0.5 + rng.uniform01());
+  const WeightedRoutingTable weighted(g, weights);
+
+  std::vector<Service> services;
+  for (int s = 0; s < 2; ++s) {
+    Service svc;
+    svc.clients = testing::random_path_nodes(12, 2, rng);
+    svc.alpha = 1.0;
+    services.push_back(svc);
+  }
+  Graph copy = g;
+  const ProblemInstance inst(
+      std::move(copy), services,
+      [&weighted](NodeId c, NodeId h) { return weighted.route(c, h); });
+
+  const GreedyResult gd =
+      greedy_placement(inst, ObjectiveKind::Distinguishability);
+  const Placement qos = best_qos_placement(inst);
+  EXPECT_EQ(gd.placement.size(), 2u);
+  EXPECT_EQ(qos.size(), 2u);
+  EXPECT_GT(gd.objective_value, 0.0);
+}
+
+}  // namespace
+}  // namespace splace
