@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_monitoring.dir/isp_monitoring.cpp.o"
+  "CMakeFiles/isp_monitoring.dir/isp_monitoring.cpp.o.d"
+  "isp_monitoring"
+  "isp_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

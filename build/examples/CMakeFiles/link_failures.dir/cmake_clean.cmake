@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_failures.dir/link_failures.cpp.o"
+  "CMakeFiles/link_failures.dir/link_failures.cpp.o.d"
+  "link_failures"
+  "link_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

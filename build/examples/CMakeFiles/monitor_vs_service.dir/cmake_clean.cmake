@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_vs_service.dir/monitor_vs_service.cpp.o"
+  "CMakeFiles/monitor_vs_service.dir/monitor_vs_service.cpp.o.d"
+  "monitor_vs_service"
+  "monitor_vs_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_vs_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

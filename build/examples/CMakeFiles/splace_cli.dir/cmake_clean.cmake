@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splace_cli.dir/splace_cli.cpp.o"
+  "CMakeFiles/splace_cli.dir/splace_cli.cpp.o.d"
+  "splace_cli"
+  "splace_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

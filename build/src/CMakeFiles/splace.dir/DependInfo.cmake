@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/splace.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/splace.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/CMakeFiles/splace.dir/core/export.cpp.o" "gcc" "src/CMakeFiles/splace.dir/core/export.cpp.o.d"
+  "/root/repo/src/core/metrics_report.cpp" "src/CMakeFiles/splace.dir/core/metrics_report.cpp.o" "gcc" "src/CMakeFiles/splace.dir/core/metrics_report.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/splace.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/splace.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/tradeoff.cpp" "src/CMakeFiles/splace.dir/core/tradeoff.cpp.o" "gcc" "src/CMakeFiles/splace.dir/core/tradeoff.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/splace.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/splace.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/splace.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/splace.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/splace.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/splace.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/splace.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/splace.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/link_transform.cpp" "src/CMakeFiles/splace.dir/graph/link_transform.cpp.o" "gcc" "src/CMakeFiles/splace.dir/graph/link_transform.cpp.o.d"
+  "/root/repo/src/graph/routing.cpp" "src/CMakeFiles/splace.dir/graph/routing.cpp.o" "gcc" "src/CMakeFiles/splace.dir/graph/routing.cpp.o.d"
+  "/root/repo/src/graph/shortest_path.cpp" "src/CMakeFiles/splace.dir/graph/shortest_path.cpp.o" "gcc" "src/CMakeFiles/splace.dir/graph/shortest_path.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/CMakeFiles/splace.dir/graph/stats.cpp.o" "gcc" "src/CMakeFiles/splace.dir/graph/stats.cpp.o.d"
+  "/root/repo/src/graph/weighted_routing.cpp" "src/CMakeFiles/splace.dir/graph/weighted_routing.cpp.o" "gcc" "src/CMakeFiles/splace.dir/graph/weighted_routing.cpp.o.d"
+  "/root/repo/src/localization/augmentation.cpp" "src/CMakeFiles/splace.dir/localization/augmentation.cpp.o" "gcc" "src/CMakeFiles/splace.dir/localization/augmentation.cpp.o.d"
+  "/root/repo/src/localization/fusion.cpp" "src/CMakeFiles/splace.dir/localization/fusion.cpp.o" "gcc" "src/CMakeFiles/splace.dir/localization/fusion.cpp.o.d"
+  "/root/repo/src/localization/inspection.cpp" "src/CMakeFiles/splace.dir/localization/inspection.cpp.o" "gcc" "src/CMakeFiles/splace.dir/localization/inspection.cpp.o.d"
+  "/root/repo/src/localization/localizer.cpp" "src/CMakeFiles/splace.dir/localization/localizer.cpp.o" "gcc" "src/CMakeFiles/splace.dir/localization/localizer.cpp.o.d"
+  "/root/repo/src/localization/observation.cpp" "src/CMakeFiles/splace.dir/localization/observation.cpp.o" "gcc" "src/CMakeFiles/splace.dir/localization/observation.cpp.o.d"
+  "/root/repo/src/localization/probabilistic.cpp" "src/CMakeFiles/splace.dir/localization/probabilistic.cpp.o" "gcc" "src/CMakeFiles/splace.dir/localization/probabilistic.cpp.o.d"
+  "/root/repo/src/monitoring/composite.cpp" "src/CMakeFiles/splace.dir/monitoring/composite.cpp.o" "gcc" "src/CMakeFiles/splace.dir/monitoring/composite.cpp.o.d"
+  "/root/repo/src/monitoring/coverage.cpp" "src/CMakeFiles/splace.dir/monitoring/coverage.cpp.o" "gcc" "src/CMakeFiles/splace.dir/monitoring/coverage.cpp.o.d"
+  "/root/repo/src/monitoring/distinguishability.cpp" "src/CMakeFiles/splace.dir/monitoring/distinguishability.cpp.o" "gcc" "src/CMakeFiles/splace.dir/monitoring/distinguishability.cpp.o.d"
+  "/root/repo/src/monitoring/equivalence_classes.cpp" "src/CMakeFiles/splace.dir/monitoring/equivalence_classes.cpp.o" "gcc" "src/CMakeFiles/splace.dir/monitoring/equivalence_classes.cpp.o.d"
+  "/root/repo/src/monitoring/equivalence_graph.cpp" "src/CMakeFiles/splace.dir/monitoring/equivalence_graph.cpp.o" "gcc" "src/CMakeFiles/splace.dir/monitoring/equivalence_graph.cpp.o.d"
+  "/root/repo/src/monitoring/failure_partition.cpp" "src/CMakeFiles/splace.dir/monitoring/failure_partition.cpp.o" "gcc" "src/CMakeFiles/splace.dir/monitoring/failure_partition.cpp.o.d"
+  "/root/repo/src/monitoring/failure_sets.cpp" "src/CMakeFiles/splace.dir/monitoring/failure_sets.cpp.o" "gcc" "src/CMakeFiles/splace.dir/monitoring/failure_sets.cpp.o.d"
+  "/root/repo/src/monitoring/fast_eval.cpp" "src/CMakeFiles/splace.dir/monitoring/fast_eval.cpp.o" "gcc" "src/CMakeFiles/splace.dir/monitoring/fast_eval.cpp.o.d"
+  "/root/repo/src/monitoring/identifiability.cpp" "src/CMakeFiles/splace.dir/monitoring/identifiability.cpp.o" "gcc" "src/CMakeFiles/splace.dir/monitoring/identifiability.cpp.o.d"
+  "/root/repo/src/monitoring/objective.cpp" "src/CMakeFiles/splace.dir/monitoring/objective.cpp.o" "gcc" "src/CMakeFiles/splace.dir/monitoring/objective.cpp.o.d"
+  "/root/repo/src/monitoring/path.cpp" "src/CMakeFiles/splace.dir/monitoring/path.cpp.o" "gcc" "src/CMakeFiles/splace.dir/monitoring/path.cpp.o.d"
+  "/root/repo/src/monitoring/report.cpp" "src/CMakeFiles/splace.dir/monitoring/report.cpp.o" "gcc" "src/CMakeFiles/splace.dir/monitoring/report.cpp.o.d"
+  "/root/repo/src/monitoring/sampling.cpp" "src/CMakeFiles/splace.dir/monitoring/sampling.cpp.o" "gcc" "src/CMakeFiles/splace.dir/monitoring/sampling.cpp.o.d"
+  "/root/repo/src/monitoring/set_cover.cpp" "src/CMakeFiles/splace.dir/monitoring/set_cover.cpp.o" "gcc" "src/CMakeFiles/splace.dir/monitoring/set_cover.cpp.o.d"
+  "/root/repo/src/placement/baselines.cpp" "src/CMakeFiles/splace.dir/placement/baselines.cpp.o" "gcc" "src/CMakeFiles/splace.dir/placement/baselines.cpp.o.d"
+  "/root/repo/src/placement/branch_bound.cpp" "src/CMakeFiles/splace.dir/placement/branch_bound.cpp.o" "gcc" "src/CMakeFiles/splace.dir/placement/branch_bound.cpp.o.d"
+  "/root/repo/src/placement/brute_force.cpp" "src/CMakeFiles/splace.dir/placement/brute_force.cpp.o" "gcc" "src/CMakeFiles/splace.dir/placement/brute_force.cpp.o.d"
+  "/root/repo/src/placement/candidates.cpp" "src/CMakeFiles/splace.dir/placement/candidates.cpp.o" "gcc" "src/CMakeFiles/splace.dir/placement/candidates.cpp.o.d"
+  "/root/repo/src/placement/capacity.cpp" "src/CMakeFiles/splace.dir/placement/capacity.cpp.o" "gcc" "src/CMakeFiles/splace.dir/placement/capacity.cpp.o.d"
+  "/root/repo/src/placement/greedy.cpp" "src/CMakeFiles/splace.dir/placement/greedy.cpp.o" "gcc" "src/CMakeFiles/splace.dir/placement/greedy.cpp.o.d"
+  "/root/repo/src/placement/interest.cpp" "src/CMakeFiles/splace.dir/placement/interest.cpp.o" "gcc" "src/CMakeFiles/splace.dir/placement/interest.cpp.o.d"
+  "/root/repo/src/placement/lazy_greedy.cpp" "src/CMakeFiles/splace.dir/placement/lazy_greedy.cpp.o" "gcc" "src/CMakeFiles/splace.dir/placement/lazy_greedy.cpp.o.d"
+  "/root/repo/src/placement/local_search.cpp" "src/CMakeFiles/splace.dir/placement/local_search.cpp.o" "gcc" "src/CMakeFiles/splace.dir/placement/local_search.cpp.o.d"
+  "/root/repo/src/placement/monitor_placement.cpp" "src/CMakeFiles/splace.dir/placement/monitor_placement.cpp.o" "gcc" "src/CMakeFiles/splace.dir/placement/monitor_placement.cpp.o.d"
+  "/root/repo/src/placement/online.cpp" "src/CMakeFiles/splace.dir/placement/online.cpp.o" "gcc" "src/CMakeFiles/splace.dir/placement/online.cpp.o.d"
+  "/root/repo/src/placement/service.cpp" "src/CMakeFiles/splace.dir/placement/service.cpp.o" "gcc" "src/CMakeFiles/splace.dir/placement/service.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/splace.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/splace.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/splace.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/splace.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/topology/catalog.cpp" "src/CMakeFiles/splace.dir/topology/catalog.cpp.o" "gcc" "src/CMakeFiles/splace.dir/topology/catalog.cpp.o.d"
+  "/root/repo/src/topology/hierarchical.cpp" "src/CMakeFiles/splace.dir/topology/hierarchical.cpp.o" "gcc" "src/CMakeFiles/splace.dir/topology/hierarchical.cpp.o.d"
+  "/root/repo/src/topology/isp_generator.cpp" "src/CMakeFiles/splace.dir/topology/isp_generator.cpp.o" "gcc" "src/CMakeFiles/splace.dir/topology/isp_generator.cpp.o.d"
+  "/root/repo/src/topology/rocketfuel.cpp" "src/CMakeFiles/splace.dir/topology/rocketfuel.cpp.o" "gcc" "src/CMakeFiles/splace.dir/topology/rocketfuel.cpp.o.d"
+  "/root/repo/src/topology/rocketfuel_parser.cpp" "src/CMakeFiles/splace.dir/topology/rocketfuel_parser.cpp.o" "gcc" "src/CMakeFiles/splace.dir/topology/rocketfuel_parser.cpp.o.d"
+  "/root/repo/src/util/bitset.cpp" "src/CMakeFiles/splace.dir/util/bitset.cpp.o" "gcc" "src/CMakeFiles/splace.dir/util/bitset.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/splace.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/splace.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/splace.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/splace.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/CMakeFiles/splace.dir/util/random.cpp.o" "gcc" "src/CMakeFiles/splace.dir/util/random.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/splace.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/splace.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "src/CMakeFiles/splace.dir/util/string_util.cpp.o" "gcc" "src/CMakeFiles/splace.dir/util/string_util.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/splace.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/splace.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/splace.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/splace.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_augmentation.dir/test_augmentation.cpp.o"
+  "CMakeFiles/test_augmentation.dir/test_augmentation.cpp.o.d"
+  "test_augmentation"
+  "test_augmentation.pdb"
+  "test_augmentation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

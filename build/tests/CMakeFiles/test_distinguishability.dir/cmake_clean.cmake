@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distinguishability.dir/test_distinguishability.cpp.o"
+  "CMakeFiles/test_distinguishability.dir/test_distinguishability.cpp.o.d"
+  "test_distinguishability"
+  "test_distinguishability.pdb"
+  "test_distinguishability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distinguishability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

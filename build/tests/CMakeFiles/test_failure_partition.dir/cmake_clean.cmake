@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_partition.dir/test_failure_partition.cpp.o"
+  "CMakeFiles/test_failure_partition.dir/test_failure_partition.cpp.o.d"
+  "test_failure_partition"
+  "test_failure_partition.pdb"
+  "test_failure_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_sets.dir/test_failure_sets.cpp.o"
+  "CMakeFiles/test_failure_sets.dir/test_failure_sets.cpp.o.d"
+  "test_failure_sets"
+  "test_failure_sets.pdb"
+  "test_failure_sets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

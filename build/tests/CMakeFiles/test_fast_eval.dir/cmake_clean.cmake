@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fast_eval.dir/test_fast_eval.cpp.o"
+  "CMakeFiles/test_fast_eval.dir/test_fast_eval.cpp.o.d"
+  "test_fast_eval"
+  "test_fast_eval.pdb"
+  "test_fast_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fast_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_identifiability.dir/test_identifiability.cpp.o"
+  "CMakeFiles/test_identifiability.dir/test_identifiability.cpp.o.d"
+  "test_identifiability"
+  "test_identifiability.pdb"
+  "test_identifiability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_identifiability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

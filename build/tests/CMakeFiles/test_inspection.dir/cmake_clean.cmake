@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inspection.dir/test_inspection.cpp.o"
+  "CMakeFiles/test_inspection.dir/test_inspection.cpp.o.d"
+  "test_inspection"
+  "test_inspection.pdb"
+  "test_inspection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

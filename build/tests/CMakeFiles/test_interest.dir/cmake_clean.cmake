@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interest.dir/test_interest.cpp.o"
+  "CMakeFiles/test_interest.dir/test_interest.cpp.o.d"
+  "test_interest"
+  "test_interest.pdb"
+  "test_interest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

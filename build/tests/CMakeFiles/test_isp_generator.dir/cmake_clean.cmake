@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isp_generator.dir/test_isp_generator.cpp.o"
+  "CMakeFiles/test_isp_generator.dir/test_isp_generator.cpp.o.d"
+  "test_isp_generator"
+  "test_isp_generator.pdb"
+  "test_isp_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isp_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lazy_greedy.dir/test_lazy_greedy.cpp.o"
+  "CMakeFiles/test_lazy_greedy.dir/test_lazy_greedy.cpp.o.d"
+  "test_lazy_greedy"
+  "test_lazy_greedy.pdb"
+  "test_lazy_greedy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lazy_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metric_relations.dir/test_metric_relations.cpp.o"
+  "CMakeFiles/test_metric_relations.dir/test_metric_relations.cpp.o.d"
+  "test_metric_relations"
+  "test_metric_relations.pdb"
+  "test_metric_relations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metric_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

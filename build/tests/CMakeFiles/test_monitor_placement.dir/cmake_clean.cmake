@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitor_placement.dir/test_monitor_placement.cpp.o"
+  "CMakeFiles/test_monitor_placement.dir/test_monitor_placement.cpp.o.d"
+  "test_monitor_placement"
+  "test_monitor_placement.pdb"
+  "test_monitor_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitor_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rocketfuel_parser.dir/test_rocketfuel_parser.cpp.o"
+  "CMakeFiles/test_rocketfuel_parser.dir/test_rocketfuel_parser.cpp.o.d"
+  "test_rocketfuel_parser"
+  "test_rocketfuel_parser.pdb"
+  "test_rocketfuel_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rocketfuel_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

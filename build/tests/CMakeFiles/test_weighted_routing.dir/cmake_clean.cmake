@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weighted_routing.dir/test_weighted_routing.cpp.o"
+  "CMakeFiles/test_weighted_routing.dir/test_weighted_routing.cpp.o.d"
+  "test_weighted_routing"
+  "test_weighted_routing.pdb"
+  "test_weighted_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weighted_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
