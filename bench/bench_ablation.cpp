@@ -173,7 +173,8 @@ void ablation_lazy_greedy() {
           greedy_placement(inst, ObjectiveKind::Distinguishability);
       const LazyGreedyResult lazy =
           lazy_greedy_placement(inst, ObjectiveKind::Distinguishability);
-      const std::size_t plain_evals = plain_greedy_evaluation_count(inst);
+      const std::size_t plain_evals =
+          plain_greedy_evaluation_count(inst, plain.order);
       table.add_row(
           {name, format_double(alpha, 1), std::to_string(plain_evals),
            std::to_string(lazy.evaluations),

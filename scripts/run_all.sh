@@ -4,6 +4,16 @@ set -e
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+# TSan pass over the concurrency-sensitive suites: the thread pool itself
+# and the parallel placement engines (greedy / lazy greedy / brute force).
+cmake -B build-tsan -G Ninja -DSPLACE_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan --target \
+  test_thread_pool test_greedy test_lazy_greedy test_determinism
+ctest --test-dir build-tsan --output-on-failure \
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism"
+
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"
 done

@@ -58,6 +58,7 @@
 #include "placement/local_search.hpp"
 #include "placement/monitor_placement.hpp"
 #include "placement/online.hpp"
+#include "placement/options.hpp"
 #include "placement/service.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"

@@ -51,6 +51,81 @@ void EquivalenceClasses::add_paths(const PathSet& paths) {
   for (const MeasurementPath& p : paths.paths()) add_path(p);
 }
 
+SplitDelta EquivalenceClasses::split_delta(const PathSet& extra,
+                                           SplitScratch& scratch) const {
+  SPLACE_EXPECTS(extra.node_count() == node_count_);
+  SPLACE_EXPECTS(extra.size() <= 64);
+
+  // Stamp-based validity: a signature is live iff its stamp matches the
+  // current call, so nothing needs zeroing between calls. On (unlikely)
+  // stamp wrap-around, zero everything once and restart the epoch.
+  scratch.sig.resize(node_count_);
+  scratch.sig_stamp.resize(node_count_, 0);
+  if (++scratch.stamp == 0) {
+    std::fill(scratch.sig_stamp.begin(), scratch.sig_stamp.end(), 0u);
+    scratch.stamp = 1;
+  }
+  const std::uint32_t stamp = scratch.stamp;
+
+  // Signature of node v = bitmask of the extra paths traversing v. Members
+  // of a class stay together iff they share a signature; every untouched
+  // member (v0 included — it is never on a path) implicitly carries
+  // signature 0, so the whole computation only ever visits path nodes:
+  // O(Σ|p| log Σ|p|) per call, independent of class sizes.
+  scratch.touched.clear();
+  for (std::size_t pi = 0; pi < extra.size(); ++pi) {
+    for (NodeId v : extra[pi].nodes()) {
+      if (scratch.sig_stamp[v] != stamp) {
+        scratch.sig_stamp[v] = stamp;
+        scratch.sig[v] = 0;
+        scratch.touched.push_back(v);
+      }
+      scratch.sig[v] |= std::uint64_t{1} << pi;
+    }
+  }
+  scratch.groups.clear();
+  for (NodeId v : scratch.touched)
+    scratch.groups.emplace_back(class_index_[v], scratch.sig[v]);
+  std::sort(scratch.groups.begin(), scratch.groups.end());
+
+  const std::size_t v0_class = class_index_[virtual_node()];
+  SplitDelta delta;
+  for (std::size_t i = 0; i < scratch.groups.size();) {
+    const std::size_t ci = scratch.groups[i].first;
+    const std::size_t class_size = classes_[ci].size();
+    // Runs of equal (class, signature) are the touched post-split groups.
+    std::size_t touched_in_class = 0;
+    std::size_t same_sig_pairs = 0;
+    std::size_t singleton_runs = 0;
+    std::size_t j = i;
+    while (j < scratch.groups.size() && scratch.groups[j].first == ci) {
+      std::size_t r = j;
+      while (r < scratch.groups.size() && scratch.groups[r].first == ci &&
+             scratch.groups[r].second == scratch.groups[j].second)
+        ++r;
+      const std::size_t run = r - j;
+      touched_in_class += run;
+      same_sig_pairs += run * (run - 1) / 2;
+      if (run == 1) ++singleton_runs;
+      j = r;
+    }
+    i = j;
+    if (class_size == 1) continue;  // singletons cannot split further
+    // The untouched remainder of the class is one more post-split group.
+    const std::size_t zero_group = class_size - touched_in_class;
+    same_sig_pairs += zero_group * (zero_group - 1) / 2;
+    delta.newly_distinguishable +=
+        class_size * (class_size - 1) / 2 - same_sig_pairs;
+    // A size->1 class had no identifiable member before, so every new
+    // singleton group is newly identifiable: touched singleton runs are
+    // always real nodes; the untouched remainder only counts when it is a
+    // lone real node (not v0, which never leaves the untouched group).
+    delta.newly_identifiable += singleton_runs;
+    if (zero_group == 1 && ci != v0_class) ++delta.newly_identifiable;
+  }
+  return delta;
+}
+
 const std::vector<NodeId>& EquivalenceClasses::class_of(NodeId x) const {
   check_vertex(x);
   return classes_[class_index_[x]];

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "monitoring/path.hpp"
@@ -24,8 +26,27 @@
 
 namespace splace {
 
+/// How a hypothetical path-set addition would refine the partition.
+struct SplitDelta {
+  std::size_t newly_identifiable = 0;        ///< Δ|S_1|
+  std::size_t newly_distinguishable = 0;     ///< Δ|D_1|
+};
+
 class EquivalenceClasses {
  public:
+  /// Reusable scratch buffers for split_delta(). One instance per thread;
+  /// after warm-up no call allocates (buffers only ever grow).
+  class SplitScratch {
+   private:
+    friend class EquivalenceClasses;
+    std::vector<std::uint64_t> sig;        ///< per-node path signature
+    std::vector<std::uint32_t> sig_stamp;  ///< validity stamp for `sig`
+    std::vector<NodeId> touched;           ///< nodes on any extra path
+    /// (class index, signature) per touched node — the sort/group buffer.
+    std::vector<std::pair<std::size_t, std::uint64_t>> groups;
+    std::uint32_t stamp = 0;
+  };
+
   /// Starts from the no-measurement state: one class = N ∪ {v0}.
   explicit EquivalenceClasses(std::size_t node_count);
 
@@ -39,6 +60,14 @@ class EquivalenceClasses {
 
   /// Refines with every path of a set.
   void add_paths(const PathSet& paths);
+
+  /// Computes how adding `extra` would change |S_1| and |D_1| WITHOUT
+  /// mutating (or copying) the partition: every node on an extra path gets a
+  /// path-incidence signature, and each touched class splits into its
+  /// signature groups. Allocation-free once `scratch` is warm — the greedy
+  /// candidate-evaluation hot path. Requires |extra| ≤ 64 (one signature
+  /// word); callers fall back to clone-based evaluation beyond that.
+  SplitDelta split_delta(const PathSet& extra, SplitScratch& scratch) const;
 
   std::size_t class_count() const { return classes_.size(); }
 

@@ -36,8 +36,17 @@ class CoverageState final : public ObjectiveState {
     return static_cast<double>(covered_.count());
   }
 
+  double gain(const PathSet& extra) const override {
+    // New-bit popcount against a reusable scratch union: the copy-assign
+    // reuses scratch_'s word storage, so the hot path never allocates.
+    scratch_ = covered_;
+    for (const MeasurementPath& p : extra.paths()) scratch_ |= p.node_set();
+    return static_cast<double>(scratch_.count() - covered_.count());
+  }
+
  private:
   DynamicBitset covered_;
+  mutable DynamicBitset scratch_;
 };
 
 /// k = 1 identifiability/distinguishability on the incremental partition.
@@ -60,9 +69,22 @@ class EquivalenceState final : public ObjectiveState {
                : static_cast<double>(classes_.distinguishable_pairs());
   }
 
+  double gain(const PathSet& extra) const override {
+    // Class-split deltas on scratch buffers — no partition copy. The
+    // signature word limits this to 64 extra paths; larger hypothetical
+    // sets (never the per-candidate sets of Algorithm 2) take the generic
+    // clone-based fallback.
+    if (extra.size() > 64) return ObjectiveState::gain(extra);
+    const SplitDelta delta = classes_.split_delta(extra, scratch_);
+    return kind_ == ObjectiveKind::Identifiability
+               ? static_cast<double>(delta.newly_identifiable)
+               : static_cast<double>(delta.newly_distinguishable);
+  }
+
  private:
   ObjectiveKind kind_;
   EquivalenceClasses classes_;
+  mutable EquivalenceClasses::SplitScratch scratch_;
 };
 
 /// General-k exact state on the incremental failure-set partition

@@ -3,7 +3,9 @@
 // The greedy placement (Algorithm 2) must evaluate f(P ∪ P(C_s, h)) for many
 // candidate (service, host) pairs per iteration. ObjectiveState captures the
 // paper's reuse trick (Section V-D.1): keep the state for the already-placed
-// paths, clone it cheaply, push the candidate's paths, read the value.
+// paths and evaluate candidates against it. Candidate evaluation goes
+// through gain(), which concrete states implement allocation-free on scratch
+// buffers (clone-based value_with() remains as the generic fallback).
 //
 // Kinds:
 //   Coverage            |C(P)|                       (monotone submodular)
@@ -45,7 +47,19 @@ class ObjectiveState {
     for (const MeasurementPath& p : paths.paths()) add_path(p);
   }
 
-  /// f(P ∪ extra) without mutating this state.
+  /// Marginal gain f(P ∪ extra) − f(P) without mutating this state.
+  ///
+  /// This is the greedy hot path: Algorithm 2 calls it once per candidate
+  /// (service, host) pair per iteration. The base implementation clones the
+  /// whole state; concrete states override it with allocation-free delta
+  /// computations on reusable scratch buffers. Overrides must return exactly
+  /// `value_with(extra) - value()` (all objectives are integer counts, so
+  /// the subtraction is exact in double).
+  virtual double gain(const PathSet& extra) const {
+    return value_with(extra) - value();
+  }
+
+  /// f(P ∪ extra) without mutating this state (clone + add + read).
   double value_with(const PathSet& extra) const {
     const std::unique_ptr<ObjectiveState> trial = clone();
     trial->add_paths(extra);

@@ -52,16 +52,15 @@ class Searcher {
     std::vector<double> values(hosts.size());
     double best_gain_here = 0;
     for (std::size_t i = 0; i < hosts.size(); ++i) {
-      values[i] = state->value_with(instance_.paths_for(service, hosts[i]));
-      best_gain_here = std::max(best_gain_here, values[i] - current_value);
+      const double gain = state->gain(instance_.paths_for(service, hosts[i]));
+      values[i] = current_value + gain;
+      best_gain_here = std::max(best_gain_here, gain);
     }
     double tail_bound = 0;
     for (std::size_t s = service + 1; s < instance_.service_count(); ++s) {
       double best = 0;
       for (NodeId h : instance_.candidate_hosts(s))
-        best = std::max(best,
-                        state->value_with(instance_.paths_for(s, h)) -
-                            current_value);
+        best = std::max(best, state->gain(instance_.paths_for(s, h)));
       tail_bound += best;
     }
 

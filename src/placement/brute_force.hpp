@@ -14,6 +14,7 @@
 
 #include "monitoring/fast_eval.hpp"
 #include "monitoring/objective.hpp"
+#include "placement/options.hpp"
 #include "placement/service.hpp"
 #include "util/thread_pool.hpp"
 
@@ -51,6 +52,14 @@ std::optional<BruteForceK1Result> brute_force_k1(
 /// lexicographically smallest witness.
 std::optional<BruteForceK1Result> brute_force_k1_parallel(
     const ProblemInstance& instance, ThreadPool& pool,
+    std::uint64_t max_placements = 50'000'000);
+
+/// PlacementOptions front end: dispatches to the serial sweep for
+/// options.threads == 1 and to a pool of resolved_threads() workers
+/// otherwise. Optimal values are identical either way; witnesses follow
+/// each engine's documented tie-break.
+std::optional<BruteForceK1Result> brute_force_k1(
+    const ProblemInstance& instance, const PlacementOptions& options,
     std::uint64_t max_placements = 50'000'000);
 
 /// Generic exact optimum for a single objective (any k). Exponential and

@@ -1,46 +1,101 @@
 #include "placement/greedy.hpp"
 
+#include <optional>
+
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace splace {
 
+namespace {
+
+/// One unplaced (service, host) pair, flattened in (service, host) order so
+/// chunked scans and the sequential scan visit candidates identically.
+struct Candidate {
+  std::size_t service;
+  NodeId host;
+};
+
+/// Best candidate of one chunk scan. `index` is the position in the
+/// flattened candidate list, which encodes the (service, host) tie-break:
+/// smaller index wins among equal gains.
+struct ChunkBest {
+  double gain = 0;
+  std::size_t index = 0;
+  bool valid = false;
+};
+
+/// Scans candidates[begin, end) against `state`, keeping the first maximum.
+ChunkBest scan_chunk(const ProblemInstance& instance,
+                     const ObjectiveState& state,
+                     const std::vector<Candidate>& candidates,
+                     std::size_t begin, std::size_t end) {
+  ChunkBest best;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Candidate& c = candidates[i];
+    const double gain = state.gain(instance.paths_for(c.service, c.host));
+    if (!best.valid || gain > best.gain) {
+      best = ChunkBest{gain, i, true};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 GreedyResult greedy_placement(const ProblemInstance& instance,
-                              std::unique_ptr<ObjectiveState> state) {
+                              std::unique_ptr<ObjectiveState> state,
+                              const PlacementOptions& options) {
   SPLACE_EXPECTS(state != nullptr);
   const std::size_t n_services = instance.service_count();
+  const std::size_t workers = options.resolved_threads();
 
   GreedyResult result;
   result.placement.assign(n_services, kInvalidNode);
   std::vector<bool> placed(n_services, false);
 
-  for (std::size_t iter = 0; iter < n_services; ++iter) {
-    std::size_t best_service = n_services;
-    NodeId best_host = kInvalidNode;
-    double best_value = 0;
-    bool have_best = false;
+  std::optional<ThreadPool> pool;
+  if (workers > 1) pool.emplace(workers);
 
+  std::vector<Candidate> candidates;
+  for (std::size_t iter = 0; iter < n_services; ++iter) {
     // Line 4: arg max over unplaced services and their candidate hosts of
-    // f(P ∪ P(C_s, h)). Ties resolve to the first candidate in (service,
-    // host-id) order, making runs deterministic.
+    // the marginal gain of P(C_s, h). Ties resolve to the first candidate
+    // in (service, host-id) order, making runs deterministic.
+    candidates.clear();
     for (std::size_t s = 0; s < n_services; ++s) {
       if (placed[s]) continue;
-      for (NodeId h : instance.candidate_hosts(s)) {
-        const double value = state->value_with(instance.paths_for(s, h));
-        if (!have_best || value > best_value) {
-          have_best = true;
-          best_value = value;
-          best_service = s;
-          best_host = h;
-        }
-      }
+      for (NodeId h : instance.candidate_hosts(s))
+        candidates.push_back(Candidate{s, h});
     }
-    SPLACE_ENSURES(have_best);
+
+    ChunkBest best;
+    if (!pool) {
+      best = scan_chunk(instance, *state, candidates, 0, candidates.size());
+    } else {
+      // One state clone per worker chunk per iteration (gain's scratch
+      // buffers are not shareable across threads); the in-order fold keeps
+      // the first maximum, reproducing the sequential tie-break exactly.
+      best = parallel_reduce(
+          *pool, candidates.size(), ChunkBest{},
+          [&](std::size_t begin, std::size_t end) {
+            const std::unique_ptr<ObjectiveState> local = state->clone();
+            return scan_chunk(instance, *local, candidates, begin, end);
+          },
+          [](ChunkBest acc, const ChunkBest& chunk) {
+            if (!chunk.valid) return acc;
+            if (!acc.valid || chunk.gain > acc.gain) return chunk;
+            return acc;
+          });
+    }
+    SPLACE_ENSURES(best.valid);
 
     // Lines 5-7: commit the winner.
-    placed[best_service] = true;
-    result.placement[best_service] = best_host;
-    result.order.push_back(best_service);
-    state->add_paths(instance.paths_for(best_service, best_host));
+    const Candidate& winner = candidates[best.index];
+    placed[winner.service] = true;
+    result.placement[winner.service] = winner.host;
+    result.order.push_back(winner.service);
+    state->add_paths(instance.paths_for(winner.service, winner.host));
   }
 
   result.objective_value = state->value();
@@ -48,9 +103,10 @@ GreedyResult greedy_placement(const ProblemInstance& instance,
 }
 
 GreedyResult greedy_placement(const ProblemInstance& instance,
-                              ObjectiveKind kind, std::size_t k) {
+                              ObjectiveKind kind, std::size_t k,
+                              const PlacementOptions& options) {
   return greedy_placement(
-      instance, make_objective_state(kind, instance.node_count(), k));
+      instance, make_objective_state(kind, instance.node_count(), k), options);
 }
 
 }  // namespace splace

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "monitoring/objective.hpp"
+#include "placement/options.hpp"
 #include "placement/service.hpp"
 
 namespace splace {
@@ -24,12 +25,19 @@ struct GreedyResult {
 };
 
 /// Algorithm 2 with a caller-supplied objective state (takes ownership of
-/// `state`, which must be freshly constructed / empty).
+/// `state`, which must be freshly constructed / empty). Candidates are
+/// scored through ObjectiveState::gain — allocation-free for the k = 1
+/// objectives. With options.threads > 1 the per-iteration arg-max runs on a
+/// worker pool (one state clone per worker per iteration) with a reduction
+/// that resolves ties by (service, host) order, so the placement is
+/// bit-identical to the sequential run for every thread count.
 GreedyResult greedy_placement(const ProblemInstance& instance,
-                              std::unique_ptr<ObjectiveState> state);
+                              std::unique_ptr<ObjectiveState> state,
+                              const PlacementOptions& options = {});
 
 /// Algorithm 2 for one of the paper's objectives (GC / GI / GD).
 GreedyResult greedy_placement(const ProblemInstance& instance,
-                              ObjectiveKind kind, std::size_t k = 1);
+                              ObjectiveKind kind, std::size_t k = 1,
+                              const PlacementOptions& options = {});
 
 }  // namespace splace

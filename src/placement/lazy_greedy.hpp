@@ -18,6 +18,7 @@
 
 #include "monitoring/objective.hpp"
 #include "placement/greedy.hpp"
+#include "placement/options.hpp"
 #include "placement/service.hpp"
 
 namespace splace {
@@ -30,14 +31,28 @@ struct LazyGreedyResult {
 };
 
 /// Lazy variant of Algorithm 2 (takes ownership of a fresh `state`).
+/// With options.threads > 1 the initial heap build and the stale-entry
+/// re-evaluations run on a worker pool (one state clone per worker per
+/// batch). Heap pops consume the speculative batch results one at a time in
+/// exactly the sequential order, so placements and objective values are
+/// bit-identical to the sequential run for every thread count — even for
+/// the non-submodular identifiability objective. Only `evaluations` may
+/// exceed the sequential count (speculatively evaluated entries whose turn
+/// never comes before the commit).
 LazyGreedyResult lazy_greedy_placement(const ProblemInstance& instance,
-                                       std::unique_ptr<ObjectiveState> state);
+                                       std::unique_ptr<ObjectiveState> state,
+                                       const PlacementOptions& options = {});
 
 LazyGreedyResult lazy_greedy_placement(const ProblemInstance& instance,
-                                       ObjectiveKind kind, std::size_t k = 1);
+                                       ObjectiveKind kind, std::size_t k = 1,
+                                       const PlacementOptions& options = {});
 
-/// # evaluations plain Algorithm 2 would perform on this instance
-/// (Σ over iterations of remaining candidate pairs), for comparison.
-std::size_t plain_greedy_evaluation_count(const ProblemInstance& instance);
+/// # evaluations plain Algorithm 2 performs on this instance when services
+/// commit in `order` (Σ over iterations of remaining candidate pairs).
+/// `order` is the commit order of the run being compared against, e.g.
+/// GreedyResult::order or LazyGreedyResult::order; it must be a permutation
+/// of the service indices.
+std::size_t plain_greedy_evaluation_count(const ProblemInstance& instance,
+                                          const std::vector<std::size_t>& order);
 
 }  // namespace splace

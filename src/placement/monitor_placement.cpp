@@ -31,14 +31,13 @@ MonitorPlacementResult greedy_monitor_placement(
 
   MonitorPlacementResult result;
   for (std::size_t round = 0; round < budget; ++round) {
-    const double current = state->value();
     std::size_t best = candidates.size();
-    double best_value = current;
+    double best_gain = 0;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       if (used[i]) continue;
-      const double value = state->value_with(probe_paths[i]);
-      if (value > best_value) {
-        best_value = value;
+      const double gain = state->gain(probe_paths[i]);
+      if (gain > best_gain) {
+        best_gain = gain;
         best = i;
       }
     }

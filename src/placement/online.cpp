@@ -33,7 +33,7 @@ NodeId OnlinePlacer::add_service(const Service& service) {
   double best_value = 0;
   bool have_best = false;
   for (NodeId h : hosts) {
-    const double value = state_->value_with(paths_for(service, h));
+    const double value = state_->gain(paths_for(service, h));
     if (!have_best || value > best_value) {
       have_best = true;
       best_value = value;

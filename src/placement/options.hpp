@@ -1,0 +1,25 @@
+// Execution options shared by the placement search engines (greedy, lazy
+// greedy, brute force). Placement results are bit-identical for every
+// thread count: the engines reduce candidate chunks deterministically and
+// break ties by (service, host) order, so `threads` is purely a speed knob.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+
+namespace splace {
+
+struct PlacementOptions {
+  /// Worker threads for candidate evaluation: 1 = sequential (no pool),
+  /// 0 = one per hardware thread, n = exactly n workers.
+  std::size_t threads = 1;
+
+  /// The actual worker count `threads` resolves to.
+  std::size_t resolved_threads() const {
+    if (threads != 0) return threads;
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+};
+
+}  // namespace splace

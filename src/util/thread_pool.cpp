@@ -69,13 +69,19 @@ void ThreadPool::worker_loop() {
   }
 }
 
+std::size_t parallel_chunk_count(std::size_t n, std::size_t max_chunks) {
+  return std::min(n, max_chunks);
+}
+
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& body) {
-  if (n == 0) return;
-  const std::size_t chunks = std::min(n, pool.thread_count() * 4);
-  const std::size_t chunk_size = (n + chunks - 1) / chunks;
-  for (std::size_t begin = 0; begin < n; begin += chunk_size) {
-    const std::size_t end = std::min(n, begin + chunk_size);
+  // n == 0 submits nothing; n below the chunk target yields exactly n
+  // single-index chunks — an empty [begin, end) range is never submitted.
+  const std::size_t chunks = parallel_chunk_count(n, pool.thread_count() * 4);
+  if (chunks == 0) return;
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const std::size_t begin = i * n / chunks;
+    const std::size_t end = (i + 1) * n / chunks;
     pool.submit([&body, begin, end] { body(begin, end); });
   }
   pool.wait();

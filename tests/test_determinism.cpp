@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/splace.hpp"
+#include "test_helpers.hpp"
 
 namespace splace {
 namespace {
@@ -99,6 +100,77 @@ TEST(Determinism, ParallelSearchMatchesItselfUnderDifferentPoolSizes) {
             r4->distinguishability.placement);
   EXPECT_EQ(r1->coverage.placement, r4->coverage.placement);
   EXPECT_EQ(r1->identifiability.placement, r4->identifiability.placement);
+}
+
+TEST(Determinism, ParallelGreedyMatchesSequentialAcrossThreadCounts) {
+  // The parallel arg-max must be bit-identical to the sequential scan:
+  // same placement, same commit order, same objective value — for every
+  // objective, seed, and worker count.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Rng rng(seed);
+    const ProblemInstance inst =
+        testing::random_instance(20, 40, 5, 3, 0.8, rng);
+    for (ObjectiveKind kind :
+         {ObjectiveKind::Coverage, ObjectiveKind::Identifiability,
+          ObjectiveKind::Distinguishability}) {
+      const GreedyResult sequential = greedy_placement(inst, kind, 1);
+      for (std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                  std::size_t{7}}) {
+        const GreedyResult parallel =
+            greedy_placement(inst, kind, 1, PlacementOptions{threads});
+        EXPECT_EQ(parallel.placement, sequential.placement)
+            << to_string(kind) << " seed=" << seed << " threads=" << threads;
+        EXPECT_EQ(parallel.order, sequential.order);
+        EXPECT_EQ(parallel.objective_value, sequential.objective_value);
+      }
+    }
+  }
+}
+
+TEST(Determinism, ParallelLazyGreedyMatchesSequentialAcrossThreadCounts) {
+  // Speculative batch re-evaluation replays the sequential pop order, so
+  // even the non-submodular identifiability objective must match exactly.
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    Rng rng(seed);
+    const ProblemInstance inst =
+        testing::random_instance(18, 36, 5, 2, 0.9, rng);
+    for (ObjectiveKind kind :
+         {ObjectiveKind::Coverage, ObjectiveKind::Identifiability,
+          ObjectiveKind::Distinguishability}) {
+      const LazyGreedyResult sequential = lazy_greedy_placement(inst, kind, 1);
+      for (std::size_t threads : {std::size_t{2}, std::size_t{5}}) {
+        const LazyGreedyResult parallel =
+            lazy_greedy_placement(inst, kind, 1, PlacementOptions{threads});
+        EXPECT_EQ(parallel.placement, sequential.placement)
+            << to_string(kind) << " seed=" << seed << " threads=" << threads;
+        EXPECT_EQ(parallel.order, sequential.order);
+        EXPECT_EQ(parallel.objective_value, sequential.objective_value);
+      }
+    }
+  }
+}
+
+TEST(Determinism, ParallelGreedyOnCatalogTopologyMatchesSequential) {
+  const topology::CatalogEntry& entry = topology::catalog_entry("Tiscali");
+  const ProblemInstance inst = make_instance(entry, 0.7);
+  const GreedyResult sequential =
+      greedy_placement(inst, ObjectiveKind::Distinguishability);
+  const GreedyResult parallel = greedy_placement(
+      inst, ObjectiveKind::Distinguishability, 1, PlacementOptions{0});
+  EXPECT_EQ(parallel.placement, sequential.placement);
+  EXPECT_EQ(parallel.objective_value, sequential.objective_value);
+}
+
+TEST(Determinism, BruteForceOptionsFrontEndMatchesSerial) {
+  const topology::CatalogEntry& entry = topology::catalog_entry("Abovenet");
+  const ProblemInstance inst = make_instance(entry, 0.2);
+  const auto serial = brute_force_k1(inst, PlacementOptions{1});
+  const auto parallel = brute_force_k1(inst, PlacementOptions{4});
+  ASSERT_TRUE(serial && parallel);
+  EXPECT_EQ(serial->coverage.value, parallel->coverage.value);
+  EXPECT_EQ(serial->identifiability.value, parallel->identifiability.value);
+  EXPECT_EQ(serial->distinguishability.value,
+            parallel->distinguishability.value);
 }
 
 TEST(Determinism, TradeoffFrontierStable) {

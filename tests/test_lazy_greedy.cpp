@@ -58,7 +58,7 @@ TEST(LazyGreedy, SavesEvaluations) {
   const auto inst = testing::random_instance(16, 30, 5, 2, 1.0, rng);
   const LazyGreedyResult lazy =
       lazy_greedy_placement(inst, ObjectiveKind::Distinguishability);
-  const std::size_t plain = plain_greedy_evaluation_count(inst);
+  const std::size_t plain = plain_greedy_evaluation_count(inst, lazy.order);
   EXPECT_LT(lazy.evaluations, plain);
   // Lower bound: it must at least evaluate every candidate once.
   std::size_t total_candidates = 0;
@@ -71,8 +71,42 @@ TEST(LazyGreedy, PlainEvaluationCountFormula) {
   Rng rng(10);
   const auto inst = testing::random_instance(10, 18, 3, 2, 1.0, rng);
   // All services share alpha and clients are random; with alpha=1 every
-  // |H_s| = 10, so the count is 30 + 20 + 10.
-  EXPECT_EQ(plain_greedy_evaluation_count(inst), 60u);
+  // |H_s| = 10, so the count is 30 + 20 + 10 for any commit order.
+  EXPECT_EQ(plain_greedy_evaluation_count(inst, {0, 1, 2}), 60u);
+  EXPECT_EQ(plain_greedy_evaluation_count(inst, {2, 0, 1}), 60u);
+}
+
+TEST(LazyGreedy, PlainEvaluationCountTracksCommitOrder) {
+  // Unequal candidate sets: the count must follow the actual commit order,
+  // not assume index order. Per-service alphas make |H_s| differ.
+  Rng rng(21);
+  Graph g = random_connected(12, 22, rng);
+  std::vector<Service> services;
+  for (std::size_t s = 0; s < 3; ++s) {
+    Service svc;
+    svc.name = "s" + std::to_string(s);
+    svc.clients = testing::random_path_nodes(12, 2, rng);
+    svc.alpha = 0.2 + 0.4 * static_cast<double>(s);
+    services.push_back(svc);
+  }
+  const ProblemInstance inst(std::move(g), std::move(services));
+  std::vector<std::size_t> sizes(3);
+  for (std::size_t s = 0; s < 3; ++s)
+    sizes[s] = inst.candidate_hosts(s).size();
+  const std::size_t total = sizes[0] + sizes[1] + sizes[2];
+  // Committing in order (2, 0, 1) leaves {0, 1} then {1}.
+  EXPECT_EQ(plain_greedy_evaluation_count(inst, {2, 0, 1}),
+            total + (sizes[0] + sizes[1]) + sizes[1]);
+  // The actual greedy commit order gives the count the real run performs.
+  const GreedyResult plain =
+      greedy_placement(inst, ObjectiveKind::Distinguishability);
+  std::size_t expected = 0;
+  std::size_t remaining = total;
+  for (std::size_t service : plain.order) {
+    expected += remaining;
+    remaining -= inst.candidate_hosts(service).size();
+  }
+  EXPECT_EQ(plain_greedy_evaluation_count(inst, plain.order), expected);
 }
 
 TEST(LazyGreedy, OrderIsPermutation) {

@@ -1,0 +1,110 @@
+// Property suite for the delta-evaluation API: for every objective kind and
+// failure bound, gain(extra) must equal value_with(extra) - value() — the
+// allocation-free overrides (coverage popcounts, k = 1 class-split deltas)
+// may never drift from the clone-based reference.
+#include "monitoring/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "monitoring/equivalence_classes.hpp"
+#include "test_helpers.hpp"
+
+namespace splace {
+namespace {
+
+constexpr ObjectiveKind kKinds[] = {ObjectiveKind::Coverage,
+                                    ObjectiveKind::Identifiability,
+                                    ObjectiveKind::Distinguishability};
+
+TEST(ObjectiveGain, MatchesCloneBasedReferenceOnRandomPathSets) {
+  constexpr std::size_t kNodes = 18;
+  for (ObjectiveKind kind : kKinds) {
+    for (std::size_t k : {std::size_t{1}, std::size_t{2}}) {
+      Rng rng(1000 + static_cast<std::uint64_t>(kind) * 10 + k);
+      for (int trial = 0; trial < 40; ++trial) {
+        const auto state = make_objective_state(kind, kNodes, k);
+        state->add_paths(testing::random_path_set(kNodes, rng.index(6), 6,
+                                                  rng));
+        const PathSet extra =
+            testing::random_path_set(kNodes, 1 + rng.index(5), 6, rng);
+        EXPECT_DOUBLE_EQ(state->gain(extra),
+                         state->value_with(extra) - state->value())
+            << to_string(kind) << " k=" << k << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(ObjectiveGain, RepeatedCallsReuseScratchWithoutDrift) {
+  // Interleaves hypothetical gains with commits: the scratch buffers must
+  // never leak state from one call into the next.
+  constexpr std::size_t kNodes = 14;
+  for (ObjectiveKind kind : kKinds) {
+    Rng rng(7 + static_cast<std::uint64_t>(kind));
+    const auto state = make_objective_state(kind, kNodes, 1);
+    for (int round = 0; round < 10; ++round) {
+      const PathSet extra =
+          testing::random_path_set(kNodes, 1 + rng.index(4), 5, rng);
+      const double expected = state->value_with(extra) - state->value();
+      EXPECT_DOUBLE_EQ(state->gain(extra), expected);
+      EXPECT_DOUBLE_EQ(state->gain(extra), expected);  // scratch reuse
+      const double before = state->value();
+      state->add_paths(extra);
+      EXPECT_DOUBLE_EQ(state->value(), before + expected);
+    }
+  }
+}
+
+TEST(ObjectiveGain, EmptyExtraSetGainsNothing) {
+  for (ObjectiveKind kind : kKinds) {
+    Rng rng(3);
+    const auto state = make_objective_state(kind, 10, 1);
+    state->add_paths(testing::random_path_set(10, 4, 4, rng));
+    EXPECT_DOUBLE_EQ(state->gain(PathSet(10)), 0.0);
+  }
+}
+
+TEST(ObjectiveGain, LargePathSetFallbackMatchesReference) {
+  // > 64 extra paths exceed the split-delta signature word; the k = 1
+  // equivalence states must fall back to the clone-based path and still be
+  // exact.
+  constexpr std::size_t kNodes = 80;
+  for (ObjectiveKind kind :
+       {ObjectiveKind::Identifiability, ObjectiveKind::Distinguishability}) {
+    Rng rng(11 + static_cast<std::uint64_t>(kind));
+    const auto state = make_objective_state(kind, kNodes, 1);
+    state->add_paths(testing::random_path_set(kNodes, 3, 6, rng));
+    PathSet extra(kNodes);
+    while (extra.size() <= 64)
+      extra.add_nodes(testing::random_path_nodes(kNodes, 3, rng));
+    EXPECT_DOUBLE_EQ(state->gain(extra),
+                     state->value_with(extra) - state->value());
+  }
+}
+
+TEST(ObjectiveGain, SplitDeltaCountsNewSingletonsAndPairs) {
+  // Hand-checkable partition: nodes {0..3} + v0 = 4, one class of 5.
+  // Path {0, 1} splits it into {0,1} and {2,3,v0}: no singletons, and
+  // 2 * 3 = 6 of the C(5,2) = 10 pairs become distinguishable.
+  EquivalenceClasses classes(4);
+  EquivalenceClasses::SplitScratch scratch;
+  const PathSet one = testing::make_paths(4, {{0, 1}});
+  SplitDelta d = classes.split_delta(one, scratch);
+  EXPECT_EQ(d.newly_identifiable, 0u);
+  EXPECT_EQ(d.newly_distinguishable, 6u);
+
+  // Paths {0,1} and {1,2} jointly shatter {0..3, v0} into
+  // {0}, {1}, {2}, {3, v0}: nodes 0, 1, 2 become identifiable and only the
+  // (3, v0) pair stays indistinguishable.
+  const PathSet two = testing::make_paths(4, {{0, 1}, {1, 2}});
+  d = classes.split_delta(two, scratch);
+  EXPECT_EQ(d.newly_identifiable, 3u);
+  EXPECT_EQ(d.newly_distinguishable, 9u);
+
+  // split_delta must not mutate the partition.
+  EXPECT_EQ(classes.class_count(), 1u);
+  EXPECT_EQ(classes.class_size(0), 5u);
+}
+
+}  // namespace
+}  // namespace splace
