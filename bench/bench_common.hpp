@@ -3,8 +3,11 @@
 // diffed against the paper's qualitative shapes (see EXPERIMENTS.md).
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -12,6 +15,50 @@
 #include "util/table.hpp"
 
 namespace splace::bench {
+
+/// Best-effort repository revision for bench provenance: `git rev-parse`
+/// when the bench runs inside the work tree, else "unknown". Never throws.
+inline std::string repo_revision() {
+  std::string rev;
+  if (FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buffer[64];
+    if (::fgets(buffer, sizeof(buffer), pipe)) rev = buffer;
+    ::pclose(pipe);
+  }
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r'))
+    rev.pop_back();
+  return rev.empty() ? "unknown" : rev;
+}
+
+/// Shared envelope for every BENCH_*.json artifact, so the perf trajectory
+/// is comparable across PRs: {"bench", "threads", "repo_rev", "results"}.
+/// `results_json` must already be valid JSON (object or array).
+inline std::string bench_envelope_json(const std::string& bench,
+                                       std::size_t threads,
+                                       const std::string& results_json) {
+  std::string envelope = "{\n  \"bench\": \"" + bench + "\",\n";
+  envelope += "  \"threads\": " + std::to_string(threads) + ",\n";
+  envelope += "  \"repo_rev\": \"" + repo_revision() + "\",\n";
+  envelope += "  \"results\": " + results_json + "\n}\n";
+  return envelope;
+}
+
+/// Writes an enveloped artifact; reports the path on stdout like the
+/// existing benches do.
+inline void write_bench_json(const std::string& path, const std::string& bench,
+                             std::size_t threads,
+                             const std::string& results_json) {
+  std::ofstream out(path);
+  out << bench_envelope_json(bench, threads, results_json);
+  std::cout << "wrote " << path << '\n';
+}
+
+/// The worker count a bench actually exercises (hardware concurrency,
+/// never 0) — recorded in the envelope's "threads" field.
+inline std::size_t bench_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 /// Default α grid used by the figure benches (the paper sweeps [0, 1]).
 inline std::vector<double> alpha_grid(double step) {

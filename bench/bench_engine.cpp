@@ -1,0 +1,162 @@
+// Serving-engine benchmark: requests/s on a mixed replay workload
+// (place / evaluate / localize) across thread counts and cache on/off, plus
+// an overload run that must complete with explicit rejections rather than
+// blocking. Emits BENCH_engine.json in the shared bench envelope.
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "engine/replay.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace splace::bench {
+namespace {
+
+// The request mix an operational monitoring pipeline issues continuously:
+// recurring placement/evaluation queries (cacheable) interleaved with
+// always-fresh localization traffic. Tiscali is the paper's mid-size net.
+const char* kWorkload = R"(
+snapshot net topology tiscali alpha 0.6 services 5 clients 3
+place net gd
+place net gc
+place net gi
+evaluate net gd
+evaluate net qos
+localize net 2
+localize net 1
+repeat 40
+)";
+
+struct ConfigRun {
+  std::string label;
+  std::size_t threads = 1;
+  std::size_t cache = 0;
+  engine::ReplayReport report;
+};
+
+ConfigRun run_config(const engine::ReplayWorkload& workload,
+                     const std::string& label, std::size_t threads,
+                     std::size_t cache_capacity, std::size_t queue_depth) {
+  engine::EngineConfig config;
+  config.threads = threads;
+  config.cache_capacity = cache_capacity;
+  config.max_queue_depth = queue_depth;
+  ConfigRun run;
+  run.label = label;
+  run.threads = threads;
+  run.cache = cache_capacity;
+  run.report = engine::run_replay(workload, config);
+  return run;
+}
+
+void append_run_json(std::ostringstream& json, const ConfigRun& run,
+                     bool first) {
+  if (!first) json << ",";
+  const engine::ReplayReport& r = run.report;
+  json << "\n      {\"config\": \"" << run.label
+       << "\", \"threads\": " << run.threads << ", \"cache\": " << run.cache
+       << ", \"total\": " << r.total << ", \"ok\": " << r.ok
+       << ", \"cache_hits\": " << r.cache_hits
+       << ", \"rejected_queue_full\": " << r.rejected_queue_full
+       << ", \"wall_seconds\": " << r.wall_seconds
+       << ", \"requests_per_second\": " << r.requests_per_second << "}";
+}
+
+}  // namespace
+}  // namespace splace::bench
+
+int main() {
+  using namespace splace;
+  using namespace splace::bench;
+
+  const engine::ReplaySpec spec = engine::parse_replay(std::string(kWorkload));
+  const engine::ReplayWorkload workload = engine::build_replay_workload(spec);
+  const std::size_t multi = std::max<std::size_t>(4, bench_thread_count());
+
+  std::cout << "==== serving engine: " << workload.requests.size()
+            << " mixed requests (tiscali, place/evaluate/localize) ====\n\n";
+
+  std::vector<ConfigRun> runs;
+  runs.push_back(run_config(workload, "t1_nocache", 1, 0, 1u << 20));
+  runs.push_back(run_config(workload, "t1_cache", 1, 1024, 1u << 20));
+  runs.push_back(
+      run_config(workload, "multi_nocache", multi, 0, 1u << 20));
+  runs.push_back(run_config(workload, "multi_cache", multi, 1024, 1u << 20));
+
+  // Overload: a queue of depth 2 against the full burst must degrade to
+  // explicit rejections, not deadlock — the bench itself gates on that.
+  ConfigRun overload = run_config(workload, "overload_depth2", 1, 0, 2);
+
+  TablePrinter table({"config", "threads", "cache", "ok", "hits", "rejected",
+                      "wall (s)", "req/s"});
+  for (const ConfigRun& run : runs) {
+    table.add_row(
+        {run.label, std::to_string(run.threads), std::to_string(run.cache),
+         std::to_string(run.report.ok), std::to_string(run.report.cache_hits),
+         std::to_string(run.report.rejected_queue_full),
+         format_double(run.report.wall_seconds, 4),
+         format_double(run.report.requests_per_second, 0)});
+  }
+  table.add_row({overload.label, std::to_string(overload.threads), "0",
+                 std::to_string(overload.report.ok),
+                 std::to_string(overload.report.cache_hits),
+                 std::to_string(overload.report.rejected_queue_full),
+                 format_double(overload.report.wall_seconds, 4),
+                 format_double(overload.report.requests_per_second, 0)});
+  table.print(std::cout);
+
+  const double single_rps = runs[0].report.requests_per_second;
+  const double multi_rps = runs[3].report.requests_per_second;
+  const double speedup = single_rps <= 0 ? 0 : multi_rps / single_rps;
+  const double thread_speedup =
+      runs[0].report.requests_per_second <= 0
+          ? 0
+          : runs[2].report.requests_per_second /
+                runs[0].report.requests_per_second;
+  std::cout << "\nspeedup (multi_cache vs t1_nocache): "
+            << format_double(speedup, 1)
+            << "x   (threads only, cache off: "
+            << format_double(thread_speedup, 1) << "x)\n"
+            << "overload run: " << overload.report.ok << " served, "
+            << overload.report.rejected_queue_full
+            << " rejected (queue depth 2), completed without deadlock\n";
+
+  std::ostringstream json;
+  json << "{\n    \"workload\": {\"requests\": " << workload.requests.size()
+       << ", \"topology\": \"tiscali\", \"mix\": "
+       << "[\"place\", \"evaluate\", \"localize\"]},\n    \"runs\": [";
+  bool first = true;
+  for (const ConfigRun& run : runs) {
+    append_run_json(json, run, first);
+    first = false;
+  }
+  append_run_json(json, overload, false);
+  json << "\n    ],\n    \"speedup_multi_cache_vs_single\": " << speedup
+       << ",\n    \"speedup_threads_only\": " << thread_speedup
+       << ",\n    \"overload\": {\"ok\": " << overload.report.ok
+       << ", \"rejected_queue_full\": "
+       << overload.report.rejected_queue_full
+       << ", \"lost\": "
+       << (overload.report.total - overload.report.ok -
+           overload.report.rejected_queue_full -
+           overload.report.rejected_deadline -
+           overload.report.rejected_bad_request)
+       << "}}";
+
+  write_bench_json("BENCH_engine.json", "serving_engine", multi, json.str());
+
+  if (overload.report.ok + overload.report.rejected_queue_full !=
+      overload.report.total) {
+    std::cerr << "ERROR: overload run lost responses\n";
+    return 1;
+  }
+  if (speedup < 2.0) {
+    std::cerr << "ERROR: engine speedup below 2x (" << speedup << ")\n";
+    return 1;
+  }
+  return 0;
+}

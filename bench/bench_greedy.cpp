@@ -4,13 +4,13 @@
 // perf trajectory's first machine-readable baseline (BENCH_greedy.json) in
 // addition to the human-readable table.
 #include <chrono>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "monitoring/objective.hpp"
 #include "placement/greedy.hpp"
 #include "placement/lazy_greedy.hpp"
@@ -155,11 +155,11 @@ int main() {
             << " candidate pairs, alpha = " << kAlpha << ") ====\n\n";
 
   std::ostringstream json;
-  json << "{\n  \"instance\": {\"name\": \"" << rocketfuel_scale_spec().name
+  json << "{\n    \"instance\": {\"name\": \"" << rocketfuel_scale_spec().name
        << "\", \"nodes\": " << inst.node_count()
        << ", \"services\": " << inst.service_count()
        << ", \"candidate_pairs\": " << total_candidates
-       << ", \"alpha\": " << kAlpha << "},\n  \"objectives\": [";
+       << ", \"alpha\": " << kAlpha << "},\n    \"objectives\": [";
 
   bool all_identical = true;
   bool first_block = true;
@@ -187,11 +187,10 @@ int main() {
     append_json(json, kind, runs, first_block);
     first_block = false;
   }
-  json << "\n  ]\n}\n";
+  json << "\n  ]}";
 
-  std::ofstream out("BENCH_greedy.json");
-  out << json.str();
-  std::cout << "wrote BENCH_greedy.json\n";
+  write_bench_json("BENCH_greedy.json", "greedy_hot_path",
+                   bench_thread_count(), json.str());
 
   if (!all_identical) {
     std::cerr << "ERROR: configurations produced different placements\n";

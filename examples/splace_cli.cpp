@@ -11,6 +11,10 @@
 //
 //   --scenario   run a scenario file (see core/scenario.hpp for the format);
 //                overrides every other problem-definition flag
+//   --replay     fire a replay file of mixed place/evaluate/localize
+//                requests through the concurrent serving engine (see
+//                engine/replay.hpp for the format) and print the outcome
+//                tally plus the engine metrics as JSON
 //   --sweep      run the full figure-style α sweep (0, 0.1, ..., 1) for the
 //                chosen catalog topology and print it as CSV
 //                (alpha,algorithm,coverage,identifiability,distinguishability)
@@ -44,6 +48,7 @@ struct CliOptions {
   std::string topology = "tiscali";
   std::string file;
   std::string scenario;
+  std::string replay;
   std::string algorithm = "gd";
   double alpha = 0.6;
   std::size_t services = 0;  // 0 = default
@@ -75,6 +80,7 @@ CliOptions parse(int argc, char** argv) {
     if (arg == "--topology") opts.topology = next_value(i);
     else if (arg == "--file") opts.file = next_value(i);
     else if (arg == "--scenario") opts.scenario = next_value(i);
+    else if (arg == "--replay") opts.replay = next_value(i);
     else if (arg == "--algorithm") opts.algorithm = next_value(i);
     else if (arg == "--alpha") opts.alpha = std::stod(next_value(i));
     else if (arg == "--services")
@@ -192,6 +198,36 @@ Placement compute(const CliOptions& opts, const ProblemInstance& instance) {
 
 int main(int argc, char** argv) {
   const CliOptions opts = parse(argc, argv);
+
+  if (!opts.replay.empty()) {
+    std::ifstream in(opts.replay);
+    if (!in) usage_error("cannot open '" + opts.replay + "'");
+    const engine::ReplaySpec spec = engine::parse_replay(in);
+    const engine::ReplayReport report = engine::run_replay(spec);
+    std::cout << "replay:    " << opts.replay << " ("
+              << spec.snapshots.size() << " snapshot(s), "
+              << spec.requests.size() << " request line(s) x "
+              << spec.repeat << ")\n"
+              << "engine:    threads "
+              << (spec.threads == 0 ? std::string("hw")
+                                    : std::to_string(spec.threads))
+              << ", queue depth " << spec.queue_depth << ", cache "
+              << spec.cache_capacity << "\n"
+              << "requests:  " << report.total << " total, " << report.ok
+              << " ok (" << report.cache_hits << " cache hits), "
+              << report.rejected_queue_full << " queue-full, "
+              << report.rejected_deadline << " deadline, "
+              << report.rejected_bad_request << " bad-request\n"
+              << "wall:      " << format_double(report.wall_seconds, 4)
+              << " s (" << format_double(report.requests_per_second, 0)
+              << " req/s)\n"
+              << "metrics:   " << engine::to_json(report.metrics) << '\n';
+    return report.total == report.ok + report.rejected_queue_full +
+                               report.rejected_deadline +
+                               report.rejected_bad_request
+               ? 0
+               : 1;
+  }
 
   if (!opts.scenario.empty()) {
     std::ifstream in(opts.scenario);

@@ -5,14 +5,26 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
-# TSan pass over the concurrency-sensitive suites: the thread pool itself
-# and the parallel placement engines (greedy / lazy greedy / brute force).
+# TSan pass over the concurrency-sensitive suites: the thread pool itself,
+# the parallel placement engines (greedy / lazy greedy / brute force), and
+# the serving engine (snapshot registry, result cache, admission control).
 cmake -B build-tsan -G Ninja -DSPLACE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan --target \
-  test_thread_pool test_greedy test_lazy_greedy test_determinism
+  test_thread_pool test_greedy test_lazy_greedy test_determinism \
+  test_engine test_engine_stress
 ctest --test-dir build-tsan --output-on-failure \
-  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism"
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism|Engine"
+
+# ASan pass over the serving layer: the engine moves results through
+# futures, a shared LRU cache, and shared snapshots — lifetime bugs show
+# up here first.
+cmake -B build-asan -G Ninja -DSPLACE_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan --target \
+  test_thread_pool test_engine test_engine_stress
+ctest --test-dir build-asan --output-on-failure \
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Engine"
 
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"

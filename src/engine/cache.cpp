@@ -1,0 +1,52 @@
+#include "engine/cache.hpp"
+
+namespace splace::engine {
+
+std::shared_ptr<const EngineResult> ResultCache::find(const std::string& key) {
+  if (!enabled()) return nullptr;
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::insert(const std::string& key,
+                         std::shared_ptr<const EngineResult> value) {
+  if (!enabled()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_.emplace(key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  CacheStats snapshot = stats_;
+  snapshot.size = lru_.size();
+  snapshot.capacity = capacity_;
+  return snapshot;
+}
+
+void ResultCache::clear() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_ = CacheStats{};
+}
+
+}  // namespace splace::engine

@@ -1,0 +1,67 @@
+// Thread-safe LRU cache of engine results keyed by canonical request keys.
+//
+// Because every cacheable operation is deterministic (the engine's contract
+// with the library), a cached response is exactly what re-executing the
+// request would produce — caching changes latency, never results. Keys are
+// compared in full (no hash-collision exposure); values are shared_ptr so a
+// hit costs one refcount, not a payload copy.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/request.hpp"
+
+namespace splace::engine {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+
+  double hit_rate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+class ResultCache {
+ public:
+  /// Capacity 0 disables the cache: find() always misses, insert() drops.
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// Looks a key up, counting a hit (and promoting the entry to
+  /// most-recently-used) or a miss. Returns nullptr on miss.
+  std::shared_ptr<const EngineResult> find(const std::string& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entry when over capacity.
+  void insert(const std::string& key,
+              std::shared_ptr<const EngineResult> value);
+
+  CacheStats stats() const;
+
+  void clear();
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const EngineResult>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace splace::engine

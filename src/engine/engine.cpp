@@ -1,0 +1,282 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "localization/localizer.hpp"
+#include "placement/baselines.hpp"
+#include "placement/brute_force.hpp"
+#include "placement/greedy.hpp"
+#include "placement/options.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace splace::engine {
+namespace {
+
+EngineResult rejected(RequestType type, Outcome outcome,
+                      std::string message) {
+  EngineResult result;
+  result.type = type;
+  result.outcome = outcome;
+  result.message = std::move(message);
+  return result;
+}
+
+std::future<EngineResult> ready_future(EngineResult result) {
+  std::promise<EngineResult> promise;
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+std::vector<NodeId> bitset_nodes(const DynamicBitset& bits) {
+  std::vector<NodeId> nodes;
+  for (std::size_t i : bits.to_indices())
+    nodes.push_back(static_cast<NodeId>(i));
+  return nodes;
+}
+
+}  // namespace
+
+Engine::Engine(std::shared_ptr<SnapshotRegistry> registry, EngineConfig config)
+    : registry_(std::move(registry)),
+      config_(config),
+      cache_(config.cache_capacity),
+      start_(Clock::now()),
+      pool_(config.threads) {
+  SPLACE_EXPECTS(registry_ != nullptr);
+  SPLACE_EXPECTS(config_.max_queue_depth >= 1);
+}
+
+template <typename Request>
+std::future<EngineResult> Engine::submit_impl(RequestType type,
+                                              Request request) {
+  const Clock::time_point submitted = Clock::now();
+  metrics_.record_submitted();
+
+  std::string key = canonical_key(request);
+  if (std::shared_ptr<const EngineResult> hit = cache_.find(key)) {
+    // Serve from cache without consuming a queue slot: the payload is the
+    // cached computation, only the bookkeeping fields are per-response.
+    EngineResult result = *hit;
+    result.cache_hit = true;
+    result.latency_seconds =
+        std::chrono::duration<double>(Clock::now() - submitted).count();
+    metrics_.record_response(type, result.outcome, true,
+                             result.latency_seconds);
+    return ready_future(std::move(result));
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(admission_mutex_);
+    if (pending_ >= config_.max_queue_depth) {
+      lock.unlock();
+      EngineResult result =
+          rejected(type, Outcome::RejectedQueueFull,
+                   "queue depth limit " +
+                       std::to_string(config_.max_queue_depth) + " reached");
+      result.latency_seconds =
+          std::chrono::duration<double>(Clock::now() - submitted).count();
+      metrics_.record_response(type, result.outcome, false,
+                               result.latency_seconds);
+      return ready_future(std::move(result));
+    }
+    ++pending_;
+    metrics_.record_admitted(pending_);
+  }
+
+  return pool_.submit_with_result(
+      [this, type, request = std::move(request), key = std::move(key),
+       submitted]() mutable {
+        EngineResult result;
+        const double queued =
+            std::chrono::duration<double>(Clock::now() - submitted).count();
+        if (request.deadline_seconds > 0 &&
+            queued > request.deadline_seconds) {
+          result = rejected(type, Outcome::RejectedDeadline,
+                            "deadline expired after queueing");
+        } else if (std::shared_ptr<const EngineResult> hit =
+                       cache_.find(key)) {
+          // Second cache checkpoint: an identical request submitted in the
+          // same burst may have completed while this one waited in the
+          // queue. Identical keys guarantee identical results, so serving
+          // the cached payload is indistinguishable from recomputing.
+          result = *hit;
+          result.cache_hit = true;
+        } else {
+          result = execute(request);
+        }
+        result.latency_seconds =
+            std::chrono::duration<double>(Clock::now() - submitted).count();
+        if (result.ok() && !result.cache_hit)
+          cache_.insert(key, std::make_shared<const EngineResult>(result));
+        metrics_.record_response(type, result.outcome, result.cache_hit,
+                                 result.latency_seconds);
+        {
+          std::unique_lock<std::mutex> lock(admission_mutex_);
+          --pending_;
+        }
+        return result;
+      });
+}
+
+std::future<EngineResult> Engine::submit(PlaceRequest request) {
+  return submit_impl(RequestType::Place, std::move(request));
+}
+
+std::future<EngineResult> Engine::submit(EvaluateRequest request) {
+  return submit_impl(RequestType::Evaluate, std::move(request));
+}
+
+std::future<EngineResult> Engine::submit(LocalizeRequest request) {
+  return submit_impl(RequestType::Localize, std::move(request));
+}
+
+std::shared_ptr<const TopologySnapshot> Engine::resolve(
+    std::uint64_t hash, EngineResult& result) const {
+  std::shared_ptr<const TopologySnapshot> snapshot = registry_->find(hash);
+  if (!snapshot) {
+    result.outcome = Outcome::RejectedBadRequest;
+    result.message = "unknown snapshot hash";
+  }
+  return snapshot;
+}
+
+EngineResult Engine::execute(const PlaceRequest& request) const {
+  EngineResult result;
+  result.type = RequestType::Place;
+  const auto snapshot = resolve(request.snapshot, result);
+  if (!snapshot) return result;
+  if (request.k < 1) {
+    result.outcome = Outcome::RejectedBadRequest;
+    result.message = "k must be >= 1";
+    return result;
+  }
+  const ProblemInstance& instance = snapshot->instance();
+  try {
+    PlacementOptions options;
+    options.threads = std::max<std::size_t>(1, request.threads);
+    switch (request.algorithm) {
+      case Algorithm::QoS:
+        result.place.placement = best_qos_placement(instance);
+        break;
+      case Algorithm::RD: {
+        Rng rng(request.seed);
+        result.place.placement = random_placement(instance, rng);
+        break;
+      }
+      case Algorithm::GC:
+      case Algorithm::GI:
+      case Algorithm::GD: {
+        const ObjectiveKind kind =
+            request.algorithm == Algorithm::GC
+                ? ObjectiveKind::Coverage
+                : request.algorithm == Algorithm::GI
+                      ? ObjectiveKind::Identifiability
+                      : ObjectiveKind::Distinguishability;
+        GreedyResult greedy =
+            greedy_placement(instance, kind, request.k, options);
+        result.place.placement = std::move(greedy.placement);
+        result.place.objective_value = greedy.objective_value;
+        break;
+      }
+      case Algorithm::BF: {
+        const auto bf = brute_force_k1(instance);
+        if (!bf) {
+          result.outcome = Outcome::RejectedBadRequest;
+          result.message = "BF search space exceeds the budget";
+          return result;
+        }
+        result.place.placement = bf->distinguishability.placement;
+        result.place.objective_value =
+            static_cast<double>(bf->distinguishability.value);
+        break;
+      }
+    }
+    result.place.metrics = evaluate_paths(
+        instance.paths_for_placement(result.place.placement), request.k);
+  } catch (const std::exception& error) {
+    result.outcome = Outcome::RejectedBadRequest;
+    result.message = error.what();
+  }
+  return result;
+}
+
+EngineResult Engine::execute(const EvaluateRequest& request) const {
+  EngineResult result;
+  result.type = RequestType::Evaluate;
+  const auto snapshot = resolve(request.snapshot, result);
+  if (!snapshot) return result;
+  const ProblemInstance& instance = snapshot->instance();
+  if (request.k < 1) {
+    result.outcome = Outcome::RejectedBadRequest;
+    result.message = "k must be >= 1";
+    return result;
+  }
+  if (request.placement.size() != instance.service_count()) {
+    result.outcome = Outcome::RejectedBadRequest;
+    result.message = "placement size does not match service count";
+    return result;
+  }
+  try {
+    result.metrics = evaluate_paths(
+        instance.paths_for_placement(request.placement), request.k);
+  } catch (const std::exception& error) {
+    result.outcome = Outcome::RejectedBadRequest;
+    result.message = error.what();
+  }
+  return result;
+}
+
+EngineResult Engine::execute(const LocalizeRequest& request) const {
+  EngineResult result;
+  result.type = RequestType::Localize;
+  const auto snapshot = resolve(request.snapshot, result);
+  if (!snapshot) return result;
+  const ProblemInstance& instance = snapshot->instance();
+  if (request.k < 1) {
+    result.outcome = Outcome::RejectedBadRequest;
+    result.message = "k must be >= 1";
+    return result;
+  }
+  if (request.placement.size() != instance.service_count()) {
+    result.outcome = Outcome::RejectedBadRequest;
+    result.message = "placement size does not match service count";
+    return result;
+  }
+  try {
+    const PathSet paths = instance.paths_for_placement(request.placement);
+    DynamicBitset failed(paths.size());
+    for (std::uint32_t index : request.failed_paths) {
+      if (index >= paths.size()) {
+        result.outcome = Outcome::RejectedBadRequest;
+        result.message = "failed path index out of range";
+        return result;
+      }
+      failed.set(index);
+    }
+    const LocalizationResult localization = localize(paths, failed, request.k);
+    result.localization.suspects = bitset_nodes(localization.suspects);
+    result.localization.exonerated = bitset_nodes(localization.exonerated);
+    result.localization.consistent_sets = localization.consistent_sets;
+    result.localization.minimal_explanation =
+        localization.minimal_explanation;
+  } catch (const std::exception& error) {
+    result.outcome = Outcome::RejectedBadRequest;
+    result.message = error.what();
+  }
+  return result;
+}
+
+EngineMetricsSnapshot Engine::metrics() const {
+  std::size_t depth = 0;
+  {
+    std::unique_lock<std::mutex> lock(admission_mutex_);
+    depth = pending_;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  return metrics_.snapshot(depth, elapsed, cache_.stats());
+}
+
+}  // namespace splace::engine

@@ -1,0 +1,92 @@
+// The serving engine: concurrent, multi-tenant request processing over
+// immutable topology snapshots.
+//
+// Clients submit typed requests (place / evaluate / localize) and receive
+// futures; execution runs on a shared ThreadPool via submit_with_result so
+// many independent requests proceed concurrently against shared snapshots.
+// Three properties define the engine:
+//
+//   * Determinism — an Ok response is bit-identical to the direct library
+//     call it wraps, for every thread count and cache configuration. The
+//     engine schedules and caches; it never recomputes differently.
+//   * Graceful degradation — a full queue, an expired deadline, or a
+//     malformed request yields an explicit Rejected outcome, never a block,
+//     a throw across the future boundary, or a crash.
+//   * Observability — every submission, rejection, cache hit, and latency
+//     lands in EngineMetrics, exportable as JSON.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "engine/cache.hpp"
+#include "engine/metrics.hpp"
+#include "engine/request.hpp"
+#include "engine/snapshot.hpp"
+#include "util/thread_pool.hpp"
+
+namespace splace::engine {
+
+struct EngineConfig {
+  /// Worker threads: 0 = one per hardware thread.
+  std::size_t threads = 0;
+  /// Admission limit: requests beyond this many in flight are rejected
+  /// with RejectedQueueFull instead of queued unboundedly.
+  std::size_t max_queue_depth = 256;
+  /// LRU result-cache capacity in entries; 0 disables caching.
+  std::size_t cache_capacity = 1024;
+};
+
+class Engine {
+ public:
+  explicit Engine(std::shared_ptr<SnapshotRegistry> registry,
+                  EngineConfig config = {});
+
+  /// Drains in-flight requests (every issued future becomes ready).
+  ~Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  std::future<EngineResult> submit(PlaceRequest request);
+  std::future<EngineResult> submit(EvaluateRequest request);
+  std::future<EngineResult> submit(LocalizeRequest request);
+
+  EngineMetricsSnapshot metrics() const;
+
+  SnapshotRegistry& registry() { return *registry_; }
+  const SnapshotRegistry& registry() const { return *registry_; }
+  std::size_t thread_count() const { return pool_.thread_count(); }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Shared admission + cache + dispatch path for all three request types.
+  template <typename Request>
+  std::future<EngineResult> submit_impl(RequestType type, Request request);
+
+  /// Executes one admitted request; never throws (library errors become
+  /// RejectedBadRequest).
+  EngineResult execute(const PlaceRequest& request) const;
+  EngineResult execute(const EvaluateRequest& request) const;
+  EngineResult execute(const LocalizeRequest& request) const;
+
+  std::shared_ptr<const TopologySnapshot> resolve(std::uint64_t hash,
+                                                  EngineResult& result) const;
+
+  std::shared_ptr<SnapshotRegistry> registry_;
+  EngineConfig config_;
+  ResultCache cache_;
+  EngineMetrics metrics_;
+  Clock::time_point start_;
+  mutable std::mutex admission_mutex_;
+  std::size_t pending_ = 0;  ///< admitted, not yet responded
+  ThreadPool pool_;          ///< last member: joins before the rest dies
+};
+
+}  // namespace splace::engine

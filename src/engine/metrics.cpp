@@ -1,0 +1,130 @@
+#include "engine/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace splace::engine {
+
+void LatencyStats::record(double seconds) {
+  SPLACE_EXPECTS(seconds >= 0);
+  if (count == 0) {
+    min_seconds = seconds;
+    max_seconds = seconds;
+  } else {
+    min_seconds = std::min(min_seconds, seconds);
+    max_seconds = std::max(max_seconds, seconds);
+  }
+  ++count;
+  total_seconds += seconds;
+  const double micros = seconds * 1e6;
+  const std::size_t bucket =
+      micros <= 1.0 ? 0
+                    : static_cast<std::size_t>(std::ceil(std::log2(micros)));
+  log2_us.add(bucket);
+}
+
+namespace {
+
+void append_latency(std::ostringstream& os, const std::string& name,
+                    const LatencyStats& stats) {
+  os << "\"" << name << "\": {\"count\": " << stats.count
+     << ", \"mean_seconds\": " << stats.mean_seconds()
+     << ", \"min_seconds\": " << stats.min_seconds
+     << ", \"max_seconds\": " << stats.max_seconds << ", \"log2_us\": {";
+  bool first = true;
+  for (const auto& [bucket, count] : stats.log2_us.counts()) {
+    if (!first) os << ", ";
+    os << "\"" << bucket << "\": " << count;
+    first = false;
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+std::string to_json(const EngineMetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"submitted\": " << snapshot.submitted
+     << ", \"completed\": " << snapshot.completed
+     << ", \"cache_hits\": " << snapshot.cache_hits
+     << ", \"rejected\": {\"queue_full\": " << snapshot.rejected_queue_full
+     << ", \"deadline\": " << snapshot.rejected_deadline
+     << ", \"bad_request\": " << snapshot.rejected_bad_request
+     << ", \"total\": " << snapshot.rejected_total() << "}"
+     << ", \"queue_depth\": " << snapshot.queue_depth
+     << ", \"queue_high_water\": " << snapshot.queue_high_water
+     << ", \"elapsed_seconds\": " << snapshot.elapsed_seconds
+     << ", \"throughput_rps\": " << snapshot.throughput()
+     << ", \"cache\": {\"hits\": " << snapshot.cache.hits
+     << ", \"misses\": " << snapshot.cache.misses
+     << ", \"evictions\": " << snapshot.cache.evictions
+     << ", \"size\": " << snapshot.cache.size
+     << ", \"capacity\": " << snapshot.cache.capacity
+     << ", \"hit_rate\": " << snapshot.cache.hit_rate() << "}, \"latency\": {";
+  append_latency(os, "place", snapshot.place);
+  os << ", ";
+  append_latency(os, "evaluate", snapshot.evaluate);
+  os << ", ";
+  append_latency(os, "localize", snapshot.localize);
+  os << "}}";
+  return os.str();
+}
+
+void EngineMetrics::record_submitted() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++counters_.submitted;
+}
+
+void EngineMetrics::record_admitted(std::size_t depth_now) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  counters_.queue_high_water =
+      std::max(counters_.queue_high_water, depth_now);
+}
+
+void EngineMetrics::record_response(RequestType type, Outcome outcome,
+                                    bool cache_hit, double latency_seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  switch (outcome) {
+    case Outcome::Ok:
+      ++counters_.completed;
+      break;
+    case Outcome::RejectedQueueFull:
+      ++counters_.rejected_queue_full;
+      break;
+    case Outcome::RejectedDeadline:
+      ++counters_.rejected_deadline;
+      break;
+    case Outcome::RejectedBadRequest:
+      ++counters_.rejected_bad_request;
+      break;
+  }
+  if (cache_hit) ++counters_.cache_hits;
+  if (outcome != Outcome::Ok) return;
+  switch (type) {
+    case RequestType::Place:
+      counters_.place.record(latency_seconds);
+      break;
+    case RequestType::Evaluate:
+      counters_.evaluate.record(latency_seconds);
+      break;
+    case RequestType::Localize:
+      counters_.localize.record(latency_seconds);
+      break;
+  }
+}
+
+EngineMetricsSnapshot EngineMetrics::snapshot(std::size_t queue_depth,
+                                              double elapsed_seconds,
+                                              const CacheStats& cache) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  EngineMetricsSnapshot copy = counters_;
+  copy.queue_depth = queue_depth;
+  copy.elapsed_seconds = elapsed_seconds;
+  copy.cache = cache;
+  return copy;
+}
+
+}  // namespace splace::engine

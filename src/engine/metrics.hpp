@@ -1,0 +1,83 @@
+// Operational metrics for the serving engine: per-request-type latency
+// histograms (log2-microsecond buckets over util/stats' Histogram), queue
+// depth high-water mark, admission/rejection counters, cache statistics,
+// and throughput — exportable as JSON for dashboards and the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "engine/cache.hpp"
+#include "engine/request.hpp"
+#include "util/stats.hpp"
+
+namespace splace::engine {
+
+/// Latency accumulator: count / total / extremes plus a histogram over
+/// ceil(log2(microseconds)) buckets (bucket b covers (2^(b-1), 2^b] µs), so
+/// tail behavior is visible without storing samples.
+struct LatencyStats {
+  std::uint64_t count = 0;
+  double total_seconds = 0;
+  double min_seconds = 0;
+  double max_seconds = 0;
+  Histogram log2_us;
+
+  void record(double seconds);
+  double mean_seconds() const {
+    return count == 0 ? 0.0 : total_seconds / static_cast<double>(count);
+  }
+};
+
+/// Point-in-time copy of every engine counter.
+struct EngineMetricsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;   ///< Ok responses (cache hits included)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_bad_request = 0;
+  std::size_t queue_depth = 0;       ///< in-flight right now
+  std::size_t queue_high_water = 0;  ///< max in-flight ever observed
+  double elapsed_seconds = 0;        ///< since engine construction
+  CacheStats cache;
+  LatencyStats place;
+  LatencyStats evaluate;
+  LatencyStats localize;
+
+  std::uint64_t rejected_total() const {
+    return rejected_queue_full + rejected_deadline + rejected_bad_request;
+  }
+  /// Ok responses per second of engine lifetime.
+  double throughput() const {
+    return elapsed_seconds <= 0
+               ? 0.0
+               : static_cast<double>(completed) / elapsed_seconds;
+  }
+};
+
+/// Deterministic-key-order JSON rendering of a snapshot.
+std::string to_json(const EngineMetricsSnapshot& snapshot);
+
+/// Mutable, internally synchronized metrics sink used by the engine.
+class EngineMetrics {
+ public:
+  void record_submitted();
+  /// Tracks admission: depth after admit, updating the high-water mark.
+  void record_admitted(std::size_t depth_now);
+  void record_response(RequestType type, Outcome outcome, bool cache_hit,
+                       double latency_seconds);
+
+  /// Copies every counter; `queue_depth` and `elapsed_seconds` are supplied
+  /// by the engine (it owns the pending counter and the start clock).
+  EngineMetricsSnapshot snapshot(std::size_t queue_depth,
+                                 double elapsed_seconds,
+                                 const CacheStats& cache) const;
+
+ private:
+  mutable std::mutex mutex_;
+  EngineMetricsSnapshot counters_;
+};
+
+}  // namespace splace::engine

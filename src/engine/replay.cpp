@@ -1,0 +1,308 @@
+#include "engine/replay.hpp"
+
+#include <chrono>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "localization/observation.hpp"
+#include "topology/catalog.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+#include "util/string_util.hpp"
+
+namespace splace::engine {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw InvalidInput("replay line " + std::to_string(line) + ": " + message);
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  for (const std::string& field : split(std::string(line), ' '))
+    if (!trim(field).empty()) tokens.emplace_back(trim(field));
+  return tokens;
+}
+
+std::size_t parse_size(const std::string& token, std::size_t line) {
+  try {
+    return static_cast<std::size_t>(std::stoul(token));
+  } catch (...) {
+    fail(line, "expected a non-negative integer, got '" + token + "'");
+  }
+}
+
+double parse_double(const std::string& token, std::size_t line) {
+  try {
+    return std::stod(token);
+  } catch (...) {
+    fail(line, "expected a number, got '" + token + "'");
+  }
+}
+
+std::string lower(std::string text) {
+  for (char& c : text)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  return text;
+}
+
+ReplaySnapshotSpec parse_snapshot_line(const std::vector<std::string>& tokens,
+                                       std::size_t line) {
+  if (tokens.size() < 2 || tokens.size() % 2 != 0)
+    fail(line, "snapshot needs a name followed by key/value pairs");
+  ReplaySnapshotSpec spec;
+  spec.name = tokens[1];
+  for (std::size_t i = 2; i + 1 < tokens.size(); i += 2) {
+    const std::string& key = tokens[i];
+    const std::string& value = tokens[i + 1];
+    if (key == "topology") spec.topology = value;
+    else if (key == "alpha") spec.alpha = parse_double(value, line);
+    else if (key == "services") spec.services = parse_size(value, line);
+    else if (key == "clients")
+      spec.clients_per_service = parse_size(value, line);
+    else fail(line, "unknown snapshot key '" + key + "'");
+  }
+  if (spec.topology.empty()) fail(line, "snapshot needs a topology");
+  if (spec.alpha < 0.0 || spec.alpha > 1.0)
+    fail(line, "alpha must be in [0,1]");
+  if (spec.clients_per_service < 1)
+    fail(line, "clients must be >= 1");
+  return spec;
+}
+
+ReplayRequestSpec parse_request_line(RequestType type,
+                                     const std::vector<std::string>& tokens,
+                                     std::size_t line) {
+  if (tokens.size() < 2) fail(line, "request needs a snapshot name");
+  ReplayRequestSpec spec;
+  spec.type = type;
+  spec.snapshot = tokens[1];
+  std::size_t i = 2;
+  if (type == RequestType::Localize) {
+    if (i < tokens.size() && tokens[i] != "k" && tokens[i] != "algorithm")
+      spec.failures = parse_size(tokens[i++], line);
+    spec.algorithm = "qos";  // cheap deterministic placement to observe
+  } else {
+    if (i < tokens.size() && tokens[i] != "k")
+      spec.algorithm = lower(tokens[i++]);
+  }
+  for (; i + 1 < tokens.size(); i += 2) {
+    const std::string& key = tokens[i];
+    if (key == "k") spec.k = parse_size(tokens[i + 1], line);
+    else if (key == "algorithm") spec.algorithm = lower(tokens[i + 1]);
+    else fail(line, "unknown request key '" + key + "'");
+  }
+  if (i != tokens.size()) fail(line, "dangling token '" + tokens[i] + "'");
+  if (spec.k < 1) fail(line, "k must be >= 1");
+  return spec;
+}
+
+}  // namespace
+
+Algorithm parse_algorithm(const std::string& name) {
+  const std::string id = lower(name);
+  if (id == "gd") return Algorithm::GD;
+  if (id == "gc") return Algorithm::GC;
+  if (id == "gi") return Algorithm::GI;
+  if (id == "qos") return Algorithm::QoS;
+  if (id == "rd") return Algorithm::RD;
+  if (id == "bf") return Algorithm::BF;
+  throw InvalidInput("unknown algorithm '" + name + "'");
+}
+
+ReplaySpec parse_replay(std::istream& in) {
+  ReplaySpec spec;
+  std::string raw;
+  std::size_t line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const std::string uncommented = raw.substr(0, raw.find('#'));
+    if (trim(uncommented).empty()) continue;
+    const std::vector<std::string> tokens = tokenize(trim(uncommented));
+    const std::string& key = tokens[0];
+    if (key == "threads") {
+      if (tokens.size() != 2) fail(line, "threads needs one value");
+      spec.threads = parse_size(tokens[1], line);
+    } else if (key == "queue-depth") {
+      if (tokens.size() != 2) fail(line, "queue-depth needs one value");
+      spec.queue_depth = parse_size(tokens[1], line);
+      if (spec.queue_depth < 1) fail(line, "queue-depth must be >= 1");
+    } else if (key == "cache") {
+      if (tokens.size() != 2) fail(line, "cache needs one value");
+      spec.cache_capacity = parse_size(tokens[1], line);
+    } else if (key == "repeat") {
+      if (tokens.size() != 2) fail(line, "repeat needs one value");
+      spec.repeat = parse_size(tokens[1], line);
+      if (spec.repeat < 1) fail(line, "repeat must be >= 1");
+    } else if (key == "snapshot") {
+      spec.snapshots.push_back(parse_snapshot_line(tokens, line));
+    } else if (key == "place") {
+      spec.requests.push_back(
+          parse_request_line(RequestType::Place, tokens, line));
+    } else if (key == "evaluate") {
+      spec.requests.push_back(
+          parse_request_line(RequestType::Evaluate, tokens, line));
+    } else if (key == "localize") {
+      spec.requests.push_back(
+          parse_request_line(RequestType::Localize, tokens, line));
+    } else {
+      fail(line, "unknown directive '" + key + "'");
+    }
+  }
+  if (spec.snapshots.empty()) throw InvalidInput("replay: no snapshots");
+  if (spec.requests.empty()) throw InvalidInput("replay: no requests");
+  return spec;
+}
+
+ReplaySpec parse_replay(const std::string& text) {
+  std::istringstream in(text);
+  return parse_replay(in);
+}
+
+ReplayWorkload build_replay_workload(const ReplaySpec& spec) {
+  ReplayWorkload workload;
+  workload.registry = std::make_shared<SnapshotRegistry>();
+
+  std::map<std::string, std::uint64_t> hash_by_name;
+  for (const ReplaySnapshotSpec& snap : spec.snapshots) {
+    const topology::CatalogEntry& entry =
+        topology::catalog_entry(snap.topology);
+    Graph g = topology::build(entry);
+    const std::vector<NodeId> clients = topology::candidate_clients(entry, g);
+    const std::size_t services =
+        snap.services == 0 ? entry.services : snap.services;
+    std::vector<Service> service_list;
+    std::size_t cursor = 0;
+    for (std::size_t s = 0; s < services; ++s) {
+      Service svc;
+      svc.name = snap.name + "/svc" + std::to_string(s);
+      svc.alpha = snap.alpha;
+      for (std::size_t c = 0; c < snap.clients_per_service; ++c) {
+        svc.clients.push_back(clients[cursor]);
+        cursor = (cursor + 1) % clients.size();
+      }
+      service_list.push_back(std::move(svc));
+    }
+    const auto snapshot = workload.registry->add(snap.name, std::move(g),
+                                                 std::move(service_list));
+    hash_by_name[snap.name] = snapshot->hash();
+  }
+
+  // Placements for evaluate/localize lines come from direct library calls —
+  // they double as the reference the engine's responses must match.
+  std::map<std::pair<std::string, std::string>, Placement> placements;
+  auto placement_for = [&](const ReplayRequestSpec& request) -> Placement {
+    const auto key = std::make_pair(request.snapshot, request.algorithm);
+    auto it = placements.find(key);
+    if (it != placements.end()) return it->second;
+    const auto snapshot = workload.registry->find_by_name(request.snapshot);
+    Rng rng(42);
+    Placement placement = compute_placement(
+        snapshot->instance(), parse_algorithm(request.algorithm), rng);
+    placements.emplace(key, placement);
+    return placement;
+  };
+
+  for (std::size_t line = 0; line < spec.requests.size(); ++line) {
+    const ReplayRequestSpec& request = spec.requests[line];
+    const auto name_it = hash_by_name.find(request.snapshot);
+    if (name_it == hash_by_name.end())
+      throw InvalidInput("replay: request names unknown snapshot '" +
+                         request.snapshot + "'");
+    const std::uint64_t snapshot_hash = name_it->second;
+
+    if (request.type == RequestType::Place) {
+      ReplayRequest replay;
+      replay.type = RequestType::Place;
+      replay.place.snapshot = snapshot_hash;
+      replay.place.algorithm = parse_algorithm(request.algorithm);
+      replay.place.k = request.k;
+      for (std::size_t it = 0; it < spec.repeat; ++it)
+        workload.requests.push_back(replay);
+      continue;
+    }
+
+    const Placement placement = placement_for(request);
+    if (request.type == RequestType::Evaluate) {
+      ReplayRequest replay;
+      replay.type = RequestType::Evaluate;
+      replay.evaluate.snapshot = snapshot_hash;
+      replay.evaluate.placement = placement;
+      replay.evaluate.k = request.k;
+      for (std::size_t it = 0; it < spec.repeat; ++it)
+        workload.requests.push_back(replay);
+      continue;
+    }
+
+    const auto snapshot = workload.registry->find_by_name(request.snapshot);
+    const PathSet paths = snapshot->instance().paths_for_placement(placement);
+    const std::size_t failures =
+        std::min(request.failures, snapshot->instance().node_count());
+    for (std::size_t it = 0; it < spec.repeat; ++it) {
+      // Fresh failure draw per iteration: localize traffic stays
+      // cache-resistant, unlike the repeated place/evaluate lines.
+      Rng rng(1000003u * (line + 1) + it);
+      const FailureScenario scenario = random_scenario(paths, failures, rng);
+      ReplayRequest replay;
+      replay.type = RequestType::Localize;
+      replay.localize.snapshot = snapshot_hash;
+      replay.localize.placement = placement;
+      replay.localize.k = request.k;
+      for (std::size_t p : scenario.failed_paths.to_indices())
+        replay.localize.failed_paths.push_back(
+            static_cast<std::uint32_t>(p));
+      workload.requests.push_back(std::move(replay));
+    }
+  }
+  return workload;
+}
+
+ReplayReport run_replay(const ReplayWorkload& workload, EngineConfig config) {
+  Engine engine(workload.registry, config);
+  ReplayReport report;
+  report.total = workload.requests.size();
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<EngineResult>> futures;
+  futures.reserve(workload.requests.size());
+  for (const ReplayRequest& request : workload.requests) {
+    switch (request.type) {
+      case RequestType::Place:
+        futures.push_back(engine.submit(request.place));
+        break;
+      case RequestType::Evaluate:
+        futures.push_back(engine.submit(request.evaluate));
+        break;
+      case RequestType::Localize:
+        futures.push_back(engine.submit(request.localize));
+        break;
+    }
+  }
+  for (std::future<EngineResult>& future : futures) {
+    const EngineResult result = future.get();
+    switch (result.outcome) {
+      case Outcome::Ok: ++report.ok; break;
+      case Outcome::RejectedQueueFull: ++report.rejected_queue_full; break;
+      case Outcome::RejectedDeadline: ++report.rejected_deadline; break;
+      case Outcome::RejectedBadRequest: ++report.rejected_bad_request; break;
+    }
+    if (result.cache_hit) ++report.cache_hits;
+  }
+  report.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  report.requests_per_second =
+      report.wall_seconds <= 0
+          ? 0.0
+          : static_cast<double>(report.total) / report.wall_seconds;
+  report.metrics = engine.metrics();
+  return report;
+}
+
+ReplayReport run_replay(const ReplaySpec& spec) {
+  return run_replay(build_replay_workload(spec), spec.engine_config());
+}
+
+}  // namespace splace::engine

@@ -1,0 +1,112 @@
+// Replay scenarios: a line-oriented description of a mixed request stream
+// fired through the serving engine (consumed by `splace_cli --replay` and
+// bench_engine). The format mirrors core/scenario.hpp's style:
+//
+//   # engine configuration
+//   threads 4                 # engine workers (0 = hardware concurrency)
+//   queue-depth 256           # admission limit
+//   cache 1024                # LRU capacity in entries (0 = off)
+//   repeat 50                 # fire the request list this many times
+//
+//   # one or more named snapshots (catalog topologies)
+//   snapshot net1 topology tiscali alpha 0.6 services 5 clients 3
+//
+//   # the request mix, each line one request per repeat iteration
+//   place net1 gd             # algorithm: gd|gc|gi|qos|rd|bf
+//   place net1 gc k 1
+//   evaluate net1 qos         # evaluates that algorithm's placement
+//   localize net1 2           # inject 2 random failures (deterministic
+//                             # per-line, per-iteration seeds)
+//
+// Place/evaluate lines repeat identically across iterations (exercising the
+// result cache); localize lines draw fresh failure sets every iteration
+// (cache-resistant work). Unknown keys and malformed values are rejected
+// with line-numbered InvalidInput errors.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace splace::engine {
+
+struct ReplaySnapshotSpec {
+  std::string name;
+  std::string topology;  ///< catalog entry name
+  double alpha = 0.6;
+  std::size_t services = 0;  ///< 0 = the catalog entry's default
+  std::size_t clients_per_service = 3;
+};
+
+struct ReplayRequestSpec {
+  RequestType type = RequestType::Place;
+  std::string snapshot;
+  std::string algorithm = "gd";  ///< place: algorithm; evaluate: placement
+  std::size_t k = 1;
+  std::size_t failures = 1;      ///< localize only
+};
+
+struct ReplaySpec {
+  std::size_t threads = 0;
+  std::size_t queue_depth = 256;
+  std::size_t cache_capacity = 1024;
+  std::size_t repeat = 1;
+  std::vector<ReplaySnapshotSpec> snapshots;
+  std::vector<ReplayRequestSpec> requests;
+
+  EngineConfig engine_config() const {
+    return EngineConfig{threads, queue_depth, cache_capacity};
+  }
+};
+
+ReplaySpec parse_replay(std::istream& in);
+ReplaySpec parse_replay(const std::string& text);
+
+/// "gd"/"gc"/"gi"/"qos"/"rd"/"bf" (case-insensitive) -> Algorithm.
+Algorithm parse_algorithm(const std::string& name);
+
+/// A materialized workload: the registry with every named snapshot built,
+/// plus the full request list (repeat iterations expanded, evaluate/localize
+/// placements precomputed by direct library calls, localize failure draws
+/// seeded deterministically per line and iteration).
+struct ReplayRequest {
+  RequestType type = RequestType::Place;
+  PlaceRequest place;
+  EvaluateRequest evaluate;
+  LocalizeRequest localize;
+};
+
+struct ReplayWorkload {
+  std::shared_ptr<SnapshotRegistry> registry;
+  std::vector<ReplayRequest> requests;
+};
+
+ReplayWorkload build_replay_workload(const ReplaySpec& spec);
+
+/// Outcome tally of one replay run. `total == ok + rejected counters` by
+/// construction — a lost response would break that invariant.
+struct ReplayReport {
+  std::size_t total = 0;
+  std::size_t ok = 0;
+  std::size_t cache_hits = 0;
+  std::size_t rejected_queue_full = 0;
+  std::size_t rejected_deadline = 0;
+  std::size_t rejected_bad_request = 0;
+  double wall_seconds = 0;
+  double requests_per_second = 0;
+  EngineMetricsSnapshot metrics;  ///< engine state after the run
+};
+
+/// Fires the workload through a fresh engine with `config` and waits for
+/// every response.
+ReplayReport run_replay(const ReplayWorkload& workload, EngineConfig config);
+
+/// Convenience: build the workload and run it with the spec's own engine
+/// configuration.
+ReplayReport run_replay(const ReplaySpec& spec);
+
+}  // namespace splace::engine

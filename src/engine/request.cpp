@@ -1,0 +1,79 @@
+#include "engine/request.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace splace::engine {
+
+std::string to_string(RequestType type) {
+  switch (type) {
+    case RequestType::Place: return "place";
+    case RequestType::Evaluate: return "evaluate";
+    case RequestType::Localize: return "localize";
+  }
+  throw ContractViolation("unknown request type");
+}
+
+std::string to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::Ok: return "ok";
+    case Outcome::RejectedQueueFull: return "rejected_queue_full";
+    case Outcome::RejectedDeadline: return "rejected_deadline";
+    case Outcome::RejectedBadRequest: return "rejected_bad_request";
+  }
+  throw ContractViolation("unknown outcome");
+}
+
+bool is_rejected(Outcome outcome) { return outcome != Outcome::Ok; }
+
+namespace {
+
+void append_placement(std::ostringstream& key, const Placement& placement) {
+  key << "|p=";
+  for (std::size_t s = 0; s < placement.size(); ++s) {
+    if (s > 0) key << ',';
+    key << placement[s];
+  }
+}
+
+}  // namespace
+
+std::string canonical_key(const PlaceRequest& request) {
+  std::ostringstream key;
+  key << "place|" << std::hex << request.snapshot << std::dec << '|'
+      << to_string(request.algorithm) << "|k=" << request.k;
+  // Only RD consumes randomness; a seed on any other algorithm is noise
+  // that must not split the cache.
+  if (request.algorithm == Algorithm::RD) key << "|seed=" << request.seed;
+  return key.str();
+}
+
+std::string canonical_key(const EvaluateRequest& request) {
+  std::ostringstream key;
+  key << "evaluate|" << std::hex << request.snapshot << std::dec
+      << "|k=" << request.k;
+  append_placement(key, request.placement);
+  return key.str();
+}
+
+std::string canonical_key(const LocalizeRequest& request) {
+  std::ostringstream key;
+  key << "localize|" << std::hex << request.snapshot << std::dec
+      << "|k=" << request.k;
+  append_placement(key, request.placement);
+  key << "|f=";
+  // Observations are sets of path indices: order and duplicates do not
+  // change the observed binary vector, so the key sorts and dedupes.
+  std::vector<std::uint32_t> failed = request.failed_paths;
+  std::sort(failed.begin(), failed.end());
+  failed.erase(std::unique(failed.begin(), failed.end()), failed.end());
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    if (i > 0) key << ',';
+    key << failed[i];
+  }
+  return key.str();
+}
+
+}  // namespace splace::engine

@@ -1,0 +1,105 @@
+// Typed requests and responses for the serving engine.
+//
+// A request names a snapshot by content hash plus the normalized parameters
+// of one library operation; the response carries either the operation's
+// result (bit-identical to the direct library call — the engine adds no
+// numeric processing of its own) or an explicit rejection. Rejections are
+// data, not exceptions: an overloaded or misused engine degrades gracefully
+// instead of crashing a serving process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/metrics_report.hpp"
+#include "placement/service.hpp"
+
+namespace splace::engine {
+
+enum class RequestType { Place, Evaluate, Localize };
+
+/// Why a request produced no result. Ok is the only success outcome.
+enum class Outcome {
+  Ok,
+  RejectedQueueFull,    ///< admission control: queue depth limit reached
+  RejectedDeadline,     ///< request's deadline expired before execution
+  RejectedBadRequest,   ///< unknown snapshot / malformed parameters
+};
+
+std::string to_string(RequestType type);
+std::string to_string(Outcome outcome);
+bool is_rejected(Outcome outcome);
+
+/// Compute a placement on a snapshot with one of the paper's algorithms.
+struct PlaceRequest {
+  std::uint64_t snapshot = 0;          ///< SnapshotRegistry content hash
+  Algorithm algorithm = Algorithm::GD;
+  std::size_t k = 1;                   ///< failure bound (greedy objectives)
+  std::uint64_t seed = 42;             ///< RNG seed (RD only)
+  /// Intra-request worker threads for the greedy arg-max (1 = sequential).
+  /// NOT part of the cache key: placements are bit-identical across thread
+  /// counts (PR 2's determinism contract), so thread count is purely speed.
+  std::size_t threads = 1;
+  double deadline_seconds = 0;         ///< 0 = no deadline
+};
+
+/// Evaluate the metric triple of a given placement at failure bound k.
+struct EvaluateRequest {
+  std::uint64_t snapshot = 0;
+  Placement placement;
+  std::size_t k = 1;
+  double deadline_seconds = 0;
+};
+
+/// Localize failures from a binary path observation: `failed_paths` are
+/// indices into paths_for_placement(placement) (deterministic order).
+struct LocalizeRequest {
+  std::uint64_t snapshot = 0;
+  Placement placement;
+  std::vector<std::uint32_t> failed_paths;
+  std::size_t k = 1;
+  double deadline_seconds = 0;
+};
+
+struct PlaceResult {
+  Placement placement;
+  /// f(P) reported by the greedy search (0 for QoS/RD/BF placements).
+  double objective_value = 0;
+  MetricReport metrics;  ///< the placement's metric triple at the request's k
+};
+
+struct LocalizeResult {
+  std::vector<NodeId> suspects;                     ///< ascending ids
+  std::vector<NodeId> exonerated;                   ///< ascending ids
+  std::vector<std::vector<NodeId>> consistent_sets; ///< sorted member lists
+  std::vector<NodeId> minimal_explanation;
+};
+
+/// One response. Exactly one payload field is meaningful, selected by
+/// `type`, and only when `outcome == Ok`.
+struct EngineResult {
+  RequestType type = RequestType::Place;
+  Outcome outcome = Outcome::Ok;
+  std::string message;          ///< rejection detail (empty on Ok)
+  bool cache_hit = false;
+  double latency_seconds = 0;   ///< submit-to-completion, queue wait included
+  PlaceResult place;
+  MetricReport metrics;
+  LocalizeResult localization;
+
+  bool ok() const { return outcome == Outcome::Ok; }
+};
+
+/// Canonical cache keys: a request's normalized field encoding prefixed by
+/// the snapshot hash. Two requests with equal keys are guaranteed equal
+/// results (determinism contract), so the result cache compares full keys —
+/// a 64-bit hash collision can never serve a wrong result. Normalization
+/// drops fields that cannot change the result: `threads`, deadlines, and
+/// the seed for every algorithm except RD.
+std::string canonical_key(const PlaceRequest& request);
+std::string canonical_key(const EvaluateRequest& request);
+std::string canonical_key(const LocalizeRequest& request);
+
+}  // namespace splace::engine

@@ -1,0 +1,104 @@
+#include "engine/snapshot.hpp"
+
+#include <utility>
+
+namespace splace::engine {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t value) {
+  // Hash every byte of the value so adjacent small fields cannot alias.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+void mix(std::uint64_t& h, const std::string& text) {
+  mix(h, text.size());
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t double_bits(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+std::uint64_t topology_content_hash(const Graph& graph,
+                                    const std::vector<Service>& services) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, graph.node_count());
+  mix(h, graph.edge_count());
+  for (const Edge& e : graph.edges()) {
+    mix(h, e.u);
+    mix(h, e.v);
+  }
+  mix(h, services.size());
+  for (const Service& s : services) {
+    mix(h, s.name);
+    mix(h, s.clients.size());
+    for (NodeId c : s.clients) mix(h, c);
+    mix(h, double_bits(s.alpha));
+    mix(h, double_bits(s.demand));
+  }
+  return h;
+}
+
+TopologySnapshot::TopologySnapshot(std::string name, Graph graph,
+                                   std::vector<Service> services)
+    : name_(std::move(name)),
+      hash_(topology_content_hash(graph, services)) {
+  instance_ = std::make_shared<const ProblemInstance>(std::move(graph),
+                                                      std::move(services));
+}
+
+std::shared_ptr<const TopologySnapshot> SnapshotRegistry::add(
+    std::string name, Graph graph, std::vector<Service> services) {
+  const std::uint64_t hash = topology_content_hash(graph, services);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = by_hash_.find(hash);
+    if (it != by_hash_.end()) {
+      by_name_[std::move(name)] = hash;
+      return it->second;
+    }
+  }
+  auto snapshot = std::make_shared<const TopologySnapshot>(
+      name, std::move(graph), std::move(services));
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto [it, inserted] = by_hash_.emplace(hash, snapshot);
+  by_name_[std::move(name)] = hash;
+  return inserted ? snapshot : it->second;
+}
+
+std::shared_ptr<const TopologySnapshot> SnapshotRegistry::find(
+    std::uint64_t hash) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = by_hash_.find(hash);
+  return it == by_hash_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const TopologySnapshot> SnapshotRegistry::find_by_name(
+    const std::string& name) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  auto hash_it = by_hash_.find(it->second);
+  return hash_it == by_hash_.end() ? nullptr : hash_it->second;
+}
+
+std::size_t SnapshotRegistry::size() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return by_hash_.size();
+}
+
+}  // namespace splace::engine

@@ -1,0 +1,80 @@
+// Immutable topology snapshots for the serving engine.
+//
+// Building a ProblemInstance is the expensive part of answering any
+// placement/evaluation/localization request: it runs all-pairs BFS routing
+// and materializes every candidate path set. A TopologySnapshot freezes one
+// such instance behind a shared_ptr so an arbitrary number of concurrent
+// requests can read it without recomputing routing, and the SnapshotRegistry
+// deduplicates snapshots by a content hash of (graph, services) — two
+// tenants registering the same topology share one instance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "placement/service.hpp"
+
+namespace splace::engine {
+
+/// FNV-1a content hash of a topology + service list: node count, every edge,
+/// and every service's (name, clients, alpha, demand). Two inputs that hash
+/// equal are treated as the same snapshot, so the hash covers every field
+/// that influences placement/evaluation results.
+std::uint64_t topology_content_hash(const Graph& graph,
+                                    const std::vector<Service>& services);
+
+/// One immutable, shareable problem instance. All accessors are const and
+/// safe to call from any number of threads concurrently.
+class TopologySnapshot {
+ public:
+  /// Builds routing and candidate paths once (the expensive step).
+  /// Validation mirrors ProblemInstance's constructor preconditions.
+  TopologySnapshot(std::string name, Graph graph,
+                   std::vector<Service> services);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t hash() const { return hash_; }
+  const ProblemInstance& instance() const { return *instance_; }
+  std::shared_ptr<const ProblemInstance> instance_ptr() const {
+    return instance_;
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t hash_;
+  std::shared_ptr<const ProblemInstance> instance_;
+};
+
+/// Thread-safe registry of snapshots keyed by content hash. Registration is
+/// idempotent: adding content that hashes to an existing snapshot returns
+/// the existing one without rebuilding routing.
+class SnapshotRegistry {
+ public:
+  /// Registers (or re-finds) a snapshot. The expensive instance build runs
+  /// outside the registry lock, so lookups never block behind it; if two
+  /// threads race to add the same content, the first insert wins and the
+  /// loser's instance is discarded.
+  std::shared_ptr<const TopologySnapshot> add(std::string name, Graph graph,
+                                              std::vector<Service> services);
+
+  /// Snapshot by content hash, or nullptr when absent.
+  std::shared_ptr<const TopologySnapshot> find(std::uint64_t hash) const;
+
+  /// Snapshot by registration name (latest registration wins), or nullptr.
+  std::shared_ptr<const TopologySnapshot> find_by_name(
+      const std::string& name) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::shared_ptr<const TopologySnapshot>> by_hash_;
+  std::map<std::string, std::uint64_t> by_name_;
+};
+
+}  // namespace splace::engine

@@ -11,8 +11,12 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace splace {
@@ -32,6 +36,22 @@ class ThreadPool {
 
   /// Enqueues a task. Must not be called after destruction begins.
   void submit(std::function<void()> task);
+
+  /// Enqueues a callable and returns a future for its result. Exceptions
+  /// thrown by `fn` travel through the future, NOT through wait()'s
+  /// first-error channel — a submit_with_result failure never poisons an
+  /// unrelated caller's wait(). This is the per-request channel the serving
+  /// engine uses: many clients can await their own results independently.
+  template <typename F>
+  std::future<std::invoke_result_t<std::decay_t<F>>> submit_with_result(
+      F&& fn) {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    submit([task] { (*task)(); });
+    return future;
+  }
 
   /// Blocks until every submitted task has finished; rethrows the first
   /// task exception, if any (clearing it for subsequent waits).

@@ -63,6 +63,56 @@ TEST(ThreadPool, PropagatesFirstException) {
   EXPECT_NO_THROW(pool.wait());
 }
 
+TEST(ThreadPool, WaitClearsRethrownErrorSoSubsequentWaitSucceeds) {
+  // Documented contract (thread_pool.hpp): wait() rethrows the FIRST task
+  // exception and clears it, so the next wait() — with or without new work
+  // in between — must not see the stale error again.
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_NO_THROW(pool.wait());  // immediately after: error consumed
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&counter] { ++counter; });
+  EXPECT_NO_THROW(pool.wait());  // after new clean work: still clean
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, SubmitWithResultDeliversValue) {
+  ThreadPool pool(2);
+  std::future<int> future = pool.submit_with_result([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitWithResultSupportsVoidAndMoveOnlyState) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  auto ptr = std::make_unique<int>(9);
+  std::future<void> done = pool.submit_with_result(
+      [&ran, ptr = std::move(ptr)] { ran = *ptr == 9; });
+  done.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, SubmitWithResultRoutesExceptionsThroughTheFuture) {
+  // The future is the error channel: a failing submit_with_result task must
+  // not poison wait()'s first-error slot for unrelated callers.
+  ThreadPool pool(2);
+  std::future<int> future = pool.submit_with_result(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  pool.submit([] {});
+  EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPool, SubmitWithResultManyConcurrentFutures) {
+  ThreadPool pool(4);
+  std::vector<std::future<std::size_t>> futures;
+  for (std::size_t i = 0; i < 100; ++i)
+    futures.push_back(pool.submit_with_result([i] { return i * i; }));
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    EXPECT_EQ(futures[i].get(), i * i);
+}
+
 TEST(ThreadPool, NullTaskRejected) {
   ThreadPool pool(1);
   EXPECT_THROW(pool.submit(nullptr), ContractViolation);
