@@ -1,0 +1,339 @@
+// Dynamic-topology benchmark: cost of topology churn with and without the
+// incremental machinery. For each topology and churn scenario it times
+//   * derive_instance (structural sharing) vs a from-scratch
+//     ProblemInstance build of the post-churn topology, and
+//   * repair_placement (warm-start greedy from the parent trace) vs a full
+//     greedy_placement re-run on the derived instance,
+// and checks that repair matches the full re-run's objective exactly.
+// Emits BENCH_churn.json in the shared bench envelope. Single-process,
+// single-machine numbers — see ROADMAP.md for the CPU caveat.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dynamic/delta.hpp"
+#include "dynamic/repair.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "placement/greedy.hpp"
+#include "topology/catalog.hpp"
+#include "util/random.hpp"
+
+namespace splace::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename Fn>
+double time_seconds(Fn&& fn, std::size_t reps) {
+  double best = 0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const Clock::time_point start = Clock::now();
+    fn();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+struct BenchTopology {
+  std::string name;
+  ProblemInstance instance;
+  bool largest = false;
+};
+
+bool delta_lists_link(const TopologyDelta& delta, NodeId u, NodeId v) {
+  const auto matches = [&](const Edge& e) {
+    return (e.u == u && e.v == v) || (e.u == v && e.v == u);
+  };
+  return std::any_of(delta.add_links.begin(), delta.add_links.end(),
+                     matches) ||
+         std::any_of(delta.remove_links.begin(), delta.remove_links.end(),
+                     matches);
+}
+
+/// `links` random absent links added to the topology.
+TopologyDelta add_random_delta(const Graph& g, std::size_t links, Rng& rng) {
+  TopologyDelta delta;
+  const NodeId n = static_cast<NodeId>(g.node_count());
+  for (std::size_t attempt = 0;
+       attempt < 500 * links && delta.add_links.size() < links; ++attempt) {
+    const NodeId u = static_cast<NodeId>(rng.uniform(0, n - 1));
+    const NodeId v = static_cast<NodeId>(rng.uniform(0, n - 1));
+    if (u == v || g.has_edge(u, v) || delta_lists_link(delta, u, v)) continue;
+    delta.add_links.push_back(Edge{u, v});
+  }
+  return delta;
+}
+
+/// `links` random removals that keep the graph connected.
+TopologyDelta remove_random_delta(const Graph& g, std::size_t links,
+                                  Rng& rng) {
+  TopologyDelta delta;
+  Graph scratch = g;
+  for (std::size_t attempt = 0;
+       attempt < 200 * links && delta.remove_links.size() < links;
+       ++attempt) {
+    const Edge e = scratch.edges()[static_cast<std::size_t>(
+        rng.uniform(0, scratch.edges().size() - 1))];
+    if (delta_lists_link(delta, e.u, e.v)) continue;
+    Graph trial = scratch;
+    trial.remove_edge(e.u, e.v);
+    if (!is_connected(trial)) continue;
+    scratch = std::move(trial);
+    delta.remove_links.push_back(e);
+  }
+  return delta;
+}
+
+/// Single-link removal that touches no service: the recomputed BFS roots
+/// are never the min(client, host) root of any measurement path set, so
+/// every plan is shared and the repair trace replays end to end. Empty
+/// delta when the topology has none.
+TopologyDelta untouched_remove_delta(const ProblemInstance& parent) {
+  for (const Edge& e : parent.graph().edges()) {
+    TopologyDelta delta;
+    delta.remove_links.push_back(e);
+    DeriveStats stats;
+    try {
+      derive_instance(parent, delta, &stats);
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (stats.services_reused == stats.services_total) return delta;
+  }
+  return TopologyDelta{};
+}
+
+struct Row {
+  std::string topology;
+  std::string scenario;
+  std::size_t churn_links = 0;
+  double derive_seconds = 0;
+  double rebuild_seconds = 0;
+  double derive_speedup = 0;
+  double repair_seconds = 0;
+  double replace_seconds = 0;
+  double repair_speedup = 0;
+  double objective_ratio = 0;
+  bool prefix_valid = false;
+  bool kept_stale = false;
+  std::size_t trees_recomputed = 0;
+  std::size_t services_recomputed = 0;
+};
+
+Row run_case(const BenchTopology& topo, const std::string& scenario,
+             const TopologyDelta& delta, const GreedyResult& trace,
+             std::size_t reps) {
+  Row row;
+  row.topology = topo.name;
+  row.scenario = scenario;
+  row.churn_links = delta.link_mutations();
+  const ProblemInstance& parent = topo.instance;
+
+  Graph updated_graph = apply_delta(parent.graph(), delta);
+  std::vector<Service> updated_services =
+      apply_delta(parent.services(), delta, parent.node_count());
+
+  DeriveStats stats;
+  std::shared_ptr<const ProblemInstance> derived;
+  row.derive_seconds = time_seconds(
+      [&] { derived = derive_instance(parent, delta, &stats); }, reps);
+  row.rebuild_seconds = time_seconds(
+      [&] { ProblemInstance scratch(updated_graph, updated_services); },
+      reps);
+  row.derive_speedup = row.derive_seconds <= 0
+                           ? 0
+                           : row.rebuild_seconds / row.derive_seconds;
+  row.trees_recomputed = stats.trees_total - stats.trees_reused;
+  row.services_recomputed = stats.services_total - stats.services_reused;
+
+  const ObjectiveKind kind = ObjectiveKind::Distinguishability;
+  RepairResult repaired;
+  row.repair_seconds = time_seconds(
+      [&] {
+        repaired = repair_placement(*derived, kind, 1, trace,
+                                    touched_services(parent, *derived));
+      },
+      reps);
+  GreedyResult full;
+  row.replace_seconds =
+      time_seconds([&] { full = greedy_placement(*derived, kind, 1); }, reps);
+  row.repair_speedup = row.repair_seconds <= 0
+                           ? 0
+                           : row.replace_seconds / row.repair_seconds;
+  row.objective_ratio = full.objective_value <= 0
+                            ? 1.0
+                            : repaired.objective_value / full.objective_value;
+  row.prefix_valid = repaired.trace_prefix_valid;
+  row.kept_stale = repaired.kept_stale;
+  return row;
+}
+
+void append_row_json(std::ostringstream& json, const Row& row, bool first) {
+  if (!first) json << ",";
+  json << "\n      {\"topology\": \"" << row.topology << "\", \"scenario\": \""
+       << row.scenario << "\", \"churn_links\": " << row.churn_links
+       << ", \"derive_seconds\": " << row.derive_seconds
+       << ", \"rebuild_seconds\": " << row.rebuild_seconds
+       << ", \"derive_speedup\": " << row.derive_speedup
+       << ", \"repair_seconds\": " << row.repair_seconds
+       << ", \"replace_seconds\": " << row.replace_seconds
+       << ", \"repair_speedup\": " << row.repair_speedup
+       << ", \"objective_ratio\": " << row.objective_ratio
+       << ", \"prefix_valid\": " << (row.prefix_valid ? "true" : "false")
+       << ", \"kept_stale\": " << (row.kept_stale ? "true" : "false")
+       << ", \"trees_recomputed\": " << row.trees_recomputed
+       << ", \"services_recomputed\": " << row.services_recomputed << "}";
+}
+
+ProblemInstance catalog_instance(const std::string& name) {
+  const topology::CatalogEntry& entry = topology::catalog_entry(name);
+  Graph g = topology::build(entry);
+  const std::vector<NodeId> clients = topology::candidate_clients(entry, g);
+  std::vector<Service> services = make_services(entry, clients, 0.6);
+  return ProblemInstance(std::move(g), std::move(services));
+}
+
+/// Rocketfuel-scale synthetic: a 350-node preferential-attachment graph
+/// (m = 3, the densest regime the catalog's ISP graphs approximate) with
+/// ten 3-client services spread deterministically. Clients stay in the
+/// low-id third so the high-id fringe holds links whose churn touches no
+/// measurement path set (the remove-untouched scenario).
+ProblemInstance synthetic_instance() {
+  Rng rng(2024);
+  Graph g = preferential_attachment(350, 3, rng);
+  std::vector<Service> services(10);
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    services[s].name = "svc" + std::to_string(s);
+    services[s].alpha = 0.6;
+    for (std::size_t c = 0; c < 3; ++c)
+      services[s].clients.push_back(
+          static_cast<NodeId>((37 * s + 101 * c + 11) % 120));
+  }
+  return ProblemInstance(std::move(g), std::move(services));
+}
+
+}  // namespace
+}  // namespace splace::bench
+
+int main() {
+  using namespace splace;
+  using namespace splace::bench;
+
+  std::vector<BenchTopology> topologies;
+  topologies.push_back({"abovenet", catalog_instance("abovenet"), false});
+  topologies.push_back({"tiscali", catalog_instance("tiscali"), false});
+  topologies.push_back({"att", catalog_instance("at&t"), false});
+  topologies.push_back({"ba350", synthetic_instance(), true});
+
+  constexpr std::size_t kReps = 5;
+  const std::size_t churn_levels[] = {1, 2, 4, 8};
+
+  std::cout << "==== topology churn: derive vs rebuild, repair vs re-run "
+               "====\n\n";
+  TablePrinter table({"topology", "scenario", "links", "derive (s)",
+                      "rebuild (s)", "dx", "repair (s)", "replace (s)", "rx",
+                      "ratio", "prefix", "stale"});
+  std::vector<Row> rows;
+  for (const BenchTopology& topo : topologies) {
+    const GreedyResult trace = greedy_placement(
+        topo.instance, ObjectiveKind::Distinguishability, 1);
+    for (const std::size_t links : churn_levels) {
+      Rng rng(7 * links + 1);
+      struct Scenario {
+        const char* name;
+        TopologyDelta delta;
+      };
+      std::vector<Scenario> scenarios;
+      scenarios.push_back(
+          {"add-random",
+           add_random_delta(topo.instance.graph(), links, rng)});
+      scenarios.push_back(
+          {"remove-random",
+           remove_random_delta(topo.instance.graph(), links, rng)});
+      if (links == 1)
+        scenarios.push_back(
+            {"remove-untouched", untouched_remove_delta(topo.instance)});
+      for (Scenario& scenario : scenarios) {
+        if (scenario.delta.link_mutations() != links) continue;
+        Row row =
+            run_case(topo, scenario.name, scenario.delta, trace, kReps);
+        table.add_row({row.topology, row.scenario,
+                       std::to_string(row.churn_links),
+                       format_double(row.derive_seconds, 6),
+                       format_double(row.rebuild_seconds, 6),
+                       format_double(row.derive_speedup, 1),
+                       format_double(row.repair_seconds, 6),
+                       format_double(row.replace_seconds, 6),
+                       format_double(row.repair_speedup, 1),
+                       format_double(row.objective_ratio, 3),
+                       row.prefix_valid ? "yes" : "no",
+                       row.kept_stale ? "yes" : "no"});
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  table.print(std::cout);
+
+  // Gates. (a) single-link derive speedup on the largest topology; (b) the
+  // greedy repair matches the full re-run exactly whenever the stale
+  // placement did not win outright, and never loses to it when it did;
+  // (c) prefix-valid deltas exist and all hit ratio 1.0 exactly.
+  double best_single_link = 0;
+  std::string largest_name;
+  for (const BenchTopology& topo : topologies)
+    if (topo.largest) largest_name = topo.name;
+  bool objectives_match = true;
+  std::size_t prefix_valid_rows = 0;
+  for (const Row& row : rows) {
+    if (row.topology == largest_name && row.churn_links == 1)
+      best_single_link = std::max(best_single_link, row.derive_speedup);
+    if (row.kept_stale
+            ? row.objective_ratio < 1.0 - 1e-9
+            : row.objective_ratio < 1.0 - 1e-9 ||
+                  row.objective_ratio > 1.0 + 1e-9)
+      objectives_match = false;
+    if (row.prefix_valid) {
+      ++prefix_valid_rows;
+      if (row.objective_ratio != 1.0) objectives_match = false;
+    }
+  }
+  std::cout << "\nsingle-link derive speedup on " << largest_name << ": "
+            << format_double(best_single_link, 1)
+            << "x (gate: >= 5x)\nrepair vs replace: "
+            << (objectives_match ? "consistent" : "MISMATCH") << " ("
+            << prefix_valid_rows << " prefix-valid rows)\n";
+
+  std::ostringstream json;
+  json << "{\n    \"largest_topology\": \"" << largest_name
+       << "\",\n    \"single_link_derive_speedup\": " << best_single_link
+       << ",\n    \"rows\": [";
+  bool first = true;
+  for (const Row& row : rows) {
+    append_row_json(json, row, first);
+    first = false;
+  }
+  json << "\n    ]}";
+  write_bench_json("BENCH_churn.json", "topology_churn", 1, json.str());
+
+  if (best_single_link < 5.0) {
+    std::cerr << "ERROR: single-link derive speedup below 5x ("
+              << best_single_link << ")\n";
+    return 1;
+  }
+  if (!objectives_match) {
+    std::cerr << "ERROR: repair objective diverged from full re-run\n";
+    return 1;
+  }
+  if (prefix_valid_rows == 0) {
+    std::cerr << "ERROR: no prefix-valid delta was exercised\n";
+    return 1;
+  }
+  return 0;
+}

@@ -5,26 +5,45 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Suites the sanitizer legs must cover. Listed explicitly so a renamed or
+# dropped suite fails the script instead of silently shrinking coverage.
+TSAN_SUITES="test_thread_pool test_greedy test_lazy_greedy test_determinism \
+  test_engine test_engine_stress test_dynamic test_dynamic_engine"
+ASAN_SUITES="test_thread_pool test_engine test_engine_stress \
+  test_dynamic test_dynamic_engine"
+
+require_suites() {
+  dir="$1"; shift
+  for t in "$@"; do
+    if [ ! -x "$dir/tests/$t" ]; then
+      echo "ERROR: expected suite binary $dir/tests/$t is missing" >&2
+      exit 1
+    fi
+  done
+}
+
 # TSan pass over the concurrency-sensitive suites: the thread pool itself,
-# the parallel placement engines (greedy / lazy greedy / brute force), and
-# the serving engine (snapshot registry, result cache, admission control).
+# the parallel placement engines (greedy / lazy greedy / brute force), the
+# serving engine (snapshot registry, result cache, admission control), and
+# the dynamic-topology subsystem (incremental derives, placement repair).
 cmake -B build-tsan -G Ninja -DSPLACE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan --target \
-  test_thread_pool test_greedy test_lazy_greedy test_determinism \
-  test_engine test_engine_stress
+# shellcheck disable=SC2086
+cmake --build build-tsan --target $TSAN_SUITES
+require_suites build-tsan $TSAN_SUITES
 ctest --test-dir build-tsan --output-on-failure \
-  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism|Engine"
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism|Engine|Dynamic"
 
 # ASan pass over the serving layer: the engine moves results through
-# futures, a shared LRU cache, and shared snapshots — lifetime bugs show
-# up here first.
+# futures, a shared LRU cache, and snapshots that share routing trees and
+# path sets across derived instances — lifetime bugs show up here first.
 cmake -B build-asan -G Ninja -DSPLACE_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-asan --target \
-  test_thread_pool test_engine test_engine_stress
+# shellcheck disable=SC2086
+cmake --build build-asan --target $ASAN_SUITES
+require_suites build-asan $ASAN_SUITES
 ctest --test-dir build-asan --output-on-failure \
-  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Engine"
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Engine|Dynamic"
 
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"

@@ -1,0 +1,61 @@
+// Warm-start placement repair after a topology delta.
+//
+// A full greedy re-run after every mutation wastes the work the delta did
+// not invalidate. repair_placement replays the parent's greedy trace
+// (GreedyResult::order / gains) on the derived instance, re-scoring only
+// services the delta touched: while every committed service is untouched,
+// the state equals the parent run's state at that step, so untouched
+// candidates keep their recorded gains and only touched candidates can
+// change the arg-max. The replay therefore commits the provably-unchanged
+// prefix for free and falls back to plain greedy from the first divergent
+// step — producing exactly the placement a full greedy re-run would.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "monitoring/objective.hpp"
+#include "placement/greedy.hpp"
+#include "placement/service.hpp"
+
+namespace splace {
+
+struct RepairOptions {
+  /// Bounded local-improvement passes after the greedy repair: each pass
+  /// applies the best strictly-improving single-service move (first in
+  /// (service, host) order among ties), stopping early when none exists.
+  /// 0 = pure greedy repair.
+  std::size_t improvement_passes = 0;
+};
+
+struct RepairResult {
+  Placement placement;
+  double objective_value = 0;
+  std::size_t prefix_commits = 0;   ///< trace steps replayed without scoring
+  bool trace_prefix_valid = false;  ///< whole trace replayed unchanged
+  bool kept_stale = false;          ///< stale placement beat the greedy repair
+  std::size_t gain_evaluations = 0; ///< ObjectiveState::gain calls made
+  std::size_t improvement_moves = 0;
+};
+
+/// Per-service "may have changed" flags for a derived instance, via
+/// ProblemInstance::shares_service_paths against its parent.
+std::vector<bool> touched_services(const ProblemInstance& parent,
+                                   const ProblemInstance& derived);
+
+/// Repairs `parent_trace` (a greedy run on the parent instance) against
+/// `derived` (the post-delta instance). Guarantees:
+///   * the greedy phase reproduces, bit-identically, what
+///     `greedy_placement(derived, kind, k)` would return — at the cost of
+///     scoring only touched services while the trace prefix holds;
+///   * the result is never worse in objective value than keeping the stale
+///     `parent_trace.placement`, whenever that placement is still feasible.
+/// `service_touched[s]` must be false only when service s's candidate hosts
+/// and path sets are unchanged from the parent (see touched_services).
+RepairResult repair_placement(const ProblemInstance& derived,
+                              ObjectiveKind kind, std::size_t k,
+                              const GreedyResult& parent_trace,
+                              const std::vector<bool>& service_touched,
+                              const RepairOptions& options = {});
+
+}  // namespace splace

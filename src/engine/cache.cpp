@@ -2,6 +2,17 @@
 
 namespace splace::engine {
 
+std::size_t estimate_bytes(const EngineResult& result) {
+  std::size_t bytes = sizeof(EngineResult) + result.message.size();
+  bytes += result.place.placement.size() * sizeof(NodeId);
+  bytes += result.localization.suspects.size() * sizeof(NodeId);
+  bytes += result.localization.exonerated.size() * sizeof(NodeId);
+  bytes += result.localization.minimal_explanation.size() * sizeof(NodeId);
+  for (const auto& set : result.localization.consistent_sets)
+    bytes += sizeof(set) + set.size() * sizeof(NodeId);
+  return bytes;
+}
+
 std::shared_ptr<const EngineResult> ResultCache::find(const std::string& key) {
   if (!enabled()) return nullptr;
   std::unique_lock<std::mutex> lock(mutex_);
@@ -28,9 +39,13 @@ void ResultCache::insert(const std::string& key,
   lru_.emplace_front(key, std::move(value));
   index_.emplace(key, lru_.begin());
   if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
+    const Entry& victim = lru_.back();
     ++stats_.evictions;
+    ++stats_.evictions_by_type[static_cast<std::size_t>(victim.second->type)];
+    stats_.evicted_bytes_estimate +=
+        victim.first.size() + estimate_bytes(*victim.second);
+    index_.erase(victim.first);
+    lru_.pop_back();
   }
 }
 

@@ -7,6 +7,7 @@
 // hit costs one refcount, not a payload copy.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -23,6 +24,13 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  /// Evictions split by the evicted result's request type (index by
+  /// static_cast<std::size_t>(RequestType)) — the signal the adaptive-
+  /// capacity policy needs to see *which* traffic the cache is shedding.
+  std::array<std::uint64_t, kRequestTypeCount> evictions_by_type{};
+  /// Approximate bytes released by evictions (key + estimate_bytes of the
+  /// payload).
+  std::uint64_t evicted_bytes_estimate = 0;
   std::size_t size = 0;
   std::size_t capacity = 0;
 
@@ -33,6 +41,11 @@ struct CacheStats {
                               static_cast<double>(lookups);
   }
 };
+
+/// Rough heap footprint of one cached result: the struct itself plus its
+/// dynamically sized payloads. An estimate for telemetry, not an allocator
+/// audit.
+std::size_t estimate_bytes(const EngineResult& result);
 
 class ResultCache {
  public:

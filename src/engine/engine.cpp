@@ -48,51 +48,83 @@ Engine::Engine(std::shared_ptr<SnapshotRegistry> registry, EngineConfig config)
   SPLACE_EXPECTS(config_.max_queue_depth >= 1);
 }
 
-template <typename Request>
-std::future<EngineResult> Engine::submit_impl(RequestType type,
-                                              Request request) {
+std::vector<std::future<EngineResult>> Engine::submit(
+    std::vector<Request> batch) {
   const Clock::time_point submitted = Clock::now();
-  metrics_.record_submitted();
+  std::vector<std::future<EngineResult>> futures(batch.size());
 
-  std::string key = canonical_key(request);
-  if (std::shared_ptr<const EngineResult> hit = cache_.find(key)) {
-    // Serve from cache without consuming a queue slot: the payload is the
-    // cached computation, only the bookkeeping fields are per-response.
-    EngineResult result = *hit;
-    result.cache_hit = true;
-    result.latency_seconds =
-        std::chrono::duration<double>(Clock::now() - submitted).count();
-    metrics_.record_response(type, result.outcome, true,
-                             result.latency_seconds);
-    return ready_future(std::move(result));
+  // Per-request bookkeeping and cache probe; cache hits answer immediately
+  // without consuming a queue slot (the payload is the cached computation,
+  // only the bookkeeping fields are per-response).
+  struct Candidate {
+    std::size_t index;
+    RequestType type;
+    std::string key;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    metrics_.record_submitted();
+    const RequestType type = request_type(batch[i]);
+    std::string key = canonical_key(batch[i]);
+    if (std::shared_ptr<const EngineResult> hit = cache_.find(key)) {
+      EngineResult result = *hit;
+      result.cache_hit = true;
+      result.latency_seconds =
+          std::chrono::duration<double>(Clock::now() - submitted).count();
+      metrics_.record_response(type, result.outcome, true,
+                               result.latency_seconds);
+      futures[i] = ready_future(std::move(result));
+      continue;
+    }
+    candidates.push_back(Candidate{i, type, std::move(key)});
   }
 
+  // One admission decision for the whole batch: the lock is taken once and
+  // slots are consumed in batch order, so a batch behaves exactly like the
+  // equivalent loop of single submissions minus the per-request lock trips.
+  std::vector<bool> admitted(candidates.size(), false);
   {
     std::unique_lock<std::mutex> lock(admission_mutex_);
-    if (pending_ >= config_.max_queue_depth) {
-      lock.unlock();
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (pending_ >= config_.max_queue_depth) break;
+      admitted[c] = true;
+      ++pending_;
+      metrics_.record_admitted(pending_);
+    }
+  }
+
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    Candidate& item = candidates[c];
+    if (!admitted[c]) {
       EngineResult result =
-          rejected(type, Outcome::RejectedQueueFull,
+          rejected(item.type, Outcome::RejectedQueueFull,
                    "queue depth limit " +
                        std::to_string(config_.max_queue_depth) + " reached");
       result.latency_seconds =
           std::chrono::duration<double>(Clock::now() - submitted).count();
-      metrics_.record_response(type, result.outcome, false,
+      metrics_.record_response(item.type, result.outcome, false,
                                result.latency_seconds);
-      return ready_future(std::move(result));
+      futures[item.index] = ready_future(std::move(result));
+      continue;
     }
-    ++pending_;
-    metrics_.record_admitted(pending_);
+    futures[item.index] = dispatch(item.type, std::move(batch[item.index]),
+                                   std::move(item.key), submitted);
   }
+  return futures;
+}
 
+std::future<EngineResult> Engine::dispatch(RequestType type, Request request,
+                                           std::string key,
+                                           Clock::time_point submitted) {
   return pool_.submit_with_result(
       [this, type, request = std::move(request), key = std::move(key),
        submitted]() mutable {
         EngineResult result;
         const double queued =
             std::chrono::duration<double>(Clock::now() - submitted).count();
-        if (request.deadline_seconds > 0 &&
-            queued > request.deadline_seconds) {
+        const double deadline = deadline_of(request);
+        if (deadline > 0 && queued > deadline) {
           result = rejected(type, Outcome::RejectedDeadline,
                             "deadline expired after queueing");
         } else if (std::shared_ptr<const EngineResult> hit =
@@ -104,7 +136,8 @@ std::future<EngineResult> Engine::submit_impl(RequestType type,
           result = *hit;
           result.cache_hit = true;
         } else {
-          result = execute(request);
+          result = std::visit(
+              [this](const auto& typed) { return execute(typed); }, request);
         }
         result.latency_seconds =
             std::chrono::duration<double>(Clock::now() - submitted).count();
@@ -120,16 +153,27 @@ std::future<EngineResult> Engine::submit_impl(RequestType type,
       });
 }
 
+std::future<EngineResult> Engine::submit(Request request) {
+  std::vector<Request> batch;
+  batch.push_back(std::move(request));
+  std::vector<std::future<EngineResult>> futures = submit(std::move(batch));
+  return std::move(futures.front());
+}
+
 std::future<EngineResult> Engine::submit(PlaceRequest request) {
-  return submit_impl(RequestType::Place, std::move(request));
+  return submit(Request{std::move(request)});
 }
 
 std::future<EngineResult> Engine::submit(EvaluateRequest request) {
-  return submit_impl(RequestType::Evaluate, std::move(request));
+  return submit(Request{std::move(request)});
 }
 
 std::future<EngineResult> Engine::submit(LocalizeRequest request) {
-  return submit_impl(RequestType::Localize, std::move(request));
+  return submit(Request{std::move(request)});
+}
+
+std::future<EngineResult> Engine::submit(MutateRequest request) {
+  return submit(Request{std::move(request)});
 }
 
 std::shared_ptr<const TopologySnapshot> Engine::resolve(
@@ -261,6 +305,32 @@ EngineResult Engine::execute(const LocalizeRequest& request) const {
     result.localization.consistent_sets = localization.consistent_sets;
     result.localization.minimal_explanation =
         localization.minimal_explanation;
+  } catch (const std::exception& error) {
+    result.outcome = Outcome::RejectedBadRequest;
+    result.message = error.what();
+  }
+  return result;
+}
+
+EngineResult Engine::execute(const MutateRequest& request) const {
+  EngineResult result;
+  result.type = RequestType::Mutate;
+  try {
+    const SnapshotRegistry::DeriveOutcome outcome =
+        registry_->derive(request.snapshot, request.delta);
+    const TopologySnapshot& child = *outcome.snapshot;
+    result.mutate.derived_snapshot = child.hash();
+    result.mutate.deduplicated = outcome.existed;
+    if (child.is_derived()) {
+      const DeriveStats& stats = child.derive_stats();
+      result.mutate.trees_reused = stats.trees_reused;
+      result.mutate.trees_recomputed = stats.trees_total - stats.trees_reused;
+      result.mutate.services_reused = stats.services_reused;
+      result.mutate.services_recomputed =
+          stats.services_total - stats.services_reused;
+      result.mutate.path_sets_reused = stats.path_sets_reused;
+      result.mutate.path_sets_rebuilt = stats.path_sets_rebuilt;
+    }
   } catch (const std::exception& error) {
     result.outcome = Outcome::RejectedBadRequest;
     result.message = error.what();

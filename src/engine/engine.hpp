@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "engine/cache.hpp"
 #include "engine/metrics.hpp"
@@ -55,6 +56,15 @@ class Engine {
   std::future<EngineResult> submit(PlaceRequest request);
   std::future<EngineResult> submit(EvaluateRequest request);
   std::future<EngineResult> submit(LocalizeRequest request);
+  std::future<EngineResult> submit(MutateRequest request);
+  std::future<EngineResult> submit(Request request);
+
+  /// Batched submission: cache probes and dispatch per request, but one
+  /// admission-lock acquisition for the whole batch, with slots consumed in
+  /// batch order. Responses are identical to submitting the requests one by
+  /// one (under equal queue availability) — batching changes lock traffic,
+  /// never results.
+  std::vector<std::future<EngineResult>> submit(std::vector<Request> batch);
 
   EngineMetricsSnapshot metrics() const;
 
@@ -66,15 +76,18 @@ class Engine {
  private:
   using Clock = std::chrono::steady_clock;
 
-  /// Shared admission + cache + dispatch path for all three request types.
-  template <typename Request>
-  std::future<EngineResult> submit_impl(RequestType type, Request request);
+  /// Hands one admitted request to the worker pool (deadline check, second
+  /// cache checkpoint, execution, bookkeeping).
+  std::future<EngineResult> dispatch(RequestType type, Request request,
+                                     std::string key,
+                                     Clock::time_point submitted);
 
   /// Executes one admitted request; never throws (library errors become
   /// RejectedBadRequest).
   EngineResult execute(const PlaceRequest& request) const;
   EngineResult execute(const EvaluateRequest& request) const;
   EngineResult execute(const LocalizeRequest& request) const;
+  EngineResult execute(const MutateRequest& request) const;
 
   std::shared_ptr<const TopologySnapshot> resolve(std::uint64_t hash,
                                                   EngineResult& result) const;

@@ -61,6 +61,14 @@ std::string to_json(const EngineMetricsSnapshot& snapshot) {
      << ", \"cache\": {\"hits\": " << snapshot.cache.hits
      << ", \"misses\": " << snapshot.cache.misses
      << ", \"evictions\": " << snapshot.cache.evictions
+     << ", \"evictions_by_type\": {";
+  for (std::size_t t = 0; t < kRequestTypeCount; ++t) {
+    if (t > 0) os << ", ";
+    os << "\"" << to_string(static_cast<RequestType>(t))
+       << "\": " << snapshot.cache.evictions_by_type[t];
+  }
+  os << "}, \"evicted_bytes_estimate\": "
+     << snapshot.cache.evicted_bytes_estimate
      << ", \"size\": " << snapshot.cache.size
      << ", \"capacity\": " << snapshot.cache.capacity
      << ", \"hit_rate\": " << snapshot.cache.hit_rate() << "}, \"latency\": {";
@@ -69,6 +77,8 @@ std::string to_json(const EngineMetricsSnapshot& snapshot) {
   append_latency(os, "evaluate", snapshot.evaluate);
   os << ", ";
   append_latency(os, "localize", snapshot.localize);
+  os << ", ";
+  append_latency(os, "mutate", snapshot.mutate);
   os << "}}";
   return os.str();
 }
@@ -112,6 +122,9 @@ void EngineMetrics::record_response(RequestType type, Outcome outcome,
       break;
     case RequestType::Localize:
       counters_.localize.record(latency_seconds);
+      break;
+    case RequestType::Mutate:
+      counters_.mutate.record(latency_seconds);
       break;
   }
 }

@@ -45,6 +45,7 @@ struct EngineMetricsSnapshot {
   LatencyStats place;
   LatencyStats evaluate;
   LatencyStats localize;
+  LatencyStats mutate;
 
   std::uint64_t rejected_total() const {
     return rejected_queue_full + rejected_deadline + rejected_bad_request;

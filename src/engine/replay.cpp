@@ -4,6 +4,7 @@
 #include <istream>
 #include <map>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "localization/observation.hpp"
@@ -116,6 +117,16 @@ ReplaySpec parse_replay(std::istream& in) {
   ReplaySpec spec;
   std::string raw;
   std::size_t line = 0;
+  // Request-state directives apply to every request line after them.
+  std::uint64_t current_seed = 42;
+  double current_deadline = 0;
+  // Pending link mutations per snapshot name, flushed by `derive`.
+  std::map<std::string, TopologyDelta> pending;
+  auto push_request = [&](ReplayRequestSpec request) {
+    request.seed = current_seed;
+    request.deadline_seconds = current_deadline;
+    spec.requests.push_back(std::move(request));
+  };
   while (std::getline(in, raw)) {
     ++line;
     const std::string uncommented = raw.substr(0, raw.find('#'));
@@ -136,21 +147,52 @@ ReplaySpec parse_replay(std::istream& in) {
       if (tokens.size() != 2) fail(line, "repeat needs one value");
       spec.repeat = parse_size(tokens[1], line);
       if (spec.repeat < 1) fail(line, "repeat must be >= 1");
+    } else if (key == "seed") {
+      if (tokens.size() != 2) fail(line, "seed needs one value");
+      current_seed = parse_size(tokens[1], line);
+    } else if (key == "deadline") {
+      if (tokens.size() != 2) fail(line, "deadline needs one value (ms)");
+      const double ms = parse_double(tokens[1], line);
+      if (ms < 0) fail(line, "deadline must be >= 0");
+      current_deadline = ms / 1000.0;
     } else if (key == "snapshot") {
       spec.snapshots.push_back(parse_snapshot_line(tokens, line));
     } else if (key == "place") {
-      spec.requests.push_back(
-          parse_request_line(RequestType::Place, tokens, line));
+      push_request(parse_request_line(RequestType::Place, tokens, line));
     } else if (key == "evaluate") {
-      spec.requests.push_back(
-          parse_request_line(RequestType::Evaluate, tokens, line));
+      push_request(parse_request_line(RequestType::Evaluate, tokens, line));
     } else if (key == "localize") {
-      spec.requests.push_back(
-          parse_request_line(RequestType::Localize, tokens, line));
+      push_request(parse_request_line(RequestType::Localize, tokens, line));
+    } else if (key == "mutate") {
+      if (tokens.size() != 5 ||
+          (tokens[2] != "addlink" && tokens[2] != "rmlink"))
+        fail(line, "expected: mutate <snapshot> addlink|rmlink <u> <v>");
+      const Edge link{static_cast<NodeId>(parse_size(tokens[3], line)),
+                      static_cast<NodeId>(parse_size(tokens[4], line))};
+      if (tokens[2] == "addlink")
+        pending[tokens[1]].add_links.push_back(link);
+      else
+        pending[tokens[1]].remove_links.push_back(link);
+    } else if (key == "derive") {
+      if (tokens.size() != 2) fail(line, "derive needs a snapshot name");
+      const auto it = pending.find(tokens[1]);
+      if (it == pending.end() || it->second.empty())
+        fail(line, "derive without pending mutate lines for '" + tokens[1] +
+                       "'");
+      ReplayRequestSpec request;
+      request.type = RequestType::Mutate;
+      request.snapshot = tokens[1];
+      request.delta = std::move(it->second);
+      pending.erase(it);
+      push_request(std::move(request));
     } else {
       fail(line, "unknown directive '" + key + "'");
     }
   }
+  for (const auto& [name, delta] : pending)
+    if (!delta.empty())
+      throw InvalidInput("replay: mutate lines for '" + name +
+                         "' never flushed by a derive");
   if (spec.snapshots.empty()) throw InvalidInput("replay: no snapshots");
   if (spec.requests.empty()) throw InvalidInput("replay: no requests");
   return spec;
@@ -165,7 +207,15 @@ ReplayWorkload build_replay_workload(const ReplaySpec& spec) {
   ReplayWorkload workload;
   workload.registry = std::make_shared<SnapshotRegistry>();
 
-  std::map<std::string, std::uint64_t> hash_by_name;
+  // A name binds to an evolving (hash, instance) pair: base snapshots come
+  // from the registry; each derive line rebinds the name to a locally
+  // computed child that is deliberately NOT registered — the engine's
+  // MutateRequest performs the real registration at run time.
+  struct Binding {
+    std::uint64_t hash = 0;
+    std::shared_ptr<const ProblemInstance> instance;
+  };
+  std::map<std::string, Binding> bindings;
   for (const ReplaySnapshotSpec& snap : spec.snapshots) {
     const topology::CatalogEntry& entry =
         topology::catalog_entry(snap.topology);
@@ -187,73 +237,97 @@ ReplayWorkload build_replay_workload(const ReplaySpec& spec) {
     }
     const auto snapshot = workload.registry->add(snap.name, std::move(g),
                                                  std::move(service_list));
-    hash_by_name[snap.name] = snapshot->hash();
+    bindings[snap.name] = Binding{snapshot->hash(), snapshot->instance_ptr()};
   }
 
   // Placements for evaluate/localize lines come from direct library calls —
-  // they double as the reference the engine's responses must match.
-  std::map<std::pair<std::string, std::string>, Placement> placements;
-  auto placement_for = [&](const ReplayRequestSpec& request) -> Placement {
-    const auto key = std::make_pair(request.snapshot, request.algorithm);
+  // they double as the reference the engine's responses must match. Keyed
+  // by (hash, algorithm, seed) rather than name: derive lines rebind names.
+  std::map<std::tuple<std::uint64_t, std::string, std::uint64_t>, Placement>
+      placements;
+  auto placement_for = [&](const ReplayRequestSpec& request,
+                           const Binding& bound) -> Placement {
+    const auto key =
+        std::make_tuple(bound.hash, request.algorithm, request.seed);
     auto it = placements.find(key);
     if (it != placements.end()) return it->second;
-    const auto snapshot = workload.registry->find_by_name(request.snapshot);
-    Rng rng(42);
+    Rng rng(request.seed);
     Placement placement = compute_placement(
-        snapshot->instance(), parse_algorithm(request.algorithm), rng);
+        *bound.instance, parse_algorithm(request.algorithm), rng);
     placements.emplace(key, placement);
     return placement;
   };
 
   for (std::size_t line = 0; line < spec.requests.size(); ++line) {
     const ReplayRequestSpec& request = spec.requests[line];
-    const auto name_it = hash_by_name.find(request.snapshot);
-    if (name_it == hash_by_name.end())
+    const auto name_it = bindings.find(request.snapshot);
+    if (name_it == bindings.end())
       throw InvalidInput("replay: request names unknown snapshot '" +
                          request.snapshot + "'");
-    const std::uint64_t snapshot_hash = name_it->second;
+    Binding& bound = name_it->second;
+
+    if (request.type == RequestType::Mutate) {
+      MutateRequest mutate;
+      mutate.snapshot = bound.hash;
+      mutate.delta = request.delta;
+      mutate.deadline_seconds = request.deadline_seconds;
+      for (std::size_t it = 0; it < spec.repeat; ++it)
+        workload.requests.push_back(mutate);
+      // Resolve the child locally so later lines target the derived
+      // topology; repeats of the same derive dedup inside the engine.
+      Graph child_graph = apply_delta(bound.instance->graph(), request.delta);
+      std::vector<Service> child_services =
+          apply_delta(bound.instance->services(), request.delta,
+                      child_graph.node_count());
+      const std::uint64_t child_hash =
+          topology_content_hash(child_graph, child_services);
+      bound = Binding{
+          child_hash,
+          derive_instance(*bound.instance, request.delta,
+                          std::move(child_graph), std::move(child_services))};
+      continue;
+    }
 
     if (request.type == RequestType::Place) {
-      ReplayRequest replay;
-      replay.type = RequestType::Place;
-      replay.place.snapshot = snapshot_hash;
-      replay.place.algorithm = parse_algorithm(request.algorithm);
-      replay.place.k = request.k;
+      PlaceRequest place;
+      place.snapshot = bound.hash;
+      place.algorithm = parse_algorithm(request.algorithm);
+      place.k = request.k;
+      place.seed = request.seed;
+      place.deadline_seconds = request.deadline_seconds;
       for (std::size_t it = 0; it < spec.repeat; ++it)
-        workload.requests.push_back(replay);
+        workload.requests.push_back(place);
       continue;
     }
 
-    const Placement placement = placement_for(request);
+    const Placement placement = placement_for(request, bound);
     if (request.type == RequestType::Evaluate) {
-      ReplayRequest replay;
-      replay.type = RequestType::Evaluate;
-      replay.evaluate.snapshot = snapshot_hash;
-      replay.evaluate.placement = placement;
-      replay.evaluate.k = request.k;
+      EvaluateRequest evaluate;
+      evaluate.snapshot = bound.hash;
+      evaluate.placement = placement;
+      evaluate.k = request.k;
+      evaluate.deadline_seconds = request.deadline_seconds;
       for (std::size_t it = 0; it < spec.repeat; ++it)
-        workload.requests.push_back(replay);
+        workload.requests.push_back(evaluate);
       continue;
     }
 
-    const auto snapshot = workload.registry->find_by_name(request.snapshot);
-    const PathSet paths = snapshot->instance().paths_for_placement(placement);
+    const PathSet paths = bound.instance->paths_for_placement(placement);
     const std::size_t failures =
-        std::min(request.failures, snapshot->instance().node_count());
+        std::min(request.failures, bound.instance->node_count());
     for (std::size_t it = 0; it < spec.repeat; ++it) {
       // Fresh failure draw per iteration: localize traffic stays
       // cache-resistant, unlike the repeated place/evaluate lines.
       Rng rng(1000003u * (line + 1) + it);
       const FailureScenario scenario = random_scenario(paths, failures, rng);
-      ReplayRequest replay;
-      replay.type = RequestType::Localize;
-      replay.localize.snapshot = snapshot_hash;
-      replay.localize.placement = placement;
-      replay.localize.k = request.k;
+      LocalizeRequest localize;
+      localize.snapshot = bound.hash;
+      localize.placement = placement;
+      localize.k = request.k;
+      localize.deadline_seconds = request.deadline_seconds;
       for (std::size_t p : scenario.failed_paths.to_indices())
-        replay.localize.failed_paths.push_back(
-            static_cast<std::uint32_t>(p));
-      workload.requests.push_back(std::move(replay));
+        localize.failed_paths.push_back(static_cast<std::uint32_t>(p));
+      workload.requests.push_back(std::move(localize));
     }
   }
   return workload;
@@ -267,19 +341,27 @@ ReplayReport run_replay(const ReplayWorkload& workload, EngineConfig config) {
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::future<EngineResult>> futures;
   futures.reserve(workload.requests.size());
-  for (const ReplayRequest& request : workload.requests) {
-    switch (request.type) {
-      case RequestType::Place:
-        futures.push_back(engine.submit(request.place));
-        break;
-      case RequestType::Evaluate:
-        futures.push_back(engine.submit(request.evaluate));
-        break;
-      case RequestType::Localize:
-        futures.push_back(engine.submit(request.localize));
-        break;
+  // Batched submission with derive lines as barriers: a MutateRequest is
+  // submitted alone and awaited before anything after it, so later requests
+  // that target the derived snapshot never race its registration.
+  std::vector<Request> segment;
+  auto flush_segment = [&] {
+    if (segment.empty()) return;
+    for (std::future<EngineResult>& future :
+         engine.submit(std::move(segment)))
+      futures.push_back(std::move(future));
+    segment.clear();
+  };
+  for (const Request& request : workload.requests) {
+    if (request_type(request) == RequestType::Mutate) {
+      flush_segment();
+      futures.push_back(engine.submit(request));
+      futures.back().wait();
+    } else {
+      segment.push_back(request);
     }
   }
+  flush_segment();
   for (std::future<EngineResult>& future : futures) {
     const EngineResult result = future.get();
     switch (result.outcome) {

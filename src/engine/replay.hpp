@@ -18,10 +18,23 @@
 //   localize net1 2           # inject 2 random failures (deterministic
 //                             # per-line, per-iteration seeds)
 //
+//   # request-state directives, applying to every request line below them
+//   seed 7                    # RNG seed for subsequent rd placements
+//   deadline 250              # per-request deadline in ms (0 = none)
+//
+//   # topology churn: mutate lines accumulate a pending delta against a
+//   # named snapshot; derive fires one MutateRequest with that delta and
+//   # rebinds the name to the derived snapshot for later request lines
+//   mutate net1 addlink 3 9
+//   mutate net1 rmlink 0 4
+//   derive net1
+//
 // Place/evaluate lines repeat identically across iterations (exercising the
 // result cache); localize lines draw fresh failure sets every iteration
-// (cache-resistant work). Unknown keys and malformed values are rejected
-// with line-numbered InvalidInput errors.
+// (cache-resistant work). Derive lines act as barriers: the replay driver
+// waits for the derived snapshot to register before submitting later lines
+// that may target it. Unknown keys and malformed values are rejected with
+// line-numbered InvalidInput errors.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +61,9 @@ struct ReplayRequestSpec {
   std::string algorithm = "gd";  ///< place: algorithm; evaluate: placement
   std::size_t k = 1;
   std::size_t failures = 1;      ///< localize only
+  std::uint64_t seed = 42;       ///< rd placements (from `seed`)
+  double deadline_seconds = 0;   ///< from `deadline <ms>`; 0 = none
+  TopologyDelta delta;           ///< mutate requests only (from `derive`)
 };
 
 struct ReplaySpec {
@@ -69,20 +85,17 @@ ReplaySpec parse_replay(const std::string& text);
 /// "gd"/"gc"/"gi"/"qos"/"rd"/"bf" (case-insensitive) -> Algorithm.
 Algorithm parse_algorithm(const std::string& name);
 
-/// A materialized workload: the registry with every named snapshot built,
-/// plus the full request list (repeat iterations expanded, evaluate/localize
-/// placements precomputed by direct library calls, localize failure draws
-/// seeded deterministically per line and iteration).
-struct ReplayRequest {
-  RequestType type = RequestType::Place;
-  PlaceRequest place;
-  EvaluateRequest evaluate;
-  LocalizeRequest localize;
-};
-
+/// A materialized workload: the registry with every named *base* snapshot
+/// built, plus the full request list (repeat iterations expanded,
+/// evaluate/localize placements precomputed by direct library calls,
+/// localize failure draws seeded deterministically per line and iteration).
+/// Derived snapshots are NOT pre-registered: the builder computes them
+/// locally to resolve later lines' hashes and placements, but registration
+/// happens when the engine executes the MutateRequest — replay genuinely
+/// exercises the derive path.
 struct ReplayWorkload {
   std::shared_ptr<SnapshotRegistry> registry;
-  std::vector<ReplayRequest> requests;
+  std::vector<Request> requests;
 };
 
 ReplayWorkload build_replay_workload(const ReplaySpec& spec);

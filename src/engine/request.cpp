@@ -12,6 +12,7 @@ std::string to_string(RequestType type) {
     case RequestType::Place: return "place";
     case RequestType::Evaluate: return "evaluate";
     case RequestType::Localize: return "localize";
+    case RequestType::Mutate: return "mutate";
   }
   throw ContractViolation("unknown request type");
 }
@@ -74,6 +75,73 @@ std::string canonical_key(const LocalizeRequest& request) {
     key << failed[i];
   }
   return key.str();
+}
+
+namespace {
+
+void append_links(std::ostringstream& key, std::vector<Edge> links) {
+  for (Edge& e : links)
+    if (e.u > e.v) std::swap(e.u, e.v);
+  std::sort(links.begin(), links.end());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (i > 0) key << ',';
+    key << links[i].u << '-' << links[i].v;
+  }
+}
+
+void append_clients(std::ostringstream& key,
+                    const std::vector<ClientMutation>& clients) {
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    if (i > 0) key << ',';
+    key << clients[i].service << ':' << clients[i].client;
+  }
+}
+
+}  // namespace
+
+std::string canonical_key(const MutateRequest& request) {
+  std::ostringstream key;
+  key << "mutate|" << std::hex << request.snapshot << std::dec << "|al=";
+  append_links(key, request.delta.add_links);
+  key << "|rl=";
+  append_links(key, request.delta.remove_links);
+  key << "|ac=";
+  append_clients(key, request.delta.add_clients);
+  key << "|rc=";
+  std::vector<ClientMutation> removes = request.delta.remove_clients;
+  std::sort(removes.begin(), removes.end(),
+            [](const ClientMutation& a, const ClientMutation& b) {
+              return a.service != b.service ? a.service < b.service
+                                            : a.client < b.client;
+            });
+  append_clients(key, removes);
+  return key.str();
+}
+
+std::string canonical_key(const Request& request) {
+  return std::visit([](const auto& r) { return canonical_key(r); }, request);
+}
+
+RequestType request_type(const Request& request) {
+  struct Visitor {
+    RequestType operator()(const PlaceRequest&) const {
+      return RequestType::Place;
+    }
+    RequestType operator()(const EvaluateRequest&) const {
+      return RequestType::Evaluate;
+    }
+    RequestType operator()(const LocalizeRequest&) const {
+      return RequestType::Localize;
+    }
+    RequestType operator()(const MutateRequest&) const {
+      return RequestType::Mutate;
+    }
+  };
+  return std::visit(Visitor{}, request);
+}
+
+double deadline_of(const Request& request) {
+  return std::visit([](const auto& r) { return r.deadline_seconds; }, request);
 }
 
 }  // namespace splace::engine

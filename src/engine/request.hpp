@@ -10,15 +10,20 @@
 
 #include <cstdint>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "core/metrics_report.hpp"
+#include "dynamic/delta.hpp"
 #include "placement/service.hpp"
 
 namespace splace::engine {
 
-enum class RequestType { Place, Evaluate, Localize };
+enum class RequestType { Place, Evaluate, Localize, Mutate };
+
+/// Number of RequestType values (for per-type counter arrays).
+inline constexpr std::size_t kRequestTypeCount = 4;
 
 /// Why a request produced no result. Ok is the only success outcome.
 enum class Outcome {
@@ -63,6 +68,15 @@ struct LocalizeRequest {
   double deadline_seconds = 0;
 };
 
+/// Derive a new snapshot by mutating a registered one: the delta is applied
+/// to the parent and the child instance is registered under its own content
+/// hash, sharing unchanged routing trees and path sets with the parent.
+struct MutateRequest {
+  std::uint64_t snapshot = 0;  ///< parent snapshot content hash
+  TopologyDelta delta;
+  double deadline_seconds = 0;
+};
+
 struct PlaceResult {
   Placement placement;
   /// f(P) reported by the greedy search (0 for QoS/RD/BF placements).
@@ -77,6 +91,17 @@ struct LocalizeResult {
   std::vector<NodeId> minimal_explanation;
 };
 
+struct MutateResult {
+  std::uint64_t derived_snapshot = 0;  ///< child content hash (registered)
+  bool deduplicated = false;           ///< child content already registered
+  std::size_t trees_reused = 0;        ///< BFS trees shared with the parent
+  std::size_t trees_recomputed = 0;
+  std::size_t services_reused = 0;     ///< whole service plans shared
+  std::size_t services_recomputed = 0;
+  std::size_t path_sets_reused = 0;
+  std::size_t path_sets_rebuilt = 0;
+};
+
 /// One response. Exactly one payload field is meaningful, selected by
 /// `type`, and only when `outcome == Ok`.
 struct EngineResult {
@@ -88,9 +113,17 @@ struct EngineResult {
   PlaceResult place;
   MetricReport metrics;
   LocalizeResult localization;
+  MutateResult mutate;
 
   bool ok() const { return outcome == Outcome::Ok; }
 };
+
+/// Any engine request, for batched submission and uniform dispatch.
+using Request =
+    std::variant<PlaceRequest, EvaluateRequest, LocalizeRequest, MutateRequest>;
+
+RequestType request_type(const Request& request);
+double deadline_of(const Request& request);
 
 /// Canonical cache keys: a request's normalized field encoding prefixed by
 /// the snapshot hash. Two requests with equal keys are guaranteed equal
@@ -101,5 +134,11 @@ struct EngineResult {
 std::string canonical_key(const PlaceRequest& request);
 std::string canonical_key(const EvaluateRequest& request);
 std::string canonical_key(const LocalizeRequest& request);
+/// Link lists are normalized ({u < v}, sorted) and client removals sorted —
+/// none of those orders can change the derived topology. Client *additions*
+/// keep their order: it decides where new clients append, which shapes the
+/// derived snapshot's path sets.
+std::string canonical_key(const MutateRequest& request);
+std::string canonical_key(const Request& request);
 
 }  // namespace splace::engine

@@ -1,6 +1,10 @@
 #include "engine/snapshot.hpp"
 
+#include <algorithm>
+#include <sstream>
 #include <utility>
+
+#include "util/error.hpp"
 
 namespace splace::engine {
 namespace {
@@ -31,6 +35,12 @@ std::uint64_t double_bits(double value) {
   return bits;
 }
 
+std::string hex_hash(std::uint64_t hash) {
+  std::ostringstream os;
+  os << std::hex << hash;
+  return os.str();
+}
+
 }  // namespace
 
 std::uint64_t topology_content_hash(const Graph& graph,
@@ -38,7 +48,11 @@ std::uint64_t topology_content_hash(const Graph& graph,
   std::uint64_t h = kFnvOffset;
   mix(h, graph.node_count());
   mix(h, graph.edge_count());
-  for (const Edge& e : graph.edges()) {
+  // Sorted, not insertion order: a graph reached by add/remove churn must
+  // hash equal to the same graph built directly.
+  std::vector<Edge> edges = graph.edges();
+  std::sort(edges.begin(), edges.end());
+  for (const Edge& e : edges) {
     mix(h, e.u);
     mix(h, e.v);
   }
@@ -61,6 +75,21 @@ TopologySnapshot::TopologySnapshot(std::string name, Graph graph,
                                                       std::move(services));
 }
 
+TopologySnapshot::TopologySnapshot(
+    std::string name, std::uint64_t hash,
+    std::shared_ptr<const ProblemInstance> instance,
+    std::uint64_t parent_hash, DeriveStats stats)
+    : name_(std::move(name)),
+      hash_(hash),
+      instance_(std::move(instance)),
+      derived_(true),
+      parent_hash_(parent_hash),
+      derive_stats_(stats) {
+  SPLACE_EXPECTS(instance_ != nullptr);
+  SPLACE_EXPECTS(hash_ == topology_content_hash(instance_->graph(),
+                                                instance_->services()));
+}
+
 std::shared_ptr<const TopologySnapshot> SnapshotRegistry::add(
     std::string name, Graph graph, std::vector<Service> services) {
   const std::uint64_t hash = topology_content_hash(graph, services);
@@ -78,6 +107,42 @@ std::shared_ptr<const TopologySnapshot> SnapshotRegistry::add(
   auto [it, inserted] = by_hash_.emplace(hash, snapshot);
   by_name_[std::move(name)] = hash;
   return inserted ? snapshot : it->second;
+}
+
+SnapshotRegistry::DeriveOutcome SnapshotRegistry::derive(
+    std::uint64_t parent_hash, const TopologyDelta& delta, std::string name) {
+  const std::shared_ptr<const TopologySnapshot> parent = find(parent_hash);
+  if (!parent) throw InvalidInput("derive: unknown parent snapshot hash");
+  if (delta.empty()) throw InvalidInput("topology delta: empty delta");
+
+  // Applying the delta is cheap; hash the child content first so a derive
+  // landing on known content skips the instance build entirely.
+  const ProblemInstance& base = parent->instance();
+  Graph graph = apply_delta(base.graph(), delta);
+  std::vector<Service> services =
+      apply_delta(base.services(), delta, graph.node_count());
+  const std::uint64_t hash = topology_content_hash(graph, services);
+  if (name.empty()) name = parent->name() + "~" + hex_hash(hash);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = by_hash_.find(hash);
+    if (it != by_hash_.end()) {
+      by_name_[std::move(name)] = hash;
+      return DeriveOutcome{it->second, true};
+    }
+  }
+
+  // Like add(): the build runs outside the lock; first insert wins.
+  DeriveStats stats;
+  std::shared_ptr<const ProblemInstance> instance = derive_instance(
+      base, delta, std::move(graph), std::move(services), &stats);
+  auto snapshot = std::make_shared<const TopologySnapshot>(
+      name, hash, std::move(instance), parent_hash, stats);
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto [it, inserted] = by_hash_.emplace(hash, snapshot);
+  by_name_[std::move(name)] = hash;
+  return DeriveOutcome{inserted ? snapshot : it->second, !inserted};
 }
 
 std::shared_ptr<const TopologySnapshot> SnapshotRegistry::find(

@@ -7,6 +7,13 @@
 // requests can read it without recomputing routing, and the SnapshotRegistry
 // deduplicates snapshots by a content hash of (graph, services) — two
 // tenants registering the same topology share one instance.
+//
+// Snapshots may also be *derived*: SnapshotRegistry::derive applies a
+// TopologyDelta to a registered parent, building the child instance through
+// dynamic/delta's structural-sharing path (unchanged BFS trees and path sets
+// are shared with the parent) and recording the parent hash plus reuse
+// telemetry. A derive that lands on already-registered content dedups like
+// any other registration.
 #pragma once
 
 #include <cstdint>
@@ -16,15 +23,17 @@
 #include <string>
 #include <vector>
 
+#include "dynamic/delta.hpp"
 #include "graph/graph.hpp"
 #include "placement/service.hpp"
 
 namespace splace::engine {
 
-/// FNV-1a content hash of a topology + service list: node count, every edge,
-/// and every service's (name, clients, alpha, demand). Two inputs that hash
-/// equal are treated as the same snapshot, so the hash covers every field
-/// that influences placement/evaluation results.
+/// FNV-1a content hash of a topology + service list: node count, every edge
+/// (in sorted order, so link-churn histories that reach the same topology
+/// hash equal), and every service's (name, clients, alpha, demand). Two
+/// inputs that hash equal are treated as the same snapshot, so the hash
+/// covers every field that influences placement/evaluation results.
 std::uint64_t topology_content_hash(const Graph& graph,
                                     const std::vector<Service>& services);
 
@@ -37,6 +46,12 @@ class TopologySnapshot {
   TopologySnapshot(std::string name, Graph graph,
                    std::vector<Service> services);
 
+  /// Wraps an instance derived from `parent_hash` (see derive_instance);
+  /// `hash` must be the content hash of the instance's graph + services.
+  TopologySnapshot(std::string name, std::uint64_t hash,
+                   std::shared_ptr<const ProblemInstance> instance,
+                   std::uint64_t parent_hash, DeriveStats stats);
+
   const std::string& name() const { return name_; }
   std::uint64_t hash() const { return hash_; }
   const ProblemInstance& instance() const { return *instance_; }
@@ -44,10 +59,20 @@ class TopologySnapshot {
     return instance_;
   }
 
+  /// Lineage: true when this snapshot was built by derive().
+  bool is_derived() const { return derived_; }
+  /// Content hash of the parent snapshot (meaningful only when derived).
+  std::uint64_t parent_hash() const { return parent_hash_; }
+  /// Structural-reuse telemetry of the derive (zeros when not derived).
+  const DeriveStats& derive_stats() const { return derive_stats_; }
+
  private:
   std::string name_;
   std::uint64_t hash_;
   std::shared_ptr<const ProblemInstance> instance_;
+  bool derived_ = false;
+  std::uint64_t parent_hash_ = 0;
+  DeriveStats derive_stats_{};
 };
 
 /// Thread-safe registry of snapshots keyed by content hash. Registration is
@@ -61,6 +86,22 @@ class SnapshotRegistry {
   /// loser's instance is discarded.
   std::shared_ptr<const TopologySnapshot> add(std::string name, Graph graph,
                                               std::vector<Service> services);
+
+  /// Result of a derive: the child snapshot, and whether it already existed
+  /// (content dedup — including losing a first-insert race).
+  struct DeriveOutcome {
+    std::shared_ptr<const TopologySnapshot> snapshot;
+    bool existed = false;
+  };
+
+  /// Registers the snapshot `parent_hash` becomes under `delta`, reusing
+  /// the parent's unchanged routing trees and path sets (derive_instance).
+  /// With an empty `name` the child is named "<parent-name>~<child-hash>".
+  /// Throws InvalidInput for an unknown parent or an invalid/empty delta.
+  /// Racing derives of the same content yield one shared child
+  /// (first-insert-wins, like add()).
+  DeriveOutcome derive(std::uint64_t parent_hash, const TopologyDelta& delta,
+                       std::string name = "");
 
   /// Snapshot by content hash, or nullptr when absent.
   std::shared_ptr<const TopologySnapshot> find(std::uint64_t hash) const;

@@ -30,6 +30,20 @@ void Graph::add_edge(NodeId u, NodeId v) {
   insert_sorted(v, u);
 }
 
+void Graph::remove_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  SPLACE_EXPECTS(has_edge(u, v));
+  if (u > v) std::swap(u, v);
+  edges_.erase(std::find(edges_.begin(), edges_.end(), Edge{u, v}));
+  auto erase_sorted = [this](NodeId from, NodeId to) {
+    auto& adj = adjacency_[from];
+    adj.erase(std::lower_bound(adj.begin(), adj.end(), to));
+  };
+  erase_sorted(u, v);
+  erase_sorted(v, u);
+}
+
 bool Graph::has_edge(NodeId u, NodeId v) const {
   check_node(u);
   check_node(v);

@@ -21,6 +21,9 @@ struct Edge {
   NodeId v = kInvalidNode;
 
   friend bool operator==(const Edge&, const Edge&) = default;
+  /// (u, v)-lexicographic, so normalized edge lists can be sorted into a
+  /// canonical order (content hashing, delta validation).
+  friend auto operator<=>(const Edge&, const Edge&) = default;
 };
 
 /// Undirected simple graph with dense node ids.
@@ -41,6 +44,10 @@ class Graph {
   /// Adds the undirected link {u, v}. Requires u != v, both valid, and the
   /// link not already present.
   void add_edge(NodeId u, NodeId v);
+
+  /// Removes the undirected link {u, v}. Requires the link to be present.
+  /// The relative insertion order of the remaining links is preserved.
+  void remove_edge(NodeId u, NodeId v);
 
   /// True iff the link {u, v} exists.
   bool has_edge(NodeId u, NodeId v) const;

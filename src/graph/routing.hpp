@@ -5,14 +5,22 @@
 // it precomputes one deterministic BFS tree per node and always derives the
 // route for a pair {a, b} from the tree rooted at min(a, b), so the route is
 // unique, orientation-independent, and stable across runs.
+//
+// Trees are held behind shared_ptr so that update() — the reuse-aware
+// incremental rebuild used by the dynamic-topology subsystem — can share
+// every tree a batch of link mutations provably cannot change with the
+// parent table instead of re-running its BFS.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "graph/shortest_path.hpp"
 
 namespace splace {
+
+struct TopologyDelta;  // src/dynamic/delta.hpp
 
 class RoutingTable {
  public:
@@ -38,8 +46,35 @@ class RoutingTable {
   /// Maximum finite pairwise distance (0 for <2 reachable pairs).
   std::uint32_t diameter() const;
 
+  /// The BFS tree rooted at `root` (bit-identical across rebuild paths).
+  const BfsTree& tree(NodeId root) const;
+
+  /// Reuse-aware rebuild against `updated`, the graph this table's graph
+  /// becomes after applying `delta`'s link mutations (client mutations are
+  /// routing-irrelevant). Only the trees whose routes can change are
+  /// recomputed: a per-root sweep over the mutated endpoints' old distances
+  /// and parents proves the rest unchanged, and those are shared with this
+  /// table. Past `full_rebuild_fraction` of affected roots the update falls
+  /// back to a plain full rebuild (reported through `fell_back_to_full` when
+  /// non-null). The result is bit-identical (distances and parents, hence
+  /// routes) to `RoutingTable(updated)`.
+  RoutingTable update(const Graph& updated, const TopologyDelta& delta,
+                      double full_rebuild_fraction = 0.5,
+                      bool* fell_back_to_full = nullptr) const;
+
+  /// True iff both tables hold the *same* tree object for `root`
+  /// (structural sharing produced by update(); used for reuse telemetry and
+  /// to detect services untouched by a topology delta).
+  bool shares_tree(const RoutingTable& other, NodeId root) const;
+
+  /// Number of roots whose trees are shared with `other`.
+  std::size_t shared_tree_count(const RoutingTable& other) const;
+
  private:
-  std::vector<BfsTree> trees_;
+  explicit RoutingTable(std::vector<std::shared_ptr<const BfsTree>> trees)
+      : trees_(std::move(trees)) {}
+
+  std::vector<std::shared_ptr<const BfsTree>> trees_;
 
   void check_node(NodeId v) const;
 };

@@ -95,6 +95,7 @@ GreedyResult greedy_placement(const ProblemInstance& instance,
     placed[winner.service] = true;
     result.placement[winner.service] = winner.host;
     result.order.push_back(winner.service);
+    result.gains.push_back(best.gain);
     state->add_paths(instance.paths_for(winner.service, winner.host));
   }
 

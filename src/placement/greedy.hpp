@@ -17,11 +17,14 @@
 
 namespace splace {
 
-/// Outcome of a greedy run.
+/// Outcome of a greedy run. `order` and `gains` together form the greedy
+/// trace: step i committed service order[i] with marginal gain gains[i] —
+/// enough for repair_placement to warm-start after a topology delta.
 struct GreedyResult {
   Placement placement;               ///< host per service
   double objective_value = 0;        ///< f(⋃ P(C_s, h_s)) at termination
   std::vector<std::size_t> order;    ///< service indices in placement order
+  std::vector<double> gains;         ///< committed marginal gain per step
 };
 
 /// Algorithm 2 with a caller-supplied objective state (takes ownership of

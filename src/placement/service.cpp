@@ -18,47 +18,150 @@ ProblemInstance::ProblemInstance(Graph graph, std::vector<Service> services,
       provider_(std::move(provider)),
       services_(std::move(services)) {
   SPLACE_EXPECTS(!services_.empty());
-  const std::size_t n = graph_.node_count();
-
-  candidates_.reserve(services_.size());
-  worst_dist_.reserve(services_.size());
-  paths_.reserve(services_.size());
-  qos_hosts_.reserve(services_.size());
-
+  plans_.reserve(services_.size());
   for (const Service& svc : services_) {
-    SPLACE_EXPECTS(!svc.clients.empty());
-    SPLACE_EXPECTS(svc.alpha >= 0.0 && svc.alpha <= 1.0);
-    for (NodeId c : svc.clients) SPLACE_EXPECTS(c < n);
+    check_service_inputs(svc);
+    plans_.push_back(build_plan(svc));
+  }
+}
 
-    const DistanceProfile profile =
-        provider_ ? provider_profile(svc.clients)
-                  : distance_profile(routing_, svc.clients);
-    std::vector<NodeId> hosts = splace::candidate_hosts(profile, svc.alpha);
+ProblemInstance::ProblemInstance(DerivedTag, Graph graph, RoutingTable routing,
+                                 std::vector<Service> services)
+    : graph_(std::move(graph)),
+      routing_(std::move(routing)),
+      services_(std::move(services)) {}
 
-    // Best-QoS host: smallest id achieving d_min (always feasible).
-    NodeId qos = kInvalidNode;
-    for (NodeId h = 0; h < n; ++h) {
-      if (profile.worst[h] == profile.d_min) {
-        qos = h;
-        break;
-      }
+void ProblemInstance::check_service_inputs(const Service& svc) const {
+  SPLACE_EXPECTS(!svc.clients.empty());
+  SPLACE_EXPECTS(svc.alpha >= 0.0 && svc.alpha <= 1.0);
+  for (NodeId c : svc.clients) SPLACE_EXPECTS(c < node_count());
+}
+
+std::shared_ptr<const ServicePlan> ProblemInstance::build_plan(
+    const Service& svc) const {
+  const std::size_t n = node_count();
+  DistanceProfile profile = provider_
+                                ? provider_profile(svc.clients)
+                                : distance_profile(routing_, svc.clients);
+
+  auto plan = std::make_shared<ServicePlan>();
+  plan->candidates = splace::candidate_hosts(profile, svc.alpha);
+
+  // Best-QoS host: smallest id achieving d_min (always feasible).
+  for (NodeId h = 0; h < n; ++h) {
+    if (profile.worst[h] == profile.d_min) {
+      plan->qos_host = h;
+      break;
     }
-    SPLACE_ENSURES(qos != kInvalidNode);
-    qos_hosts_.push_back(qos);
+  }
+  SPLACE_ENSURES(plan->qos_host != kInvalidNode);
 
-    std::vector<PathSet> host_paths;
-    host_paths.reserve(hosts.size());
-    for (NodeId h : hosts) {
+  plan->paths.reserve(plan->candidates.size());
+  for (NodeId h : plan->candidates) {
+    PathSet paths(n);
+    for (NodeId c : svc.clients) paths.add(MeasurementPath(n, route(c, h)));
+    plan->paths.push_back(std::make_shared<const PathSet>(std::move(paths)));
+  }
+
+  plan->worst_dist = std::move(profile.worst);
+  return plan;
+}
+
+ProblemInstance ProblemInstance::derived(const ProblemInstance& parent,
+                                         Graph graph, RoutingTable routing,
+                                         std::vector<Service> services,
+                                         const std::vector<bool>& client_mutated,
+                                         DerivedBuildStats* stats) {
+  SPLACE_EXPECTS(!parent.provider_);
+  SPLACE_EXPECTS(graph.node_count() == parent.node_count());
+  SPLACE_EXPECTS(routing.node_count() == graph.node_count());
+  SPLACE_EXPECTS(services.size() == parent.service_count());
+  SPLACE_EXPECTS(client_mutated.size() == services.size());
+
+  ProblemInstance inst(DerivedTag{}, std::move(graph), std::move(routing),
+                       std::move(services));
+  const std::size_t n = inst.node_count();
+  DerivedBuildStats local{};
+  inst.plans_.reserve(inst.services_.size());
+
+  for (std::size_t s = 0; s < inst.services_.size(); ++s) {
+    const Service& svc = inst.services_[s];
+    inst.check_service_inputs(svc);
+
+    // The distance profile — hence H_s, worst distances, and the QoS host —
+    // reads only trees rooted at clients, so it is unchanged exactly when
+    // the client set and every client-rooted tree are.
+    bool profile_stable = !client_mutated[s];
+    if (profile_stable)
+      for (NodeId c : svc.clients)
+        if (!inst.routing_.shares_tree(parent.routing_, c)) {
+          profile_stable = false;
+          break;
+        }
+    if (!profile_stable) {
+      auto plan = inst.build_plan(svc);
+      local.path_sets_rebuilt += plan->paths.size();
+      inst.plans_.push_back(std::move(plan));
+      continue;
+    }
+
+    // P(C_s, h) routes each pair from the tree rooted at min(c, h); the set
+    // is unchanged when all of those trees are.
+    const std::shared_ptr<const ServicePlan>& pp = parent.plans_[s];
+    std::vector<bool> host_dirty(pp->candidates.size(), false);
+    bool any_dirty = false;
+    for (std::size_t i = 0; i < pp->candidates.size(); ++i) {
+      const NodeId h = pp->candidates[i];
+      for (NodeId c : svc.clients)
+        if (!inst.routing_.shares_tree(parent.routing_, std::min(c, h))) {
+          host_dirty[i] = true;
+          any_dirty = true;
+          break;
+        }
+    }
+    if (!any_dirty) {
+      ++local.plans_shared;
+      local.path_sets_shared += pp->paths.size();
+      inst.plans_.push_back(pp);
+      continue;
+    }
+
+    auto plan = std::make_shared<ServicePlan>();
+    plan->candidates = pp->candidates;
+    plan->worst_dist = pp->worst_dist;
+    plan->qos_host = pp->qos_host;
+    plan->paths.reserve(pp->candidates.size());
+    for (std::size_t i = 0; i < pp->candidates.size(); ++i) {
+      if (!host_dirty[i]) {
+        ++local.path_sets_shared;
+        plan->paths.push_back(pp->paths[i]);
+        continue;
+      }
       PathSet paths(n);
       for (NodeId c : svc.clients)
-        paths.add(MeasurementPath(n, route(c, h)));
-      host_paths.push_back(std::move(paths));
+        paths.add(MeasurementPath(n, inst.route(c, pp->candidates[i])));
+      plan->paths.push_back(std::make_shared<const PathSet>(std::move(paths)));
+      ++local.path_sets_rebuilt;
     }
-
-    candidates_.push_back(std::move(hosts));
-    worst_dist_.push_back(profile.worst);
-    paths_.push_back(std::move(host_paths));
+    inst.plans_.push_back(std::move(plan));
   }
+
+  if (stats != nullptr) *stats = local;
+  return inst;
+}
+
+bool ProblemInstance::shares_service_paths(const ProblemInstance& parent,
+                                           const ProblemInstance& child,
+                                           std::size_t s) {
+  parent.check_service(s);
+  child.check_service(s);
+  const auto& pp = parent.plans_[s];
+  const auto& cp = child.plans_[s];
+  if (pp == cp) return true;
+  if (pp->candidates != cp->candidates) return false;
+  for (std::size_t i = 0; i < pp->paths.size(); ++i)
+    if (pp->paths[i] != cp->paths[i]) return false;
+  return true;
 }
 
 void ProblemInstance::check_service(std::size_t s) const {
@@ -68,17 +171,17 @@ void ProblemInstance::check_service(std::size_t s) const {
 const std::vector<NodeId>& ProblemInstance::candidate_hosts(
     std::size_t s) const {
   check_service(s);
-  return candidates_[s];
+  return plans_[s]->candidates;
 }
 
 std::uint32_t ProblemInstance::worst_distance(std::size_t s, NodeId h) const {
   check_service(s);
   SPLACE_EXPECTS(h < node_count());
-  return worst_dist_[s][h];
+  return plans_[s]->worst_dist[h];
 }
 
 std::size_t ProblemInstance::candidate_index(std::size_t s, NodeId h) const {
-  const auto& hosts = candidates_[s];
+  const auto& hosts = plans_[s]->candidates;
   const auto it = std::lower_bound(hosts.begin(), hosts.end(), h);
   SPLACE_EXPECTS(it != hosts.end() && *it == h);
   return static_cast<std::size_t>(it - hosts.begin());
@@ -86,12 +189,12 @@ std::size_t ProblemInstance::candidate_index(std::size_t s, NodeId h) const {
 
 const PathSet& ProblemInstance::paths_for(std::size_t s, NodeId h) const {
   check_service(s);
-  return paths_[s][candidate_index(s, h)];
+  return *plans_[s]->paths[candidate_index(s, h)];
 }
 
 bool ProblemInstance::is_candidate(std::size_t s, NodeId h) const {
   check_service(s);
-  const auto& hosts = candidates_[s];
+  const auto& hosts = plans_[s]->candidates;
   return std::binary_search(hosts.begin(), hosts.end(), h);
 }
 
@@ -105,7 +208,7 @@ PathSet ProblemInstance::paths_for_placement(const Placement& placement) const {
 
 NodeId ProblemInstance::best_qos_host(std::size_t s) const {
   check_service(s);
-  return qos_hosts_[s];
+  return plans_[s]->qos_host;
 }
 
 std::vector<NodeId> ProblemInstance::route(NodeId a, NodeId b) const {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,6 +36,28 @@ using Placement = std::vector<NodeId>;
 using RouteProvider =
     std::function<std::vector<NodeId>(NodeId client, NodeId host)>;
 
+/// Everything precomputed for one service: its candidate hosts H_s, the
+/// worst-case client distance per host, the best-QoS host, and the
+/// measurement path set P(C_s, h) for every candidate h.
+///
+/// Plans sit behind shared_ptr so a derived instance (dynamic-topology
+/// subsystem) can share whole plans — or individual path sets — with its
+/// parent when a delta provably left them unchanged.
+struct ServicePlan {
+  std::vector<NodeId> candidates;        ///< H_s, ascending node id
+  std::vector<std::uint32_t> worst_dist; ///< d(C_s, h) indexed by host
+  NodeId qos_host = kInvalidNode;        ///< smallest id achieving d_min
+  /// paths[i] aligns with candidates[i].
+  std::vector<std::shared_ptr<const PathSet>> paths;
+};
+
+/// Reuse telemetry for one ProblemInstance::derived call.
+struct DerivedBuildStats {
+  std::size_t plans_shared = 0;
+  std::size_t path_sets_shared = 0;
+  std::size_t path_sets_rebuilt = 0;
+};
+
 /// An immutable service-placement problem: topology + routing + services,
 /// with candidate hosts (Section III-A) and per-(service, host) measurement
 /// paths precomputed.
@@ -50,6 +73,30 @@ class ProblemInstance {
   /// the QoS distance d(C_s, h) is the hop length of the provided route.
   ProblemInstance(Graph graph, std::vector<Service> services,
                   RouteProvider provider);
+
+  /// Builds the instance for a mutated topology while sharing structure with
+  /// `parent`: a service whose clients and relevant routing trees are
+  /// untouched shares the parent's whole plan; otherwise individual path
+  /// sets are still shared per candidate host when every tree they route
+  /// through is unchanged. `graph`, `routing`, and `services` must be the
+  /// post-delta state (routing typically from RoutingTable::update);
+  /// `client_mutated[s]` marks services whose client set changed. The result
+  /// is bit-identical to building from scratch. Requires a parent without a
+  /// custom RouteProvider.
+  static ProblemInstance derived(const ProblemInstance& parent, Graph graph,
+                                 RoutingTable routing,
+                                 std::vector<Service> services,
+                                 const std::vector<bool>& client_mutated,
+                                 DerivedBuildStats* stats = nullptr);
+
+  /// True iff service s of `child` provably has the same candidates and
+  /// measurement paths as in `parent` — the whole plan object is shared, or
+  /// every per-host path set is. Derived instances use this as the
+  /// "untouched by the delta" signal for warm-start placement repair; false
+  /// only means the delta *may* have changed the service.
+  static bool shares_service_paths(const ProblemInstance& parent,
+                                   const ProblemInstance& child,
+                                   std::size_t s);
 
   const Graph& graph() const { return graph_; }
   const RoutingTable& routing() const { return routing_; }
@@ -83,18 +130,23 @@ class ProblemInstance {
   std::vector<NodeId> route(NodeId a, NodeId b) const;
 
  private:
+  struct DerivedTag {};
+  /// Members-only constructor for derived(): plans_ is filled by the caller.
+  ProblemInstance(DerivedTag, Graph graph, RoutingTable routing,
+                  std::vector<Service> services);
+
   Graph graph_;
   RoutingTable routing_;
   RouteProvider provider_;  ///< empty = default shortest-path routing
   std::vector<Service> services_;
-  std::vector<std::vector<NodeId>> candidates_;          ///< per service
-  std::vector<std::vector<std::uint32_t>> worst_dist_;   ///< [s][h]
-  std::vector<NodeId> qos_hosts_;                        ///< per service
-  /// paths_[s][i] aligns with candidates_[s][i].
-  std::vector<std::vector<PathSet>> paths_;
+  std::vector<std::shared_ptr<const ServicePlan>> plans_;  ///< per service
 
   std::size_t candidate_index(std::size_t s, NodeId h) const;
   void check_service(std::size_t s) const;
+  void check_service_inputs(const Service& svc) const;
+
+  /// Full per-service precomputation (profile, H_s, QoS host, path sets).
+  std::shared_ptr<const ServicePlan> build_plan(const Service& svc) const;
 
   /// Distance profile from the custom provider (hop length of its routes).
   DistanceProfile provider_profile(const std::vector<NodeId>& clients) const;

@@ -1,8 +1,9 @@
 // Concurrent stress tests for the serving engine: many client threads fire
-// mixed place/evaluate/localize requests at one shared engine. Asserts no
-// lost or duplicated responses and cache-consistent results (every Ok
-// response bit-identical to the direct library call). Runs under the TSan
-// and ASan legs of scripts/run_all.sh.
+// mixed place/evaluate/localize/mutate requests at one shared engine.
+// Asserts no lost or duplicated responses and cache-consistent results
+// (every Ok response bit-identical to the direct library call; every mutate
+// converging on one derived snapshot). Runs under the TSan and ASan legs of
+// scripts/run_all.sh.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -31,6 +32,8 @@ struct StressFixture {
   MetricReport qos_metrics;
   std::vector<std::uint32_t> observation;
   std::vector<NodeId> expected_explanation;
+  TopologyDelta mutate_delta;
+  std::uint64_t expected_child_hash = 0;
 
   StressFixture() {
     const topology::CatalogEntry& entry = topology::catalog_entry("abovenet");
@@ -53,10 +56,22 @@ struct StressFixture {
       observation.push_back(static_cast<std::uint32_t>(p));
     expected_explanation =
         localize(paths, scenario.failed_paths, 1).minimal_explanation;
+
+    // One fixed link-churn delta every client derives concurrently; all of
+    // them must converge on this content hash (first-insert-wins).
+    const Graph& base = instance.graph();
+    for (NodeId u = 0; u < base.node_count() && mutate_delta.empty(); ++u)
+      for (NodeId v = u + 1; v < base.node_count(); ++v)
+        if (!base.has_edge(u, v)) {
+          mutate_delta.add_links.push_back(Edge{u, v});
+          break;
+        }
+    expected_child_hash = topology_content_hash(
+        apply_delta(base, mutate_delta), instance.services());
   }
 };
 
-/// Fires `rounds` mixed request triples from `clients` threads and checks
+/// Fires `rounds` mixed request quadruples from `clients` threads and checks
 /// every response against the direct-call references.
 void run_stress(const StressFixture& fx, Engine& engine, std::size_t clients,
                 std::size_t rounds, std::atomic<std::size_t>& responses,
@@ -82,6 +97,10 @@ void run_stress(const StressFixture& fx, Engine& engine, std::size_t clients,
         localize_request.placement = fx.qos_placement;
         localize_request.failed_paths = fx.observation;
         futures.push_back(engine.submit(localize_request));
+        MutateRequest mutate;
+        mutate.snapshot = fx.snapshot->hash();
+        mutate.delta = fx.mutate_delta;
+        futures.push_back(engine.submit(mutate));
 
         for (std::size_t i = 0; i < futures.size(); ++i) {
           const EngineResult result = futures[i].get();
@@ -102,9 +121,12 @@ void run_stress(const StressFixture& fx, Engine& engine, std::size_t clients,
                     fx.qos_metrics.identifiability &&
                 result.metrics.distinguishability ==
                     fx.qos_metrics.distinguishability;
-          else
+          else if (i == 2)
             good = result.localization.minimal_explanation ==
                    fx.expected_explanation;
+          else
+            good =
+                result.mutate.derived_snapshot == fx.expected_child_hash;
           if (!good) mismatch = true;
         }
       }
@@ -124,14 +146,14 @@ TEST(EngineStress, ConcurrentMixedClientsSeeConsistentResults) {
   run_stress(fx, engine, kClients, kRounds, responses, rejected, mismatch);
 
   // No lost or duplicated responses: one response per request, exactly.
-  EXPECT_EQ(responses.load(), kClients * kRounds * 3);
+  EXPECT_EQ(responses.load(), kClients * kRounds * 4);
   // The queue is deep enough that nothing should be rejected here.
   EXPECT_EQ(rejected.load(), 0u);
   EXPECT_FALSE(mismatch.load());
 
   const EngineMetricsSnapshot metrics = engine.metrics();
-  EXPECT_EQ(metrics.submitted, kClients * kRounds * 3);
-  EXPECT_EQ(metrics.completed, kClients * kRounds * 3);
+  EXPECT_EQ(metrics.submitted, kClients * kRounds * 4);
+  EXPECT_EQ(metrics.completed, kClients * kRounds * 4);
   EXPECT_EQ(metrics.queue_depth, 0u);
   // Identical requests recur constantly; the cache must be doing work.
   EXPECT_GT(metrics.cache_hits, 0u);
@@ -148,11 +170,11 @@ TEST(EngineStress, OverloadDegradesToRejectionsNotDeadlock) {
   run_stress(fx, engine, kClients, kRounds, responses, rejected, mismatch);
 
   // Every request resolves — served or explicitly rejected, never lost.
-  EXPECT_EQ(responses.load(), kClients * kRounds * 3);
+  EXPECT_EQ(responses.load(), kClients * kRounds * 4);
   EXPECT_FALSE(mismatch.load());
   const EngineMetricsSnapshot metrics = engine.metrics();
   EXPECT_EQ(metrics.completed + metrics.rejected_total(),
-            kClients * kRounds * 3);
+            kClients * kRounds * 4);
   EXPECT_EQ(metrics.rejected_queue_full, rejected.load());
   EXPECT_LE(metrics.queue_high_water, 2u);
 }
