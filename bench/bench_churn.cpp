@@ -175,21 +175,23 @@ Row run_case(const BenchTopology& topo, const std::string& scenario,
   return row;
 }
 
-void append_row_json(std::ostringstream& json, const Row& row, bool first) {
-  if (!first) json << ",";
-  json << "\n      {\"topology\": \"" << row.topology << "\", \"scenario\": \""
-       << row.scenario << "\", \"churn_links\": " << row.churn_links
-       << ", \"derive_seconds\": " << row.derive_seconds
-       << ", \"rebuild_seconds\": " << row.rebuild_seconds
-       << ", \"derive_speedup\": " << row.derive_speedup
-       << ", \"repair_seconds\": " << row.repair_seconds
-       << ", \"replace_seconds\": " << row.replace_seconds
-       << ", \"repair_speedup\": " << row.repair_speedup
-       << ", \"objective_ratio\": " << row.objective_ratio
-       << ", \"prefix_valid\": " << (row.prefix_valid ? "true" : "false")
-       << ", \"kept_stale\": " << (row.kept_stale ? "true" : "false")
-       << ", \"trees_recomputed\": " << row.trees_recomputed
-       << ", \"services_recomputed\": " << row.services_recomputed << "}";
+void append_row_json(JsonWriter& json, const Row& row) {
+  json.begin_object()
+      .field("topology", row.topology)
+      .field("scenario", row.scenario)
+      .field("churn_links", row.churn_links)
+      .field("derive_seconds", row.derive_seconds)
+      .field("rebuild_seconds", row.rebuild_seconds)
+      .field("derive_speedup", row.derive_speedup)
+      .field("repair_seconds", row.repair_seconds)
+      .field("replace_seconds", row.replace_seconds)
+      .field("repair_speedup", row.repair_speedup)
+      .field("objective_ratio", row.objective_ratio)
+      .field("prefix_valid", row.prefix_valid)
+      .field("kept_stale", row.kept_stale)
+      .field("trees_recomputed", row.trees_recomputed)
+      .field("services_recomputed", row.services_recomputed)
+      .end_object();
 }
 
 ProblemInstance catalog_instance(const std::string& name) {
@@ -310,16 +312,13 @@ int main() {
             << (objectives_match ? "consistent" : "MISMATCH") << " ("
             << prefix_valid_rows << " prefix-valid rows)\n";
 
-  std::ostringstream json;
-  json << "{\n    \"largest_topology\": \"" << largest_name
-       << "\",\n    \"single_link_derive_speedup\": " << best_single_link
-       << ",\n    \"rows\": [";
-  bool first = true;
-  for (const Row& row : rows) {
-    append_row_json(json, row, first);
-    first = false;
-  }
-  json << "\n    ]}";
+  JsonWriter json;
+  json.begin_object()
+      .field("largest_topology", largest_name)
+      .field("single_link_derive_speedup", best_single_link);
+  json.begin_array("rows");
+  for (const Row& row : rows) append_row_json(json, row);
+  json.end_array().end_object();
   write_bench_json("BENCH_churn.json", "topology_churn", 1, json.str());
 
   if (best_single_link < 5.0) {

@@ -6,8 +6,10 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -15,6 +17,97 @@
 #include "util/table.hpp"
 
 namespace splace::bench {
+
+/// Minimal streaming JSON builder for the `results` payload of bench
+/// artifacts: nested objects/arrays with automatic comma placement, so each
+/// bench describes structure instead of hand-placing separators. Keys and
+/// string values are emitted verbatim (bench labels never need escaping).
+/// Number formatting matches the hand-rolled ostringstream output the
+/// benches used before, keeping artifacts diffable across revisions.
+class JsonWriter {
+ public:
+  /// Opens an anonymous object (top level or array element).
+  JsonWriter& begin_object() {
+    separate();
+    os_ << "{";
+    nesting_.push_back(false);
+    return *this;
+  }
+  /// Opens `"key": {` inside the current object.
+  JsonWriter& begin_object(const std::string& key) {
+    separate();
+    os_ << '"' << key << "\": {";
+    nesting_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    os_ << "}";
+    nesting_.pop_back();
+    return *this;
+  }
+  /// Opens `"key": [` inside the current object.
+  JsonWriter& begin_array(const std::string& key) {
+    separate();
+    os_ << '"' << key << "\": [";
+    nesting_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    os_ << "]";
+    nesting_.pop_back();
+    return *this;
+  }
+
+  JsonWriter& field(const std::string& key, const std::string& value) {
+    prefix(key);
+    os_ << '"' << value << '"';
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonWriter& field(const std::string& key, bool value) {
+    prefix(key);
+    os_ << (value ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, double value) {
+    prefix(key);
+    os_ << value;
+    return *this;
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& field(const std::string& key, T value) {
+    prefix(key);
+    os_ << value;
+    return *this;
+  }
+
+  /// Splices `json` (already-rendered JSON) as the value of `key`.
+  JsonWriter& raw(const std::string& key, const std::string& json) {
+    prefix(key);
+    os_ << json;
+    return *this;
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  void separate() {
+    if (nesting_.empty()) return;
+    if (nesting_.back()) os_ << ", ";
+    nesting_.back() = true;
+  }
+  void prefix(const std::string& key) {
+    separate();
+    os_ << '"' << key << "\": ";
+  }
+
+  std::ostringstream os_;
+  std::vector<bool> nesting_;  ///< per open scope: already has an element
+};
 
 /// Best-effort repository revision for bench provenance: `git rev-parse`
 /// when the bench runs inside the work tree, else "unknown". Never throws.

@@ -1,15 +1,17 @@
 // Serving-engine benchmark: requests/s on a mixed replay workload
 // (place / evaluate / localize) across thread counts and cache on/off, plus
 // an overload run that must complete with explicit rejections rather than
-// blocking. Emits BENCH_engine.json in the shared bench envelope.
+// blocking, a traced run exporting per-request lifecycle spans, and an
+// adaptive-cache run exporting the controller's resize decisions. Emits
+// BENCH_engine.json in the shared bench envelope.
 #include <algorithm>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "engine/replay.hpp"
+#include "engine/trace.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -40,30 +42,38 @@ struct ConfigRun {
 
 ConfigRun run_config(const engine::ReplayWorkload& workload,
                      const std::string& label, std::size_t threads,
-                     std::size_t cache_capacity, std::size_t queue_depth) {
-  engine::EngineConfig config;
+                     engine::EngineConfig config) {
   config.threads = threads;
-  config.cache_capacity = cache_capacity;
-  config.max_queue_depth = queue_depth;
   ConfigRun run;
   run.label = label;
   run.threads = threads;
-  run.cache = cache_capacity;
+  run.cache = config.cache_capacity;
   run.report = engine::run_replay(workload, config);
   return run;
 }
 
-void append_run_json(std::ostringstream& json, const ConfigRun& run,
-                     bool first) {
-  if (!first) json << ",";
+ConfigRun run_config(const engine::ReplayWorkload& workload,
+                     const std::string& label, std::size_t threads,
+                     std::size_t cache_capacity, std::size_t queue_depth) {
+  engine::EngineConfig config;
+  config.cache_capacity = cache_capacity;
+  config.max_queue_depth = queue_depth;
+  return run_config(workload, label, threads, config);
+}
+
+void append_run_json(JsonWriter& json, const ConfigRun& run) {
   const engine::ReplayReport& r = run.report;
-  json << "\n      {\"config\": \"" << run.label
-       << "\", \"threads\": " << run.threads << ", \"cache\": " << run.cache
-       << ", \"total\": " << r.total << ", \"ok\": " << r.ok
-       << ", \"cache_hits\": " << r.cache_hits
-       << ", \"rejected_queue_full\": " << r.rejected_queue_full
-       << ", \"wall_seconds\": " << r.wall_seconds
-       << ", \"requests_per_second\": " << r.requests_per_second << "}";
+  json.begin_object()
+      .field("config", run.label)
+      .field("threads", run.threads)
+      .field("cache", run.cache)
+      .field("total", r.total)
+      .field("ok", r.ok)
+      .field("cache_hits", r.cache_hits)
+      .field("rejected_queue_full", r.rejected_queue_full)
+      .field("wall_seconds", r.wall_seconds)
+      .field("requests_per_second", r.requests_per_second)
+      .end_object();
 }
 
 }  // namespace
@@ -91,22 +101,45 @@ int main() {
   // explicit rejections, not deadlock — the bench itself gates on that.
   ConfigRun overload = run_config(workload, "overload_depth2", 1, 0, 2);
 
+  // Traced run: every request records its seven lifecycle spans; the drained
+  // traces are exported with the artifact (capacity covers the whole burst).
+  engine::EngineConfig traced_config;
+  traced_config.cache_capacity = 1024;
+  traced_config.max_queue_depth = 1u << 20;
+  traced_config.tracing = true;
+  traced_config.trace_capacity = 4096;
+  ConfigRun traced = run_config(workload, "multi_traced", multi,
+                                traced_config);
+
+  // Adaptive run: the cache starts far below the workload's working set
+  // (seven distinct place/evaluate keys plus a fresh localize key per
+  // iteration), so the controller must grow it — the bench gates on at
+  // least one resize decision being exported.
+  engine::EngineConfig adaptive_config;
+  adaptive_config.cache_capacity = 16;
+  adaptive_config.max_queue_depth = 1u << 20;
+  adaptive_config.adaptive_cache = true;
+  adaptive_config.cache_min_capacity = 16;
+  adaptive_config.cache_max_capacity = 2048;
+  adaptive_config.working_set_window = 128;
+  adaptive_config.adaptation_interval = 32;
+  ConfigRun adaptive = run_config(workload, "multi_adaptive", multi,
+                                  adaptive_config);
+
   TablePrinter table({"config", "threads", "cache", "ok", "hits", "rejected",
                       "wall (s)", "req/s"});
-  for (const ConfigRun& run : runs) {
+  auto add_table_row = [&](const ConfigRun& run) {
     table.add_row(
         {run.label, std::to_string(run.threads), std::to_string(run.cache),
          std::to_string(run.report.ok), std::to_string(run.report.cache_hits),
          std::to_string(run.report.rejected_queue_full),
          format_double(run.report.wall_seconds, 4),
          format_double(run.report.requests_per_second, 0)});
-  }
-  table.add_row({overload.label, std::to_string(overload.threads), "0",
-                 std::to_string(overload.report.ok),
-                 std::to_string(overload.report.cache_hits),
-                 std::to_string(overload.report.rejected_queue_full),
-                 format_double(overload.report.wall_seconds, 4),
-                 format_double(overload.report.requests_per_second, 0)});
+  };
+  for (const ConfigRun& run : runs) add_table_row(run);
+  add_table_row(overload);
+  add_table_row(traced);
+  add_table_row(adaptive);
   table.print(std::cout);
 
   const double single_rps = runs[0].report.requests_per_second;
@@ -117,35 +150,63 @@ int main() {
           ? 0
           : runs[2].report.requests_per_second /
                 runs[0].report.requests_per_second;
+  const engine::AdaptiveCacheStats& adapted = adaptive.report.metrics.adaptive;
   std::cout << "\nspeedup (multi_cache vs t1_nocache): "
             << format_double(speedup, 1)
             << "x   (threads only, cache off: "
             << format_double(thread_speedup, 1) << "x)\n"
             << "overload run: " << overload.report.ok << " served, "
             << overload.report.rejected_queue_full
-            << " rejected (queue depth 2), completed without deadlock\n";
+            << " rejected (queue depth 2), completed without deadlock\n"
+            << "traced run: " << traced.report.traces.size()
+            << " traces drained, " << traced.report.metrics.tracing.dropped
+            << " dropped\n"
+            << "adaptive run: working set " << adapted.working_set
+            << " over window " << adapted.window << ", "
+            << adapted.resizes.size() << " resizes, final capacity "
+            << adaptive.report.metrics.cache.capacity << "\n";
 
-  std::ostringstream json;
-  json << "{\n    \"workload\": {\"requests\": " << workload.requests.size()
-       << ", \"topology\": \"tiscali\", \"mix\": "
-       << "[\"place\", \"evaluate\", \"localize\"]},\n    \"runs\": [";
-  bool first = true;
-  for (const ConfigRun& run : runs) {
-    append_run_json(json, run, first);
-    first = false;
-  }
-  append_run_json(json, overload, false);
-  json << "\n    ],\n    \"speedup_multi_cache_vs_single\": " << speedup
-       << ",\n    \"speedup_threads_only\": " << thread_speedup
-       << ",\n    \"overload\": {\"ok\": " << overload.report.ok
-       << ", \"rejected_queue_full\": "
-       << overload.report.rejected_queue_full
-       << ", \"lost\": "
-       << (overload.report.total - overload.report.ok -
-           overload.report.rejected_queue_full -
-           overload.report.rejected_deadline -
-           overload.report.rejected_bad_request)
-       << "}}";
+  JsonWriter json;
+  json.begin_object();
+  json.begin_object("workload")
+      .field("requests", workload.requests.size())
+      .field("topology", "tiscali")
+      .raw("mix", "[\"place\", \"evaluate\", \"localize\"]")
+      .end_object();
+  json.begin_array("runs");
+  for (const ConfigRun& run : runs) append_run_json(json, run);
+  append_run_json(json, overload);
+  append_run_json(json, traced);
+  append_run_json(json, adaptive);
+  json.end_array();
+  json.field("speedup_multi_cache_vs_single", speedup)
+      .field("speedup_threads_only", thread_speedup);
+  json.begin_object("overload")
+      .field("ok", overload.report.ok)
+      .field("rejected_queue_full", overload.report.rejected_queue_full)
+      .field("lost", overload.report.total - overload.report.ok -
+                         overload.report.rejected_queue_full -
+                         overload.report.rejected_deadline -
+                         overload.report.rejected_bad_request)
+      .end_object();
+  json.begin_object("adaptive_cache")
+      .field("window", adapted.window)
+      .field("observed", adapted.observed)
+      .field("working_set", adapted.working_set)
+      .field("min_capacity", adapted.min_capacity)
+      .field("max_capacity", adapted.max_capacity)
+      .field("final_capacity", adaptive.report.metrics.cache.capacity);
+  json.begin_array("resize_events");
+  for (const engine::ResizeEvent& event : adapted.resizes)
+    json.begin_object()
+        .field("at_observation", event.at_observation)
+        .field("from", event.old_capacity)
+        .field("to", event.new_capacity)
+        .field("working_set", event.working_set)
+        .end_object();
+  json.end_array().end_object();
+  json.raw("traces", engine::to_json(traced.report.traces));
+  json.end_object();
 
   write_bench_json("BENCH_engine.json", "serving_engine", multi, json.str());
 
@@ -156,6 +217,18 @@ int main() {
   }
   if (speedup < 2.0) {
     std::cerr << "ERROR: engine speedup below 2x (" << speedup << ")\n";
+    return 1;
+  }
+  if (traced.report.traces.size() != traced.report.total ||
+      traced.report.metrics.tracing.dropped != 0) {
+    std::cerr << "ERROR: traced run lost traces ("
+              << traced.report.traces.size() << " of " << traced.report.total
+              << ", " << traced.report.metrics.tracing.dropped
+              << " dropped)\n";
+    return 1;
+  }
+  if (adapted.resizes.empty()) {
+    std::cerr << "ERROR: adaptive run made no resize decision\n";
     return 1;
   }
   return 0;

@@ -43,7 +43,7 @@ ProblemInstance make_bench_instance() {
     clients.push_back(static_cast<NodeId>(v));
   std::vector<Service> services(kServices);
   for (std::size_t s = 0; s < kServices; ++s) {
-    services[s].name = "s" + std::to_string(s);
+    services[s].name = concat("s", std::to_string(s));
     services[s].alpha = kAlpha;
     for (std::size_t c = 0; c < kClientsPerService; ++c)
       services[s].clients.push_back(
@@ -114,27 +114,26 @@ std::vector<RunResult> run_objective(const ProblemInstance& inst,
   return runs;
 }
 
-void append_json(std::ostringstream& json, ObjectiveKind kind,
-                 const std::vector<RunResult>& runs, bool first_block) {
-  if (!first_block) json << ",";
-  json << "\n    {\"objective\": \"" << to_string(kind) << "\", \"runs\": [";
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const RunResult& r = runs[i];
-    if (i > 0) json << ", ";
-    json << "{\"config\": \"" << r.config << "\", \"wall_seconds\": "
-         << r.wall_seconds << ", \"evaluations\": " << r.evaluations
-         << ", \"evaluations_per_second\": "
-         << static_cast<double>(r.evaluations) / r.wall_seconds
-         << ", \"objective_value\": " << r.objective_value << "}";
-  }
-  json << "], \"speedup_parallel_vs_clone\": "
-       << runs.front().wall_seconds / runs.back().wall_seconds
-       << ", \"placements_identical\": "
-       << ((runs[0].placement == runs[1].placement &&
-            runs[1].placement == runs[2].placement)
-               ? "true"
-               : "false")
-       << "}";
+void append_json(JsonWriter& json, ObjectiveKind kind,
+                 const std::vector<RunResult>& runs) {
+  json.begin_object().field("objective", to_string(kind));
+  json.begin_array("runs");
+  for (const RunResult& r : runs)
+    json.begin_object()
+        .field("config", r.config)
+        .field("wall_seconds", r.wall_seconds)
+        .field("evaluations", r.evaluations)
+        .field("evaluations_per_second",
+               static_cast<double>(r.evaluations) / r.wall_seconds)
+        .field("objective_value", r.objective_value)
+        .end_object();
+  json.end_array();
+  json.field("speedup_parallel_vs_clone",
+             runs.front().wall_seconds / runs.back().wall_seconds)
+      .field("placements_identical",
+             runs[0].placement == runs[1].placement &&
+                 runs[1].placement == runs[2].placement)
+      .end_object();
 }
 
 }  // namespace
@@ -154,15 +153,18 @@ int main() {
             << " services, " << total_candidates
             << " candidate pairs, alpha = " << kAlpha << ") ====\n\n";
 
-  std::ostringstream json;
-  json << "{\n    \"instance\": {\"name\": \"" << rocketfuel_scale_spec().name
-       << "\", \"nodes\": " << inst.node_count()
-       << ", \"services\": " << inst.service_count()
-       << ", \"candidate_pairs\": " << total_candidates
-       << ", \"alpha\": " << kAlpha << "},\n    \"objectives\": [";
+  JsonWriter json;
+  json.begin_object();
+  json.begin_object("instance")
+      .field("name", rocketfuel_scale_spec().name)
+      .field("nodes", inst.node_count())
+      .field("services", inst.service_count())
+      .field("candidate_pairs", total_candidates)
+      .field("alpha", kAlpha)
+      .end_object();
+  json.begin_array("objectives");
 
   bool all_identical = true;
-  bool first_block = true;
   for (ObjectiveKind kind :
        {ObjectiveKind::Coverage, ObjectiveKind::Distinguishability}) {
     const std::vector<RunResult> runs = run_objective(inst, kind);
@@ -184,10 +186,9 @@ int main() {
     all_identical = all_identical &&
                     runs[0].placement == runs[1].placement &&
                     runs[1].placement == runs[2].placement;
-    append_json(json, kind, runs, first_block);
-    first_block = false;
+    append_json(json, kind, runs);
   }
-  json << "\n  ]}";
+  json.end_array().end_object();
 
   write_bench_json("BENCH_greedy.json", "greedy_hot_path",
                    bench_thread_count(), json.str());

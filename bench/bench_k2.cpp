@@ -34,8 +34,8 @@ int main() {
                      std::to_string(k1.coverage),
                      std::to_string(k1.identifiability),
                      std::to_string(k2.identifiability),
-                     "[" + std::to_string(bounds.lower) + "," +
-                         std::to_string(bounds.upper) + "]",
+                     concat("[", std::to_string(bounds.lower), ",",
+                            std::to_string(bounds.upper), "]"),
                      std::to_string(k2.distinguishability)});
     }
   }

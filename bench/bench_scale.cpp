@@ -37,7 +37,7 @@ int main() {
     std::vector<Service> services;
     for (int s = 0; s < 6; ++s) {
       Service svc;
-      svc.name = "s" + std::to_string(s);
+      svc.name = concat("s", std::to_string(s));
       svc.alpha = 0.8;
       std::vector<NodeId> pool(n);
       for (NodeId v = 0; v < n; ++v) pool[v] = v;

@@ -39,14 +39,14 @@ int main() {
            std::to_string(p.metrics.coverage),
            std::to_string(p.metrics.identifiability),
            std::to_string(p.metrics.distinguishability),
-           "+" +
-               format_double(
-                   100.0 * (static_cast<double>(
-                                p.metrics.distinguishability) -
-                            qos_d1) /
-                       qos_d1,
-                   1) +
-               "%"});
+           concat("+",
+                  format_double(
+                      100.0 * (static_cast<double>(
+                                   p.metrics.distinguishability) -
+                               qos_d1) /
+                          qos_d1,
+                      1),
+                  "%")});
     }
     table.print(std::cout);
     std::cout << '\n';

@@ -13,7 +13,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/splace.hpp"
+#include "api/splace.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 

@@ -11,7 +11,7 @@
 #include <algorithm>
 #include <iostream>
 
-#include "core/splace.hpp"
+#include "api/splace.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 

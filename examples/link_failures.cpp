@@ -10,7 +10,7 @@
 // them from end-to-end observations.
 #include <iostream>
 
-#include "core/splace.hpp"
+#include "api/splace.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 

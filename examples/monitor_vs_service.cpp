@@ -10,7 +10,7 @@
 // obtains as a free byproduct of serving client traffic?
 #include <iostream>
 
-#include "core/splace.hpp"
+#include "api/splace.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 

@@ -15,6 +15,9 @@
 //                requests through the concurrent serving engine (see
 //                engine/replay.hpp for the format) and print the outcome
 //                tally plus the engine metrics as JSON
+//   --trace-json PATH  with --replay: write the drained request traces
+//                (one JSON array, all seven lifecycle spans per trace) to
+//                PATH; requires a `trace` directive in the replay file
 //   --sweep      run the full figure-style α sweep (0, 0.1, ..., 1) for the
 //                chosen catalog topology and print it as CSV
 //                (alpha,algorithm,coverage,identifiability,distinguishability)
@@ -36,7 +39,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/splace.hpp"
+#include "api/splace.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -60,6 +63,7 @@ struct CliOptions {
   bool sweep = false;
   bool report = false;
   std::string dot;
+  std::string trace_json;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -96,6 +100,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--sweep") opts.sweep = true;
     else if (arg == "--report") opts.report = true;
     else if (arg == "--dot") opts.dot = next_value(i);
+    else if (arg == "--trace-json") opts.trace_json = next_value(i);
     else usage_error("unknown flag '" + arg + "'");
   }
   if (opts.alpha < 0.0 || opts.alpha > 1.0)
@@ -222,6 +227,16 @@ int main(int argc, char** argv) {
               << " s (" << format_double(report.requests_per_second, 0)
               << " req/s)\n"
               << "metrics:   " << engine::to_json(report.metrics) << '\n';
+    if (!opts.trace_json.empty()) {
+      if (!spec.tracing)
+        usage_error("--trace-json needs a `trace` directive in the replay "
+                    "file");
+      std::ofstream out(opts.trace_json);
+      if (!out) usage_error("cannot write '" + opts.trace_json + "'");
+      out << engine::to_json(report.traces) << '\n';
+      std::cout << "traces:    " << report.traces.size() << " written to "
+                << opts.trace_json << '\n';
+    }
     return report.total == report.ok + report.rejected_queue_full +
                                report.rejected_deadline +
                                report.rejected_bad_request

@@ -8,9 +8,10 @@ ctest --test-dir build --output-on-failure
 # Suites the sanitizer legs must cover. Listed explicitly so a renamed or
 # dropped suite fails the script instead of silently shrinking coverage.
 TSAN_SUITES="test_thread_pool test_greedy test_lazy_greedy test_determinism \
-  test_engine test_engine_stress test_dynamic test_dynamic_engine"
+  test_engine test_engine_stress test_dynamic test_dynamic_engine \
+  test_engine_trace test_api"
 ASAN_SUITES="test_thread_pool test_engine test_engine_stress \
-  test_dynamic test_dynamic_engine"
+  test_dynamic test_dynamic_engine test_engine_trace test_api"
 
 require_suites() {
   dir="$1"; shift
@@ -32,7 +33,7 @@ cmake -B build-tsan -G Ninja -DSPLACE_SANITIZE=thread \
 cmake --build build-tsan --target $TSAN_SUITES
 require_suites build-tsan $TSAN_SUITES
 ctest --test-dir build-tsan --output-on-failure \
-  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism|Engine|Dynamic"
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade"
 
 # ASan pass over the serving layer: the engine moves results through
 # futures, a shared LRU cache, and snapshots that share routing trees and
@@ -43,7 +44,13 @@ cmake -B build-asan -G Ninja -DSPLACE_SANITIZE=address \
 cmake --build build-asan --target $ASAN_SUITES
 require_suites build-asan $ASAN_SUITES
 ctest --test-dir build-asan --output-on-failure \
-  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Engine|Dynamic"
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade"
+
+# Warnings-as-errors leg: one full build with the warning set promoted to
+# errors, so a new -Wall/-Wextra/-Wconversion diagnostic fails the script
+# instead of scrolling past in the log.
+cmake -B build-werror -G Ninja -DSPLACE_WERROR=ON
+cmake --build build-werror
 
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"

@@ -1,0 +1,107 @@
+#include "api/request_builder.hpp"
+
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "util/error.hpp"
+
+namespace splace::api {
+
+Request::Request(engine::Request request) : request_(std::move(request)) {}
+
+Request Request::place(Algorithm algorithm) {
+  engine::PlaceRequest request;
+  request.algorithm = algorithm;
+  return Request(engine::Request{std::move(request)});
+}
+
+Request Request::evaluate(Placement placement) {
+  engine::EvaluateRequest request;
+  request.placement = std::move(placement);
+  return Request(engine::Request{std::move(request)});
+}
+
+Request Request::localize(Placement placement,
+                          std::vector<std::uint32_t> failed_paths) {
+  engine::LocalizeRequest request;
+  request.placement = std::move(placement);
+  request.failed_paths = std::move(failed_paths);
+  return Request(engine::Request{std::move(request)});
+}
+
+Request Request::mutate(TopologyDelta delta) {
+  engine::MutateRequest request;
+  request.delta = std::move(delta);
+  return Request(engine::Request{std::move(request)});
+}
+
+Request& Request::snapshot(std::uint64_t content_hash) {
+  std::visit([&](auto& request) { request.snapshot = content_hash; },
+             request_);
+  snapshot_set_ = true;
+  return *this;
+}
+
+Request& Request::k(std::size_t failure_bound) {
+  if (failure_bound < 1)
+    throw InvalidInput("Request::k: failure bound must be >= 1");
+  std::visit(
+      [&](auto& request) {
+        using T = std::decay_t<decltype(request)>;
+        if constexpr (std::is_same_v<T, engine::MutateRequest>)
+          throw InvalidInput("Request::k does not apply to mutate requests");
+        else
+          request.k = failure_bound;
+      },
+      request_);
+  return *this;
+}
+
+Request& Request::deadline(double milliseconds) {
+  if (milliseconds < 0)
+    throw InvalidInput("Request::deadline: milliseconds must be >= 0");
+  std::visit(
+      [&](auto& request) { request.deadline_seconds = milliseconds / 1000.0; },
+      request_);
+  return *this;
+}
+
+Request& Request::seed(std::uint64_t rng_seed) {
+  std::visit(
+      [&](auto& request) {
+        using T = std::decay_t<decltype(request)>;
+        if constexpr (std::is_same_v<T, engine::PlaceRequest>)
+          request.seed = rng_seed;
+        else
+          throw InvalidInput(
+              "Request::seed applies only to place requests");
+      },
+      request_);
+  return *this;
+}
+
+Request& Request::threads(std::size_t count) {
+  if (count < 1)
+    throw InvalidInput("Request::threads: count must be >= 1");
+  std::visit(
+      [&](auto& request) {
+        using T = std::decay_t<decltype(request)>;
+        if constexpr (std::is_same_v<T, engine::PlaceRequest>)
+          request.threads = count;
+        else
+          throw InvalidInput(
+              "Request::threads applies only to place requests");
+      },
+      request_);
+  return *this;
+}
+
+engine::Request Request::build() const {
+  if (!snapshot_set_)
+    throw InvalidInput(
+        "Request::build: no snapshot set — call .snapshot(hash) first");
+  return request_;
+}
+
+}  // namespace splace::api

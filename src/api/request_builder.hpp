@@ -1,0 +1,62 @@
+// Fluent request builder for the serving engine's public API.
+//
+// Engine requests are plain aggregate structs (engine/request.hpp) — easy to
+// construct in bulk, but easy to half-fill: a PlaceRequest with a forgotten
+// snapshot hash is only caught at execution time as RejectedBadRequest. The
+// builder makes the required field explicit and the optional ones readable:
+//
+//   engine::Request request = api::Request::place(Algorithm::GD)
+//                                 .snapshot(hash)
+//                                 .k(2)
+//                                 .deadline(50)   // milliseconds
+//                                 .build();
+//
+// build() validates eagerly: a missing snapshot or a setter that does not
+// apply to the request's type (seed on an evaluate, k on a mutate) throws
+// InvalidInput at the call site instead of surfacing later as a rejected
+// response. The aggregate structs remain fully supported — the builder only
+// produces them, it never replaces them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/request.hpp"
+
+namespace splace::api {
+
+class Request {
+ public:
+  /// Starts a placement request running `algorithm` on a snapshot.
+  static Request place(Algorithm algorithm = Algorithm::GD);
+  /// Starts an evaluation of `placement`'s metric triple.
+  static Request evaluate(Placement placement);
+  /// Starts a localization from failed path indices under `placement`.
+  static Request localize(Placement placement,
+                          std::vector<std::uint32_t> failed_paths);
+  /// Starts a snapshot derivation applying `delta` to a parent snapshot.
+  static Request mutate(TopologyDelta delta);
+
+  /// Target snapshot content hash (parent hash for mutate). Required.
+  Request& snapshot(std::uint64_t content_hash);
+  /// Failure bound k >= 1 (place / evaluate / localize only).
+  Request& k(std::size_t failure_bound);
+  /// Deadline in milliseconds (>= 0; 0 = none). Applies to every type.
+  Request& deadline(double milliseconds);
+  /// RNG seed (place with Algorithm::RD only).
+  Request& seed(std::uint64_t rng_seed);
+  /// Intra-request worker threads >= 1 (place only; never changes results).
+  Request& threads(std::size_t count);
+
+  /// The finished engine request. Throws InvalidInput when no snapshot was
+  /// set. May be called repeatedly (the builder is not consumed).
+  engine::Request build() const;
+
+ private:
+  explicit Request(engine::Request request);
+
+  engine::Request request_;
+  bool snapshot_set_ = false;
+};
+
+}  // namespace splace::api

@@ -1,0 +1,69 @@
+// Stable public API of the splace library.
+//
+// Include this one header from applications (CLI tools, replay drivers,
+// services embedding the engine). It pulls in the full library umbrella and
+// re-exports the serving surface under `splace::api`, which follows a
+// stability contract the internal headers do not:
+//
+//   * names aliased here keep their meaning across refactors — internal
+//     headers may move or split, `splace::api` spellings stay valid;
+//   * everything needed to drive the engine end to end is reachable from
+//     this header alone: snapshots, requests (aggregate structs or the
+//     fluent api::Request builder), the engine, metrics / trace export,
+//     and the replay driver.
+//
+// Internal headers remain includable — existing code using the aggregate
+// request structs directly keeps compiling; the facade adds names, it
+// removes none.
+#pragma once
+
+#include "api/request_builder.hpp"
+#include "core/splace.hpp"
+
+namespace splace::api {
+
+// --- Snapshots: immutable topologies the engine serves against. ---
+using splace::engine::SnapshotRegistry;
+using splace::engine::TopologySnapshot;
+
+// --- Requests and responses (aggregate structs; api::Request builds them).
+using splace::engine::EvaluateRequest;
+using splace::engine::LocalizeRequest;
+using splace::engine::MutateRequest;
+using splace::engine::PlaceRequest;
+
+using splace::engine::EngineResult;
+using splace::engine::LocalizeResult;
+using splace::engine::MutateResult;
+using splace::engine::Outcome;
+using splace::engine::PlaceResult;
+using splace::engine::RequestType;
+
+// --- The engine itself, its configuration, and observability. ---
+using splace::engine::Engine;
+using splace::engine::EngineConfig;
+using splace::engine::EngineMetricsSnapshot;
+
+using splace::engine::AdaptiveCacheStats;
+using splace::engine::RequestTrace;
+using splace::engine::ResizeEvent;
+using splace::engine::Stage;
+using splace::engine::TraceStats;
+
+// --- Replay driver (workload files -> engine traffic). ---
+using splace::engine::ReplayReport;
+
+// --- Core domain types that appear in requests and results. ---
+using splace::Algorithm;
+using splace::Graph;
+using splace::MetricReport;
+using splace::ObjectiveKind;
+using splace::Placement;
+using splace::ProblemInstance;
+using splace::TopologyDelta;
+
+// --- Errors thrown by api::Request and Engine construction. ---
+using splace::ContractViolation;
+using splace::InvalidInput;
+
+}  // namespace splace::api

@@ -14,7 +14,15 @@ namespace {
 }
 
 std::string link_str(const Edge& e) {
-  return "{" + std::to_string(e.u) + ", " + std::to_string(e.v) + "}";
+  // Built by append, not operator+ chaining: GCC 12's -Wrestrict issues a
+  // false positive on chained string concatenation at -O3 (GCC PR105329),
+  // which the -Werror leg would otherwise trip over.
+  std::string s = "{";
+  s += std::to_string(e.u);
+  s += ", ";
+  s += std::to_string(e.v);
+  s += "}";
+  return s;
 }
 
 Edge normalized(const Graph& g, Edge e) {

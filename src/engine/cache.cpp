@@ -38,22 +38,31 @@ void ResultCache::insert(const std::string& key,
   }
   lru_.emplace_front(key, std::move(value));
   index_.emplace(key, lru_.begin());
-  if (lru_.size() > capacity_) {
-    const Entry& victim = lru_.back();
-    ++stats_.evictions;
-    ++stats_.evictions_by_type[static_cast<std::size_t>(victim.second->type)];
-    stats_.evicted_bytes_estimate +=
-        victim.first.size() + estimate_bytes(*victim.second);
-    index_.erase(victim.first);
-    lru_.pop_back();
-  }
+  while (lru_.size() > capacity_.load(std::memory_order_relaxed))
+    evict_back();
+}
+
+void ResultCache::evict_back() {
+  const Entry& victim = lru_.back();
+  ++stats_.evictions;
+  ++stats_.evictions_by_type[static_cast<std::size_t>(victim.second->type)];
+  stats_.evicted_bytes_estimate +=
+      victim.first.size() + estimate_bytes(*victim.second);
+  index_.erase(victim.first);
+  lru_.pop_back();
+}
+
+void ResultCache::set_capacity(std::size_t capacity) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  capacity_.store(capacity, std::memory_order_relaxed);
+  while (lru_.size() > capacity) evict_back();
 }
 
 CacheStats ResultCache::stats() const {
   std::unique_lock<std::mutex> lock(mutex_);
   CacheStats snapshot = stats_;
   snapshot.size = lru_.size();
-  snapshot.capacity = capacity_;
+  snapshot.capacity = capacity_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -52,7 +53,7 @@ class ResultCache {
   /// Capacity 0 disables the cache: find() always misses, insert() drops.
   explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
 
-  bool enabled() const { return capacity_ > 0; }
+  bool enabled() const { return capacity_.load(std::memory_order_relaxed) > 0; }
 
   /// Looks a key up, counting a hit (and promoting the entry to
   /// most-recently-used) or a miss. Returns nullptr on miss.
@@ -63,6 +64,17 @@ class ResultCache {
   void insert(const std::string& key,
               std::shared_ptr<const EngineResult> value);
 
+  /// Resizes the cache at runtime (the adaptive-capacity policy's lever).
+  /// Shrinking evicts least-recently-used entries down to the new capacity,
+  /// counted like any other eviction. Results already handed out by find()
+  /// stay valid regardless — values are shared_ptr, so eviction drops the
+  /// cache's reference, never a requester's.
+  void set_capacity(std::size_t capacity);
+
+  std::size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
   CacheStats stats() const;
 
   void clear();
@@ -70,8 +82,13 @@ class ResultCache {
  private:
   using Entry = std::pair<std::string, std::shared_ptr<const EngineResult>>;
 
+  /// Pops the LRU entry, charging stats_. Caller holds mutex_.
+  void evict_back();
+
   mutable std::mutex mutex_;
-  std::size_t capacity_;
+  /// Atomic so enabled()/capacity() stay lock-free while set_capacity()
+  /// runs; all writes happen under mutex_.
+  std::atomic<std::size_t> capacity_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   CacheStats stats_;

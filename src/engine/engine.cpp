@@ -36,20 +36,64 @@ std::vector<NodeId> bitset_nodes(const DynamicBitset& bits) {
   return nodes;
 }
 
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+EngineConfig validated(EngineConfig config) {
+  const std::string error = config.validate();
+  if (!error.empty()) throw InvalidInput("EngineConfig: " + error);
+  return config;
+}
+
 }  // namespace
+
+std::string EngineConfig::validate() const {
+  if (max_queue_depth < 1)
+    return "max_queue_depth must be >= 1 (requests)";
+  if (adaptive_cache) {
+    if (cache_min_capacity < 1)
+      return "cache_min_capacity must be >= 1 (entries) when adaptive_cache "
+             "is on";
+    if (cache_max_capacity < cache_min_capacity)
+      return "cache_max_capacity must be >= cache_min_capacity (entries)";
+    if (cache_capacity < cache_min_capacity ||
+        cache_capacity > cache_max_capacity)
+      return "cache_capacity must start inside [cache_min_capacity, "
+             "cache_max_capacity] (entries)";
+    if (working_set_window < 1)
+      return "working_set_window must be >= 1 (completed responses)";
+    if (working_set_headroom < 1.0)
+      return "working_set_headroom must be >= 1.0 (ratio)";
+    if (adaptation_interval < 1)
+      return "adaptation_interval must be >= 1 (completed responses)";
+  }
+  if (tracing && trace_capacity < 1)
+    return "trace_capacity must be >= 1 (traces) when tracing is on";
+  return {};
+}
 
 Engine::Engine(std::shared_ptr<SnapshotRegistry> registry, EngineConfig config)
     : registry_(std::move(registry)),
-      config_(config),
-      cache_(config.cache_capacity),
+      config_(validated(std::move(config))),
+      cache_(config_.cache_capacity),
+      adaptive_(config_.adaptive_cache, config_.cache_min_capacity,
+                config_.cache_max_capacity, config_.working_set_window,
+                config_.working_set_headroom, config_.adaptation_interval),
+      recorder_(config_.tracing, config_.trace_capacity),
       start_(Clock::now()),
-      pool_(config.threads) {
+      pool_(config_.threads) {
   SPLACE_EXPECTS(registry_ != nullptr);
-  SPLACE_EXPECTS(config_.max_queue_depth >= 1);
+}
+
+double Engine::since_start(Clock::time_point at) const {
+  return seconds_between(start_, at);
 }
 
 std::vector<std::future<EngineResult>> Engine::submit(
     std::vector<Request> batch) {
+  const bool tracing = recorder_.enabled();
   const Clock::time_point submitted = Clock::now();
   std::vector<std::future<EngineResult>> futures(batch.size());
 
@@ -60,6 +104,7 @@ std::vector<std::future<EngineResult>> Engine::submit(
     std::size_t index;
     RequestType type;
     std::string key;
+    RequestTrace trace;  ///< id != 0 iff this request is traced
   };
   std::vector<Candidate> candidates;
   candidates.reserve(batch.size());
@@ -67,22 +112,45 @@ std::vector<std::future<EngineResult>> Engine::submit(
     metrics_.record_submitted();
     const RequestType type = request_type(batch[i]);
     std::string key = canonical_key(batch[i]);
-    if (std::shared_ptr<const EngineResult> hit = cache_.find(key)) {
+    RequestTrace trace;
+    if (tracing) {
+      trace.id = recorder_.next_id();
+      trace.type = type;
+      trace.submitted_seconds = since_start(submitted);
+    }
+    const Clock::time_point probe_start =
+        tracing ? Clock::now() : Clock::time_point{};
+    std::shared_ptr<const EngineResult> hit = cache_.find(key);
+    if (tracing)
+      trace.stage_seconds[stage_index(Stage::CacheProbe)] +=
+          seconds_between(probe_start, Clock::now());
+    if (hit) {
       EngineResult result = *hit;
       result.cache_hit = true;
-      result.latency_seconds =
-          std::chrono::duration<double>(Clock::now() - submitted).count();
+      result.latency_seconds = seconds_between(submitted, Clock::now());
+      adaptive_.observe(key, type, cache_);
       metrics_.record_response(type, result.outcome, true,
                                result.latency_seconds);
+      if (tracing) {
+        trace.outcome = result.outcome;
+        trace.cache_hit = true;
+        trace.total_seconds = result.latency_seconds;
+        recorder_.record(std::move(trace));
+      }
       futures[i] = ready_future(std::move(result));
       continue;
     }
-    candidates.push_back(Candidate{i, type, std::move(key)});
+    candidates.push_back(
+        Candidate{i, type, std::move(key), std::move(trace)});
   }
 
   // One admission decision for the whole batch: the lock is taken once and
   // slots are consumed in batch order, so a batch behaves exactly like the
   // equivalent loop of single submissions minus the per-request lock trips.
+  // Traced requests all charge the same span to admission — the lock really
+  // was taken once on their behalf.
+  const Clock::time_point admission_start =
+      tracing ? Clock::now() : Clock::time_point{};
   std::vector<bool> admitted(candidates.size(), false);
   {
     std::unique_lock<std::mutex> lock(admission_mutex_);
@@ -93,61 +161,114 @@ std::vector<std::future<EngineResult>> Engine::submit(
       metrics_.record_admitted(pending_);
     }
   }
+  const Clock::time_point dispatched = Clock::now();
+  const double admission_seconds =
+      tracing ? seconds_between(admission_start, dispatched) : 0.0;
 
   for (std::size_t c = 0; c < candidates.size(); ++c) {
     Candidate& item = candidates[c];
+    if (tracing)
+      item.trace.stage_seconds[stage_index(Stage::Admission)] =
+          admission_seconds;
     if (!admitted[c]) {
       EngineResult result =
           rejected(item.type, Outcome::RejectedQueueFull,
                    "queue depth limit " +
                        std::to_string(config_.max_queue_depth) + " reached");
-      result.latency_seconds =
-          std::chrono::duration<double>(Clock::now() - submitted).count();
+      result.latency_seconds = seconds_between(submitted, Clock::now());
       metrics_.record_response(item.type, result.outcome, false,
                                result.latency_seconds);
+      if (tracing) {
+        item.trace.outcome = result.outcome;
+        item.trace.total_seconds = result.latency_seconds;
+        recorder_.record(std::move(item.trace));
+      }
       futures[item.index] = ready_future(std::move(result));
       continue;
     }
-    futures[item.index] = dispatch(item.type, std::move(batch[item.index]),
-                                   std::move(item.key), submitted);
+    futures[item.index] =
+        dispatch(item.type, std::move(batch[item.index]), std::move(item.key),
+                 submitted, dispatched, std::move(item.trace));
   }
   return futures;
 }
 
 std::future<EngineResult> Engine::dispatch(RequestType type, Request request,
                                            std::string key,
-                                           Clock::time_point submitted) {
+                                           Clock::time_point submitted,
+                                           Clock::time_point dispatched,
+                                           RequestTrace trace) {
   return pool_.submit_with_result(
       [this, type, request = std::move(request), key = std::move(key),
-       submitted]() mutable {
+       submitted, dispatched, trace = std::move(trace)]() mutable {
+        const bool traced = trace.id != 0;
+        const Clock::time_point picked_up = Clock::now();
+        if (traced)
+          trace.stage_seconds[stage_index(Stage::QueueWait)] =
+              seconds_between(dispatched, picked_up);
         EngineResult result;
-        const double queued =
-            std::chrono::duration<double>(Clock::now() - submitted).count();
+        const double queued = seconds_between(submitted, picked_up);
         const double deadline = deadline_of(request);
         if (deadline > 0 && queued > deadline) {
           result = rejected(type, Outcome::RejectedDeadline,
                             "deadline expired after queueing");
-        } else if (std::shared_ptr<const EngineResult> hit =
-                       cache_.find(key)) {
-          // Second cache checkpoint: an identical request submitted in the
-          // same burst may have completed while this one waited in the
-          // queue. Identical keys guarantee identical results, so serving
-          // the cached payload is indistinguishable from recomputing.
-          result = *hit;
-          result.cache_hit = true;
         } else {
-          result = std::visit(
-              [this](const auto& typed) { return execute(typed); }, request);
+          const Clock::time_point probe_start =
+              traced ? Clock::now() : Clock::time_point{};
+          std::shared_ptr<const EngineResult> hit = cache_.find(key);
+          if (traced)
+            trace.stage_seconds[stage_index(Stage::CacheProbe)] +=
+                seconds_between(probe_start, Clock::now());
+          if (hit) {
+            // Second cache checkpoint: an identical request submitted in the
+            // same burst may have completed while this one waited in the
+            // queue. Identical keys guarantee identical results, so serving
+            // the cached payload is indistinguishable from recomputing.
+            result = *hit;
+            result.cache_hit = true;
+          } else {
+            RequestTrace* trace_ptr = traced ? &trace : nullptr;
+            const Clock::time_point compute_start =
+                traced ? Clock::now() : Clock::time_point{};
+            result = std::visit(
+                [this, trace_ptr](const auto& typed) {
+                  return execute(typed, trace_ptr);
+                },
+                request);
+            if (traced) {
+              // Compute is the library call net of the registry lookup,
+              // which execute() charged to SnapshotResolve.
+              trace.stage_seconds[stage_index(Stage::Compute)] =
+                  seconds_between(compute_start, Clock::now()) -
+                  trace.stage_seconds[stage_index(Stage::SnapshotResolve)];
+            }
+          }
         }
-        result.latency_seconds =
-            std::chrono::duration<double>(Clock::now() - submitted).count();
-        if (result.ok() && !result.cache_hit)
+        result.latency_seconds = seconds_between(submitted, Clock::now());
+        if (result.ok() && !result.cache_hit) {
+          const Clock::time_point insert_start =
+              traced ? Clock::now() : Clock::time_point{};
           cache_.insert(key, std::make_shared<const EngineResult>(result));
+          if (traced)
+            trace.stage_seconds[stage_index(Stage::CacheInsert)] =
+                seconds_between(insert_start, Clock::now());
+        }
+        const Clock::time_point delivery_start =
+            traced ? Clock::now() : Clock::time_point{};
+        if (result.ok()) adaptive_.observe(key, type, cache_);
         metrics_.record_response(type, result.outcome, result.cache_hit,
                                  result.latency_seconds);
         {
           std::unique_lock<std::mutex> lock(admission_mutex_);
           --pending_;
+        }
+        if (traced) {
+          trace.outcome = result.outcome;
+          trace.cache_hit = result.cache_hit;
+          trace.total_seconds = result.latency_seconds;
+          trace.stage_seconds[stage_index(Stage::FutureDelivery)] =
+              seconds_between(delivery_start, Clock::now());
+          recorder_.record(std::move(trace));
         }
         return result;
       });
@@ -177,8 +298,13 @@ std::future<EngineResult> Engine::submit(MutateRequest request) {
 }
 
 std::shared_ptr<const TopologySnapshot> Engine::resolve(
-    std::uint64_t hash, EngineResult& result) const {
+    std::uint64_t hash, EngineResult& result, RequestTrace* trace) const {
+  const Clock::time_point start =
+      trace ? Clock::now() : Clock::time_point{};
   std::shared_ptr<const TopologySnapshot> snapshot = registry_->find(hash);
+  if (trace)
+    trace->stage_seconds[stage_index(Stage::SnapshotResolve)] +=
+        seconds_between(start, Clock::now());
   if (!snapshot) {
     result.outcome = Outcome::RejectedBadRequest;
     result.message = "unknown snapshot hash";
@@ -186,10 +312,11 @@ std::shared_ptr<const TopologySnapshot> Engine::resolve(
   return snapshot;
 }
 
-EngineResult Engine::execute(const PlaceRequest& request) const {
+EngineResult Engine::execute(const PlaceRequest& request,
+                             RequestTrace* trace) const {
   EngineResult result;
   result.type = RequestType::Place;
-  const auto snapshot = resolve(request.snapshot, result);
+  const auto snapshot = resolve(request.snapshot, result, trace);
   if (!snapshot) return result;
   if (request.k < 1) {
     result.outcome = Outcome::RejectedBadRequest;
@@ -200,6 +327,10 @@ EngineResult Engine::execute(const PlaceRequest& request) const {
   try {
     PlacementOptions options;
     options.threads = std::max<std::size_t>(1, request.threads);
+    if (trace != nullptr)
+      options.profile_round = [trace](const GreedyRoundProfile& profile) {
+        trace->greedy_rounds.push_back(profile);
+      };
     switch (request.algorithm) {
       case Algorithm::QoS:
         result.place.placement = best_qos_placement(instance);
@@ -246,10 +377,11 @@ EngineResult Engine::execute(const PlaceRequest& request) const {
   return result;
 }
 
-EngineResult Engine::execute(const EvaluateRequest& request) const {
+EngineResult Engine::execute(const EvaluateRequest& request,
+                             RequestTrace* trace) const {
   EngineResult result;
   result.type = RequestType::Evaluate;
-  const auto snapshot = resolve(request.snapshot, result);
+  const auto snapshot = resolve(request.snapshot, result, trace);
   if (!snapshot) return result;
   const ProblemInstance& instance = snapshot->instance();
   if (request.k < 1) {
@@ -272,10 +404,11 @@ EngineResult Engine::execute(const EvaluateRequest& request) const {
   return result;
 }
 
-EngineResult Engine::execute(const LocalizeRequest& request) const {
+EngineResult Engine::execute(const LocalizeRequest& request,
+                             RequestTrace* trace) const {
   EngineResult result;
   result.type = RequestType::Localize;
-  const auto snapshot = resolve(request.snapshot, result);
+  const auto snapshot = resolve(request.snapshot, result, trace);
   if (!snapshot) return result;
   const ProblemInstance& instance = snapshot->instance();
   if (request.k < 1) {
@@ -312,9 +445,13 @@ EngineResult Engine::execute(const LocalizeRequest& request) const {
   return result;
 }
 
-EngineResult Engine::execute(const MutateRequest& request) const {
+EngineResult Engine::execute(const MutateRequest& request,
+                             RequestTrace* trace) const {
   EngineResult result;
   result.type = RequestType::Mutate;
+  // Derivation looks up the parent and builds the child in one registry
+  // call, so the whole span is compute; SnapshotResolve stays 0.
+  (void)trace;
   try {
     const SnapshotRegistry::DeriveOutcome outcome =
         registry_->derive(request.snapshot, request.delta);
@@ -344,9 +481,9 @@ EngineMetricsSnapshot Engine::metrics() const {
     std::unique_lock<std::mutex> lock(admission_mutex_);
     depth = pending_;
   }
-  const double elapsed =
-      std::chrono::duration<double>(Clock::now() - start_).count();
-  return metrics_.snapshot(depth, elapsed, cache_.stats());
+  const double elapsed = since_start(Clock::now());
+  return metrics_.snapshot(depth, elapsed, cache_.stats(), adaptive_.stats(),
+                           recorder_.stats());
 }
 
 }  // namespace splace::engine

@@ -24,26 +24,65 @@
 #include <string>
 #include <vector>
 
+#include "engine/adaptive.hpp"
 #include "engine/cache.hpp"
 #include "engine/metrics.hpp"
 #include "engine/request.hpp"
 #include "engine/snapshot.hpp"
+#include "engine/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace splace::engine {
 
+/// Engine configuration. Validated, not clamped: a config that violates any
+/// rule below is a bad request — Engine's constructor throws InvalidInput
+/// with the message validate() returns, instead of silently adjusting
+/// values. Every field states its unit.
 struct EngineConfig {
-  /// Worker threads: 0 = one per hardware thread.
+  /// Worker threads (count; 0 = one per hardware thread).
   std::size_t threads = 0;
-  /// Admission limit: requests beyond this many in flight are rejected
-  /// with RejectedQueueFull instead of queued unboundedly.
+  /// Admission limit (requests; must be >= 1): requests beyond this many in
+  /// flight are rejected with RejectedQueueFull instead of queued
+  /// unboundedly.
   std::size_t max_queue_depth = 256;
-  /// LRU result-cache capacity in entries; 0 disables caching.
+  /// Initial LRU result-cache capacity (entries; 0 disables caching —
+  /// invalid when adaptive_cache is on).
   std::size_t cache_capacity = 1024;
+
+  /// Adaptive capacity (bool): when true the engine tracks the working set
+  /// of completed responses and resizes the cache between
+  /// [cache_min_capacity, cache_max_capacity]. See engine/adaptive.hpp for
+  /// the policy.
+  bool adaptive_cache = false;
+  /// Lower resize bound (entries; >= 1 when adaptive_cache is on).
+  std::size_t cache_min_capacity = 64;
+  /// Upper resize bound (entries; >= cache_min_capacity). cache_capacity
+  /// must start inside [cache_min_capacity, cache_max_capacity].
+  std::size_t cache_max_capacity = 4096;
+  /// Sliding-window length (completed responses; >= 1) over which distinct
+  /// canonical keys are counted as the working-set estimate.
+  std::size_t working_set_window = 256;
+  /// Capacity target as a multiple of the working set (ratio; >= 1.0).
+  double working_set_headroom = 1.25;
+  /// Completed responses between resize decisions (count; >= 1).
+  std::size_t adaptation_interval = 64;
+
+  /// Request-lifecycle tracing (bool): when true every request records a
+  /// RequestTrace (engine/trace.hpp). Off = zero tracing work on the
+  /// request path.
+  bool tracing = false;
+  /// Retained-trace bound (traces; >= 1 when tracing is on). Overflow drops
+  /// new traces, counted in TraceStats::dropped.
+  std::size_t trace_capacity = 4096;
+
+  /// Empty string when the config is valid; otherwise a human-readable
+  /// description of the first violated rule.
+  std::string validate() const;
 };
 
 class Engine {
  public:
+  /// Throws InvalidInput when `config.validate()` reports a violation.
   explicit Engine(std::shared_ptr<SnapshotRegistry> registry,
                   EngineConfig config = {});
 
@@ -68,6 +107,13 @@ class Engine {
 
   EngineMetricsSnapshot metrics() const;
 
+  /// Whether per-request tracing is active (config.tracing).
+  bool tracing_enabled() const { return recorder_.enabled(); }
+
+  /// Moves every buffered request trace out, in trace-id order. Traces of
+  /// in-flight requests land in a later drain. Empty when tracing is off.
+  std::vector<RequestTrace> drain_traces() { return recorder_.drain(); }
+
   SnapshotRegistry& registry() { return *registry_; }
   const SnapshotRegistry& registry() const { return *registry_; }
   std::size_t thread_count() const { return pool_.thread_count(); }
@@ -77,24 +123,37 @@ class Engine {
   using Clock = std::chrono::steady_clock;
 
   /// Hands one admitted request to the worker pool (deadline check, second
-  /// cache checkpoint, execution, bookkeeping).
+  /// cache checkpoint, execution, bookkeeping). `trace.id != 0` marks an
+  /// active trace; `dispatched` is the admission-exit timestamp the queue-
+  /// wait span is measured from.
   std::future<EngineResult> dispatch(RequestType type, Request request,
                                      std::string key,
-                                     Clock::time_point submitted);
+                                     Clock::time_point submitted,
+                                     Clock::time_point dispatched,
+                                     RequestTrace trace);
 
   /// Executes one admitted request; never throws (library errors become
-  /// RejectedBadRequest).
-  EngineResult execute(const PlaceRequest& request) const;
-  EngineResult execute(const EvaluateRequest& request) const;
-  EngineResult execute(const LocalizeRequest& request) const;
-  EngineResult execute(const MutateRequest& request) const;
+  /// RejectedBadRequest). A non-null `trace` receives the snapshot-resolve
+  /// span and (for greedy place requests) per-round profiles.
+  EngineResult execute(const PlaceRequest& request, RequestTrace* trace) const;
+  EngineResult execute(const EvaluateRequest& request,
+                       RequestTrace* trace) const;
+  EngineResult execute(const LocalizeRequest& request,
+                       RequestTrace* trace) const;
+  EngineResult execute(const MutateRequest& request, RequestTrace* trace) const;
 
   std::shared_ptr<const TopologySnapshot> resolve(std::uint64_t hash,
-                                                  EngineResult& result) const;
+                                                  EngineResult& result,
+                                                  RequestTrace* trace) const;
+
+  /// Seconds since engine construction.
+  double since_start(Clock::time_point at) const;
 
   std::shared_ptr<SnapshotRegistry> registry_;
   EngineConfig config_;
   ResultCache cache_;
+  AdaptiveCacheController adaptive_;
+  TraceRecorder recorder_;
   EngineMetrics metrics_;
   Clock::time_point start_;
   mutable std::mutex admission_mutex_;

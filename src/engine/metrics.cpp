@@ -1,8 +1,8 @@
 #include "engine/metrics.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -19,11 +19,7 @@ void LatencyStats::record(double seconds) {
   }
   ++count;
   total_seconds += seconds;
-  const double micros = seconds * 1e6;
-  const std::size_t bucket =
-      micros <= 1.0 ? 0
-                    : static_cast<std::size_t>(std::ceil(std::log2(micros)));
-  log2_us.add(bucket);
+  log2_us.add(log2_us_bucket(seconds));
 }
 
 namespace {
@@ -71,7 +67,38 @@ std::string to_json(const EngineMetricsSnapshot& snapshot) {
      << snapshot.cache.evicted_bytes_estimate
      << ", \"size\": " << snapshot.cache.size
      << ", \"capacity\": " << snapshot.cache.capacity
-     << ", \"hit_rate\": " << snapshot.cache.hit_rate() << "}, \"latency\": {";
+     << ", \"hit_rate\": " << snapshot.cache.hit_rate() << "}"
+     << ", \"adaptive_cache\": {\"enabled\": "
+     << (snapshot.adaptive.enabled ? "true" : "false")
+     << ", \"window\": " << snapshot.adaptive.window
+     << ", \"observed\": " << snapshot.adaptive.observed
+     << ", \"working_set\": " << snapshot.adaptive.working_set
+     << ", \"working_set_by_type\": {";
+  for (std::size_t t = 0; t < kRequestTypeCount; ++t) {
+    if (t > 0) os << ", ";
+    os << "\"" << to_string(static_cast<RequestType>(t))
+       << "\": " << snapshot.adaptive.working_set_by_type[t];
+  }
+  os << "}, \"min_capacity\": " << snapshot.adaptive.min_capacity
+     << ", \"max_capacity\": " << snapshot.adaptive.max_capacity
+     << ", \"final_capacity\": " << snapshot.cache.capacity
+     << ", \"resize_events\": [";
+  for (std::size_t r = 0; r < snapshot.adaptive.resizes.size(); ++r) {
+    const ResizeEvent& event = snapshot.adaptive.resizes[r];
+    if (r > 0) os << ", ";
+    os << "{\"at_observation\": " << event.at_observation
+       << ", \"from\": " << event.old_capacity
+       << ", \"to\": " << event.new_capacity
+       << ", \"working_set\": " << event.working_set << "}";
+  }
+  os << "]}"
+     << ", \"tracing\": {\"enabled\": "
+     << (snapshot.tracing.enabled ? "true" : "false")
+     << ", \"recorded\": " << snapshot.tracing.recorded
+     << ", \"drained\": " << snapshot.tracing.drained
+     << ", \"dropped\": " << snapshot.tracing.dropped
+     << ", \"capacity\": " << snapshot.tracing.capacity << "}"
+     << ", \"latency\": {";
   append_latency(os, "place", snapshot.place);
   os << ", ";
   append_latency(os, "evaluate", snapshot.evaluate);
@@ -129,14 +156,16 @@ void EngineMetrics::record_response(RequestType type, Outcome outcome,
   }
 }
 
-EngineMetricsSnapshot EngineMetrics::snapshot(std::size_t queue_depth,
-                                              double elapsed_seconds,
-                                              const CacheStats& cache) const {
+EngineMetricsSnapshot EngineMetrics::snapshot(
+    std::size_t queue_depth, double elapsed_seconds, const CacheStats& cache,
+    AdaptiveCacheStats adaptive, const TraceStats& tracing) const {
   std::unique_lock<std::mutex> lock(mutex_);
   EngineMetricsSnapshot copy = counters_;
   copy.queue_depth = queue_depth;
   copy.elapsed_seconds = elapsed_seconds;
   copy.cache = cache;
+  copy.adaptive = std::move(adaptive);
+  copy.tracing = tracing;
   return copy;
 }
 

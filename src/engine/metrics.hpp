@@ -8,8 +8,10 @@
 #include <mutex>
 #include <string>
 
+#include "engine/adaptive.hpp"
 #include "engine/cache.hpp"
 #include "engine/request.hpp"
+#include "engine/trace.hpp"
 #include "util/stats.hpp"
 
 namespace splace::engine {
@@ -42,6 +44,8 @@ struct EngineMetricsSnapshot {
   std::size_t queue_high_water = 0;  ///< max in-flight ever observed
   double elapsed_seconds = 0;        ///< since engine construction
   CacheStats cache;
+  AdaptiveCacheStats adaptive;       ///< adaptive-capacity controller state
+  TraceStats tracing;                ///< trace-recorder state
   LatencyStats place;
   LatencyStats evaluate;
   LatencyStats localize;
@@ -70,11 +74,14 @@ class EngineMetrics {
   void record_response(RequestType type, Outcome outcome, bool cache_hit,
                        double latency_seconds);
 
-  /// Copies every counter; `queue_depth` and `elapsed_seconds` are supplied
-  /// by the engine (it owns the pending counter and the start clock).
+  /// Copies every counter; `queue_depth`, `elapsed_seconds`, and the cache /
+  /// adaptive / tracing sections are supplied by the engine (it owns the
+  /// pending counter, the start clock, and those subsystems).
   EngineMetricsSnapshot snapshot(std::size_t queue_depth,
                                  double elapsed_seconds,
-                                 const CacheStats& cache) const;
+                                 const CacheStats& cache,
+                                 AdaptiveCacheStats adaptive,
+                                 const TraceStats& tracing) const;
 
  private:
   mutable std::mutex mutex_;

@@ -147,6 +147,25 @@ ReplaySpec parse_replay(std::istream& in) {
       if (tokens.size() != 2) fail(line, "repeat needs one value");
       spec.repeat = parse_size(tokens[1], line);
       if (spec.repeat < 1) fail(line, "repeat must be >= 1");
+    } else if (key == "trace") {
+      if (tokens.size() != 2) fail(line, "trace needs a capacity (traces)");
+      spec.trace_capacity = parse_size(tokens[1], line);
+      if (spec.trace_capacity < 1) fail(line, "trace capacity must be >= 1");
+      spec.tracing = true;
+    } else if (key == "adaptive") {
+      if (tokens.size() != 3)
+        fail(line, "expected: adaptive <min-entries> <max-entries>");
+      spec.cache_min_capacity = parse_size(tokens[1], line);
+      spec.cache_max_capacity = parse_size(tokens[2], line);
+      spec.adaptive_cache = true;
+    } else if (key == "adaptive-window") {
+      if (tokens.size() != 2)
+        fail(line, "adaptive-window needs one value (responses)");
+      spec.working_set_window = parse_size(tokens[1], line);
+    } else if (key == "adaptive-interval") {
+      if (tokens.size() != 2)
+        fail(line, "adaptive-interval needs one value (responses)");
+      spec.adaptation_interval = parse_size(tokens[1], line);
     } else if (key == "seed") {
       if (tokens.size() != 2) fail(line, "seed needs one value");
       current_seed = parse_size(tokens[1], line);
@@ -380,6 +399,7 @@ ReplayReport run_replay(const ReplayWorkload& workload, EngineConfig config) {
           ? 0.0
           : static_cast<double>(report.total) / report.wall_seconds;
   report.metrics = engine.metrics();
+  report.traces = engine.drain_traces();
   return report;
 }
 

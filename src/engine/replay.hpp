@@ -7,6 +7,10 @@
 //   queue-depth 256           # admission limit
 //   cache 1024                # LRU capacity in entries (0 = off)
 //   repeat 50                 # fire the request list this many times
+//   trace 4096                # request tracing, retaining up to N traces
+//   adaptive 64 4096          # adaptive cache capacity in [min, max] entries
+//   adaptive-window 256       # working-set window (completed responses)
+//   adaptive-interval 64      # responses between resize decisions
 //
 //   # one or more named snapshots (catalog topologies)
 //   snapshot net1 topology tiscali alpha 0.6 services 5 clients 3
@@ -71,11 +75,29 @@ struct ReplaySpec {
   std::size_t queue_depth = 256;
   std::size_t cache_capacity = 1024;
   std::size_t repeat = 1;
+  bool tracing = false;               ///< from `trace <N>`
+  std::size_t trace_capacity = 4096;
+  bool adaptive_cache = false;        ///< from `adaptive <min> <max>`
+  std::size_t cache_min_capacity = 64;
+  std::size_t cache_max_capacity = 4096;
+  std::size_t working_set_window = 256;
+  std::size_t adaptation_interval = 64;
   std::vector<ReplaySnapshotSpec> snapshots;
   std::vector<ReplayRequestSpec> requests;
 
   EngineConfig engine_config() const {
-    return EngineConfig{threads, queue_depth, cache_capacity};
+    EngineConfig config;
+    config.threads = threads;
+    config.max_queue_depth = queue_depth;
+    config.cache_capacity = cache_capacity;
+    config.adaptive_cache = adaptive_cache;
+    config.cache_min_capacity = cache_min_capacity;
+    config.cache_max_capacity = cache_max_capacity;
+    config.working_set_window = working_set_window;
+    config.adaptation_interval = adaptation_interval;
+    config.tracing = tracing;
+    config.trace_capacity = trace_capacity;
+    return config;
   }
 };
 
@@ -112,6 +134,9 @@ struct ReplayReport {
   double wall_seconds = 0;
   double requests_per_second = 0;
   EngineMetricsSnapshot metrics;  ///< engine state after the run
+  /// Per-request traces drained after the run (empty unless `trace` was
+  /// configured), in submission (trace-id) order.
+  std::vector<RequestTrace> traces;
 };
 
 /// Fires the workload through a fresh engine with `config` and waits for

@@ -1,0 +1,120 @@
+#include "engine/trace.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace splace::engine {
+
+std::string to_string(Stage stage) {
+  switch (stage) {
+    case Stage::Admission: return "admission";
+    case Stage::QueueWait: return "queue_wait";
+    case Stage::SnapshotResolve: return "snapshot_resolve";
+    case Stage::CacheProbe: return "cache_probe";
+    case Stage::Compute: return "compute";
+    case Stage::CacheInsert: return "cache_insert";
+    case Stage::FutureDelivery: return "future_delivery";
+  }
+  throw ContractViolation("unknown stage");
+}
+
+TraceRecorder::TraceRecorder(bool enabled, std::size_t capacity)
+    : enabled_(enabled) {
+  if (!enabled_) return;
+  SPLACE_EXPECTS(capacity >= 1);
+  shard_capacity_ = (capacity + kShards - 1) / kShards;
+  for (Shard& shard : shards_) shard.traces.reserve(shard_capacity_);
+}
+
+void TraceRecorder::record(RequestTrace trace) {
+  SPLACE_EXPECTS(enabled_);
+  const std::size_t shard_id =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  Shard& shard = shards_[shard_id];
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  if (shard.traces.size() >= shard_capacity_) {
+    dropped_.fetch_add(1);
+    return;
+  }
+  shard.traces.push_back(std::move(trace));
+}
+
+std::vector<RequestTrace> TraceRecorder::drain() {
+  std::vector<RequestTrace> all;
+  if (!enabled_) return all;
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    for (RequestTrace& trace : shard.traces) all.push_back(std::move(trace));
+    shard.traces.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const RequestTrace& a, const RequestTrace& b) {
+              return a.id < b.id;
+            });
+  drained_.fetch_add(all.size());
+  return all;
+}
+
+TraceStats TraceRecorder::stats() const {
+  TraceStats stats;
+  stats.enabled = enabled_;
+  stats.dropped = dropped_.load();
+  stats.drained = drained_.load();
+  stats.capacity = enabled_ ? shard_capacity_ * kShards : 0;
+  if (enabled_) {
+    for (const Shard& shard : shards_) {
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      stats.recorded += shard.traces.size();
+    }
+  }
+  return stats;
+}
+
+std::string to_json(const RequestTrace& trace) {
+  std::ostringstream os;
+  os << "{\"id\": " << trace.id << ", \"type\": \"" << to_string(trace.type)
+     << "\", \"outcome\": \"" << to_string(trace.outcome)
+     << "\", \"cache_hit\": " << (trace.cache_hit ? "true" : "false")
+     << ", \"submitted_seconds\": " << trace.submitted_seconds
+     << ", \"total_seconds\": " << trace.total_seconds << ", \"stages\": {";
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    if (s > 0) os << ", ";
+    os << "\"" << to_string(static_cast<Stage>(s))
+       << "\": " << trace.stage_seconds[s];
+  }
+  os << "}";
+  if (!trace.greedy_rounds.empty()) {
+    os << ", \"greedy_rounds\": [";
+    for (std::size_t r = 0; r < trace.greedy_rounds.size(); ++r) {
+      const GreedyRoundProfile& round = trace.greedy_rounds[r];
+      if (r > 0) os << ", ";
+      os << "{\"round\": " << round.round
+         << ", \"candidates\": " << round.candidates
+         << ", \"evaluations\": " << round.evaluations
+         << ", \"seconds\": " << round.seconds
+         << ", \"service\": " << round.service
+         << ", \"host\": " << round.host << ", \"gain\": " << round.gain
+         << "}";
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string to_json(const std::vector<RequestTrace>& traces) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << to_json(traces[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace splace::engine

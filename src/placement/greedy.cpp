@@ -1,5 +1,6 @@
 #include "placement/greedy.hpp"
 
+#include <chrono>
 #include <optional>
 
 #include "util/error.hpp"
@@ -57,8 +58,13 @@ GreedyResult greedy_placement(const ProblemInstance& instance,
   std::optional<ThreadPool> pool;
   if (workers > 1) pool.emplace(workers);
 
+  using ProfileClock = std::chrono::steady_clock;
+  const bool profiling = static_cast<bool>(options.profile_round);
+
   std::vector<Candidate> candidates;
   for (std::size_t iter = 0; iter < n_services; ++iter) {
+    const ProfileClock::time_point round_start =
+        profiling ? ProfileClock::now() : ProfileClock::time_point{};
     // Line 4: arg max over unplaced services and their candidate hosts of
     // the marginal gain of P(C_s, h). Ties resolve to the first candidate
     // in (service, host-id) order, making runs deterministic.
@@ -97,6 +103,20 @@ GreedyResult greedy_placement(const ProblemInstance& instance,
     result.order.push_back(winner.service);
     result.gains.push_back(best.gain);
     state->add_paths(instance.paths_for(winner.service, winner.host));
+
+    if (profiling) {
+      GreedyRoundProfile profile;
+      profile.round = iter;
+      profile.candidates = candidates.size();
+      profile.evaluations = candidates.size();  // plain greedy scores all
+      profile.seconds = std::chrono::duration<double>(ProfileClock::now() -
+                                                      round_start)
+                            .count();
+      profile.service = winner.service;
+      profile.host = winner.host;
+      profile.gain = best.gain;
+      options.profile_round(profile);
+    }
   }
 
   result.objective_value = state->value();

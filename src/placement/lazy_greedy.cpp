@@ -1,5 +1,6 @@
 #include "placement/lazy_greedy.hpp"
 
+#include <chrono>
 #include <optional>
 #include <queue>
 #include <unordered_map>
@@ -69,11 +70,15 @@ LazyGreedyResult lazy_greedy_placement(const ProblemInstance& instance,
     });
   };
 
+  using ProfileClock = std::chrono::steady_clock;
+  const bool profiling = static_cast<bool>(options.profile_round);
+
   // Initial heap: every (service, host) pair's standalone gain.
   std::vector<HeapEntry> initial;
   for (std::size_t s = 0; s < n_services; ++s)
     for (NodeId h : instance.candidate_hosts(s))
       initial.push_back(HeapEntry{0.0, s, h, 0});
+  std::size_t remaining_pairs = initial.size();
   if (!pool) {
     for (HeapEntry& e : initial)
       e.gain = state->gain(instance.paths_for(e.service, e.host));
@@ -90,6 +95,9 @@ LazyGreedyResult lazy_greedy_placement(const ProblemInstance& instance,
                                       std::move(initial));
 
   for (std::size_t iter = 0; iter < n_services; ++iter) {
+    const ProfileClock::time_point round_start =
+        profiling ? ProfileClock::now() : ProfileClock::time_point{};
+    const std::size_t evaluations_before = result.evaluations;
     while (true) {
       SPLACE_ENSURES(!heap.empty());
       HeapEntry top = heap.top();
@@ -105,6 +113,20 @@ LazyGreedyResult lazy_greedy_placement(const ProblemInstance& instance,
         result.order.push_back(top.service);
         state->add_paths(instance.paths_for(top.service, top.host));
         fresh_gain.clear();
+        if (profiling) {
+          GreedyRoundProfile profile;
+          profile.round = iter;
+          profile.candidates = remaining_pairs;
+          profile.evaluations = result.evaluations - evaluations_before;
+          profile.seconds = std::chrono::duration<double>(
+                                ProfileClock::now() - round_start)
+                                .count();
+          profile.service = top.service;
+          profile.host = top.host;
+          profile.gain = top.gain;
+          options.profile_round(profile);
+        }
+        remaining_pairs -= instance.candidate_hosts(top.service).size();
         break;
       }
       // Stale top: re-evaluate against the current path set and re-insert.

@@ -6,14 +6,44 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <thread>
 
 namespace splace {
 
+/// One committed round of a greedy search, reported through
+/// PlacementOptions::profile_round. Purely observational: the profile is a
+/// record of what the search did, never an input to it.
+struct GreedyRoundProfile {
+  std::size_t round = 0;        ///< commit index, 0-based
+  std::size_t candidates = 0;   ///< unplaced (service, host) pairs this round
+  std::size_t evaluations = 0;  ///< gain evaluations performed (lazy greedy
+                                ///< evaluates fewer than `candidates`)
+  double seconds = 0;           ///< wall time of the round's arg-max + commit
+  std::size_t service = 0;      ///< committed service index
+  std::uint32_t host = 0;       ///< committed host (NodeId)
+  double gain = 0;              ///< committed marginal gain
+};
+
 struct PlacementOptions {
+  PlacementOptions() = default;
+  /// `PlacementOptions{n}` keeps meaning "n worker threads, no profiling"
+  /// now that the struct has a second member — without this constructor the
+  /// one-element brace init would warn under -Wmissing-field-initializers.
+  PlacementOptions(std::size_t worker_threads) : threads(worker_threads) {}
+
   /// Worker threads for candidate evaluation: 1 = sequential (no pool),
   /// 0 = one per hardware thread, n = exactly n workers.
   std::size_t threads = 1;
+
+  /// Optional per-round profiling hook, invoked once after every committed
+  /// round with that round's candidate-evaluation timings. Empty (the
+  /// default) disables profiling entirely: the search then takes no clock
+  /// readings and pays a single branch per round. The callback runs on the
+  /// thread driving the search, after the round's commit — it observes the
+  /// search and must not mutate the instance or options.
+  std::function<void(const GreedyRoundProfile&)> profile_round;
 
   /// The actual worker count `threads` resolves to.
   std::size_t resolved_threads() const {

@@ -37,6 +37,12 @@ double quantile_sorted(const std::vector<double>& sorted, double q) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+std::size_t log2_us_bucket(double seconds) {
+  const double micros = seconds * 1e6;
+  if (micros <= 1.0) return 0;
+  return static_cast<std::size_t>(std::ceil(std::log2(micros)));
+}
+
 BoxStats box_stats(std::vector<double> values) {
   SPLACE_EXPECTS(!values.empty());
   std::sort(values.begin(), values.end());

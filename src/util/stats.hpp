@@ -35,6 +35,12 @@ BoxStats box_stats(std::vector<double> values);
 /// Linear-interpolated quantile of a *sorted* sample, q in [0,1].
 double quantile_sorted(const std::vector<double>& sorted, double q);
 
+/// Bucket index of a duration on the log2-microsecond scale used by the
+/// serving engine's latency histograms: bucket b covers (2^(b-1), 2^b] µs,
+/// bucket 0 everything up to 1 µs. Shared by the engine metrics and the
+/// request-trace aggregations so every histogram means the same thing.
+std::size_t log2_us_bucket(double seconds);
+
 /// Discrete histogram: value -> count, with normalized fractions on demand.
 class Histogram {
  public:

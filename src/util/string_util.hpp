@@ -17,6 +17,18 @@ std::string_view trim(std::string_view text);
 std::string join(const std::vector<std::string>& parts,
                  std::string_view sep);
 
+/// Concatenates any mix of strings / string_views / char literals by
+/// appending into one result. Prefer this over chained `operator+`: it
+/// allocates once, and GCC 12's -Wrestrict false-fires on inlined
+/// concatenation chains at -O3 (GCC PR105329), which the -Werror leg in
+/// scripts/run_all.sh would turn into a build break.
+template <typename... Parts>
+std::string concat(Parts&&... parts) {
+  std::string out;
+  (out += ... += parts);
+  return out;
+}
+
 /// Formats a double with `precision` digits after the decimal point.
 std::string format_double(double value, int precision = 2);
 

@@ -484,8 +484,9 @@ TEST(DynamicRepair, ImprovementPassesNeverHurt) {
   const RepairResult polished =
       repair_placement(*derived, kind, 1, trace, touched, options);
   EXPECT_GE(polished.objective_value, plain.objective_value);
-  if (polished.improvement_moves == 0)
+  if (polished.improvement_moves == 0) {
     EXPECT_EQ(polished.placement, plain.placement);
+  }
   const double check = evaluate_objective(
       kind, derived->paths_for_placement(polished.placement), 1);
   EXPECT_DOUBLE_EQ(polished.objective_value, check);

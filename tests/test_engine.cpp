@@ -154,7 +154,9 @@ TEST(Engine, PlaceMatchesDirectLibraryCallAcrossThreadCounts) {
         EXPECT_EQ(result->place.placement, direct.placement);
         EXPECT_EQ(result->place.objective_value, direct.objective_value);
       }
-      if (cache > 0) EXPECT_TRUE(second.cache_hit);
+      if (cache > 0) {
+        EXPECT_TRUE(second.cache_hit);
+      }
     }
   }
 }

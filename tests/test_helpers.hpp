@@ -49,7 +49,11 @@ inline ProblemInstance random_instance(std::size_t nodes, std::size_t edges,
   std::vector<Service> services;
   for (std::size_t s = 0; s < n_services; ++s) {
     Service svc;
-    svc.name = "s" + std::to_string(s);
+    // Append instead of operator+: GCC 12's -Wrestrict false-fires on
+    // chained string concatenation at -O3 (GCC PR105329), tripping the
+    // -Werror leg.
+    svc.name = "s";
+    svc.name += std::to_string(s);
     svc.alpha = alpha;
     svc.clients =
         random_path_nodes(nodes, clients_per_service, rng);

@@ -114,8 +114,8 @@ TEST_P(StandinMatchesTableI, SameStatisticsAsPaper) {
 INSTANTIATE_TEST_SUITE_P(PaperTableI, StandinMatchesTableI,
                          ::testing::Values(abovenet_spec(), tiscali_spec(),
                                            att_spec()),
-                         [](const auto& info) {
-                           std::string name = info.param.name;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param.name;
                            for (char& c : name)
                              if (!std::isalnum(static_cast<unsigned char>(c)))
                                c = '_';

@@ -41,8 +41,12 @@ TEST_P(TableISpecs, DanglingNodesAtHighIds) {
 INSTANTIATE_TEST_SUITE_P(PaperTableI, TableISpecs,
                          ::testing::Values(abovenet_spec(), tiscali_spec(),
                                            att_spec()),
-                         [](const auto& info) {
-                           std::string name = info.param.name;
+                         // gtest's INSTANTIATE_TEST_SUITE_P expands the name
+                         // generator inside a function whose parameter is
+                         // already called `info`, so the lambda must not
+                         // reuse that name (-Wshadow).
+                         [](const auto& param_info) {
+                           std::string name = param_info.param.name;
                            for (char& c : name)
                              if (!std::isalnum(static_cast<unsigned char>(c)))
                                c = '_';

@@ -110,8 +110,11 @@ TEST(LinkTransform, LinkFailureLocalizedLikeNodeFailure) {
   for (const auto& candidate : loc.consistent_sets) {
     if (candidate == scenario.failed_nodes) truth_found = true;
     for (NodeId v : candidate)
-      if (transform.is_link_node(v))
+      if (transform.is_link_node(v)) {
+        // Braces required: EXPECT_NO_THROW expands to an if/else, which
+        // otherwise binds ambiguously to the enclosing if (-Wdangling-else).
         EXPECT_NO_THROW(transform.original_link(v));
+      }
   }
   EXPECT_TRUE(truth_found);
 }

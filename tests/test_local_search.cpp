@@ -28,7 +28,7 @@ TEST(LocalSearch, NeverDecreasesObjective) {
   Rng rng(2);
   for (int trial = 0; trial < 8; ++trial) {
     const auto inst = testing::random_instance(12, 20, 3, 2, 1.0, rng);
-    Rng placement_rng(trial);
+    Rng placement_rng(static_cast<std::uint64_t>(trial));
     const Placement start = random_placement(inst, placement_rng);
     const double start_value = evaluate_objective(
         ObjectiveKind::Distinguishability,

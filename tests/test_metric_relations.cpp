@@ -120,12 +120,12 @@ INSTANTIATE_TEST_SUITE_P(
     NetworksAndAlphas, CatalogInvariants,
     ::testing::Combine(::testing::Values("Abovenet", "Tiscali", "AT&T"),
                        ::testing::Values(0.0, 0.5, 1.0)),
-    [](const auto& info) {
-      std::string name = std::get<0>(info.param);
+    [](const auto& param_info) {
+      std::string name = std::get<0>(param_info.param);
       for (char& c : name)
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       return name + "_alpha" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+             std::to_string(static_cast<int>(std::get<1>(param_info.param) * 10));
     });
 
 TEST(MetricRelations, GreedyObjectiveMonotoneInAlpha) {

@@ -80,7 +80,7 @@ TEST(EstimateDistinguishability, ConvergesToExactFraction) {
     const std::size_t total = failure_set_count(n, k);
     const double exact_fraction =
         static_cast<double>(distinguishability(paths, k)) /
-        (static_cast<double>(total) * (total - 1) / 2.0);
+        (static_cast<double>(total) * static_cast<double>(total - 1) / 2.0);
 
     const auto estimate =
         estimate_distinguishability(paths, k, 4000, rng);

@@ -70,7 +70,9 @@ TEST(SimTrace, RecordsAreInternallyConsistent) {
       // candidates may be 0: a failure mid-epoch can yield an observation
       // no *static* failure set explains (one path saw the node up, another
       // saw it down). Truth membership then must be false.
-      if (e.candidates == 0) EXPECT_FALSE(e.truth_among_candidates);
+      if (e.candidates == 0) {
+        EXPECT_FALSE(e.truth_among_candidates);
+      }
       if (e.truth_among_candidates) ++truthful;
     }
   }
