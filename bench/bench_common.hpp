@@ -165,6 +165,31 @@ inline std::vector<double> alpha_grid(double step) {
   return alphas;
 }
 
+/// Renders one sweep as the `results` payload shared by the figure benches
+/// (fig5/6/7): per-algorithm series of (alpha, coverage, identifiability,
+/// distinguishability) points, in the figure's algorithm order.
+inline std::string sweep_results_json(const std::string& network,
+                                      const SweepResult& sweep,
+                                      const std::vector<Algorithm>& order) {
+  JsonWriter json;
+  json.begin_object().field("network", network).begin_object("series");
+  for (Algorithm algo : order) {
+    json.begin_array(to_string(algo));
+    const AlgorithmSeries& series = sweep.series.at(algo);
+    for (std::size_t i = 0; i < sweep.alphas.size(); ++i) {
+      json.begin_object()
+          .field("alpha", sweep.alphas[i])
+          .field("coverage", series[i].coverage)
+          .field("identifiability", series[i].identifiability)
+          .field("distinguishability", series[i].distinguishability)
+          .end_object();
+    }
+    json.end_array();
+  }
+  json.end_object().end_object();
+  return json.str();
+}
+
 /// Prints one metric of a sweep as a table: rows = α, columns = algorithms.
 inline void print_metric_series(
     std::ostream& os, const std::string& title, const SweepResult& sweep,

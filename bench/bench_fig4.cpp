@@ -14,11 +14,14 @@ int main() {
 
   const std::vector<double> alphas = bench::alpha_grid(0.1);
 
+  bench::JsonWriter json;
+  json.begin_object().begin_object("networks");
   for (const topology::CatalogEntry& entry : topology::catalog()) {
     std::cout << "==== Fig. 4: candidate hosts per service — "
               << entry.spec.name << " (" << entry.services
               << " services) ====\n";
     TablePrinter table({"alpha", "min", "q1", "median", "q3", "max"});
+    json.begin_array(entry.spec.name);
     for (const CandidateHostsPoint& point :
          candidate_hosts_sweep(entry, alphas)) {
       table.add_row({format_double(point.alpha, 1),
@@ -27,10 +30,21 @@ int main() {
                      format_double(point.stats.median, 1),
                      format_double(point.stats.q3, 1),
                      format_double(point.stats.max, 0)});
+      json.begin_object()
+          .field("alpha", point.alpha)
+          .field("min", point.stats.min)
+          .field("q1", point.stats.q1)
+          .field("median", point.stats.median)
+          .field("q3", point.stats.q3)
+          .field("max", point.stats.max)
+          .end_object();
     }
+    json.end_array();
     table.print(std::cout);
     std::cout << "(all " << entry.spec.nodes
               << " nodes are candidates at alpha = 1)\n\n";
   }
+  json.end_object().end_object();
+  bench::write_bench_json("BENCH_fig4.json", "fig4", 1, json.str());
   return 0;
 }

@@ -58,5 +58,17 @@ int main() {
             << "\n  GI/BF identifiability    >= " << format_double(worst_gi, 3)
             << "\n  GD/BF distinguishability >= " << format_double(worst_gd, 3)
             << "\n(total sweep time " << elapsed.count() << " ms)\n";
+
+  bench::JsonWriter json;
+  json.begin_object()
+      .raw("sweep", bench::sweep_results_json(entry.spec.name, sweep, order))
+      .begin_object("greedy_vs_bf_min_ratio")
+      .field("gc_coverage", worst_gc)
+      .field("gi_identifiability", worst_gi)
+      .field("gd_distinguishability", worst_gd)
+      .end_object()
+      .field("sweep_ms", elapsed.count())
+      .end_object();
+  bench::write_bench_json("BENCH_fig5.json", "fig5", 1, json.str());
   return 0;
 }

@@ -23,5 +23,8 @@ int main() {
                                         Algorithm::GD, Algorithm::QoS,
                                         Algorithm::RD};
   bench::print_figure(std::cout, "Fig. 6", entry.spec.name, sweep, order);
+  bench::write_bench_json("BENCH_fig6.json", "fig6", 1,
+                          bench::sweep_results_json(entry.spec.name, sweep,
+                                                    order));
   return 0;
 }

@@ -22,5 +22,8 @@ int main() {
                                         Algorithm::GD, Algorithm::QoS,
                                         Algorithm::RD};
   bench::print_figure(std::cout, "Fig. 7", entry.spec.name, sweep, order);
+  bench::write_bench_json("BENCH_fig7.json", "fig7", 1,
+                          bench::sweep_results_json(entry.spec.name, sweep,
+                                                    order));
   return 0;
 }

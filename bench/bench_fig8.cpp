@@ -50,6 +50,25 @@ int main() {
   }
   table.print(std::cout);
 
+  bench::JsonWriter json;
+  json.begin_object()
+      .field("network", entry.spec.name)
+      .field("alpha", alpha)
+      .field("vertices", instance.node_count() + 1)
+      .begin_object("fraction_per_degree");
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    json.begin_array(to_string(order[i]));
+    for (std::size_t deg : degrees) {
+      json.begin_object()
+          .field("degree", deg)
+          .field("fraction", hists[i].fraction(deg))
+          .end_object();
+    }
+    json.end_array();
+  }
+  json.end_object().end_object();
+  bench::write_bench_json("BENCH_fig8.json", "fig8", 1, json.str());
+
   std::cout << "\nReading: degree 0 = uniquely identifiable vertex; a node "
                "with degree d narrows a detected failure to d+1 locations; "
                "the high-degree spike is the uncovered cluster.\n";

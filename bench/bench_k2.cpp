@@ -21,6 +21,10 @@ int main() {
 
   TablePrinter table({"alpha", "algorithm", "coverage", "|S_1|", "|S_2|",
                       "GSC bounds [lo,hi]", "|D_2|"});
+  bench::JsonWriter json;
+  json.begin_object()
+      .field("network", entry.spec.name)
+      .begin_array("points");
   for (double alpha : {0.2, 0.6, 1.0}) {
     const ProblemInstance instance = make_instance(entry, alpha);
     for (Algorithm algo : {Algorithm::QoS, Algorithm::GC, Algorithm::GD}) {
@@ -37,9 +41,21 @@ int main() {
                      concat("[", std::to_string(bounds.lower), ",",
                             std::to_string(bounds.upper), "]"),
                      std::to_string(k2.distinguishability)});
+      json.begin_object()
+          .field("alpha", alpha)
+          .field("algorithm", to_string(algo))
+          .field("coverage", k1.coverage)
+          .field("identifiability_k1", k1.identifiability)
+          .field("identifiability_k2", k2.identifiability)
+          .field("gsc_lower", bounds.lower)
+          .field("gsc_upper", bounds.upper)
+          .field("distinguishability_k2", k2.distinguishability)
+          .end_object();
     }
   }
+  json.end_array().end_object();
   table.print(std::cout);
+  bench::write_bench_json("BENCH_k2.json", "k2", 1, json.str());
   std::cout << "\n(|S_2| <= |S_1| always; the GSC interval brackets the "
                "exact |S_2| — Corollary 5 / eq. (4).)\n";
   return 0;

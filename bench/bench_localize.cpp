@@ -1,0 +1,376 @@
+// Time-to-detect / time-to-localize bench: fault injection against live
+// observation streams (the paper's placements, measured on the latency
+// axis the streaming plane adds).
+//
+// Protocol, per algorithm (GC / GI / GD on tiscali, alpha = 0.6, k = 2):
+//   * compute the placement, open an ObservationIngest on a 1-thread
+//     engine, and replay `--episodes` synthetic failure episodes. Episode
+//     e injects 1 + (e % 2) failed nodes (same draw for every algorithm —
+//     the failure draw depends only on the node universe), derives the
+//     ground-truth path states, and reports them one path per probe tick
+//     (500 synthetic µs apart) in a per-episode random order.
+//   * pass 1 runs with NO subscriber attached: it measures raw ingest
+//     throughput and asserts the bus published nothing (the
+//     zero-cost-when-idle contract).
+//   * pass 2 re-runs the identical episodes with a ring subscription
+//     attached; detection/localization events yield the time-to-detect
+//     and time-to-localize samples, and every episode cross-checks the
+//     streamed result against batch localize() on the same observations.
+//
+// Artifact: BENCH_localize.json — p50/p95/p99 of both latency axes per
+// algorithm. Gates (exit 1): a streamed/batch mismatch, any dropped
+// event, any pre-subscription publish, or zero detections overall.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "api/splace.hpp"
+#include "localization/localizer.hpp"
+#include "localization/observation.hpp"
+#include "topology/catalog.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace splace;
+
+constexpr std::uint64_t kProbeIntervalUs = 500;
+constexpr std::size_t kFailureBound = 2;
+
+struct EpisodeStream {
+  std::vector<std::uint32_t> order;   ///< probe arrival order (path indices)
+  DynamicBitset down;                 ///< ground-truth failed paths
+  FailureScenario scenario;
+};
+
+/// The synthetic observation stream of one episode: same failure draw for
+/// every algorithm (node-universe RNG), per-episode probe order.
+EpisodeStream make_episode(const PathSet& paths, std::size_t episode) {
+  EpisodeStream stream;
+  const std::size_t failures = 1 + episode % kFailureBound;
+  Rng fail_rng(1000003ull * (episode + 1));
+  stream.scenario = random_scenario(paths, failures, fail_rng);
+  stream.down = stream.scenario.failed_paths;
+  stream.order.resize(paths.size());
+  for (std::uint32_t p = 0; p < paths.size(); ++p) stream.order[p] = p;
+  Rng order_rng(7919ull * (episode + 1));
+  order_rng.shuffle(stream.order);
+  return stream;
+}
+
+/// Feeds one episode into the ingest; returns wall seconds spent observing.
+double replay_episode(stream::ObservationIngest& ingest,
+                      const EpisodeStream& episode) {
+  ingest.begin_episode(0);
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t t = 0;
+  for (const std::uint32_t path : episode.order) {
+    t += kProbeIntervalUs;
+    ingest.observe(path,
+                   episode.down.test(path) ? stream::PathState::Down
+                                           : stream::PathState::Up,
+                   t);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Quantiles {
+  double p50 = 0, p95 = 0, p99 = 0, mean = 0, max = 0;
+  std::size_t count = 0;
+};
+
+Quantiles quantiles(std::vector<double> samples) {
+  Quantiles q;
+  q.count = samples.size();
+  if (samples.empty()) return q;
+  std::sort(samples.begin(), samples.end());
+  q.p50 = quantile_sorted(samples, 0.50);
+  q.p95 = quantile_sorted(samples, 0.95);
+  q.p99 = quantile_sorted(samples, 0.99);
+  q.max = samples.back();
+  double total = 0;
+  for (double s : samples) total += s;
+  q.mean = total / static_cast<double>(samples.size());
+  return q;
+}
+
+void append_quantiles(bench::JsonWriter& json, const std::string& key,
+                      const Quantiles& q) {
+  json.begin_object(key)
+      .field("count", q.count)
+      .field("p50", q.p50)
+      .field("p95", q.p95)
+      .field("p99", q.p99)
+      .field("mean", q.mean)
+      .field("max", q.max)
+      .end_object();
+}
+
+bool same_result(const LocalizationResult& streamed,
+                 const LocalizationResult& batch) {
+  return streamed.exonerated == batch.exonerated &&
+         streamed.suspects == batch.suspects &&
+         streamed.unobserved == batch.unobserved &&
+         streamed.consistent_sets == batch.consistent_sets &&
+         streamed.minimal_explanation == batch.minimal_explanation;
+}
+
+struct AlgoOutcome {
+  std::string name;
+  std::size_t paths = 0;
+  std::size_t detected = 0;
+  std::size_t missed = 0;   ///< failure touched no path: undetectable
+  std::size_t unique = 0;
+  std::size_t mismatches = 0;
+  std::uint64_t published_before_subscribe = 0;
+  std::uint64_t updates = 0;
+  double seconds_no_subscriber = 0;
+  double seconds_subscribed = 0;
+  std::uint64_t detections_events = 0;
+  std::uint64_t localization_events = 0;
+  std::uint64_t ambiguity_events = 0;
+  Quantiles detect_us;
+  Quantiles localize_us;
+  double final_sets_mean = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t episodes = 120;
+  std::string out_path = "BENCH_localize.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_localize: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--episodes") {
+      episodes = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--out") {
+      out_path = value();
+    } else {
+      std::cerr << "bench_localize: unknown flag '" << arg
+                << "' (flags: --episodes N, --out PATH)\n";
+      return 2;
+    }
+  }
+  if (episodes < 1) {
+    std::cerr << "bench_localize: --episodes must be >= 1\n";
+    return 2;
+  }
+
+  const topology::CatalogEntry& entry = topology::catalog_entry("tiscali");
+  constexpr double kAlpha = 0.6;
+  Graph graph = topology::build(entry);
+  const std::vector<NodeId> clients = topology::candidate_clients(entry, graph);
+  std::vector<Service> services = make_services(entry, clients, kAlpha);
+
+  auto registry = std::make_shared<engine::SnapshotRegistry>();
+  const auto snapshot =
+      registry->add("tiscali", std::move(graph), std::move(services));
+  engine::EngineConfig config;
+  config.threads = 1;
+  engine::Engine eng(registry, config);
+
+  const std::vector<Algorithm> algorithms = {Algorithm::GC, Algorithm::GI,
+                                             Algorithm::GD};
+  std::vector<AlgoOutcome> outcomes;
+  std::size_t total_detections = 0;
+
+  for (const Algorithm algo : algorithms) {
+    AlgoOutcome outcome;
+    outcome.name = to_string(algo);
+    Rng place_rng(42);
+    const Placement placement =
+        compute_placement(snapshot->instance(), algo, place_rng);
+    auto ingest = eng.open_ingest(snapshot->hash(), placement, kFailureBound);
+    const PathSet& paths = ingest->paths();
+    outcome.paths = paths.size();
+
+    std::vector<EpisodeStream> streams;
+    streams.reserve(episodes);
+    for (std::size_t e = 0; e < episodes; ++e)
+      streams.push_back(make_episode(paths, e));
+
+    // Pass 1: no subscriber — raw ingest throughput, nothing published.
+    // The published counter is cumulative across algorithms (earlier
+    // subscribed passes land there), so gate on the delta over this pass.
+    const std::uint64_t published_at_start = eng.bus().stats().published_total();
+    for (const EpisodeStream& stream : streams) {
+      outcome.seconds_no_subscriber += replay_episode(*ingest, stream);
+      outcome.updates += stream.order.size();
+    }
+    outcome.published_before_subscribe =
+        eng.bus().stats().published_total() - published_at_start;
+
+    // Pass 2: identical episodes with a ring subscription attached.
+    stream::SubscribeOptions options;
+    options.mask = stream::event_bit(stream::EventKind::Detection) |
+                   stream::event_bit(stream::EventKind::Localization) |
+                   stream::event_bit(stream::EventKind::Ambiguity);
+    options.capacity = 8192;
+    auto subscription = eng.bus().subscribe(options);
+
+    std::vector<double> detect_samples;
+    std::vector<double> localize_samples;
+    double final_sets_total = 0;
+    for (const EpisodeStream& stream : streams) {
+      outcome.seconds_subscribed += replay_episode(*ingest, stream);
+
+      bool saw_detection = false;
+      double detect_us = 0;
+      double localize_us = 0;
+      bool saw_localization = false;
+      for (const auto& event : subscription->poll()) {
+        if (const auto* d = std::get_if<stream::DetectionEvent>(&*event)) {
+          if (!saw_detection) {
+            saw_detection = true;
+            detect_us = static_cast<double>(d->header.latency_us);
+          }
+          ++outcome.detections_events;
+        } else if (const auto* l =
+                       std::get_if<stream::LocalizationEvent>(&*event)) {
+          saw_localization = true;
+          localize_us = static_cast<double>(l->header.latency_us);
+          ++outcome.localization_events;
+        } else if (std::get_if<stream::AmbiguityEvent>(&*event) != nullptr) {
+          ++outcome.ambiguity_events;
+        }
+      }
+
+      const stream::IngestStatus status = ingest->status();
+      if (saw_detection) {
+        ++outcome.detected;
+        detect_samples.push_back(detect_us);
+      } else {
+        ++outcome.missed;
+      }
+      // Time-to-localize counts only episodes that END unique (the last
+      // LocalizationEvent of a flapping episode could be stale otherwise —
+      // with monotone evidence there is exactly one such event).
+      if (status.unique && saw_localization) {
+        ++outcome.unique;
+        localize_samples.push_back(localize_us);
+      }
+      final_sets_total += static_cast<double>(status.consistent_sets);
+
+      const LocalizationResult batch =
+          localize(paths, stream.down, kFailureBound);
+      if (!same_result(ingest->result(), batch)) ++outcome.mismatches;
+    }
+    eng.bus().unsubscribe(subscription);
+
+    outcome.detect_us = quantiles(std::move(detect_samples));
+    outcome.localize_us = quantiles(std::move(localize_samples));
+    outcome.final_sets_mean = final_sets_total / static_cast<double>(episodes);
+    total_detections += outcome.detected;
+    outcomes.push_back(std::move(outcome));
+  }
+
+  const stream::BusStats bus = eng.bus().stats();
+  const stream::StreamStats stream_stats = eng.stream_stats();
+
+  std::cout << "==== bench_localize: time-to-detect / time-to-localize "
+               "(tiscali, alpha 0.6, k <= "
+            << kFailureBound << ", " << episodes << " episodes) ====\n\n";
+  for (const AlgoOutcome& o : outcomes) {
+    std::cout << o.name << ": paths " << o.paths << ", detected " << o.detected
+              << "/" << episodes << " (missed " << o.missed << "), unique "
+              << o.unique << ", mismatches " << o.mismatches << "\n"
+              << "    detect us   p50 " << o.detect_us.p50 << ", p95 "
+              << o.detect_us.p95 << ", p99 " << o.detect_us.p99 << "\n"
+              << "    localize us p50 " << o.localize_us.p50 << ", p95 "
+              << o.localize_us.p95 << ", p99 " << o.localize_us.p99 << "\n"
+              << "    updates/s   no-sub "
+              << (o.seconds_no_subscriber > 0
+                      ? static_cast<double>(o.updates) / o.seconds_no_subscriber
+                      : 0)
+              << ", subscribed "
+              << (o.seconds_subscribed > 0
+                      ? static_cast<double>(o.updates) / o.seconds_subscribed
+                      : 0)
+              << "\n";
+  }
+  std::cout << "\nbus: published " << bus.published_total() << ", dropped "
+            << bus.dropped << "; stream: detections " << stream_stats.detections
+            << ", localizations " << stream_stats.localizations
+            << ", reenumerations " << stream_stats.reenumerations << "\n";
+
+  bench::JsonWriter json;
+  json.begin_object()
+      .field("topology", "tiscali")
+      .field("alpha", kAlpha)
+      .field("k", kFailureBound)
+      .field("episodes", episodes)
+      .field("probe_interval_us", kProbeIntervalUs)
+      .begin_array("algorithms");
+  for (const AlgoOutcome& o : outcomes) {
+    json.begin_object()
+        .field("algorithm", o.name)
+        .field("paths", o.paths)
+        .field("detected", o.detected)
+        .field("missed", o.missed)
+        .field("unique", o.unique)
+        .field("batch_mismatches", o.mismatches)
+        .field("published_before_subscribe", o.published_before_subscribe)
+        .field("updates", o.updates)
+        .field("updates_per_second_no_subscriber",
+               o.seconds_no_subscriber > 0
+                   ? static_cast<double>(o.updates) / o.seconds_no_subscriber
+                   : 0.0)
+        .field("updates_per_second_subscribed",
+               o.seconds_subscribed > 0
+                   ? static_cast<double>(o.updates) / o.seconds_subscribed
+                   : 0.0)
+        .field("final_consistent_sets_mean", o.final_sets_mean);
+    append_quantiles(json, "time_to_detect_us", o.detect_us);
+    append_quantiles(json, "time_to_localize_us", o.localize_us);
+    json.begin_object("events")
+        .field("detection", o.detections_events)
+        .field("localization", o.localization_events)
+        .field("ambiguity", o.ambiguity_events)
+        .end_object();
+    json.end_object();
+  }
+  json.end_array()
+      .field("events_published_total", bus.published_total())
+      .field("events_dropped_total", bus.dropped)
+      .raw("stream_stats", to_json(stream_stats))
+      .end_object();
+  bench::write_bench_json(out_path, "localize", 1, json.str());
+
+  bool failed = false;
+  for (const AlgoOutcome& o : outcomes) {
+    if (o.mismatches != 0) {
+      std::cerr << "FAIL: " << o.name << " streamed result diverged from "
+                << "batch localize in " << o.mismatches << " episode(s)\n";
+      failed = true;
+    }
+    if (o.published_before_subscribe != 0) {
+      std::cerr << "FAIL: " << o.name << " published "
+                << o.published_before_subscribe
+                << " event(s) with no subscriber attached\n";
+      failed = true;
+    }
+  }
+  if (bus.dropped != 0) {
+    std::cerr << "FAIL: " << bus.dropped << " event(s) dropped\n";
+    failed = true;
+  }
+  if (total_detections == 0) {
+    std::cerr << "FAIL: no failure episode was detected\n";
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

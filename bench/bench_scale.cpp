@@ -6,6 +6,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/splace.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -28,6 +29,12 @@ int main() {
                "clients, alpha = 0.8, k = 1 ====\n\n";
   TablePrinter table({"nodes", "links", "routing ms", "GD ms", "lazy GD ms",
                       "lazy evals", "localize ms", "|D_1| GD/QoS"});
+  bench::JsonWriter json;
+  json.begin_object()
+      .field("services", 6)
+      .field("clients_per_service", 3)
+      .field("alpha", 0.8)
+      .begin_array("sizes");
 
   for (const std::size_t n : {50u, 100u, 200u, 400u}) {
     Rng rng(n);
@@ -77,8 +84,22 @@ int main() {
          format_double(gd.objective_value /
                            static_cast<double>(qos.distinguishability),
                        2)});
+    json.begin_object()
+        .field("nodes", n)
+        .field("links", links)
+        .field("routing_ms", routing_ms)
+        .field("gd_ms", gd_ms)
+        .field("lazy_gd_ms", lazy_ms)
+        .field("lazy_evaluations", lazy.evaluations)
+        .field("localize_ms", loc_ms)
+        .field("d1_gd_over_qos",
+               gd.objective_value /
+                   static_cast<double>(qos.distinguishability))
+        .end_object();
   }
+  json.end_array().end_object();
   table.print(std::cout);
+  bench::write_bench_json("BENCH_scale.json", "scale", 1, json.str());
   std::cout << "\n(GD cost is dominated by candidate evaluations: "
                "O(S^2 H) partition clones of O(N) each; lazy evaluation "
                "trims the constant. Localization stays in microseconds.)\n";

@@ -5,6 +5,7 @@
 // prints the match, plus structural context (diameter, mean/max degree).
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/splace.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -16,6 +17,8 @@ int main() {
   TablePrinter table({"ISP", "#nodes", "#links", "#dangling nodes",
                       "diameter", "mean degree", "max degree", "clustering",
                       "assortativity", "matches paper"});
+  bench::JsonWriter json;
+  json.begin_object().begin_array("networks");
 
   for (const topology::CatalogEntry& entry : topology::catalog()) {
     const Graph g = topology::build(entry);
@@ -34,8 +37,22 @@ int main() {
                    format_double(clustering_coefficient(g), 3),
                    format_double(degree_assortativity(g), 3),
                    match ? "yes" : "NO"});
+    json.begin_object()
+        .field("name", entry.spec.name)
+        .field("nodes", stats.nodes)
+        .field("links", stats.links)
+        .field("dangling", stats.dangling)
+        .field("diameter", routes.diameter())
+        .field("mean_degree", degrees.mean)
+        .field("max_degree", degrees.max)
+        .field("clustering", clustering_coefficient(g))
+        .field("assortativity", degree_assortativity(g))
+        .field("matches_paper", match)
+        .end_object();
   }
+  json.end_array().end_object();
   table.print(std::cout);
+  bench::write_bench_json("BENCH_table1.json", "table1", 1, json.str());
   std::cout << "\n(negative assortativity + hub degrees are the POP-map "
                "signature the stand-ins are built to share.)\n";
   std::cout << "\nPaper values: Abovenet 22/80/2, Tiscali 51/129/13, "

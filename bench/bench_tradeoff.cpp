@@ -9,6 +9,7 @@
 // the frontier endpoints bracket the curve.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/splace.hpp"
 #include "core/tradeoff.hpp"
 #include "util/string_util.hpp"
@@ -20,6 +21,8 @@ int main() {
   const std::vector<double> alphas = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
                                       0.6, 0.7, 0.8, 0.9, 1.0};
 
+  bench::JsonWriter json;
+  json.begin_object().begin_object("networks");
   for (const char* name : {"Tiscali", "AT&T"}) {
     const topology::CatalogEntry& entry = topology::catalog_entry(name);
     std::cout << "==== Tradeoff frontier: " << name
@@ -31,7 +34,17 @@ int main() {
     const auto baseline = qos_tradeoff(entry, Algorithm::QoS, {0.0});
     const double qos_d1 =
         static_cast<double>(baseline.front().metrics.distinguishability);
+    json.begin_array(name);
     for (const TradeoffPoint& p : frontier) {
+      json.begin_object()
+          .field("alpha_budget", p.alpha)
+          .field("mean_relative_distance_spent", p.cost.mean_relative_distance)
+          .field("mean_extra_hops", p.cost.mean_extra_hops)
+          .field("coverage", p.metrics.coverage)
+          .field("identifiability", p.metrics.identifiability)
+          .field("distinguishability", p.metrics.distinguishability)
+          .field("distinguishability_qos_baseline", qos_d1)
+          .end_object();
       table.add_row(
           {format_double(p.alpha, 1),
            format_double(p.cost.mean_relative_distance, 3),
@@ -48,9 +61,12 @@ int main() {
                       1),
                   "%")});
     }
+    json.end_array();
     table.print(std::cout);
     std::cout << '\n';
   }
+  json.end_object().end_object();
+  bench::write_bench_json("BENCH_tradeoff.json", "tradeoff", 1, json.str());
   std::cout << "(reading: 'spent' is the QoS the chosen hosts actually give "
                "up, not the budget; GD typically buys most of its "
                "monitoring gain while spending well under half the allowed "

@@ -15,6 +15,10 @@
 //                requests through the concurrent serving engine (see
 //                engine/replay.hpp for the format) and print the outcome
 //                tally plus the engine metrics as JSON
+//   --metrics-text PATH  with --replay: write the Prometheus-style text
+//                exposition of the post-run engine/stream/bus metrics to
+//                PATH ("-" for stdout); a `metrics` directive in the
+//                replay file prints it to stdout as well
 //   --trace-json PATH  with --replay: write the drained request traces
 //                (one JSON array, all seven lifecycle spans per trace) to
 //                PATH; requires a `trace` directive in the replay file
@@ -64,6 +68,7 @@ struct CliOptions {
   bool report = false;
   std::string dot;
   std::string trace_json;
+  std::string metrics_text;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -101,12 +106,15 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--report") opts.report = true;
     else if (arg == "--dot") opts.dot = next_value(i);
     else if (arg == "--trace-json") opts.trace_json = next_value(i);
+    else if (arg == "--metrics-text") opts.metrics_text = next_value(i);
     else usage_error("unknown flag '" + arg + "'");
   }
   if (opts.alpha < 0.0 || opts.alpha > 1.0)
     usage_error("--alpha must be in [0,1]");
   if (opts.k < 1) usage_error("--k must be >= 1");
   if (opts.clients < 1) usage_error("--clients must be >= 1");
+  if (!opts.metrics_text.empty() && opts.replay.empty())
+    usage_error("--metrics-text requires --replay");
   return opts;
 }
 
@@ -227,6 +235,17 @@ int main(int argc, char** argv) {
               << " s (" << format_double(report.requests_per_second, 0)
               << " req/s)\n"
               << "metrics:   " << engine::to_json(report.metrics) << '\n';
+    if (spec.metrics_text) std::cout << report.metrics_text;
+    if (!opts.metrics_text.empty()) {
+      if (opts.metrics_text == "-") {
+        if (!spec.metrics_text) std::cout << report.metrics_text;
+      } else {
+        std::ofstream out(opts.metrics_text);
+        if (!out) usage_error("cannot write '" + opts.metrics_text + "'");
+        out << report.metrics_text;
+        std::cout << "metrics-text: written to " << opts.metrics_text << '\n';
+      }
+    }
     if (!opts.trace_json.empty()) {
       if (!spec.tracing)
         usage_error("--trace-json needs a `trace` directive in the replay "

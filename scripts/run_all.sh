@@ -9,9 +9,10 @@ ctest --test-dir build --output-on-failure
 # dropped suite fails the script instead of silently shrinking coverage.
 TSAN_SUITES="test_thread_pool test_greedy test_lazy_greedy test_determinism \
   test_engine test_engine_stress test_dynamic test_dynamic_engine \
-  test_engine_trace test_api"
+  test_engine_trace test_api test_stream test_metrics_text"
 ASAN_SUITES="test_thread_pool test_engine test_engine_stress \
-  test_dynamic test_dynamic_engine test_engine_trace test_api"
+  test_dynamic test_dynamic_engine test_engine_trace test_api test_stream \
+  test_metrics_text"
 
 require_suites() {
   dir="$1"; shift
@@ -33,7 +34,7 @@ cmake -B build-tsan -G Ninja -DSPLACE_SANITIZE=thread \
 cmake --build build-tsan --target $TSAN_SUITES
 require_suites build-tsan $TSAN_SUITES
 ctest --test-dir build-tsan --output-on-failure \
-  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade"
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade|StreamIngest|EventBus|EngineStream|ApiBuilders|MetricsText"
 
 # ASan pass over the serving layer: the engine moves results through
 # futures, a shared LRU cache, and snapshots that share routing trees and
@@ -44,13 +45,20 @@ cmake -B build-asan -G Ninja -DSPLACE_SANITIZE=address \
 cmake --build build-asan --target $ASAN_SUITES
 require_suites build-asan $ASAN_SUITES
 ctest --test-dir build-asan --output-on-failure \
-  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade"
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade|StreamIngest|EventBus|EngineStream|ApiBuilders|MetricsText"
 
 # Warnings-as-errors leg: one full build with the warning set promoted to
 # errors, so a new -Wall/-Wextra/-Wconversion diagnostic fails the script
 # instead of scrolling past in the log.
 cmake -B build-werror -G Ninja -DSPLACE_WERROR=ON
 cmake --build build-werror
+
+# Streaming smoke leg: a short fault-injection run through the live
+# detect/localize plane. bench_localize exits nonzero unless the run saw
+# >= 1 detection event, 0 dropped events, a zero-publish no-subscriber
+# pass, and streamed-vs-batch agreement on every episode.
+build/bench/bench_localize --episodes 8 --out BENCH_localize_smoke.json
+rm -f BENCH_localize_smoke.json
 
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "api/request_builder.hpp"
+#include "api/stream_builder.hpp"
 #include "core/splace.hpp"
 
 namespace splace::api {
@@ -49,6 +50,36 @@ using splace::engine::RequestTrace;
 using splace::engine::ResizeEvent;
 using splace::engine::Stage;
 using splace::engine::TraceStats;
+
+// --- Streaming observability plane (push-based surface). ---
+//
+// MIGRATION — Engine::drain_traces(): the pull-only trace export is
+// deprecated (kept working indefinitely). It is now a thin tail over the
+// event bus: the engine publishes a TraceEvent per finished request and
+// drain_traces() polls an internal Trace-kind ring of capacity
+// `trace_capacity`. New code should subscribe instead:
+//
+//   auto tail = api::Subscribe(engine).traces().capacity(4096).attach();
+//   ...
+//   for (const auto& ev : tail->poll())
+//     use(std::get<stream::TraceEvent>(*ev).trace);
+//
+// Subscribing also delivers detection / localization / ambiguity events
+// from live observation streams (api::Ingest / Engine::open_ingest),
+// which the pull path never carried.
+using splace::stream::AmbiguityEvent;
+using splace::stream::BusStats;
+using splace::stream::DetectionEvent;
+using splace::stream::DropPolicy;
+using splace::stream::EventBus;
+using splace::stream::EventKind;
+using splace::stream::LocalizationEvent;
+using splace::stream::ObservationIngest;
+using splace::stream::PathState;
+using splace::stream::StreamEvent;
+using splace::stream::StreamStats;
+using splace::stream::Subscription;
+using splace::stream::TraceEvent;
 
 // --- Replay driver (workload files -> engine traffic). ---
 using splace::engine::ReplayReport;

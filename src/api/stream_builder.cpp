@@ -1,0 +1,96 @@
+#include "api/stream_builder.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace splace::api {
+
+Subscribe::Subscribe(engine::Engine& engine) : engine_(&engine) {
+  options_.mask = 0;  // explicit opt-in per kind
+}
+
+Subscribe& Subscribe::detections() {
+  options_.mask |= stream::event_bit(stream::EventKind::Detection);
+  return *this;
+}
+
+Subscribe& Subscribe::localizations() {
+  options_.mask |= stream::event_bit(stream::EventKind::Localization);
+  return *this;
+}
+
+Subscribe& Subscribe::ambiguity() {
+  options_.mask |= stream::event_bit(stream::EventKind::Ambiguity);
+  return *this;
+}
+
+Subscribe& Subscribe::traces() {
+  options_.mask |= stream::event_bit(stream::EventKind::Trace);
+  return *this;
+}
+
+Subscribe& Subscribe::all() {
+  options_.mask = stream::kAllEvents;
+  return *this;
+}
+
+Subscribe& Subscribe::capacity(std::size_t events) {
+  if (events < 1) throw InvalidInput("subscription capacity must be >= 1");
+  options_.capacity = events;
+  return *this;
+}
+
+Subscribe& Subscribe::drop_oldest() {
+  options_.policy = stream::DropPolicy::DropOld;
+  return *this;
+}
+
+std::shared_ptr<stream::Subscription> Subscribe::attach() const {
+  if (options_.mask == 0) {
+    throw InvalidInput("select at least one event kind before attach()");
+  }
+  return engine_->bus().subscribe(options_);
+}
+
+std::uint64_t Subscribe::on_event(stream::EventBus::Callback callback) const {
+  if (options_.mask == 0) {
+    throw InvalidInput("select at least one event kind before on_event()");
+  }
+  return engine_->bus().add_callback(options_.mask, std::move(callback));
+}
+
+Ingest::Ingest(engine::Engine& engine) : engine_(&engine) {}
+
+Ingest& Ingest::snapshot(std::uint64_t content_hash) {
+  snapshot_ = content_hash;
+  snapshot_set_ = true;
+  return *this;
+}
+
+Ingest& Ingest::placement(Placement services) {
+  placement_ = std::move(services);
+  placement_set_ = true;
+  return *this;
+}
+
+Ingest& Ingest::k(std::size_t failure_bound) {
+  if (failure_bound < 1) throw InvalidInput("k must be >= 1");
+  k_ = failure_bound;
+  return *this;
+}
+
+Ingest& Ingest::epoch(std::uint64_t epoch_us) {
+  epoch_us_ = epoch_us;
+  return *this;
+}
+
+std::unique_ptr<stream::ObservationIngest> Ingest::open() const {
+  if (!snapshot_set_) throw InvalidInput("ingest requires a snapshot hash");
+  if (!placement_set_) throw InvalidInput("ingest requires a placement");
+  auto ingest = engine_->open_ingest(snapshot_, placement_, k_);
+  ingest->begin_episode(epoch_us_);
+  return ingest;
+}
+
+}  // namespace splace::api

@@ -1,0 +1,98 @@
+// Fluent builders for the streaming observability plane.
+//
+// Subscribing to the event bus and opening an observation stream each take
+// a handful of options that are easy to mis-order as positional arguments.
+// The builders make them readable and validate eagerly:
+//
+//   auto live = api::Subscribe(engine)
+//                   .detections()
+//                   .localizations()
+//                   .capacity(256)
+//                   .attach();              // ring subscription -> poll()
+//
+//   auto tap = api::Subscribe(engine)
+//                  .all()
+//                  .on_event([](const stream::StreamEvent& e) { ... });
+//
+//   auto ingest = api::Ingest(engine)
+//                     .snapshot(hash)
+//                     .placement(p)
+//                     .k(2)
+//                     .open();              // ObservationIngest
+//
+// Like api::Request, the builders only produce the underlying objects
+// (stream::Subscription, stream::ObservationIngest); the direct engine
+// calls remain fully supported.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "engine/engine.hpp"
+#include "stream/bus.hpp"
+#include "stream/ingest.hpp"
+
+namespace splace::api {
+
+class Subscribe {
+ public:
+  /// Starts a subscription builder against `engine`'s bus. No event kind
+  /// is selected initially; pick at least one before attaching.
+  explicit Subscribe(engine::Engine& engine);
+
+  Subscribe& detections();
+  Subscribe& localizations();
+  Subscribe& ambiguity();
+  Subscribe& traces();
+  Subscribe& all();
+
+  /// Ring capacity in events (>= 1; default 1024).
+  Subscribe& capacity(std::size_t events);
+  /// On overflow, evict the oldest buffered event instead of dropping the
+  /// incoming one (default keeps the oldest: DropPolicy::DropNew).
+  Subscribe& drop_oldest();
+
+  /// Attaches a bounded ring subscription (poll() to drain). Throws
+  /// InvalidInput when no event kind was selected.
+  std::shared_ptr<stream::Subscription> attach() const;
+
+  /// Registers `callback` as a synchronous sink instead of a ring; returns
+  /// the handle for EventBus::remove_callback. Throws InvalidInput when no
+  /// event kind was selected or the callback is empty.
+  std::uint64_t on_event(stream::EventBus::Callback callback) const;
+
+ private:
+  engine::Engine* engine_;
+  stream::SubscribeOptions options_;
+};
+
+class Ingest {
+ public:
+  explicit Ingest(engine::Engine& engine);
+
+  /// Content hash of the registered snapshot to observe. Required.
+  Ingest& snapshot(std::uint64_t content_hash);
+  /// Service placement whose measurement paths are being probed. Required.
+  Ingest& placement(Placement services);
+  /// Failure bound k >= 1 (default 1).
+  Ingest& k(std::size_t failure_bound);
+  /// Episode epoch in stream microseconds (default 0): the zero point of
+  /// time-to-detect / time-to-localize latencies.
+  Ingest& epoch(std::uint64_t epoch_us);
+
+  /// Opens the stream (Engine::open_ingest) and begins the first episode.
+  /// Throws InvalidInput when snapshot/placement were not set, the
+  /// snapshot is unknown, or the placement does not match it.
+  std::unique_ptr<stream::ObservationIngest> open() const;
+
+ private:
+  engine::Engine* engine_;
+  std::uint64_t snapshot_ = 0;
+  bool snapshot_set_ = false;
+  Placement placement_;
+  bool placement_set_ = false;
+  std::size_t k_ = 1;
+  std::uint64_t epoch_us_ = 0;
+};
+
+}  // namespace splace::api

@@ -8,6 +8,7 @@
 #include "placement/brute_force.hpp"
 #include "placement/greedy.hpp"
 #include "placement/options.hpp"
+#include "stream/exposition.hpp"
 #include "util/error.hpp"
 #include "util/random.hpp"
 
@@ -81,10 +82,18 @@ Engine::Engine(std::shared_ptr<SnapshotRegistry> registry, EngineConfig config)
       adaptive_(config_.adaptive_cache, config_.cache_min_capacity,
                 config_.cache_max_capacity, config_.working_set_window,
                 config_.working_set_headroom, config_.adaptation_interval),
-      recorder_(config_.tracing, config_.trace_capacity),
       start_(Clock::now()),
       pool_(config_.threads) {
   SPLACE_EXPECTS(registry_ != nullptr);
+  if (config_.tracing) {
+    // drain_traces() compatibility: buffer finished traces on a bounded
+    // Trace-kind tail so pull-style consumers keep working unchanged.
+    stream::SubscribeOptions options;
+    options.mask = stream::event_bit(stream::EventKind::Trace);
+    options.capacity = config_.trace_capacity;
+    options.policy = stream::DropPolicy::DropNew;
+    trace_tail_ = bus_.subscribe(options);
+  }
 }
 
 double Engine::since_start(Clock::time_point at) const {
@@ -93,7 +102,7 @@ double Engine::since_start(Clock::time_point at) const {
 
 std::vector<std::future<EngineResult>> Engine::submit(
     std::vector<Request> batch) {
-  const bool tracing = recorder_.enabled();
+  const bool tracing = config_.tracing;
   const Clock::time_point submitted = Clock::now();
   std::vector<std::future<EngineResult>> futures(batch.size());
 
@@ -114,7 +123,7 @@ std::vector<std::future<EngineResult>> Engine::submit(
     std::string key = canonical_key(batch[i]);
     RequestTrace trace;
     if (tracing) {
-      trace.id = recorder_.next_id();
+      trace.id = next_trace_id_.fetch_add(1) + 1;
       trace.type = type;
       trace.submitted_seconds = since_start(submitted);
     }
@@ -135,7 +144,7 @@ std::vector<std::future<EngineResult>> Engine::submit(
         trace.outcome = result.outcome;
         trace.cache_hit = true;
         trace.total_seconds = result.latency_seconds;
-        recorder_.record(std::move(trace));
+        bus_.publish(stream::TraceEvent{std::move(trace)});
       }
       futures[i] = ready_future(std::move(result));
       continue;
@@ -181,7 +190,7 @@ std::vector<std::future<EngineResult>> Engine::submit(
       if (tracing) {
         item.trace.outcome = result.outcome;
         item.trace.total_seconds = result.latency_seconds;
-        recorder_.record(std::move(item.trace));
+        bus_.publish(stream::TraceEvent{std::move(item.trace)});
       }
       futures[item.index] = ready_future(std::move(result));
       continue;
@@ -268,7 +277,7 @@ std::future<EngineResult> Engine::dispatch(RequestType type, Request request,
           trace.total_seconds = result.latency_seconds;
           trace.stage_seconds[stage_index(Stage::FutureDelivery)] =
               seconds_between(delivery_start, Clock::now());
-          recorder_.record(std::move(trace));
+          bus_.publish(stream::TraceEvent{std::move(trace)});
         }
         return result;
       });
@@ -475,6 +484,53 @@ EngineResult Engine::execute(const MutateRequest& request,
   return result;
 }
 
+TraceStats Engine::trace_stats() const {
+  TraceStats stats;
+  stats.enabled = config_.tracing;
+  if (trace_tail_ != nullptr) {
+    const stream::SubscriptionStats tail = trace_tail_->stats();
+    stats.recorded = tail.buffered;
+    stats.drained = tail.drained;
+    stats.dropped = tail.dropped;
+    stats.capacity = tail.capacity;
+  }
+  return stats;
+}
+
+std::vector<RequestTrace> Engine::drain_traces() {
+  if (trace_tail_ == nullptr) return {};
+  std::vector<RequestTrace> traces;
+  for (const auto& event : trace_tail_->poll()) {
+    traces.push_back(std::get<stream::TraceEvent>(*event).trace);
+  }
+  // Worker threads publish completion-ordered; restore trace-id order.
+  std::sort(traces.begin(), traces.end(),
+            [](const RequestTrace& a, const RequestTrace& b) {
+              return a.id < b.id;
+            });
+  return traces;
+}
+
+std::unique_ptr<stream::ObservationIngest> Engine::open_ingest(
+    std::uint64_t snapshot, Placement placement, std::size_t k) {
+  std::shared_ptr<const TopologySnapshot> found = registry_->find(snapshot);
+  if (!found) throw InvalidInput("unknown snapshot hash");
+  auto ingest = std::make_unique<stream::ObservationIngest>(
+      next_stream_id_.fetch_add(1) + 1, std::move(found), std::move(placement),
+      k, &bus_, &stream_metrics_);
+  stream_metrics_.record_stream_opened();
+  return ingest;
+}
+
+stream::StreamStats Engine::stream_stats() const {
+  return stream_metrics_.snapshot();
+}
+
+std::string Engine::metrics_text() const {
+  return stream::metrics_text(metrics(), stream_metrics_.snapshot(),
+                              bus_.stats());
+}
+
 EngineMetricsSnapshot Engine::metrics() const {
   std::size_t depth = 0;
   {
@@ -483,7 +539,7 @@ EngineMetricsSnapshot Engine::metrics() const {
   }
   const double elapsed = since_start(Clock::now());
   return metrics_.snapshot(depth, elapsed, cache_.stats(), adaptive_.stats(),
-                           recorder_.stats());
+                           trace_stats());
 }
 
 }  // namespace splace::engine

@@ -16,8 +16,10 @@
 //     lands in EngineMetrics, exportable as JSON.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -30,6 +32,9 @@
 #include "engine/request.hpp"
 #include "engine/snapshot.hpp"
 #include "engine/trace.hpp"
+#include "stream/bus.hpp"
+#include "stream/ingest.hpp"
+#include "stream/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace splace::engine {
@@ -107,12 +112,37 @@ class Engine {
 
   EngineMetricsSnapshot metrics() const;
 
-  /// Whether per-request tracing is active (config.tracing).
-  bool tracing_enabled() const { return recorder_.enabled(); }
+  /// Prometheus-style text exposition of the engine, stream, and event-bus
+  /// counters (stream/exposition.hpp). One self-describing string —
+  /// suitable for a scrape endpoint or `splace_cli --metrics-text`.
+  std::string metrics_text() const;
 
-  /// Moves every buffered request trace out, in trace-id order. Traces of
-  /// in-flight requests land in a later drain. Empty when tracing is off.
-  std::vector<RequestTrace> drain_traces() { return recorder_.drain(); }
+  /// Counters of the streaming plane (every ingest opened on this engine).
+  stream::StreamStats stream_stats() const;
+
+  /// The engine's event bus. Subscribe for DetectionEvent /
+  /// LocalizationEvent / AmbiguityEvent / TraceEvent pushes; publishing
+  /// with no subscriber attached costs nothing on the request path.
+  stream::EventBus& bus() { return bus_; }
+
+  /// Opens a live observation stream against a registered snapshot:
+  /// per-path up/down reports narrow the candidate failure sets online and
+  /// publish detection/localization events on bus(). Throws InvalidInput
+  /// for an unknown snapshot hash, a placement/service-count mismatch, or
+  /// k < 1. The stream may outlive neither the engine nor the registry.
+  std::unique_ptr<stream::ObservationIngest> open_ingest(
+      std::uint64_t snapshot, Placement placement, std::size_t k);
+
+  /// Whether per-request tracing is active (config.tracing).
+  bool tracing_enabled() const { return config_.tracing; }
+
+  /// DEPRECATED pull path, kept for compatibility: prefer subscribing to
+  /// TraceEvent on bus(). Implemented as an internal Trace-kind tail
+  /// subscription — push and pull share one event path (see api/splace.hpp
+  /// for the migration note). Moves every buffered request trace out, in
+  /// trace-id order. Traces of in-flight requests land in a later drain.
+  /// Empty when tracing is off.
+  std::vector<RequestTrace> drain_traces();
 
   SnapshotRegistry& registry() { return *registry_; }
   const SnapshotRegistry& registry() const { return *registry_; }
@@ -149,13 +179,23 @@ class Engine {
   /// Seconds since engine construction.
   double since_start(Clock::time_point at) const;
 
+  /// Engine-level trace counters synthesized from the internal tail
+  /// subscription (TraceRecorder-compatible shape for the metrics export).
+  TraceStats trace_stats() const;
+
   std::shared_ptr<SnapshotRegistry> registry_;
   EngineConfig config_;
   ResultCache cache_;
   AdaptiveCacheController adaptive_;
-  TraceRecorder recorder_;
   EngineMetrics metrics_;
   Clock::time_point start_;
+  stream::EventBus bus_;
+  stream::StreamMetrics stream_metrics_;
+  /// drain_traces() compatibility tail: a Trace-kind ring subscription with
+  /// the configured trace_capacity; null when tracing is off.
+  std::shared_ptr<stream::Subscription> trace_tail_;
+  std::atomic<std::uint64_t> next_trace_id_{0};
+  std::atomic<std::uint64_t> next_stream_id_{0};
   mutable std::mutex admission_mutex_;
   std::size_t pending_ = 0;  ///< admitted, not yet responded
   ThreadPool pool_;          ///< last member: joins before the rest dies

@@ -166,6 +166,9 @@ ReplaySpec parse_replay(std::istream& in) {
       if (tokens.size() != 2)
         fail(line, "adaptive-interval needs one value (responses)");
       spec.adaptation_interval = parse_size(tokens[1], line);
+    } else if (key == "metrics") {
+      if (tokens.size() != 1) fail(line, "metrics takes no values");
+      spec.metrics_text = true;
     } else if (key == "seed") {
       if (tokens.size() != 2) fail(line, "seed needs one value");
       current_seed = parse_size(tokens[1], line);
@@ -399,6 +402,8 @@ ReplayReport run_replay(const ReplayWorkload& workload, EngineConfig config) {
           ? 0.0
           : static_cast<double>(report.total) / report.wall_seconds;
   report.metrics = engine.metrics();
+  report.metrics_text = engine.metrics_text();
+  report.bus = engine.bus().stats();
   report.traces = engine.drain_traces();
   return report;
 }

@@ -26,6 +26,10 @@
 //   seed 7                    # RNG seed for subsequent rd placements
 //   deadline 250              # per-request deadline in ms (0 = none)
 //
+//   # observability: ask the driver for the Prometheus-style text export
+//   metrics                   # fill ReplayReport::metrics_text after the
+//                             # run (splace_cli prints / writes it)
+//
 //   # topology churn: mutate lines accumulate a pending delta against a
 //   # named snapshot; derive fires one MutateRequest with that delta and
 //   # rebinds the name to the derived snapshot for later request lines
@@ -82,6 +86,7 @@ struct ReplaySpec {
   std::size_t cache_max_capacity = 4096;
   std::size_t working_set_window = 256;
   std::size_t adaptation_interval = 64;
+  bool metrics_text = false;          ///< from `metrics`
   std::vector<ReplaySnapshotSpec> snapshots;
   std::vector<ReplayRequestSpec> requests;
 
@@ -134,6 +139,11 @@ struct ReplayReport {
   double wall_seconds = 0;
   double requests_per_second = 0;
   EngineMetricsSnapshot metrics;  ///< engine state after the run
+  /// Prometheus-style text exposition of the same post-run state
+  /// (Engine::metrics_text), captured before the trace drain.
+  std::string metrics_text;
+  /// Event-bus counters after the run (trace publishes land here).
+  stream::BusStats bus;
   /// Per-request traces drained after the run (empty unless `trace` was
   /// configured), in submission (trace-id) order.
   std::vector<RequestTrace> traces;

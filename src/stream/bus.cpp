@@ -1,0 +1,173 @@
+#include "stream/bus.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace splace::stream {
+
+std::vector<std::shared_ptr<const StreamEvent>> Subscription::poll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const StreamEvent>> events(ring_.begin(),
+                                                         ring_.end());
+  ring_.clear();
+  drained_ += events.size();
+  return events;
+}
+
+SubscriptionStats Subscription::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SubscriptionStats stats;
+  stats.pushed = pushed_;
+  stats.drained = drained_;
+  stats.dropped = dropped_;
+  stats.buffered = ring_.size();
+  stats.capacity = options_.capacity;
+  return stats;
+}
+
+bool Subscription::push(std::shared_ptr<const StreamEvent> event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() >= options_.capacity) {
+    if (options_.policy == DropPolicy::DropNew) {
+      ++dropped_;
+      return false;
+    }
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(event));
+  ++pushed_;
+  return true;
+}
+
+EventBus::~EventBus() = default;
+
+std::shared_ptr<Subscription> EventBus::subscribe(SubscribeOptions options) {
+  if ((options.mask & kAllEvents) == 0) {
+    throw InvalidInput("subscription mask selects no event kind");
+  }
+  if (options.capacity == 0) {
+    throw InvalidInput("subscription capacity must be >= 1");
+  }
+  auto subscription =
+      std::shared_ptr<Subscription>(new Subscription(options));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    subscriptions_.push_back(subscription);
+  }
+  bump_kind_sinks(options.mask, +1);
+  return subscription;
+}
+
+void EventBus::unsubscribe(const std::shared_ptr<Subscription>& subscription) {
+  if (!subscription) return;
+  bool removed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find(subscriptions_.begin(), subscriptions_.end(),
+                        subscription);
+    if (it != subscriptions_.end()) {
+      subscriptions_.erase(it);
+      removed = true;
+    }
+  }
+  if (removed) bump_kind_sinks(subscription->options_.mask, -1);
+}
+
+std::uint64_t EventBus::add_callback(EventMask mask, Callback callback) {
+  if ((mask & kAllEvents) == 0) {
+    throw InvalidInput("callback mask selects no event kind");
+  }
+  if (!callback) throw InvalidInput("callback must be callable");
+  std::uint64_t handle;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handle = next_handle_++;
+    callbacks_.push_back(CallbackEntry{
+        handle, mask, std::make_shared<Callback>(std::move(callback))});
+  }
+  bump_kind_sinks(mask, +1);
+  return handle;
+}
+
+void EventBus::remove_callback(std::uint64_t handle) {
+  EventMask mask = 0;
+  bool removed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find_if(
+        callbacks_.begin(), callbacks_.end(),
+        [handle](const CallbackEntry& entry) { return entry.handle == handle; });
+    if (it != callbacks_.end()) {
+      mask = it->mask;
+      callbacks_.erase(it);
+      removed = true;
+    }
+  }
+  if (removed) bump_kind_sinks(mask, -1);
+}
+
+void EventBus::publish(StreamEvent event) {
+  const EventKind kind = event_kind(event);
+  // Hot-path gate: with no sink for this kind, publishing is a relaxed
+  // load and a return — the StreamEvent never leaves the caller's stack.
+  if (!has_subscribers(kind)) return;
+
+  auto shared = std::make_shared<const StreamEvent>(std::move(event));
+  const EventMask bit = event_bit(kind);
+
+  std::vector<std::shared_ptr<Callback>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool delivered = false;
+    std::uint64_t drops = 0;
+    for (auto& subscription : subscriptions_) {
+      if ((subscription->options_.mask & bit) == 0) continue;
+      if (!subscription->push(shared)) ++drops;
+      delivered = true;  // a drop still counts as an attached sink
+    }
+    for (auto& entry : callbacks_) {
+      if ((entry.mask & bit) == 0) continue;
+      callbacks.push_back(entry.callback);
+      delivered = true;
+    }
+    if (delivered) ++published_[event_index(kind)];
+    if (drops != 0) dropped_.fetch_add(drops, std::memory_order_relaxed);
+  }
+  // Callbacks run outside the bus lock so a sink may subscribe/unsubscribe
+  // or query stats without deadlocking.
+  for (auto& callback : callbacks) {
+    try {
+      (*callback)(*shared);
+    } catch (...) {
+      callback_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+BusStats EventBus::stats() const {
+  BusStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.published = published_;
+    stats.subscribers = subscriptions_.size() + callbacks_.size();
+  }
+  stats.dropped = dropped_.load(std::memory_order_relaxed);
+  stats.callback_errors = callback_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void EventBus::bump_kind_sinks(EventMask mask, int delta) {
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    if ((mask & (EventMask{1} << i)) == 0) continue;
+    if (delta > 0) {
+      kind_sinks_[i].fetch_add(1, std::memory_order_relaxed);
+    } else {
+      kind_sinks_[i].fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace splace::stream

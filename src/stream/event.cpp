@@ -1,0 +1,91 @@
+#include "stream/event.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace splace::stream {
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::Detection:
+      return "detection";
+    case EventKind::Localization:
+      return "localization";
+    case EventKind::Ambiguity:
+      return "ambiguity";
+    case EventKind::Trace:
+      return "trace";
+  }
+  throw InvalidInput("unknown event kind");
+}
+
+EventKind event_kind(const StreamEvent& event) {
+  struct Visitor {
+    EventKind operator()(const DetectionEvent&) const {
+      return EventKind::Detection;
+    }
+    EventKind operator()(const LocalizationEvent&) const {
+      return EventKind::Localization;
+    }
+    EventKind operator()(const AmbiguityEvent&) const {
+      return EventKind::Ambiguity;
+    }
+    EventKind operator()(const TraceEvent&) const { return EventKind::Trace; }
+  };
+  return std::visit(Visitor{}, event);
+}
+
+namespace {
+
+void append_header(std::ostringstream& out, EventKind kind,
+                   const EventHeader& header) {
+  out << "{\"kind\": \"" << to_string(kind) << "\""
+      << ", \"stream\": " << header.stream
+      << ", \"snapshot\": " << header.snapshot
+      << ", \"sequence\": " << header.sequence
+      << ", \"timestamp_us\": " << header.timestamp_us
+      << ", \"latency_us\": " << header.latency_us;
+}
+
+void append_nodes(std::ostringstream& out, const std::vector<NodeId>& nodes) {
+  out << "[";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << nodes[i];
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::string to_json(const StreamEvent& event) {
+  std::ostringstream out;
+  struct Visitor {
+    std::ostringstream& out;
+    void operator()(const DetectionEvent& e) const {
+      append_header(out, EventKind::Detection, e.header);
+      out << ", \"path\": " << e.path << "}";
+    }
+    void operator()(const LocalizationEvent& e) const {
+      append_header(out, EventKind::Localization, e.header);
+      out << ", \"failure_set\": ";
+      append_nodes(out, e.failure_set);
+      out << ", \"suspects\": " << e.suspects << ", \"final_observation\": "
+          << (e.final_observation ? "true" : "false") << "}";
+    }
+    void operator()(const AmbiguityEvent& e) const {
+      append_header(out, EventKind::Ambiguity, e.header);
+      out << ", \"consistent_sets\": " << e.consistent_sets
+          << ", \"suspects\": " << e.suspects << "}";
+    }
+    void operator()(const TraceEvent& e) const {
+      out << "{\"kind\": \"trace\", \"trace\": " << engine::to_json(e.trace)
+          << "}";
+    }
+  };
+  std::visit(Visitor{out}, event);
+  return out.str();
+}
+
+}  // namespace splace::stream

@@ -1,0 +1,198 @@
+#include "stream/exposition.hpp"
+
+#include <cstdint>
+#include <sstream>
+
+namespace splace::stream {
+
+namespace {
+
+class TextWriter {
+ public:
+  void family(const std::string& name, const std::string& type,
+              const std::string& help) {
+    out_ << "# HELP " << name << " " << help << "\n";
+    out_ << "# TYPE " << name << " " << type << "\n";
+  }
+
+  template <typename Value>
+  void sample(const std::string& name, const std::string& labels,
+              Value value) {
+    out_ << name;
+    if (!labels.empty()) out_ << "{" << labels << "}";
+    out_ << " " << value << "\n";
+  }
+
+  /// One-sample counter/gauge family.
+  template <typename Value>
+  void scalar(const std::string& name, const std::string& type,
+              const std::string& help, Value value) {
+    family(name, type, help);
+    sample(name, "", value);
+  }
+
+  /// Renders a log2-µs LatencyStats as a Prometheus histogram. `labels`
+  /// (possibly empty) is spliced before the `le` label of each bucket.
+  void histogram(const std::string& name, const std::string& labels,
+                 const engine::LatencyStats& stats) {
+    std::uint64_t cumulative = 0;
+    for (const auto& [bucket, count] : stats.log2_us.counts()) {
+      cumulative += count;
+      // Bucket b covers (2^(b-1), 2^b] µs; clamp the shift for safety.
+      const std::uint64_t le = std::uint64_t{1}
+                               << (bucket < 63 ? bucket : std::size_t{62});
+      sample(name + "_bucket", with_le(labels, std::to_string(le)),
+             cumulative);
+    }
+    sample(name + "_bucket", with_le(labels, "+Inf"), stats.count);
+    sample(name + "_sum", labels, stats.total_seconds * 1e6);
+    sample(name + "_count", labels, stats.count);
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  static std::string with_le(const std::string& labels,
+                             const std::string& le) {
+    std::string joined = labels;
+    if (!joined.empty()) joined += ",";
+    joined += "le=\"" + le + "\"";
+    return joined;
+  }
+
+  std::ostringstream out_;
+};
+
+}  // namespace
+
+std::string metrics_text(const engine::EngineMetricsSnapshot& engine_snapshot,
+                         const StreamStats& stream_snapshot,
+                         const BusStats& bus_snapshot) {
+  TextWriter w;
+
+  // --- Serving engine: request counters -----------------------------------
+  w.scalar("splace_requests_submitted_total", "counter",
+           "Requests submitted to the engine.", engine_snapshot.submitted);
+  w.scalar("splace_requests_completed_total", "counter",
+           "Requests answered Ok (cache hits included).",
+           engine_snapshot.completed);
+  w.family("splace_requests_rejected_total", "counter",
+           "Requests rejected, by reason.");
+  w.sample("splace_requests_rejected_total", "reason=\"queue_full\"",
+           engine_snapshot.rejected_queue_full);
+  w.sample("splace_requests_rejected_total", "reason=\"deadline\"",
+           engine_snapshot.rejected_deadline);
+  w.sample("splace_requests_rejected_total", "reason=\"bad_request\"",
+           engine_snapshot.rejected_bad_request);
+  w.scalar("splace_requests_cache_hits_total", "counter",
+           "Requests answered from the result cache.",
+           engine_snapshot.cache_hits);
+
+  // --- Result cache --------------------------------------------------------
+  w.scalar("splace_result_cache_hits_total", "counter",
+           "Result-cache lookup hits.", engine_snapshot.cache.hits);
+  w.scalar("splace_result_cache_misses_total", "counter",
+           "Result-cache lookup misses.", engine_snapshot.cache.misses);
+  w.family("splace_result_cache_evictions_total", "counter",
+           "Result-cache evictions, by request type.");
+  for (std::size_t t = 0; t < engine::kRequestTypeCount; ++t) {
+    w.sample("splace_result_cache_evictions_total",
+             "type=\"" + to_string(static_cast<engine::RequestType>(t)) + "\"",
+             engine_snapshot.cache.evictions_by_type[t]);
+  }
+  w.scalar("splace_result_cache_size", "gauge",
+           "Entries currently in the result cache.",
+           engine_snapshot.cache.size);
+  w.scalar("splace_result_cache_capacity", "gauge",
+           "Result-cache capacity (entries).",
+           engine_snapshot.cache.capacity);
+
+  // --- Queue and lifetime ---------------------------------------------------
+  w.scalar("splace_queue_depth", "gauge", "Requests in flight right now.",
+           engine_snapshot.queue_depth);
+  w.scalar("splace_queue_high_water", "gauge",
+           "Max requests in flight ever observed.",
+           engine_snapshot.queue_high_water);
+  w.scalar("splace_uptime_seconds", "gauge",
+           "Seconds since engine construction.",
+           engine_snapshot.elapsed_seconds);
+
+  // --- Request traces -------------------------------------------------------
+  w.scalar("splace_traces_enabled", "gauge",
+           "1 when request tracing is enabled.",
+           engine_snapshot.tracing.enabled ? 1 : 0);
+  w.scalar("splace_traces_buffered", "gauge",
+           "Traces buffered awaiting drain_traces().",
+           engine_snapshot.tracing.recorded);
+  w.scalar("splace_traces_drained_total", "counter",
+           "Traces handed out by drain_traces().",
+           engine_snapshot.tracing.drained);
+  w.scalar("splace_traces_dropped_total", "counter",
+           "Traces lost to the bounded trace buffer.",
+           engine_snapshot.tracing.dropped);
+
+  // --- Request latency histograms ------------------------------------------
+  w.family("splace_request_latency_us", "histogram",
+           "End-to-end Ok-request latency in microseconds, by request type.");
+  const std::pair<const char*, const engine::LatencyStats*> kTypes[] = {
+      {"place", &engine_snapshot.place},
+      {"evaluate", &engine_snapshot.evaluate},
+      {"localize", &engine_snapshot.localize},
+      {"mutate", &engine_snapshot.mutate},
+  };
+  for (const auto& [type, stats] : kTypes) {
+    w.histogram("splace_request_latency_us",
+                std::string("type=\"") + type + "\"", *stats);
+  }
+
+  // --- Streaming plane ------------------------------------------------------
+  w.scalar("splace_streams_opened_total", "counter",
+           "Observation ingest streams opened.",
+           stream_snapshot.streams_opened);
+  w.scalar("splace_observations_total", "counter",
+           "Path-state reports ingested (duplicates included).",
+           stream_snapshot.observations);
+  w.scalar("splace_state_changes_total", "counter",
+           "Path-state reports that changed a path state.",
+           stream_snapshot.state_changes);
+  w.scalar("splace_detections_total", "counter",
+           "Failure-episode detections.", stream_snapshot.detections);
+  w.scalar("splace_localizations_total", "counter",
+           "Candidate sets narrowed to a unique failure set.",
+           stream_snapshot.localizations);
+  w.scalar("splace_ambiguity_events_total", "counter",
+           "Candidate-set changes that kept >1 (or 0) explanations.",
+           stream_snapshot.ambiguity_events);
+  w.scalar("splace_reenumerations_total", "counter",
+           "Full candidate re-enumerations forced by path flaps.",
+           stream_snapshot.reenumerations);
+  w.family("splace_detect_latency_us", "histogram",
+           "Time from episode epoch to detection, microseconds.");
+  w.histogram("splace_detect_latency_us", "", stream_snapshot.detect_latency);
+  w.family("splace_localize_latency_us", "histogram",
+           "Time from episode epoch to a unique failure set, microseconds.");
+  w.histogram("splace_localize_latency_us", "",
+              stream_snapshot.localize_latency);
+
+  // --- Event bus ------------------------------------------------------------
+  w.family("splace_events_published_total", "counter",
+           "Events delivered to at least one subscriber, by kind.");
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    w.sample("splace_events_published_total",
+             "kind=\"" + to_string(static_cast<EventKind>(i)) + "\"",
+             bus_snapshot.published[i]);
+  }
+  w.scalar("splace_events_dropped_total", "counter",
+           "Events lost to full subscriber ring buffers.",
+           bus_snapshot.dropped);
+  w.scalar("splace_event_callback_errors_total", "counter",
+           "Exceptions thrown (and swallowed) by callback sinks.",
+           bus_snapshot.callback_errors);
+  w.scalar("splace_event_subscribers", "gauge",
+           "Attached ring subscriptions plus callback sinks.",
+           bus_snapshot.subscribers);
+
+  return w.str();
+}
+
+}  // namespace splace::stream

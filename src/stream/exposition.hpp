@@ -1,0 +1,28 @@
+// Prometheus-style text exposition of the engine + stream + bus counters.
+//
+// Emitted format (one family per metric name):
+//   # HELP <name> <help text>
+//   # TYPE <name> counter|gauge|histogram
+//   <name>[{label="value",...}] <number>
+//
+// Counters carry the conventional `_total` suffix. The engine's log2-µs
+// latency histograms map onto Prometheus histogram series directly: log2
+// bucket b becomes the cumulative bucket le="2^b" (microseconds), plus
+// le="+Inf", `_sum` (µs) and `_count`. The text is deterministic for a
+// given snapshot triple — the golden-format test parses every line and
+// cross-checks values against the JSON exports.
+#pragma once
+
+#include <string>
+
+#include "engine/metrics.hpp"
+#include "stream/bus.hpp"
+#include "stream/metrics.hpp"
+
+namespace splace::stream {
+
+std::string metrics_text(const engine::EngineMetricsSnapshot& engine_snapshot,
+                         const StreamStats& stream_snapshot,
+                         const BusStats& bus_snapshot);
+
+}  // namespace splace::stream

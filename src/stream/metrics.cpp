@@ -1,0 +1,80 @@
+#include "stream/metrics.hpp"
+
+#include <sstream>
+
+namespace splace::stream {
+
+namespace {
+
+void append_latency(std::ostringstream& os, const std::string& name,
+                    const engine::LatencyStats& stats) {
+  os << "\"" << name << "\": {\"count\": " << stats.count
+     << ", \"mean_seconds\": " << stats.mean_seconds()
+     << ", \"min_seconds\": " << stats.min_seconds
+     << ", \"max_seconds\": " << stats.max_seconds << ", \"log2_us\": {";
+  bool first = true;
+  for (const auto& [bucket, count] : stats.log2_us.counts()) {
+    if (!first) os << ", ";
+    os << "\"" << bucket << "\": " << count;
+    first = false;
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+std::string to_json(const StreamStats& stats) {
+  std::ostringstream os;
+  os << "{\"streams_opened\": " << stats.streams_opened
+     << ", \"observations\": " << stats.observations
+     << ", \"state_changes\": " << stats.state_changes
+     << ", \"detections\": " << stats.detections
+     << ", \"localizations\": " << stats.localizations
+     << ", \"ambiguity_events\": " << stats.ambiguity_events
+     << ", \"reenumerations\": " << stats.reenumerations << ", ";
+  append_latency(os, "detect_latency", stats.detect_latency);
+  os << ", ";
+  append_latency(os, "localize_latency", stats.localize_latency);
+  os << "}";
+  return os.str();
+}
+
+void StreamMetrics::record_stream_opened() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.streams_opened;
+}
+
+void StreamMetrics::record_observation(bool state_changed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.observations;
+  if (state_changed) ++counters_.state_changes;
+}
+
+void StreamMetrics::record_detection(double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.detections;
+  counters_.detect_latency.record(latency_seconds);
+}
+
+void StreamMetrics::record_localization(double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.localizations;
+  counters_.localize_latency.record(latency_seconds);
+}
+
+void StreamMetrics::record_ambiguity() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.ambiguity_events;
+}
+
+void StreamMetrics::record_reenumeration() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.reenumerations;
+}
+
+StreamStats StreamMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace splace::stream

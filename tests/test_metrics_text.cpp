@@ -1,0 +1,335 @@
+// Golden-format test for the Prometheus-style text exposition
+// (stream/exposition.hpp): every emitted line must parse as a comment,
+// a `# HELP`/`# TYPE` family header, or a `name{labels} value` sample;
+// every sample must belong to a declared family; histograms must be
+// cumulative with a `+Inf` bucket equal to `_count`; and the counter
+// values must agree with the JSON metrics export and the live engine
+// counters they render.
+#include "stream/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "engine/engine.hpp"
+#include "stream/ingest.hpp"
+#include "topology/catalog.hpp"
+#include "util/random.hpp"
+
+namespace splace::stream {
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_')
+    return false;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':')
+      return false;
+  }
+  return true;
+}
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0;
+};
+
+struct Exposition {
+  std::map<std::string, std::string> help;  ///< family -> help text
+  std::map<std::string, std::string> type;  ///< family -> counter|gauge|...
+  std::vector<Sample> samples;
+};
+
+/// Parses `key="value"[,key="value"]*`; ADD_FAILUREs on malformed input.
+std::map<std::string, std::string> parse_labels(const std::string& text,
+                                                const std::string& line) {
+  std::map<std::string, std::string> labels;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eq = text.find('=', pos);
+    if (eq == std::string::npos || eq + 1 >= text.size() ||
+        text[eq + 1] != '"') {
+      ADD_FAILURE() << "malformed labels in: " << line;
+      return labels;
+    }
+    const std::string key = text.substr(pos, eq - pos);
+    EXPECT_TRUE(valid_metric_name(key)) << "bad label name in: " << line;
+    const std::size_t close = text.find('"', eq + 2);
+    if (close == std::string::npos) {
+      ADD_FAILURE() << "unterminated label value in: " << line;
+      return labels;
+    }
+    labels[key] = text.substr(eq + 2, close - (eq + 2));
+    pos = close + 1;
+    if (pos < text.size()) {
+      if (text[pos] != ',') {
+        ADD_FAILURE() << "expected ',' between labels in: " << line;
+        return labels;
+      }
+      ++pos;
+    }
+  }
+  return labels;
+}
+
+/// Parses the full exposition into `exposition`, failing the test on any
+/// malformed line. (void so gtest's fatal ASSERTs are usable.)
+void parse_into(const std::string& text, Exposition& exposition) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_help = line[2] == 'H';
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      ASSERT_NE(space, std::string::npos) << "malformed header: " << line;
+      const std::string name = rest.substr(0, space);
+      const std::string payload = rest.substr(space + 1);
+      EXPECT_TRUE(valid_metric_name(name)) << "bad family name: " << line;
+      EXPECT_FALSE(payload.empty()) << "empty header payload: " << line;
+      if (is_help) {
+        EXPECT_EQ(exposition.help.count(name), 0u)
+            << "duplicate # HELP for " << name;
+        exposition.help[name] = payload;
+      } else {
+        EXPECT_EQ(exposition.type.count(name), 0u)
+            << "duplicate # TYPE for " << name;
+        EXPECT_TRUE(payload == "counter" || payload == "gauge" ||
+                    payload == "histogram")
+            << "unknown type: " << line;
+        exposition.type[name] = payload;
+      }
+      continue;
+    }
+
+    Sample sample;
+    std::size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << "malformed sample: " << line;
+    sample.name = line.substr(0, name_end);
+    EXPECT_TRUE(valid_metric_name(sample.name)) << "bad name: " << line;
+    std::size_t value_start = name_end;
+    if (line[name_end] == '{') {
+      const std::size_t close = line.find('}', name_end);
+      ASSERT_NE(close, std::string::npos) << "unterminated labels: " << line;
+      sample.labels = parse_labels(
+          line.substr(name_end + 1, close - name_end - 1), line);
+      value_start = close + 1;
+    }
+    ASSERT_LT(value_start, line.size()) << "missing value: " << line;
+    ASSERT_EQ(line[value_start], ' ') << "missing separator: " << line;
+    const std::string value_text = line.substr(value_start + 1);
+    char* end = nullptr;
+    sample.value = std::strtod(value_text.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparseable value in: " << line;
+    exposition.samples.push_back(std::move(sample));
+  }
+}
+
+/// Family of a sample: histogram samples append _bucket/_sum/_count.
+std::string family_of(const Exposition& exposition, const Sample& sample) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (sample.name.size() > s.size() &&
+        sample.name.compare(sample.name.size() - s.size(), s.size(), s) ==
+            0) {
+      const std::string base = sample.name.substr(0, sample.name.size() -
+                                                         s.size());
+      auto it = exposition.type.find(base);
+      if (it != exposition.type.end() && it->second == "histogram")
+        return base;
+    }
+  }
+  return sample.name;
+}
+
+double value_of(const Exposition& exposition, const std::string& name,
+                const std::map<std::string, std::string>& labels = {}) {
+  for (const Sample& sample : exposition.samples) {
+    if (sample.name == name && sample.labels == labels) return sample.value;
+  }
+  ADD_FAILURE() << "missing sample " << name;
+  return -1;
+}
+
+/// The paper's Abovenet instance plus a mixed workload: requests, a
+/// subscribed ingest episode, and forced ring drops — so every exported
+/// family carries nonzero evidence where the workload produced it.
+struct Workload {
+  std::shared_ptr<engine::SnapshotRegistry> registry =
+      std::make_shared<engine::SnapshotRegistry>();
+  std::shared_ptr<const engine::TopologySnapshot> snapshot;
+  std::unique_ptr<engine::Engine> eng;
+
+  Workload() {
+    const topology::CatalogEntry& entry = topology::catalog_entry("abovenet");
+    Graph g = topology::build(entry);
+    const std::vector<NodeId> clients = topology::candidate_clients(entry, g);
+    snapshot = registry->add("abovenet", std::move(g),
+                             make_services(entry, clients, 0.6));
+    engine::EngineConfig config;
+    config.threads = 1;
+    eng = std::make_unique<engine::Engine>(registry, config);
+
+    std::vector<std::future<engine::EngineResult>> futures;
+    for (int i = 0; i < 5; ++i) {
+      engine::PlaceRequest request;
+      request.snapshot = snapshot->hash();
+      request.algorithm = Algorithm::GD;
+      futures.push_back(eng->submit(request));
+    }
+    for (auto& f : futures) f.get();
+
+    // One detected episode through a capacity-1 subscription: detections,
+    // ambiguity traffic, and ring drops all become nonzero.
+    auto sub = eng->bus().subscribe({kAllEvents, 1, DropPolicy::DropNew});
+    Rng rng(42);
+    const Placement placement =
+        compute_placement(snapshot->instance(), Algorithm::GD, rng);
+    auto ingest = eng->open_ingest(snapshot->hash(), placement, 1);
+    ingest->begin_episode(0);
+    for (std::uint32_t p = 0; p < ingest->path_count(); ++p)
+      ingest->observe(p, p == 0 ? PathState::Down : PathState::Up,
+                      (p + 1) * 100);
+    eng->bus().unsubscribe(sub);
+  }
+};
+
+TEST(MetricsText, EveryLineParsesAndBelongsToADeclaredFamily) {
+  Workload workload;
+  Exposition exposition;
+  parse_into(workload.eng->metrics_text(), exposition);
+  ASSERT_FALSE(exposition.samples.empty());
+
+  for (const Sample& sample : exposition.samples) {
+    const std::string family = family_of(exposition, sample);
+    EXPECT_EQ(exposition.help.count(family), 1u)
+        << sample.name << " has no # HELP";
+    EXPECT_EQ(exposition.type.count(family), 1u)
+        << sample.name << " has no # TYPE";
+  }
+  // Every declared family carries >= 1 sample.
+  for (const auto& [family, type] : exposition.type) {
+    bool found = false;
+    for (const Sample& sample : exposition.samples)
+      found = found || family_of(exposition, sample) == family;
+    EXPECT_TRUE(found) << family << " declared but never sampled";
+  }
+  // The families the ISSUE names must exist.
+  for (const char* family :
+       {"splace_detect_latency_us", "splace_events_dropped_total",
+        "splace_requests_submitted_total", "splace_request_latency_us",
+        "splace_detections_total", "splace_streams_opened_total"}) {
+    EXPECT_EQ(exposition.type.count(family), 1u) << family << " missing";
+  }
+}
+
+TEST(MetricsText, HistogramsAreCumulativeWithInfAndCount) {
+  Workload workload;
+  Exposition exposition;
+  parse_into(workload.eng->metrics_text(), exposition);
+
+  // Group _bucket samples per (family, labels-without-le) series.
+  std::map<std::string, std::vector<const Sample*>> series;
+  for (const Sample& sample : exposition.samples) {
+    if (sample.labels.count("le") == 0) continue;
+    std::string key = sample.name;
+    for (const auto& [k, v] : sample.labels)
+      if (k != "le") key += "|" + k + "=" + v;
+    series[key].push_back(&sample);
+  }
+  ASSERT_FALSE(series.empty());
+
+  for (const auto& [key, buckets] : series) {
+    double previous = 0;
+    double le_previous = 0;
+    const Sample* inf = nullptr;
+    for (const Sample* bucket : buckets) {
+      const std::string le = bucket->labels.at("le");
+      if (le == "+Inf") {
+        EXPECT_EQ(inf, nullptr) << "two +Inf buckets in " << key;
+        inf = bucket;
+        continue;
+      }
+      char* end = nullptr;
+      const double bound = std::strtod(le.c_str(), &end);
+      EXPECT_EQ(*end, '\0') << "non-numeric le in " << key;
+      EXPECT_GT(bound, le_previous) << "le not increasing in " << key;
+      le_previous = bound;
+      EXPECT_GE(bucket->value, previous) << "non-cumulative in " << key;
+      previous = bucket->value;
+    }
+    ASSERT_NE(inf, nullptr) << key << " lacks a +Inf bucket";
+    EXPECT_GE(inf->value, previous) << "+Inf below last bucket in " << key;
+
+    // +Inf equals the series' _count sample.
+    const std::string base =
+        inf->name.substr(0, inf->name.size() - std::string("_bucket").size());
+    auto labels = inf->labels;
+    labels.erase("le");
+    EXPECT_EQ(value_of(exposition, base + "_count", labels), inf->value)
+        << key;
+  }
+}
+
+TEST(MetricsText, CountersMatchJsonExportAndLiveCounters) {
+  Workload workload;
+  const engine::EngineMetricsSnapshot metrics = workload.eng->metrics();
+  const StreamStats stream_stats = workload.eng->stream_stats();
+  const BusStats bus = workload.eng->bus().stats();
+  Exposition exposition;
+  parse_into(metrics_text(metrics, stream_stats, bus), exposition);
+
+  // vs the live counters the exposition renders.
+  EXPECT_EQ(value_of(exposition, "splace_requests_submitted_total"),
+            static_cast<double>(metrics.submitted));
+  EXPECT_EQ(value_of(exposition, "splace_requests_completed_total"),
+            static_cast<double>(metrics.completed));
+  EXPECT_EQ(value_of(exposition, "splace_requests_cache_hits_total"),
+            static_cast<double>(metrics.cache_hits));
+  EXPECT_EQ(value_of(exposition, "splace_streams_opened_total"),
+            static_cast<double>(stream_stats.streams_opened));
+  EXPECT_EQ(value_of(exposition, "splace_observations_total"),
+            static_cast<double>(stream_stats.observations));
+  EXPECT_EQ(value_of(exposition, "splace_detections_total"),
+            static_cast<double>(stream_stats.detections));
+  EXPECT_EQ(value_of(exposition, "splace_events_dropped_total"),
+            static_cast<double>(bus.dropped));
+  EXPECT_EQ(value_of(exposition, "splace_request_latency_us_count",
+                     {{"type", "place"}}),
+            static_cast<double>(metrics.place.count));
+  EXPECT_EQ(value_of(exposition, "splace_detect_latency_us_count"),
+            static_cast<double>(stream_stats.detect_latency.count));
+
+  // The workload genuinely exercised the counters being cross-checked.
+  EXPECT_GT(metrics.submitted, 0u);
+  EXPECT_GT(stream_stats.detections, 0u);
+  EXPECT_GT(bus.dropped, 0u);
+
+  // vs the JSON exports of the same snapshots: the text and JSON paths
+  // must tell one story. (Spot checks — the JSON shape has its own tests.)
+  const std::string engine_json = engine::to_json(metrics);
+  EXPECT_NE(engine_json.find(
+                "\"submitted\": " + std::to_string(metrics.submitted)),
+            std::string::npos);
+  const std::string stream_json = to_json(stream_stats);
+  EXPECT_NE(stream_json.find("\"detections\": " +
+                             std::to_string(stream_stats.detections)),
+            std::string::npos);
+  EXPECT_NE(stream_json.find("\"observations\": " +
+                             std::to_string(stream_stats.observations)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace splace::stream
