@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "monitoring/kernels.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -124,13 +125,20 @@ inline std::string repo_revision() {
 }
 
 /// Shared envelope for every BENCH_*.json artifact, so the perf trajectory
-/// is comparable across PRs: {"bench", "threads", "repo_rev", "results"}.
+/// is comparable across PRs: {"bench", "threads", "hardware_concurrency",
+/// "kernel_variant", "repo_rev", "results"}. The machine's hardware thread
+/// count and the kernel variant dispatch resolved to (scalar/avx2, after the
+/// SPLACE_FORCE_SCALAR override) make numbers comparable across hosts.
 /// `results_json` must already be valid JSON (object or array).
 inline std::string bench_envelope_json(const std::string& bench,
                                        std::size_t threads,
                                        const std::string& results_json) {
   std::string envelope = "{\n  \"bench\": \"" + bench + "\",\n";
   envelope += "  \"threads\": " + std::to_string(threads) + ",\n";
+  envelope += "  \"hardware_concurrency\": " +
+              std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  envelope += "  \"kernel_variant\": \"" +
+              std::string(to_string(kernels::active_variant())) + "\",\n";
   envelope += "  \"repo_rev\": \"" + repo_revision() + "\",\n";
   envelope += "  \"results\": " + results_json + "\n}\n";
   return envelope;

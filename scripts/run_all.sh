@@ -9,10 +9,13 @@ ctest --test-dir build --output-on-failure
 # dropped suite fails the script instead of silently shrinking coverage.
 TSAN_SUITES="test_thread_pool test_greedy test_lazy_greedy test_determinism \
   test_engine test_engine_stress test_dynamic test_dynamic_engine \
-  test_engine_trace test_api test_stream test_metrics_text"
+  test_engine_trace test_api test_stream test_metrics_text \
+  test_path_arena test_kernels test_stochastic"
 ASAN_SUITES="test_thread_pool test_engine test_engine_stress \
   test_dynamic test_dynamic_engine test_engine_trace test_api test_stream \
-  test_metrics_text"
+  test_metrics_text test_path_arena test_kernels test_stochastic"
+UBSAN_SUITES="test_path_arena test_kernels test_stochastic test_greedy \
+  test_lazy_greedy test_objective_gain test_equivalence test_bitset"
 
 require_suites() {
   dir="$1"; shift
@@ -34,7 +37,7 @@ cmake -B build-tsan -G Ninja -DSPLACE_SANITIZE=thread \
 cmake --build build-tsan --target $TSAN_SUITES
 require_suites build-tsan $TSAN_SUITES
 ctest --test-dir build-tsan --output-on-failure \
-  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade|StreamIngest|EventBus|EngineStream|ApiBuilders|MetricsText"
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade|StreamIngest|EventBus|EngineStream|ApiBuilders|MetricsText|PathArena|Kernels|Stochastic"
 
 # ASan pass over the serving layer: the engine moves results through
 # futures, a shared LRU cache, and snapshots that share routing trees and
@@ -45,7 +48,23 @@ cmake -B build-asan -G Ninja -DSPLACE_SANITIZE=address \
 cmake --build build-asan --target $ASAN_SUITES
 require_suites build-asan $ASAN_SUITES
 ctest --test-dir build-asan --output-on-failure \
-  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade|StreamIngest|EventBus|EngineStream|ApiBuilders|MetricsText"
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade|StreamIngest|EventBus|EngineStream|ApiBuilders|MetricsText|PathArena|Kernels|Stochastic"
+
+# UBSan pass over the kernel/arena/placement arithmetic: the word-parallel
+# kernels live on shifts, casts, and pointer spans — exactly UBSan territory.
+cmake -B build-ubsan -G Ninja -DSPLACE_SANITIZE=undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+# shellcheck disable=SC2086
+cmake --build build-ubsan --target $UBSAN_SUITES
+require_suites build-ubsan $UBSAN_SUITES
+ctest --test-dir build-ubsan --output-on-failure \
+  -R "PathArena|Kernels|Stochastic|Greedy|Objective|Equivalence|Bitset"
+
+# Scalar-dispatch leg: the same suites with SPLACE_FORCE_SCALAR=1, proving
+# the env override pins the portable kernels and that they stand alone
+# (placements must not depend on which variant dispatch resolves to).
+SPLACE_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
+  -R "PathArena|Kernels|Stochastic|Greedy"
 
 # Warnings-as-errors leg: one full build with the warning set promoted to
 # errors, so a new -Wall/-Wextra/-Wconversion diagnostic fails the script
@@ -59,6 +78,11 @@ cmake --build build-werror
 # pass, and streamed-vs-batch agreement on every episode.
 build/bench/bench_localize --episodes 8 --out BENCH_localize_smoke.json
 rm -f BENCH_localize_smoke.json
+
+# Scale-kernel smoke leg: bench_scale --smoke exits nonzero when the arena
+# representations disagree with the legacy layout (gains or placements) or
+# when the dispatched kernels drop below 0.7x the scalar throughput.
+build/bench/bench_scale --smoke
 
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"

@@ -64,7 +64,7 @@ RepairResult repair_placement(const ProblemInstance& derived,
     for (std::size_t s = 0; s < n_services; ++s) {
       if (placed[s] || !service_touched[s]) continue;
       for (NodeId h : derived.candidate_hosts(s)) {
-        const double gain = state->gain(derived.paths_for(s, h));
+        const double gain = state->gain(derived.arena_paths_for(s, h));
         ++result.gain_evaluations;
         if (!best.valid || gain > best.gain) best = Best{gain, s, h, true};
       }
@@ -109,7 +109,7 @@ RepairResult repair_placement(const ProblemInstance& derived,
     for (std::size_t s = 0; s < n_services; ++s) {
       if (placed[s]) continue;
       for (NodeId h : derived.candidate_hosts(s)) {
-        const double gain = state->gain(derived.paths_for(s, h));
+        const double gain = state->gain(derived.arena_paths_for(s, h));
         ++result.gain_evaluations;
         if (!best.valid || gain > best.gain) best = Best{gain, s, h, true};
       }

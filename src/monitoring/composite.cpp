@@ -67,6 +67,21 @@ class CompositeState final : public ObjectiveState {
     return total;
   }
 
+  // The blend is linear, so its marginal gain is the weighted sum of the
+  // children's marginal gains — each an exact integer delta. Forwarding
+  // reaches the children's scratch-based fast paths instead of cloning all
+  // three states, and makes the two overloads bit-identical by construction
+  // (identical weighted sums of identical integer deltas).
+  using ObjectiveState::gain;
+
+  double gain(const PathSet& extra) const override {
+    return blended_gain(extra);
+  }
+
+  double gain(ArenaPathsRef extra) const override {
+    return blended_gain(extra);
+  }
+
  private:
   ObjectiveWeights weights_;
   double node_scale_;
@@ -74,6 +89,20 @@ class CompositeState final : public ObjectiveState {
   std::unique_ptr<ObjectiveState> coverage_;
   std::unique_ptr<ObjectiveState> identifiability_;
   std::unique_ptr<ObjectiveState> distinguishability_;
+
+  template <typename Paths>
+  double blended_gain(const Paths& extra) const {
+    double total = 0;
+    if (weights_.coverage > 0)
+      total += weights_.coverage * coverage_->gain(extra) * node_scale_;
+    if (weights_.identifiability > 0)
+      total += weights_.identifiability * identifiability_->gain(extra) *
+               node_scale_;
+    if (weights_.distinguishability > 0)
+      total += weights_.distinguishability *
+               distinguishability_->gain(extra) * pair_scale_;
+    return total;
+  }
 };
 
 }  // namespace

@@ -6,6 +6,17 @@
 
 namespace splace {
 
+EquivalenceClasses::SplitScratch::SplitScratch(std::size_t node_count) {
+  sig.resize(node_count);
+  sig_stamp.resize(node_count, 0);
+  touched.reserve(node_count);
+  groups.reserve(node_count);
+  class_stamp.resize(node_count + 1, 0);  // ≤ node_count + 1 classes ever
+  class_head.resize(node_count + 1);
+  slots.reserve(256);
+  touched_classes.reserve(128);
+}
+
 EquivalenceClasses::EquivalenceClasses(std::size_t node_count)
     : node_count_(node_count), class_index_(node_count + 1, 0) {
   std::vector<NodeId> all(node_count + 1);
@@ -41,7 +52,8 @@ void EquivalenceClasses::add_path(const MeasurementPath& path) {
     }
     if (inside.empty() || outside.empty()) continue;  // no split
     cls = std::move(inside);
-    const std::size_t new_index = classes_.size();
+    // <= node_count_ + 1 classes ever, so the index always fits 32 bits.
+    const auto new_index = static_cast<std::uint32_t>(classes_.size());
     for (NodeId x : outside) class_index_[x] = new_index;
     classes_.push_back(std::move(outside));
   }
@@ -58,11 +70,13 @@ SplitDelta EquivalenceClasses::split_delta(const PathSet& extra,
 
   // Stamp-based validity: a signature is live iff its stamp matches the
   // current call, so nothing needs zeroing between calls. On (unlikely)
-  // stamp wrap-around, zero everything once and restart the epoch.
+  // stamp wrap-around, zero every stamp array once — the counter is shared
+  // with the arena overload's class stamps — and restart the epoch.
   scratch.sig.resize(node_count_);
   scratch.sig_stamp.resize(node_count_, 0);
   if (++scratch.stamp == 0) {
     std::fill(scratch.sig_stamp.begin(), scratch.sig_stamp.end(), 0u);
+    std::fill(scratch.class_stamp.begin(), scratch.class_stamp.end(), 0u);
     scratch.stamp = 1;
   }
   const std::uint32_t stamp = scratch.stamp;
@@ -87,7 +101,88 @@ SplitDelta EquivalenceClasses::split_delta(const PathSet& extra,
   for (NodeId v : scratch.touched)
     scratch.groups.emplace_back(class_index_[v], scratch.sig[v]);
   std::sort(scratch.groups.begin(), scratch.groups.end());
+  return count_groups(scratch);
+}
 
+SplitDelta EquivalenceClasses::split_delta(ArenaPathsRef extra,
+                                           SplitScratch& scratch) const {
+  SPLACE_EXPECTS(extra.arena != nullptr);
+  SPLACE_EXPECTS(extra.arena->node_count() == node_count_);
+  SPLACE_EXPECTS(extra.size() <= 64);
+
+  // The arena precomputed each touched node's extra-path incidence
+  // signature at intern time (same bit positions as the PathSet overload:
+  // set rows preserve PathSet::add order), so the hot path is pure
+  // grouping. Group sort-free with a stamped per-class chain of
+  // (signature, count) slots: per pair, one class_index_ lookup and a scan
+  // of the class's few distinct signatures — cheaper than sorting the pair
+  // list every evaluation, and order never matters to the counts.
+  const PathArena& arena = *extra.arena;
+  const std::size_t n_pairs = arena.set_sig_count(extra.set);
+  const std::uint32_t* nodes = arena.set_sig_nodes(extra.set);
+  const std::uint64_t* sigs = arena.set_sig_values(extra.set);
+
+  scratch.class_stamp.resize(node_count_ + 1, 0);
+  scratch.class_head.resize(node_count_ + 1);
+  if (++scratch.stamp == 0) {
+    std::fill(scratch.sig_stamp.begin(), scratch.sig_stamp.end(), 0u);
+    std::fill(scratch.class_stamp.begin(), scratch.class_stamp.end(), 0u);
+    scratch.stamp = 1;
+  }
+  const std::uint32_t stamp = scratch.stamp;
+
+  scratch.slots.clear();
+  scratch.touched_classes.clear();
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    const std::size_t ci = class_index_[nodes[i]];
+    if (scratch.class_stamp[ci] != stamp) {
+      scratch.class_stamp[ci] = stamp;
+      scratch.class_head[ci] = UINT32_MAX;
+      scratch.touched_classes.push_back(ci);
+    }
+    const std::uint64_t sig = sigs[i];
+    std::uint32_t it = scratch.class_head[ci];
+    for (; it != UINT32_MAX; it = scratch.slots[it].next)
+      if (scratch.slots[it].sig == sig) {
+        ++scratch.slots[it].count;
+        break;
+      }
+    if (it == UINT32_MAX) {
+      scratch.slots.push_back(
+          SplitScratch::SigCount{sig, 1, scratch.class_head[ci]});
+      scratch.class_head[ci] =
+          static_cast<std::uint32_t>(scratch.slots.size() - 1);
+    }
+  }
+
+  // Identical arithmetic to count_groups — each (class, signature) slot is
+  // one post-split group, exactly the runs the sorted tail would count.
+  const std::size_t v0_class = class_index_[virtual_node()];
+  SplitDelta delta;
+  for (std::size_t ci : scratch.touched_classes) {
+    const std::size_t class_size = classes_[ci].size();
+    std::size_t touched_in_class = 0;
+    std::size_t same_sig_pairs = 0;
+    std::size_t singleton_runs = 0;
+    for (std::uint32_t it = scratch.class_head[ci]; it != UINT32_MAX;
+         it = scratch.slots[it].next) {
+      const std::size_t run = scratch.slots[it].count;
+      touched_in_class += run;
+      same_sig_pairs += run * (run - 1) / 2;
+      if (run == 1) ++singleton_runs;
+    }
+    if (class_size == 1) continue;  // singletons cannot split further
+    const std::size_t zero_group = class_size - touched_in_class;
+    same_sig_pairs += zero_group * (zero_group - 1) / 2;
+    delta.newly_distinguishable +=
+        class_size * (class_size - 1) / 2 - same_sig_pairs;
+    delta.newly_identifiable += singleton_runs;
+    if (zero_group == 1 && ci != v0_class) ++delta.newly_identifiable;
+  }
+  return delta;
+}
+
+SplitDelta EquivalenceClasses::count_groups(const SplitScratch& scratch) const {
   const std::size_t v0_class = class_index_[virtual_node()];
   SplitDelta delta;
   for (std::size_t i = 0; i < scratch.groups.size();) {

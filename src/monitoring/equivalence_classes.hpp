@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "monitoring/path.hpp"
+#include "monitoring/path_arena.hpp"
 #include "util/stats.hpp"
 
 namespace splace {
@@ -35,8 +36,14 @@ struct SplitDelta {
 class EquivalenceClasses {
  public:
   /// Reusable scratch buffers for split_delta(). One instance per thread;
-  /// after warm-up no call allocates (buffers only ever grow).
+  /// after warm-up no call allocates (buffers only ever grow). Constructing
+  /// with the node count sizes every buffer up front so even the first call
+  /// never reallocates mid-evaluation.
   class SplitScratch {
+   public:
+    SplitScratch() = default;
+    explicit SplitScratch(std::size_t node_count);
+
    private:
     friend class EquivalenceClasses;
     std::vector<std::uint64_t> sig;        ///< per-node path signature
@@ -45,6 +52,18 @@ class EquivalenceClasses {
     /// (class index, signature) per touched node — the sort/group buffer.
     std::vector<std::pair<std::size_t, std::uint64_t>> groups;
     std::uint32_t stamp = 0;
+
+    /// Sort-free grouping state for the arena overload: per touched class, a
+    /// chained list of (signature, member count) slots.
+    struct SigCount {
+      std::uint64_t sig;
+      std::uint32_t count;
+      std::uint32_t next;  ///< next slot of the same class, or UINT32_MAX
+    };
+    std::vector<std::uint32_t> class_stamp;  ///< validity stamp per class
+    std::vector<std::uint32_t> class_head;   ///< class -> first slot index
+    std::vector<SigCount> slots;
+    std::vector<std::size_t> touched_classes;
   };
 
   /// Starts from the no-measurement state: one class = N ∪ {v0}.
@@ -68,6 +87,13 @@ class EquivalenceClasses {
   /// candidate-evaluation hot path. Requires |extra| ≤ 64 (one signature
   /// word); callers fall back to clone-based evaluation beyond that.
   SplitDelta split_delta(const PathSet& extra, SplitScratch& scratch) const;
+
+  /// Arena fast path of split_delta: per-node signatures come from the
+  /// arena's precomputed signature plane (built once per set by the
+  /// word-parallel split kernel), grouped by a stamped per-class counter
+  /// instead of a sort — the result is bit-identical to
+  /// split_delta(extra.materialize(), scratch).
+  SplitDelta split_delta(ArenaPathsRef extra, SplitScratch& scratch) const;
 
   std::size_t class_count() const { return classes_.size(); }
 
@@ -97,9 +123,13 @@ class EquivalenceClasses {
  private:
   std::size_t node_count_;
   std::vector<std::vector<NodeId>> classes_;
-  std::vector<std::size_t> class_index_;  ///< vertex -> class position
+  std::vector<std::uint32_t> class_index_;  ///< vertex -> class position
 
   void check_vertex(NodeId x) const;
+
+  /// Shared tail of both split_delta overloads: counts the post-split groups
+  /// from the sorted (class index, signature) pairs in scratch.groups.
+  SplitDelta count_groups(const SplitScratch& scratch) const;
 };
 
 }  // namespace splace

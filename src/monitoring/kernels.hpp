@@ -1,0 +1,78 @@
+// Word-parallel kernels for the two dominant greedy inner loops, with
+// runtime CPU dispatch (DESIGN.md §14).
+//
+// Both kernels read PathArena planes and do pure integer set algebra, so the
+// scalar and AVX2 variants are bit-identical by construction — dispatch is a
+// speed knob, never a behavior knob. The active variant is resolved once per
+// process from the CPU's feature flags and the SPLACE_FORCE_SCALAR override
+// (util/cpu_features.hpp); tests and benches may pin a variant explicitly.
+//
+//   coverage_new_bits   |(∪ P(C_s,h)) ∖ covered| — the coverage gain — as a
+//                       single fused pass over a set's sparse union row; the
+//                       legacy path copies a dense scratch bitset, ORs every
+//                       path, and popcounts twice.
+//   split_signatures    the per-node path-incidence signatures that drive
+//                       EquivalenceClasses::split_delta, emitted ascending
+//                       by node id straight from the sparse word rows —
+//                       no O(|N|) stamp arrays, no MeasurementPath chasing.
+//                       Signatures are state-independent per set, so the
+//                       arena runs this kernel once at intern time and
+//                       stores the result as the set's signature plane;
+//                       split_delta evaluations consume the stored span.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "monitoring/path_arena.hpp"
+#include "util/cpu_features.hpp"
+
+namespace splace::kernels {
+
+/// One (node, signature) pair produced by split_signatures: `sig` bit i is
+/// set iff extra path i (the i-th row of the set) traverses `node`.
+struct NodeSig {
+  std::uint32_t node;
+  std::uint64_t sig;
+};
+
+/// The dispatchable kernel table. All functions are pure (no global state).
+struct Ops {
+  KernelVariant variant;
+
+  /// Σ popcount(union_masks[i] & ~covered[union_words[i]]) — the number of
+  /// nodes the set would newly cover. `covered` must hold every indexed word.
+  std::size_t (*coverage_new_bits)(const std::uint64_t* covered,
+                                   const std::uint32_t* union_words,
+                                   const std::uint64_t* union_masks,
+                                   std::size_t n_entries);
+
+  /// Emits (node, signature) for every node on at least one of the set's
+  /// rows, ascending by node id, into `out` (cleared first). Allocation-free
+  /// beyond `out`'s growth: rows are word-sorted, so a k-way merge groups
+  /// the 64-node blocks without sort or scratch. Requires set_size <= 64.
+  void (*split_signatures)(const PathArena& arena, std::uint32_t set,
+                           std::vector<NodeSig>& out);
+};
+
+/// The scalar kernel table (always available).
+const Ops& scalar_ops();
+
+/// The AVX2 kernel table, or nullptr when this build/CPU cannot run it.
+const Ops* avx2_ops();
+
+/// The active table: AVX2 when supported and not overridden, else scalar.
+/// Resolved once per process (after any force_variant_for_testing override).
+const Ops& ops();
+
+/// The variant ops() currently resolves to.
+KernelVariant active_variant();
+
+/// Test/bench hook: pin dispatch to a variant (throws ContractViolation if
+/// unsupported), or pass nullopt to restore automatic resolution. Not
+/// thread-safe against concurrent ops() callers — flip only between runs.
+void force_variant_for_testing(std::optional<KernelVariant> variant);
+
+}  // namespace splace::kernels

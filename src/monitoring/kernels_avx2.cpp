@@ -1,0 +1,163 @@
+// AVX2 variants of the monitoring kernels. This translation unit is the only
+// one compiled with -mavx2 (see src/CMakeLists.txt), so AVX2 instructions
+// can never leak into code that runs before dispatch; when the toolchain or
+// target architecture lacks AVX2 support the TU degrades to a stub that
+// reports the variant unavailable and dispatch stays on the scalar table.
+#include "monitoring/kernels.hpp"
+
+#if defined(SPLACE_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace splace::kernels {
+
+namespace {
+
+/// Per-lane popcount of four u64 words via the nibble-lookup PSHUFB trick,
+/// returned as four u64 partial sums (Mula's algorithm).
+inline __m256i popcount_epi64(__m256i v) {
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                         _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+std::size_t avx2_coverage_new_bits(const std::uint64_t* covered,
+                                   const std::uint32_t* union_words,
+                                   const std::uint64_t* union_masks,
+                                   std::size_t n_entries) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n_entries; i += 4) {
+    const __m128i idx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(union_words + i));
+    const __m256i cov = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(covered), idx, 8);
+    const __m256i masks = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(union_masks + i));
+    acc = _mm256_add_epi64(acc, popcount_epi64(_mm256_andnot_si256(cov, masks)));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::size_t total = static_cast<std::size_t>(lanes[0] + lanes[1] +
+                                               lanes[2] + lanes[3]);
+  for (; i < n_entries; ++i)
+    total += static_cast<std::size_t>(
+        std::popcount(union_masks[i] & ~covered[union_words[i]]));
+  return total;
+}
+
+void avx2_split_signatures(const PathArena& arena, std::uint32_t set,
+                           std::vector<NodeSig>& out) {
+  const std::uint32_t* rows = arena.set_rows(set);
+  const std::size_t k = arena.set_size(set);
+  SPLACE_EXPECTS(k <= 64);
+
+  // Same k-way merge as the scalar kernel; only the per-block signature
+  // gather is vectorized (and only for blocks at least 4 rows deep — the
+  // zero padding of partial vectors contributes sig bits of 0, harmless).
+  const std::uint32_t* words[64];
+  const std::uint64_t* masks[64];
+  std::size_t cursor[64];
+  std::size_t limit[64];
+  for (std::size_t pi = 0; pi < k; ++pi) {
+    words[pi] = arena.row_words(rows[pi]);
+    masks[pi] = arena.row_masks(rows[pi]);
+    cursor[pi] = 0;
+    limit[pi] = arena.row_word_count(rows[pi]);
+  }
+
+  out.clear();
+  alignas(32) std::uint64_t block_masks[64];
+  alignas(32) std::uint64_t block_pis[64];
+  const __m256i one = _mm256_set1_epi64x(1);
+  while (true) {
+    std::uint32_t word = UINT32_MAX;
+    for (std::size_t pi = 0; pi < k; ++pi)
+      if (cursor[pi] < limit[pi] && words[pi][cursor[pi]] < word)
+        word = words[pi][cursor[pi]];
+    if (word == UINT32_MAX) break;
+
+    std::size_t g = 0;
+    std::uint64_t unioned = 0;
+    for (std::size_t pi = 0; pi < k; ++pi) {
+      if (cursor[pi] < limit[pi] && words[pi][cursor[pi]] == word) {
+        const std::uint64_t mask = masks[pi][cursor[pi]++];
+        unioned |= mask;
+        block_masks[g] = mask;
+        block_pis[g] = pi;
+        ++g;
+      }
+    }
+
+    if (g < 4) {
+      std::uint64_t m = unioned;
+      while (m != 0) {
+        const auto bit = static_cast<std::uint32_t>(std::countr_zero(m));
+        std::uint64_t sig = 0;
+        for (std::size_t j = 0; j < g; ++j)
+          sig |= ((block_masks[j] >> bit) & 1u) << block_pis[j];
+        out.push_back(NodeSig{word * 64 + bit, sig});
+        m &= m - 1;
+      }
+      continue;
+    }
+
+    for (std::size_t j = g; j % 4 != 0; ++j) {
+      block_masks[j] = 0;
+      block_pis[j] = 0;
+    }
+    const std::size_t vectors = (g + 3) / 4;
+    std::uint64_t m = unioned;
+    while (m != 0) {
+      const auto bit = static_cast<std::uint32_t>(std::countr_zero(m));
+      const __m256i shift = _mm256_set1_epi64x(static_cast<long long>(bit));
+      __m256i acc = _mm256_setzero_si256();
+      for (std::size_t v = 0; v < vectors; ++v) {
+        const __m256i vm = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(block_masks + 4 * v));
+        const __m256i vp = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(block_pis + 4 * v));
+        const __m256i bits = _mm256_and_si256(_mm256_srlv_epi64(vm, shift), one);
+        acc = _mm256_or_si256(acc, _mm256_sllv_epi64(bits, vp));
+      }
+      alignas(32) std::uint64_t lanes[4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+      out.push_back(
+          NodeSig{word * 64 + bit, lanes[0] | lanes[1] | lanes[2] | lanes[3]});
+      m &= m - 1;
+    }
+  }
+}
+
+constexpr Ops kAvx2Ops{KernelVariant::Avx2, &avx2_coverage_new_bits,
+                       &avx2_split_signatures};
+
+}  // namespace
+
+const Ops* avx2_ops() {
+  static const Ops* table =
+      cpu_supports(KernelVariant::Avx2) ? &kAvx2Ops : nullptr;
+  return table;
+}
+
+}  // namespace splace::kernels
+
+#else  // !SPLACE_KERNELS_AVX2
+
+namespace splace::kernels {
+
+const Ops* avx2_ops() { return nullptr; }
+
+}  // namespace splace::kernels
+
+#endif

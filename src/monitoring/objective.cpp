@@ -5,6 +5,7 @@
 #include "monitoring/equivalence_classes.hpp"
 #include "monitoring/failure_partition.hpp"
 #include "monitoring/identifiability.hpp"
+#include "monitoring/kernels.hpp"
 #include "util/error.hpp"
 
 namespace splace {
@@ -22,7 +23,8 @@ namespace {
 
 class CoverageState final : public ObjectiveState {
  public:
-  explicit CoverageState(std::size_t node_count) : covered_(node_count) {}
+  explicit CoverageState(std::size_t node_count)
+      : covered_(node_count), scratch_(node_count) {}
 
   std::unique_ptr<ObjectiveState> clone() const override {
     return std::make_unique<CoverageState>(*this);
@@ -36,12 +38,24 @@ class CoverageState final : public ObjectiveState {
     return static_cast<double>(covered_.count());
   }
 
+  using ObjectiveState::gain;
+
   double gain(const PathSet& extra) const override {
     // New-bit popcount against a reusable scratch union: the copy-assign
     // reuses scratch_'s word storage, so the hot path never allocates.
     scratch_ = covered_;
     for (const MeasurementPath& p : extra.paths()) scratch_ |= p.node_set();
     return static_cast<double>(scratch_.count() - covered_.count());
+  }
+
+  double gain(ArenaPathsRef extra) const override {
+    // One fused pass over the set's precomputed sparse union row — no
+    // scratch copy, no per-path OR, no second popcount.
+    SPLACE_EXPECTS(extra.arena->node_count() == covered_.size());
+    return static_cast<double>(kernels::ops().coverage_new_bits(
+        covered_.word_data(), extra.arena->set_union_words(extra.set),
+        extra.arena->set_union_masks(extra.set),
+        extra.arena->set_union_word_count(extra.set)));
   }
 
  private:
@@ -53,7 +67,7 @@ class CoverageState final : public ObjectiveState {
 class EquivalenceState final : public ObjectiveState {
  public:
   EquivalenceState(std::size_t node_count, ObjectiveKind kind)
-      : kind_(kind), classes_(node_count) {}
+      : kind_(kind), classes_(node_count), scratch_(node_count) {}
 
   std::unique_ptr<ObjectiveState> clone() const override {
     return std::make_unique<EquivalenceState>(*this);
@@ -69,6 +83,8 @@ class EquivalenceState final : public ObjectiveState {
                : static_cast<double>(classes_.distinguishable_pairs());
   }
 
+  using ObjectiveState::gain;
+
   double gain(const PathSet& extra) const override {
     // Class-split deltas on scratch buffers — no partition copy. The
     // signature word limits this to 64 extra paths; larger hypothetical
@@ -76,15 +92,25 @@ class EquivalenceState final : public ObjectiveState {
     // clone-based fallback.
     if (extra.size() > 64) return ObjectiveState::gain(extra);
     const SplitDelta delta = classes_.split_delta(extra, scratch_);
-    return kind_ == ObjectiveKind::Identifiability
-               ? static_cast<double>(delta.newly_identifiable)
-               : static_cast<double>(delta.newly_distinguishable);
+    return delta_value(delta);
+  }
+
+  double gain(ArenaPathsRef extra) const override {
+    if (extra.size() > 64) return ObjectiveState::gain(extra);
+    const SplitDelta delta = classes_.split_delta(extra, scratch_);
+    return delta_value(delta);
   }
 
  private:
   ObjectiveKind kind_;
   EquivalenceClasses classes_;
   mutable EquivalenceClasses::SplitScratch scratch_;
+
+  double delta_value(const SplitDelta& delta) const {
+    return kind_ == ObjectiveKind::Identifiability
+               ? static_cast<double>(delta.newly_identifiable)
+               : static_cast<double>(delta.newly_distinguishable);
+  }
 };
 
 /// General-k exact state on the incremental failure-set partition

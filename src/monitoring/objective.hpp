@@ -21,6 +21,7 @@
 #include <string>
 
 #include "monitoring/path.hpp"
+#include "monitoring/path_arena.hpp"
 
 namespace splace {
 
@@ -57,6 +58,14 @@ class ObjectiveState {
   /// the subtraction is exact in double).
   virtual double gain(const PathSet& extra) const {
     return value_with(extra) - value();
+  }
+
+  /// Marginal gain of an arena-resident path set — the word-parallel hot
+  /// path at scale. Must equal gain(extra.materialize()) bit for bit; states
+  /// with kernel-backed implementations override it, everything else falls
+  /// back through the legacy bridge.
+  virtual double gain(ArenaPathsRef extra) const {
+    return gain(extra.materialize());
   }
 
   /// f(P ∪ extra) without mutating this state (clone + add + read).

@@ -45,7 +45,7 @@ CapacityGreedyResult greedy_capacity_placement(
       const double demand = instance.services()[s].demand;
       for (NodeId h : instance.candidate_hosts(s)) {
         if (remaining[h] < demand) continue;  // capacity-infeasible
-        const double value = state->gain(instance.paths_for(s, h));
+        const double value = state->gain(instance.arena_paths_for(s, h));
         if (!have_best || value > best_value) {
           have_best = true;
           best_value = value;

@@ -34,7 +34,8 @@ ChunkBest scan_chunk(const ProblemInstance& instance,
   ChunkBest best;
   for (std::size_t i = begin; i < end; ++i) {
     const Candidate& c = candidates[i];
-    const double gain = state.gain(instance.paths_for(c.service, c.host));
+    const double gain =
+        state.gain(instance.arena_paths_for(c.service, c.host));
     if (!best.valid || gain > best.gain) {
       best = ChunkBest{gain, i, true};
     }

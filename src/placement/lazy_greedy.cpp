@@ -65,7 +65,8 @@ LazyGreedyResult lazy_greedy_placement(const ProblemInstance& instance,
       const std::unique_ptr<ObjectiveState> local = state->clone();
       for (std::size_t i = begin; i < end; ++i) {
         const HeapEntry& e = entries[i];
-        entry_gains[i] = local->gain(instance.paths_for(e.service, e.host));
+        entry_gains[i] =
+            local->gain(instance.arena_paths_for(e.service, e.host));
       }
     });
   };
@@ -81,7 +82,7 @@ LazyGreedyResult lazy_greedy_placement(const ProblemInstance& instance,
   std::size_t remaining_pairs = initial.size();
   if (!pool) {
     for (HeapEntry& e : initial)
-      e.gain = state->gain(instance.paths_for(e.service, e.host));
+      e.gain = state->gain(instance.arena_paths_for(e.service, e.host));
   } else {
     entry_gains.assign(initial.size(), 0.0);
     evaluate_batch(initial);
@@ -133,7 +134,7 @@ LazyGreedyResult lazy_greedy_placement(const ProblemInstance& instance,
       if (!pool) {
         heap.pop();
         const double gain =
-            state->gain(instance.paths_for(top.service, top.host));
+            state->gain(instance.arena_paths_for(top.service, top.host));
         ++result.evaluations;
         heap.push(HeapEntry{gain, top.service, top.host, iter});
         continue;

@@ -45,6 +45,16 @@ struct PlacementOptions {
   /// search and must not mutate the instance or options.
   std::function<void(const GreedyRoundProfile&)> profile_round;
 
+  /// Per-round candidate sample size for stochastic_greedy_placement:
+  /// 0 (the default) evaluates every unplaced (service, host) pair — exact
+  /// greedy — while n > 0 draws n pairs uniformly without replacement each
+  /// round. Ignored by the exact engines (greedy, lazy greedy, brute force).
+  std::size_t stochastic_pool = 0;
+
+  /// Seed for the stochastic sampler; a fixed seed makes runs bit-for-bit
+  /// reproducible. Ignored when stochastic_pool == 0.
+  std::uint64_t stochastic_seed = 0x9e3779b97f4a7c15ull;
+
   /// The actual worker count `threads` resolves to.
   std::size_t resolved_threads() const {
     if (threads != 0) return threads;

@@ -1,11 +1,33 @@
 #include "placement/service.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "placement/candidates.hpp"
 #include "util/error.hpp"
 
 namespace splace {
+
+namespace {
+
+/// Process-unique arena lineage token (0 is reserved for "no parent").
+std::uint64_t next_arena_token() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+const PathSet& ServicePlan::legacy_paths(const PathArena& arena,
+                                         std::size_t i) const {
+  SPLACE_EXPECTS(i < arena_sets.size());
+  const std::lock_guard<std::mutex> lock(legacy_mutex_);
+  if (legacy_.empty()) legacy_.resize(arena_sets.size());
+  if (legacy_[i] == nullptr)
+    legacy_[i] = std::make_shared<const PathSet>(
+        arena.materialize_set(arena_sets[i]));
+  return *legacy_[i];
+}
 
 ProblemInstance::ProblemInstance(Graph graph, std::vector<Service> services)
     : ProblemInstance(std::move(graph), std::move(services),
@@ -16,7 +38,9 @@ ProblemInstance::ProblemInstance(Graph graph, std::vector<Service> services,
     : graph_(std::move(graph)),
       routing_(graph_),
       provider_(std::move(provider)),
-      services_(std::move(services)) {
+      services_(std::move(services)),
+      arena_(std::make_shared<PathArena>(graph_.node_count())),
+      arena_token_(next_arena_token()) {
   SPLACE_EXPECTS(!services_.empty());
   plans_.reserve(services_.size());
   for (const Service& svc : services_) {
@@ -38,7 +62,7 @@ void ProblemInstance::check_service_inputs(const Service& svc) const {
 }
 
 std::shared_ptr<const ServicePlan> ProblemInstance::build_plan(
-    const Service& svc) const {
+    const Service& svc) {
   const std::size_t n = node_count();
   DistanceProfile profile = provider_
                                 ? provider_profile(svc.clients)
@@ -56,11 +80,16 @@ std::shared_ptr<const ServicePlan> ProblemInstance::build_plan(
   }
   SPLACE_ENSURES(plan->qos_host != kInvalidNode);
 
-  plan->paths.reserve(plan->candidates.size());
+  // Intern each client route in order — PathArena performs the same
+  // content dedup as PathSet::add, so set rows mirror the legacy path
+  // order exactly.
+  plan->arena_sets.reserve(plan->candidates.size());
+  std::vector<std::uint32_t> rows;
+  rows.reserve(svc.clients.size());
   for (NodeId h : plan->candidates) {
-    PathSet paths(n);
-    for (NodeId c : svc.clients) paths.add(MeasurementPath(n, route(c, h)));
-    plan->paths.push_back(std::make_shared<const PathSet>(std::move(paths)));
+    rows.clear();
+    for (NodeId c : svc.clients) rows.push_back(arena_->intern_path(route(c, h)));
+    plan->arena_sets.push_back(arena_->intern_set(rows));
   }
 
   plan->worst_dist = std::move(profile.worst);
@@ -80,7 +109,13 @@ ProblemInstance ProblemInstance::derived(const ProblemInstance& parent,
 
   ProblemInstance inst(DerivedTag{}, std::move(graph), std::move(routing),
                        std::move(services));
-  const std::size_t n = inst.node_count();
+  // Copy-and-extend the parent's arena (a handful of contiguous memcpys):
+  // every parent set id stays valid under the same id in the child, which is
+  // what lets untouched plans be shared outright and lets
+  // shares_service_paths compare set ids instead of path contents.
+  inst.arena_ = std::make_shared<PathArena>(*parent.arena_);
+  inst.arena_token_ = next_arena_token();
+  inst.arena_parent_token_ = parent.arena_token_;
   DerivedBuildStats local{};
   inst.plans_.reserve(inst.services_.size());
 
@@ -100,7 +135,7 @@ ProblemInstance ProblemInstance::derived(const ProblemInstance& parent,
         }
     if (!profile_stable) {
       auto plan = inst.build_plan(svc);
-      local.path_sets_rebuilt += plan->paths.size();
+      local.path_sets_rebuilt += plan->arena_sets.size();
       inst.plans_.push_back(std::move(plan));
       continue;
     }
@@ -121,7 +156,7 @@ ProblemInstance ProblemInstance::derived(const ProblemInstance& parent,
     }
     if (!any_dirty) {
       ++local.plans_shared;
-      local.path_sets_shared += pp->paths.size();
+      local.path_sets_shared += pp->arena_sets.size();
       inst.plans_.push_back(pp);
       continue;
     }
@@ -130,17 +165,20 @@ ProblemInstance ProblemInstance::derived(const ProblemInstance& parent,
     plan->candidates = pp->candidates;
     plan->worst_dist = pp->worst_dist;
     plan->qos_host = pp->qos_host;
-    plan->paths.reserve(pp->candidates.size());
+    plan->arena_sets.reserve(pp->candidates.size());
+    std::vector<std::uint32_t> rows;
+    rows.reserve(svc.clients.size());
     for (std::size_t i = 0; i < pp->candidates.size(); ++i) {
       if (!host_dirty[i]) {
         ++local.path_sets_shared;
-        plan->paths.push_back(pp->paths[i]);
+        plan->arena_sets.push_back(pp->arena_sets[i]);
         continue;
       }
-      PathSet paths(n);
+      rows.clear();
       for (NodeId c : svc.clients)
-        paths.add(MeasurementPath(n, inst.route(c, pp->candidates[i])));
-      plan->paths.push_back(std::make_shared<const PathSet>(std::move(paths)));
+        rows.push_back(
+            inst.arena_->intern_path(inst.route(c, pp->candidates[i])));
+      plan->arena_sets.push_back(inst.arena_->intern_set(rows));
       ++local.path_sets_rebuilt;
     }
     inst.plans_.push_back(std::move(plan));
@@ -158,10 +196,12 @@ bool ProblemInstance::shares_service_paths(const ProblemInstance& parent,
   const auto& pp = parent.plans_[s];
   const auto& cp = child.plans_[s];
   if (pp == cp) return true;
-  if (pp->candidates != cp->candidates) return false;
-  for (std::size_t i = 0; i < pp->paths.size(); ++i)
-    if (pp->paths[i] != cp->paths[i]) return false;
-  return true;
+  // Set ids are only comparable along the arena lineage: a derived child's
+  // arena extends its parent's, so equal ids mean equal paths. Interning
+  // even detects a conservatively rebuilt plan that reproduced the parent's
+  // paths unchanged.
+  if (child.arena_parent_token_ != parent.arena_token_) return false;
+  return pp->candidates == cp->candidates && pp->arena_sets == cp->arena_sets;
 }
 
 void ProblemInstance::check_service(std::size_t s) const {
@@ -189,7 +229,12 @@ std::size_t ProblemInstance::candidate_index(std::size_t s, NodeId h) const {
 
 const PathSet& ProblemInstance::paths_for(std::size_t s, NodeId h) const {
   check_service(s);
-  return *plans_[s]->paths[candidate_index(s, h)];
+  return plans_[s]->legacy_paths(*arena_, candidate_index(s, h));
+}
+
+ArenaPathsRef ProblemInstance::arena_paths_for(std::size_t s, NodeId h) const {
+  check_service(s);
+  return arena_->ref(plans_[s]->arena_sets[candidate_index(s, h)]);
 }
 
 bool ProblemInstance::is_candidate(std::size_t s, NodeId h) const {

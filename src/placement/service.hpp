@@ -4,8 +4,10 @@
 // would generate.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "graph/graph.hpp"
 #include "graph/routing.hpp"
 #include "monitoring/path.hpp"
+#include "monitoring/path_arena.hpp"
 #include "placement/candidates.hpp"
 
 namespace splace {
@@ -37,18 +40,30 @@ using RouteProvider =
     std::function<std::vector<NodeId>(NodeId client, NodeId host)>;
 
 /// Everything precomputed for one service: its candidate hosts H_s, the
-/// worst-case client distance per host, the best-QoS host, and the
-/// measurement path set P(C_s, h) for every candidate h.
+/// worst-case client distance per host, the best-QoS host, and the arena
+/// set id of the measurement path set P(C_s, h) for every candidate h.
 ///
 /// Plans sit behind shared_ptr so a derived instance (dynamic-topology
-/// subsystem) can share whole plans — or individual path sets — with its
-/// parent when a delta provably left them unchanged.
+/// subsystem) can share whole plans — or individual arena set ids — with
+/// its parent when a delta provably left them unchanged. The hot path works
+/// on the set ids alone; the legacy PathSet form of a set is materialized
+/// lazily (and cached) only when a caller actually asks for it.
 struct ServicePlan {
   std::vector<NodeId> candidates;        ///< H_s, ascending node id
   std::vector<std::uint32_t> worst_dist; ///< d(C_s, h) indexed by host
   NodeId qos_host = kInvalidNode;        ///< smallest id achieving d_min
-  /// paths[i] aligns with candidates[i].
-  std::vector<std::shared_ptr<const PathSet>> paths;
+  /// arena_sets[i] aligns with candidates[i]: the PathArena set id of
+  /// P(C_s, candidates[i]).
+  std::vector<std::uint32_t> arena_sets;
+
+  /// The cached legacy PathSet of candidate index i (thread-safe; built on
+  /// first request). `arena` must be the owning instance's arena — or any
+  /// arena derived from it, which stores the same sets under the same ids.
+  const PathSet& legacy_paths(const PathArena& arena, std::size_t i) const;
+
+ private:
+  mutable std::mutex legacy_mutex_;
+  mutable std::vector<std::shared_ptr<const PathSet>> legacy_;
 };
 
 /// Reuse telemetry for one ProblemInstance::derived call.
@@ -111,8 +126,16 @@ class ProblemInstance {
   std::uint32_t worst_distance(std::size_t s, NodeId h) const;
 
   /// P(C_s, h): one path per client of s when hosted at h.
-  /// Requires h ∈ H_s (paths are only materialized for feasible hosts).
+  /// Requires h ∈ H_s. The PathSet form is materialized from the arena on
+  /// first request and cached; hot paths should prefer arena_paths_for.
   const PathSet& paths_for(std::size_t s, NodeId h) const;
+
+  /// Arena handle to P(C_s, h) — the allocation-free representation the
+  /// greedy hot loops evaluate. Requires h ∈ H_s.
+  ArenaPathsRef arena_paths_for(std::size_t s, NodeId h) const;
+
+  /// The CSR/arena storing every candidate path of this instance.
+  const PathArena& arena() const { return *arena_; }
 
   /// True iff h ∈ H_s.
   bool is_candidate(std::size_t s, NodeId h) const;
@@ -141,12 +164,23 @@ class ProblemInstance {
   std::vector<Service> services_;
   std::vector<std::shared_ptr<const ServicePlan>> plans_;  ///< per service
 
+  /// Every candidate path/set of this instance, interned once at build time.
+  /// Immutable afterwards; a derived instance copies its parent's arena (so
+  /// shared set ids keep meaning the same paths) and extends the copy.
+  std::shared_ptr<PathArena> arena_;
+  /// Lineage tokens: arena_token_ is unique per built instance;
+  /// arena_parent_token_ names the parent arena a derived copy extends
+  /// (0 = built from scratch). Set ids are comparable across two instances
+  /// exactly when the child's parent token equals the parent's token.
+  std::uint64_t arena_token_ = 0;
+  std::uint64_t arena_parent_token_ = 0;
+
   std::size_t candidate_index(std::size_t s, NodeId h) const;
   void check_service(std::size_t s) const;
   void check_service_inputs(const Service& svc) const;
 
   /// Full per-service precomputation (profile, H_s, QoS host, path sets).
-  std::shared_ptr<const ServicePlan> build_plan(const Service& svc) const;
+  std::shared_ptr<const ServicePlan> build_plan(const Service& svc);
 
   /// Distance profile from the custom provider (hop length of its routes).
   DistanceProfile provider_profile(const std::vector<NodeId>& clients) const;

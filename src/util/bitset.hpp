@@ -73,6 +73,12 @@ class DynamicBitset {
   /// FNV-style hash of the content (size + words), suitable for grouping.
   std::size_t hash() const;
 
+  /// Raw 64-bit word storage (word i covers indices [64i, 64i+64)); bits at
+  /// and above size() are always zero. Read-only — the word-parallel kernels
+  /// consume this directly.
+  const std::uint64_t* word_data() const { return words_.data(); }
+  std::size_t word_count() const { return words_.size(); }
+
  private:
   static constexpr std::size_t kBits = 64;
   std::size_t size_ = 0;

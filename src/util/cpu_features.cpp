@@ -1,0 +1,45 @@
+#include "util/cpu_features.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace splace {
+
+const char* to_string(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::Scalar: return "scalar";
+    case KernelVariant::Avx2: return "avx2";
+  }
+  return "?";
+}
+
+namespace {
+
+bool detect_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  // GCC/Clang resolve this via cpuid on first use; cached by the builtin.
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool detect_force_scalar() {
+  const char* value = std::getenv("SPLACE_FORCE_SCALAR");
+  if (value == nullptr || *value == '\0') return false;
+  return std::strcmp(value, "0") != 0;
+}
+
+}  // namespace
+
+bool cpu_supports(KernelVariant variant) {
+  static const bool avx2 = detect_avx2();
+  return variant == KernelVariant::Scalar || avx2;
+}
+
+bool scalar_forced_by_env() {
+  static const bool forced = detect_force_scalar();
+  return forced;
+}
+
+}  // namespace splace

@@ -1,0 +1,30 @@
+// Runtime CPU-feature detection for the word-parallel monitoring kernels.
+//
+// The library ships one portable scalar implementation of every kernel plus
+// an AVX2 variant compiled into its own translation unit with -mavx2. Which
+// one runs is decided once per process: the AVX2 path is taken only when the
+// CPU reports the feature AND the SPLACE_FORCE_SCALAR environment variable is
+// unset/empty/"0" — the override lets CI and sanitizer legs pin the scalar
+// kernel deterministically on any host. Both variants are bit-identical in
+// output (integer set algebra only), so the choice is purely a speed knob.
+#pragma once
+
+namespace splace {
+
+enum class KernelVariant {
+  Scalar,  ///< portable fallback, always available
+  Avx2,    ///< 256-bit SIMD variant (x86-64 with AVX2)
+};
+
+/// Short display name: "scalar" or "avx2".
+const char* to_string(KernelVariant variant);
+
+/// True iff this process's CPU can execute the variant.
+bool cpu_supports(KernelVariant variant);
+
+/// True iff SPLACE_FORCE_SCALAR is set to a non-empty value other than "0"
+/// (read once and cached; later setenv calls are deliberately ignored so the
+/// dispatch decision cannot change mid-run).
+bool scalar_forced_by_env();
+
+}  // namespace splace

@@ -1,0 +1,182 @@
+#include "monitoring/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "monitoring/path_arena.hpp"
+#include "test_helpers.hpp"
+#include "util/bitset.hpp"
+#include "util/cpu_features.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace splace {
+namespace {
+
+/// Restores automatic dispatch after each test so an early EXPECT failure
+/// cannot leak a pinned variant into later tests.
+class KernelsTest : public ::testing::Test {
+ protected:
+  ~KernelsTest() override {
+    kernels::force_variant_for_testing(std::nullopt);
+  }
+};
+
+/// Random arena set over `n` nodes plus its member paths as node lists.
+struct SetFixture {
+  PathArena arena{1};
+  std::uint32_t set = 0;
+  std::vector<std::vector<NodeId>> paths;
+};
+
+SetFixture random_set(std::size_t n, std::size_t n_paths, std::size_t max_len,
+                      Rng& rng) {
+  SetFixture fx;
+  fx.arena = PathArena(n);
+  std::vector<std::uint32_t> rows;
+  std::vector<std::uint32_t> kept;  // first-occurrence rows, like PathSet
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    const auto nodes =
+        testing::random_path_nodes(n, 1 + rng.index(max_len), rng);
+    const std::uint32_t row = fx.arena.intern_path(nodes);
+    rows.push_back(row);
+    if (std::find(kept.begin(), kept.end(), row) == kept.end()) {
+      kept.push_back(row);
+      fx.paths.push_back(fx.arena.row_nodes(row));
+    }
+  }
+  fx.set = fx.arena.intern_set(rows);
+  return fx;
+}
+
+/// Brute-force reference: per-node signature from the deduplicated paths.
+std::vector<kernels::NodeSig> reference_signatures(const SetFixture& fx,
+                                                   std::size_t n) {
+  std::vector<std::uint64_t> sig(n, 0);
+  for (std::size_t pi = 0; pi < fx.paths.size(); ++pi)
+    for (NodeId v : fx.paths[pi]) sig[v] |= std::uint64_t{1} << pi;
+  std::vector<kernels::NodeSig> out;
+  for (std::size_t v = 0; v < n; ++v)
+    if (sig[v] != 0)
+      out.push_back(kernels::NodeSig{static_cast<std::uint32_t>(v), sig[v]});
+  return out;
+}
+
+void expect_signatures_equal(const std::vector<kernels::NodeSig>& got,
+                             const std::vector<kernels::NodeSig>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].node, want[i].node) << "entry " << i;
+    EXPECT_EQ(got[i].sig, want[i].sig) << "node " << got[i].node;
+  }
+}
+
+TEST_F(KernelsTest, ScalarSplitSignaturesMatchBruteForce) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 65 + rng.index(400);  // always spans word borders
+    SetFixture fx = random_set(n, 1 + rng.index(12), 1 + rng.index(60), rng);
+    std::vector<kernels::NodeSig> got;
+    kernels::scalar_ops().split_signatures(fx.arena, fx.set, got);
+    expect_signatures_equal(got, reference_signatures(fx, n));
+  }
+}
+
+TEST_F(KernelsTest, ScalarCoverageMatchesBruteForce) {
+  Rng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 65 + rng.index(400);
+    SetFixture fx = random_set(n, 1 + rng.index(8), 1 + rng.index(60), rng);
+    DynamicBitset covered(n);
+    for (std::size_t v = 0; v < n; ++v)
+      if (rng.index(3) == 0) covered.set(v);
+
+    std::size_t expect = 0;
+    DynamicBitset seen(n);
+    for (const auto& path : fx.paths)
+      for (NodeId v : path)
+        if (!covered.test(v) && !seen.test(v)) {
+          seen.set(v);
+          ++expect;
+        }
+
+    const std::size_t got = kernels::scalar_ops().coverage_new_bits(
+        covered.word_data(), fx.arena.set_union_words(fx.set),
+        fx.arena.set_union_masks(fx.set),
+        fx.arena.set_union_word_count(fx.set));
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST_F(KernelsTest, Avx2BitIdenticalToScalar) {
+  const kernels::Ops* avx2 = kernels::avx2_ops();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 unavailable on this build/CPU";
+  ASSERT_EQ(avx2->variant, KernelVariant::Avx2);
+
+  Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    // Sizes straddle every vector-width boundary the kernels care about:
+    // <4 rows (scalar block path), >=4 rows (vector path), partial tails.
+    const std::size_t n = 64 + rng.index(1500);
+    SetFixture fx = random_set(n, 1 + rng.index(20), 1 + rng.index(100), rng);
+
+    std::vector<kernels::NodeSig> scalar_sigs;
+    std::vector<kernels::NodeSig> avx2_sigs;
+    kernels::scalar_ops().split_signatures(fx.arena, fx.set, scalar_sigs);
+    avx2->split_signatures(fx.arena, fx.set, avx2_sigs);
+    expect_signatures_equal(avx2_sigs, scalar_sigs);
+
+    DynamicBitset covered(n);
+    for (std::size_t v = 0; v < n; ++v)
+      if (rng.index(2) == 0) covered.set(v);
+    EXPECT_EQ(avx2->coverage_new_bits(covered.word_data(),
+                                      fx.arena.set_union_words(fx.set),
+                                      fx.arena.set_union_masks(fx.set),
+                                      fx.arena.set_union_word_count(fx.set)),
+              kernels::scalar_ops().coverage_new_bits(
+                  covered.word_data(), fx.arena.set_union_words(fx.set),
+                  fx.arena.set_union_masks(fx.set),
+                  fx.arena.set_union_word_count(fx.set)));
+  }
+}
+
+TEST_F(KernelsTest, DispatchHonorsForceAndEnvOverride) {
+  // Automatic resolution: AVX2 iff available and not env-forced to scalar.
+  kernels::force_variant_for_testing(std::nullopt);
+  if (scalar_forced_by_env() || kernels::avx2_ops() == nullptr)
+    EXPECT_EQ(kernels::active_variant(), KernelVariant::Scalar);
+  else
+    EXPECT_EQ(kernels::active_variant(), KernelVariant::Avx2);
+
+  kernels::force_variant_for_testing(KernelVariant::Scalar);
+  EXPECT_EQ(kernels::active_variant(), KernelVariant::Scalar);
+  EXPECT_EQ(kernels::ops().variant, KernelVariant::Scalar);
+
+  if (kernels::avx2_ops() != nullptr) {
+    kernels::force_variant_for_testing(KernelVariant::Avx2);
+    EXPECT_EQ(kernels::active_variant(), KernelVariant::Avx2);
+  } else {
+    EXPECT_THROW(kernels::force_variant_for_testing(KernelVariant::Avx2),
+                 ContractViolation);
+  }
+}
+
+TEST_F(KernelsTest, VariantNames) {
+  EXPECT_STREQ(to_string(KernelVariant::Scalar), "scalar");
+  EXPECT_STREQ(to_string(KernelVariant::Avx2), "avx2");
+}
+
+TEST_F(KernelsTest, EnvOverrideReflectsEnvironment) {
+  // scalar_forced_by_env() caches the value observed at first call; the CI
+  // leg that sets SPLACE_FORCE_SCALAR=1 exercises the true branch.
+  const char* env = std::getenv("SPLACE_FORCE_SCALAR");
+  const bool expect =
+      env != nullptr && env[0] != '\0' && std::string(env) != "0";
+  EXPECT_EQ(scalar_forced_by_env(), expect);
+}
+
+}  // namespace
+}  // namespace splace

@@ -1,0 +1,235 @@
+#include "monitoring/path_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/routing.hpp"
+#include "monitoring/composite.hpp"
+#include "monitoring/equivalence_classes.hpp"
+#include "monitoring/objective.hpp"
+#include "placement/service.hpp"
+#include "test_helpers.hpp"
+#include "topology/rocketfuel.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace splace {
+namespace {
+
+TEST(PathArena, InternPathDeduplicatesByNodeSet) {
+  PathArena arena(100);
+  const std::uint32_t a = arena.intern_path({3, 77, 12});
+  const std::uint32_t b = arena.intern_path({12, 3, 77});     // order
+  const std::uint32_t c = arena.intern_path({77, 3, 12, 3});  // duplicates
+  const std::uint32_t d = arena.intern_path({3, 77});         // different set
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(arena.row_count(), 2u);
+  EXPECT_EQ(arena.row_nodes(a), (std::vector<NodeId>{3, 12, 77}));
+  EXPECT_EQ(arena.row_node_count(a), 3u);
+}
+
+TEST(PathArena, InternPathRejectsBadInput) {
+  PathArena arena(10);
+  EXPECT_THROW(arena.intern_path({}), ContractViolation);
+  EXPECT_THROW(arena.intern_path({10}), ContractViolation);
+}
+
+TEST(PathArena, InternSetCollapsesDuplicateRowsLikePathSetAdd) {
+  PathArena arena(50);
+  const std::uint32_t r0 = arena.intern_path({1, 2});
+  const std::uint32_t r1 = arena.intern_path({2, 3});
+  const std::uint32_t s0 = arena.intern_set({r0, r1, r0});  // dup collapses
+  const std::uint32_t s1 = arena.intern_set({r0, r1});
+  EXPECT_EQ(s0, s1);
+  EXPECT_EQ(arena.set_size(s0), 2u);
+  // First-occurrence order is preserved (it is the PathSet::add order).
+  EXPECT_EQ(arena.set_rows(s0)[0], r0);
+  EXPECT_EQ(arena.set_rows(s0)[1], r1);
+  // A different row order is a different set (signature bit positions!).
+  const std::uint32_t s2 = arena.intern_set({r1, r0});
+  EXPECT_NE(s0, s2);
+}
+
+TEST(PathArena, UnionRowEqualsUnionOfRows) {
+  Rng rng(11);
+  PathArena arena(300);
+  std::vector<std::uint32_t> rows;
+  DynamicBitset expect(300);
+  for (int p = 0; p < 7; ++p) {
+    const auto nodes = testing::random_path_nodes(300, 1 + rng.index(40), rng);
+    rows.push_back(arena.intern_path(nodes));
+    for (NodeId v : nodes) expect.set(v);
+  }
+  const std::uint32_t set = arena.intern_set(rows);
+  DynamicBitset got(300);
+  for (std::size_t i = 0; i < arena.set_union_word_count(set); ++i) {
+    const std::uint32_t word = arena.set_union_words(set)[i];
+    const std::uint64_t mask = arena.set_union_masks(set)[i];
+    EXPECT_NE(mask, 0u);  // sparse rows never store empty words
+    for (std::uint32_t b = 0; b < 64; ++b)
+      if ((mask >> b) & 1u) got.set(word * 64 + b);
+  }
+  EXPECT_EQ(got.count(), expect.count());
+  for (std::size_t v = 0; v < 300; ++v) EXPECT_EQ(got.test(v), expect.test(v));
+}
+
+/// Interns a random path set and returns (set id, equivalent legacy set).
+std::pair<std::uint32_t, PathSet> random_set(PathArena& arena, std::size_t n,
+                                             std::size_t n_paths,
+                                             std::size_t max_len, Rng& rng) {
+  PathSet legacy(n);
+  std::vector<std::uint32_t> rows;
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    const auto nodes =
+        testing::random_path_nodes(n, 1 + rng.index(max_len), rng);
+    legacy.add_nodes(nodes);
+    rows.push_back(arena.intern_path(nodes));
+  }
+  return {arena.intern_set(rows), std::move(legacy)};
+}
+
+TEST(PathArena, MaterializeRoundTripsRandomSets) {
+  Rng rng(23);
+  PathArena arena(120);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto [set, legacy] = random_set(arena, 120, 1 + rng.index(10), 15, rng);
+    const PathSet got = arena.materialize_set(set);
+    ASSERT_EQ(got.size(), legacy.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_TRUE(got[i] == legacy[i]) << "path " << i << " differs";
+    EXPECT_EQ(arena.ref(set).materialize().size(), legacy.size());
+  }
+}
+
+TEST(PathArena, BytesGrowWithContent) {
+  PathArena arena(1000);
+  const std::size_t empty = arena.bytes();
+  const std::uint32_t r = arena.intern_path({1, 500, 999});
+  arena.intern_set({r});
+  EXPECT_GT(arena.bytes(), empty);
+}
+
+/// The arena-vs-legacy equivalence property on an arbitrary graph: paths
+/// from real routing trees, every objective's gain identical through both
+/// representations, and equivalence splits identical.
+void expect_arena_matches_legacy(const Graph& g, std::uint64_t seed) {
+  const std::size_t n = g.node_count();
+  RoutingTable routing(g);
+  Rng rng(seed);
+  std::vector<NodeId> pool(n);
+  for (NodeId v = 0; v < n; ++v) pool[v] = v;
+
+  PathArena arena(n);
+  std::vector<std::uint32_t> sets;
+  std::vector<PathSet> legacy;
+  for (int s = 0; s < 12; ++s) {
+    PathSet ps(n);
+    std::vector<std::uint32_t> rows;
+    const std::vector<NodeId> ends = rng.sample(pool, 5);
+    for (std::size_t i = 1; i < ends.size(); ++i) {
+      if (!routing.reachable(ends[0], ends[i])) continue;
+      const std::vector<NodeId> route = routing.route(ends[0], ends[i]);
+      ps.add_nodes(route);
+      rows.push_back(arena.intern_path(route));
+    }
+    if (rows.empty()) continue;
+    sets.push_back(arena.intern_set(rows));
+    legacy.push_back(std::move(ps));
+  }
+  ASSERT_FALSE(sets.empty());
+
+  for (const ObjectiveKind kind :
+       {ObjectiveKind::Coverage, ObjectiveKind::Identifiability,
+        ObjectiveKind::Distinguishability}) {
+    auto state = make_objective_state(kind, n, 1);
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      EXPECT_EQ(state->gain(arena.ref(sets[i])), state->gain(legacy[i]))
+          << to_string(kind) << " set " << i << " on " << n << " nodes";
+      if (i % 3 == 0) state->add_paths(legacy[i]);  // evolve the state
+    }
+  }
+
+  // Raw split_delta equivalence, including on a partially refined partition.
+  EquivalenceClasses classes(n);
+  classes.add_paths(legacy[0]);
+  EquivalenceClasses::SplitScratch scratch(n);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const SplitDelta a = classes.split_delta(arena.ref(sets[i]), scratch);
+    const SplitDelta b = classes.split_delta(legacy[i], scratch);
+    EXPECT_EQ(a.newly_identifiable, b.newly_identifiable);
+    EXPECT_EQ(a.newly_distinguishable, b.newly_distinguishable);
+  }
+}
+
+TEST(PathArenaProperty, ErdosRenyi) {
+  Rng rng(31);
+  expect_arena_matches_legacy(erdos_renyi(60, 0.08, rng), 1);
+}
+
+TEST(PathArenaProperty, PreferentialAttachment) {
+  Rng rng(32);
+  expect_arena_matches_legacy(preferential_attachment(80, 2, rng), 2);
+}
+
+TEST(PathArenaProperty, Grid) {
+  expect_arena_matches_legacy(grid_graph(9, 11), 3);
+}
+
+TEST(PathArenaProperty, Rocketfuel) {
+  expect_arena_matches_legacy(topology::abovenet(), 4);
+}
+
+TEST(PathArenaInstance, ArenaPathsMatchLegacyPaths) {
+  Rng rng(77);
+  const ProblemInstance inst = testing::random_instance(40, 80, 4, 3, 0.7, rng);
+  for (std::size_t s = 0; s < inst.service_count(); ++s) {
+    for (NodeId h : inst.candidate_hosts(s)) {
+      const PathSet& legacy = inst.paths_for(s, h);
+      const ArenaPathsRef ref = inst.arena_paths_for(s, h);
+      ASSERT_EQ(ref.size(), legacy.size());
+      const PathSet from_arena = ref.materialize();
+      for (std::size_t i = 0; i < legacy.size(); ++i)
+        EXPECT_TRUE(from_arena[i] == legacy[i]);
+    }
+  }
+}
+
+TEST(PathArenaInstance, GainsIdenticalForEveryCandidate) {
+  Rng rng(78);
+  const ProblemInstance inst = testing::random_instance(35, 70, 4, 3, 0.8, rng);
+  for (const ObjectiveKind kind :
+       {ObjectiveKind::Coverage, ObjectiveKind::Identifiability,
+        ObjectiveKind::Distinguishability}) {
+    auto state = make_objective_state(kind, inst.node_count(), 1);
+    // Mid-placement state: commit service 0's QoS host first.
+    state->add_paths(inst.paths_for(0, inst.candidate_hosts(0).front()));
+    for (std::size_t s = 0; s < inst.service_count(); ++s)
+      for (NodeId h : inst.candidate_hosts(s))
+        EXPECT_EQ(state->gain(inst.arena_paths_for(s, h)),
+                  state->gain(inst.paths_for(s, h)))
+            << to_string(kind) << " s=" << s << " h=" << h;
+  }
+}
+
+TEST(PathArenaInstance, CompositeGainMatchesLegacy) {
+  Rng rng(79);
+  const ProblemInstance inst = testing::random_instance(30, 60, 3, 3, 0.8, rng);
+  ObjectiveWeights weights;
+  weights.coverage = 0.3;
+  weights.distinguishability = 0.7;
+  auto state = make_composite_objective_state(inst.node_count(), 1, weights);
+  state->add_paths(inst.paths_for(0, inst.candidate_hosts(0).front()));
+  for (std::size_t s = 0; s < inst.service_count(); ++s)
+    for (NodeId h : inst.candidate_hosts(s))
+      EXPECT_EQ(state->gain(inst.arena_paths_for(s, h)),
+                state->gain(inst.paths_for(s, h)));
+}
+
+}  // namespace
+}  // namespace splace

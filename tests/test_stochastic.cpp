@@ -1,0 +1,156 @@
+#include "placement/stochastic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "placement/greedy.hpp"
+#include "placement/lazy_greedy.hpp"
+#include "test_helpers.hpp"
+#include "util/random.hpp"
+
+namespace splace {
+namespace {
+
+const ObjectiveKind kKinds[] = {ObjectiveKind::Coverage,
+                                ObjectiveKind::Identifiability,
+                                ObjectiveKind::Distinguishability};
+
+std::size_t total_candidates(const ProblemInstance& inst) {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < inst.service_count(); ++s)
+    total += inst.candidate_hosts(s).size();
+  return total;
+}
+
+TEST(StochasticGreedy, FullPoolIsBitIdenticalToPlainGreedy) {
+  Rng rng(101);
+  for (int trial = 0; trial < 4; ++trial) {
+    const ProblemInstance inst =
+        testing::random_instance(24 + 4 * static_cast<std::size_t>(trial), 60,
+                                 4, 3, 0.8, rng);
+    for (ObjectiveKind kind : kKinds) {
+      const GreedyResult exact = greedy_placement(inst, kind);
+      PlacementOptions options;
+      options.stochastic_pool = 0;
+      const StochasticGreedyResult st =
+          stochastic_greedy_placement(inst, kind, 1, options);
+      EXPECT_EQ(st.placement, exact.placement) << to_string(kind);
+      EXPECT_EQ(st.objective_value, exact.objective_value);
+      EXPECT_EQ(st.order, exact.order);
+      EXPECT_EQ(st.gains, exact.gains);
+    }
+  }
+}
+
+TEST(StochasticGreedy, OversizedPoolIsAlsoExact) {
+  Rng rng(102);
+  const ProblemInstance inst = testing::random_instance(30, 70, 4, 3, 0.8, rng);
+  PlacementOptions options;
+  options.stochastic_pool = total_candidates(inst) + 100;
+  for (ObjectiveKind kind : kKinds) {
+    const GreedyResult exact = greedy_placement(inst, kind);
+    const StochasticGreedyResult st =
+        stochastic_greedy_placement(inst, kind, 1, options);
+    EXPECT_EQ(st.placement, exact.placement) << to_string(kind);
+    EXPECT_EQ(st.objective_value, exact.objective_value);
+  }
+}
+
+TEST(StochasticGreedy, SampledRunsAreDeterministic) {
+  Rng rng(103);
+  const ProblemInstance inst = testing::random_instance(30, 70, 5, 3, 0.8, rng);
+  PlacementOptions options;
+  options.stochastic_pool = 4;
+  const StochasticGreedyResult a = stochastic_greedy_placement(
+      inst, ObjectiveKind::Distinguishability, 1, options);
+  const StochasticGreedyResult b = stochastic_greedy_placement(
+      inst, ObjectiveKind::Distinguishability, 1, options);
+  EXPECT_EQ(a.placement, b.placement);
+  EXPECT_EQ(a.objective_value, b.objective_value);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.sampled, b.sampled);
+}
+
+TEST(StochasticGreedy, SampledPlacementIsValidAndEvaluatesFewer) {
+  Rng rng(104);
+  const ProblemInstance inst = testing::random_instance(32, 80, 5, 3, 0.9, rng);
+  PlacementOptions exhaustive;
+  const StochasticGreedyResult full = stochastic_greedy_placement(
+      inst, ObjectiveKind::Coverage, 1, exhaustive);
+
+  PlacementOptions options;
+  options.stochastic_pool = 3;
+  const StochasticGreedyResult st = stochastic_greedy_placement(
+      inst, ObjectiveKind::Coverage, 1, options);
+
+  ASSERT_EQ(st.placement.size(), inst.service_count());
+  for (std::size_t s = 0; s < inst.service_count(); ++s) {
+    const auto& hosts = inst.candidate_hosts(s);
+    EXPECT_TRUE(std::find(hosts.begin(), hosts.end(), st.placement[s]) !=
+                hosts.end())
+        << "service " << s << " placed on a non-candidate host";
+  }
+  // Each round evaluates at most the sample; the exhaustive run evaluates
+  // every unplaced pair every round.
+  EXPECT_LE(st.evaluations,
+            options.stochastic_pool * inst.service_count());
+  EXPECT_LT(st.evaluations, full.evaluations);
+  EXPECT_GT(st.objective_value, 0);
+  EXPECT_LE(st.objective_value, full.objective_value);
+}
+
+TEST(StochasticGreedy, SeedChangesSampleNotValidity) {
+  Rng rng(105);
+  const ProblemInstance inst = testing::random_instance(30, 70, 5, 3, 0.9, rng);
+  PlacementOptions a;
+  a.stochastic_pool = 2;
+  PlacementOptions b = a;
+  b.stochastic_seed = 12345;
+  const StochasticGreedyResult ra = stochastic_greedy_placement(
+      inst, ObjectiveKind::Distinguishability, 1, a);
+  const StochasticGreedyResult rb = stochastic_greedy_placement(
+      inst, ObjectiveKind::Distinguishability, 1, b);
+  // Different seeds may or may not change the placement; both must be
+  // complete assignments with positive objective.
+  EXPECT_EQ(ra.placement.size(), inst.service_count());
+  EXPECT_EQ(rb.placement.size(), inst.service_count());
+  EXPECT_GT(ra.objective_value, 0);
+  EXPECT_GT(rb.objective_value, 0);
+}
+
+TEST(StochasticGreedy, TraceIsConsistent) {
+  Rng rng(106);
+  const ProblemInstance inst = testing::random_instance(28, 60, 4, 3, 0.8, rng);
+  PlacementOptions options;
+  options.stochastic_pool = 5;
+  const StochasticGreedyResult st = stochastic_greedy_placement(
+      inst, ObjectiveKind::Coverage, 1, options);
+  ASSERT_EQ(st.order.size(), inst.service_count());
+  ASSERT_EQ(st.gains.size(), inst.service_count());
+  // Every service committed exactly once; gains sum to the objective
+  // (coverage gains are exact integer marginals).
+  std::vector<std::size_t> sorted = st.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t s = 0; s < sorted.size(); ++s) EXPECT_EQ(sorted[s], s);
+  double total = 0;
+  for (double g : st.gains) total += g;
+  EXPECT_DOUBLE_EQ(total, st.objective_value);
+  EXPECT_GE(st.sampled, st.evaluations);
+}
+
+TEST(StochasticGreedy, MatchesLazyGreedyOnFullPool) {
+  Rng rng(107);
+  const ProblemInstance inst = testing::random_instance(30, 70, 4, 3, 0.8, rng);
+  for (ObjectiveKind kind :
+       {ObjectiveKind::Coverage, ObjectiveKind::Distinguishability}) {
+    const LazyGreedyResult lazy = lazy_greedy_placement(inst, kind);
+    const StochasticGreedyResult st =
+        stochastic_greedy_placement(inst, kind, 1);
+    EXPECT_EQ(st.placement, lazy.placement) << to_string(kind);
+    EXPECT_EQ(st.objective_value, lazy.objective_value);
+  }
+}
+
+}  // namespace
+}  // namespace splace
