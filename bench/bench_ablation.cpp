@@ -31,11 +31,12 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
-void ablation_greedy_gap() {
+void ablation_greedy_gap(splace::bench::JsonWriter& json) {
   using namespace splace;
   std::cout << "==== A1: greedy vs brute-force optimum (Abovenet) ====\n";
   const topology::CatalogEntry& entry = topology::catalog_entry("Abovenet");
   TablePrinter table({"alpha", "GC/BF(cov)", "GI/BF(ident)", "GD/BF(dist)"});
+  json.begin_array("A1_greedy_gap");
   for (double alpha : {0.2, 0.4, 0.6, 0.8, 1.0}) {
     const ProblemInstance inst = make_instance(entry, alpha);
     const auto bf = brute_force_k1(inst);
@@ -57,13 +58,22 @@ void ablation_greedy_gap() {
          format_double(
              ratio(gd, static_cast<double>(bf->distinguishability.value)),
              3)});
+    json.begin_object()
+        .field("alpha", alpha)
+        .field("gc_ratio", ratio(gc, static_cast<double>(bf->coverage.value)))
+        .field("gi_ratio",
+               ratio(gi, static_cast<double>(bf->identifiability.value)))
+        .field("gd_ratio",
+               ratio(gd, static_cast<double>(bf->distinguishability.value)))
+        .end_object();
   }
+  json.end_array();
   table.print(std::cout);
   std::cout << "(Corollaries 14/18 guarantee >= 0.5 for GC and GD; observed "
                "gaps are far smaller.)\n\n";
 }
 
-void ablation_equivalence_structures() {
+void ablation_equivalence_structures(splace::bench::JsonWriter& json) {
   using namespace splace;
   std::cout << "==== A2: partition refinement vs literal Algorithm 1 ====\n";
   const topology::CatalogEntry& entry = topology::catalog_entry("AT&T");
@@ -99,15 +109,22 @@ void ablation_equivalence_structures() {
   std::cout << "(speedup: x" << format_double(literal_ms / fast_ms, 1)
             << " on " << paths.size() << " paths / " << inst.node_count()
             << " nodes)\n\n";
+  json.begin_object("A2_equivalence_structures")
+      .field("partition_ms", fast_ms)
+      .field("literal_ms", literal_ms)
+      .field("speedup", literal_ms / fast_ms)
+      .field("agreement", checksum_fast == checksum_literal)
+      .end_object();
 }
 
-void ablation_gsc_bounds() {
+void ablation_gsc_bounds(splace::bench::JsonWriter& json) {
   using namespace splace;
   std::cout << "==== A3: GSC identifiability bounds vs exact |S_k| "
                "(Abovenet, GD placement) ====\n";
   const topology::CatalogEntry& entry = topology::catalog_entry("Abovenet");
   TablePrinter table(
       {"alpha", "k", "eq.(4) lower", "GSC>=k+1", "exact |S_k|", "upper"});
+  json.begin_array("A3_gsc_bounds");
   for (double alpha : {0.4, 1.0}) {
     const ProblemInstance inst = make_instance(entry, alpha);
     const PathSet paths = inst.paths_for_placement(
@@ -119,20 +136,30 @@ void ablation_gsc_bounds() {
                      std::to_string(bounds.lower),
                      std::to_string(bounds.greedy), std::to_string(exact),
                      std::to_string(bounds.upper)});
+      json.begin_object()
+          .field("alpha", alpha)
+          .field("k", k)
+          .field("lower", bounds.lower)
+          .field("greedy", bounds.greedy)
+          .field("exact", exact)
+          .field("upper", bounds.upper)
+          .end_object();
     }
   }
+  json.end_array();
   table.print(std::cout);
   std::cout << "(the paper notes GSC ~ MSC in most cases: the GSC>=k+1 "
                "column tracks the exact value much closer than the "
                "worst-case eq.(4) lower bound.)\n\n";
 }
 
-void ablation_capacity_ratio() {
+void ablation_capacity_ratio(splace::bench::JsonWriter& json) {
   using namespace splace;
   std::cout << "==== A4: demand heterogeneity vs achieved objective "
                "(Tiscali, GD, total capacity fixed) ====\n";
   const topology::CatalogEntry& entry = topology::catalog_entry("Tiscali");
   TablePrinter table({"r_max/r_min", "p", "placed", "distinguishable pairs"});
+  json.begin_array("A4_capacity_ratio");
   for (double ratio : {1.0, 2.0, 4.0}) {
     Graph g = topology::build(entry);
     const std::vector<NodeId> clients = topology::candidate_clients(entry, g);
@@ -154,17 +181,26 @@ void ablation_capacity_ratio() {
                    std::to_string(placed) + "/" +
                        std::to_string(inst.service_count()),
                    format_double(result.objective_value, 0)});
+    json.begin_object()
+        .field("demand_ratio", ratio)
+        .field("p", p_independence_parameter(inst))
+        .field("placed", placed)
+        .field("services", inst.service_count())
+        .field("objective", result.objective_value)
+        .end_object();
   }
+  json.end_array();
   table.print(std::cout);
   std::cout << "(larger demand spread raises p and weakens the greedy "
                "guarantee from the best case 1/3.)\n";
 }
 
-void ablation_lazy_greedy() {
+void ablation_lazy_greedy(splace::bench::JsonWriter& json) {
   using namespace splace;
   std::cout << "==== A5: lazy vs plain greedy evaluations (GD) ====\n";
   TablePrinter table({"network", "alpha", "plain evals", "lazy evals",
                       "saved", "same placement"});
+  json.begin_array("A5_lazy_greedy");
   for (const char* name : {"Abovenet", "Tiscali", "AT&T"}) {
     const topology::CatalogEntry& entry = topology::catalog_entry(name);
     for (double alpha : {0.6, 1.0}) {
@@ -183,19 +219,28 @@ void ablation_lazy_greedy() {
                          1) +
                "%",
            lazy.placement == plain.placement ? "yes" : "NO"});
+      json.begin_object()
+          .field("network", name)
+          .field("alpha", alpha)
+          .field("plain_evaluations", plain_evals)
+          .field("lazy_evaluations", lazy.evaluations)
+          .field("same_placement", lazy.placement == plain.placement)
+          .end_object();
     }
   }
+  json.end_array();
   table.print(std::cout);
   std::cout << '\n';
 }
 
-void ablation_branch_bound() {
+void ablation_branch_bound(splace::bench::JsonWriter& json) {
   using namespace splace;
   std::cout << "==== A6: branch & bound vs exhaustive search (Abovenet, "
                "GD) ====\n";
   const topology::CatalogEntry& entry = topology::catalog_entry("Abovenet");
   TablePrinter table({"alpha", "BF placements", "B&B nodes", "pruned",
                       "explored fraction", "same optimum"});
+  json.begin_array("A6_branch_bound");
   for (double alpha : {0.2, 0.4, 0.6}) {
     const ProblemInstance inst = make_instance(entry, alpha);
     const auto bf = brute_force_k1(inst);
@@ -213,13 +258,22 @@ void ablation_branch_bound() {
                  static_cast<double>(bf->distinguishability.value)
              ? "yes"
              : "NO"});
+    json.begin_object()
+        .field("alpha", alpha)
+        .field("bf_placements", bf->placements_searched)
+        .field("bb_nodes", bb.nodes_explored)
+        .field("bb_pruned", bb.nodes_pruned)
+        .field("same_optimum",
+               bb.value == static_cast<double>(bf->distinguishability.value))
+        .end_object();
   }
+  json.end_array();
   table.print(std::cout);
   std::cout << "(B&B is exact for submodular objectives; the bound is the "
                "sum of best remaining marginal gains.)\n";
 }
 
-void ablation_topology_family() {
+void ablation_topology_family(splace::bench::JsonWriter& json) {
   using namespace splace;
   std::cout << "==== A7: generator robustness — Tiscali statistics, "
                "preferential-attachment vs hierarchical stand-in ====\n";
@@ -227,6 +281,7 @@ void ablation_topology_family() {
 
   TablePrinter table({"generator", "alpha", "QoS |D_1|", "GD |D_1|",
                       "GD/QoS", "QoS |S_1|", "GI |S_1|"});
+  json.begin_array("A7_topology_family");
   for (int family = 0; family < 2; ++family) {
     Graph g = family == 0 ? topology::build(entry)
                           : topology::hierarchical_standin(entry.spec);
@@ -254,14 +309,24 @@ void ablation_topology_family() {
                          2),
            std::to_string(qos.identifiability),
            std::to_string(gi.identifiability)});
+      json.begin_object()
+          .field("generator",
+                 family == 0 ? "preferential" : "hierarchical")
+          .field("alpha", alpha)
+          .field("qos_distinguishability", qos.distinguishability)
+          .field("gd_distinguishability", gd.distinguishability)
+          .field("qos_identifiability", qos.identifiability)
+          .field("gi_identifiability", gi.identifiability)
+          .end_object();
     }
   }
+  json.end_array();
   table.print(std::cout);
   std::cout << "(both families: GD/QoS > 1 and GI >= QoS on |S_1| — the "
                "paper's orderings are not an artifact of one generator.)\n";
 }
 
-void ablation_perturbation() {
+void ablation_perturbation(splace::bench::JsonWriter& json) {
   using namespace splace;
   std::cout << "==== A8: GD placement staleness under link churn "
                "(Tiscali, alpha=0.8) ====\n";
@@ -316,18 +381,30 @@ void ablation_perturbation() {
   table.print(std::cout);
   std::cout << "(single-link churn barely dents the placement — re-running "
                "GD is cheap insurance after topology changes.)\n";
+  json.begin_object("A8_perturbation")
+      .field("before_churn", before.distinguishability)
+      .field("trials", trials)
+      .field("stale_mean", stale_sum / trials)
+      .field("reoptimized_mean", reopt_sum / trials)
+      .field("retained_fraction", stale_sum / reopt_sum)
+      .end_object();
 }
 
 }  // namespace
 
 int main() {
-  ablation_greedy_gap();
-  ablation_equivalence_structures();
-  ablation_gsc_bounds();
-  ablation_capacity_ratio();
-  ablation_lazy_greedy();
-  ablation_branch_bound();
-  ablation_topology_family();
-  ablation_perturbation();
+  splace::bench::JsonWriter json;
+  json.begin_object();
+  ablation_greedy_gap(json);
+  ablation_equivalence_structures(json);
+  ablation_gsc_bounds(json);
+  ablation_capacity_ratio(json);
+  ablation_lazy_greedy(json);
+  ablation_branch_bound(json);
+  ablation_topology_family(json);
+  ablation_perturbation(json);
+  json.end_object();
+  splace::bench::write_bench_json("BENCH_ablation.json", "ablation", 1,
+                                  json.str());
   return 0;
 }

@@ -1,8 +1,15 @@
 // Timing microbenchmarks (google-benchmark) for the kernels every placement
 // run leans on: routing construction, equivalence maintenance (both forms),
 // the packed brute-force evaluator, the greedy heuristics, and localization.
+//
+// Output goes two ways: the usual console table, plus google-benchmark's
+// own JSON report wrapped in the shared bench envelope (BENCH_micro.json)
+// so the timing trajectory is tracked like every other bench artifact.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
+#include "bench_common.hpp"
 #include "core/splace.hpp"
 
 namespace {
@@ -113,6 +120,44 @@ void BM_DistinguishabilityK2Abovenet(benchmark::State& state) {
 }
 BENCHMARK(BM_DistinguishabilityK2Abovenet);
 
+/// Forwards every report to the console table AND the JSON reporter, so the
+/// JSON capture does not need --benchmark_out (google-benchmark requires
+/// that flag for a separate file reporter, but not for the display one).
+class TeeReporter : public benchmark::BenchmarkReporter {
+ public:
+  TeeReporter(benchmark::BenchmarkReporter& a, benchmark::BenchmarkReporter& b)
+      : a_(a), b_(b) {}
+  bool ReportContext(const Context& context) override {
+    const bool a_ok = a_.ReportContext(context);
+    const bool b_ok = b_.ReportContext(context);
+    return a_ok && b_ok;
+  }
+  void ReportRuns(const std::vector<Run>& report) override {
+    a_.ReportRuns(report);
+    b_.ReportRuns(report);
+  }
+  void Finalize() override {
+    a_.Finalize();
+    b_.Finalize();
+  }
+
+ private:
+  benchmark::BenchmarkReporter& a_;
+  benchmark::BenchmarkReporter& b_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::ConsoleReporter console;
+  benchmark::JSONReporter json_reporter;
+  std::ostringstream json;
+  json_reporter.SetOutputStream(&json);
+  TeeReporter tee(console, json_reporter);
+  benchmark::RunSpecifiedBenchmarks(&tee);
+  splace::bench::write_bench_json("BENCH_micro.json", "micro", 1, json.str());
+  benchmark::Shutdown();
+  return 0;
+}

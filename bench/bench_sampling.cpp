@@ -8,6 +8,7 @@
 // tell apart — most pairs differ on some covered node).
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/splace.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -23,6 +24,12 @@ int main() {
             << entry.spec.name << " (alpha=0.6, " << samples
             << " sampled pairs, +/- = 1 std error) ====\n\n";
 
+  bench::JsonWriter json;
+  json.begin_object()
+      .field("network", entry.spec.name)
+      .field("alpha", 0.6)
+      .field("samples", samples)
+      .begin_array("points");
   TablePrinter table({"k", "|F_k| (approx)", "QoS", "RD", "GD"});
   for (std::size_t k = 1; k <= 4; ++k) {
     std::vector<std::string> row{std::to_string(k)};
@@ -41,12 +48,21 @@ int main() {
       }
       row.push_back(format_double(estimate.fraction, 4) + " +/- " +
                     format_double(estimate.std_error, 4));
+      json.begin_object()
+          .field("k", k)
+          .field("algorithm", to_string(algo))
+          .field("total_sets", estimate.total_sets)
+          .field("fraction", estimate.fraction)
+          .field("std_error", estimate.std_error)
+          .end_object();
     }
     table.add_row(std::move(row));
   }
+  json.end_array().end_object();
   table.print(std::cout);
   std::cout << "\n(k = 1 cross-check: the exact fractions from the "
                "equivalence partition match within sampling error; see "
                "test_sampling.cpp.)\n";
+  bench::write_bench_json("BENCH_sampling.json", "sampling", 1, json.str());
   return 0;
 }

@@ -6,6 +6,7 @@
 // in aggregate.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/splace.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -56,5 +57,28 @@ int main() {
             << "; GI |S_1| mean "
             << format_double(gi[last].identifiability.mean, 1) << " > QoS "
             << format_double(qos[last].identifiability.mean, 1) << "\n";
+
+  bench::JsonWriter json;
+  json.begin_object()
+      .field("network", entry.spec.name)
+      .field("seeds", seeds)
+      .begin_array("points");
+  for (std::size_t i = 0; i < result.alphas.size(); ++i) {
+    for (Algorithm algo : standard_algorithms()) {
+      const AggregatedPoint& p = result.series.at(algo)[i];
+      json.begin_object()
+          .field("alpha", result.alphas[i])
+          .field("algorithm", to_string(algo))
+          .field("coverage_mean", p.coverage.mean)
+          .field("coverage_std", p.coverage.stddev)
+          .field("identifiability_mean", p.identifiability.mean)
+          .field("identifiability_std", p.identifiability.stddev)
+          .field("distinguishability_mean", p.distinguishability.mean)
+          .field("distinguishability_std", p.distinguishability.stddev)
+          .end_object();
+    }
+  }
+  json.end_array().end_object();
+  bench::write_bench_json("BENCH_seeds.json", "seeds", 1, json.str());
   return 0;
 }

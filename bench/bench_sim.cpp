@@ -9,6 +9,7 @@
 // of them uniquely — the operational payoff of maximizing |D_1|.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/splace.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -26,6 +27,10 @@ int main() {
   config.mttr = 120.0;
   config.epoch = 5.0;
   config.seed = 2016;
+  if (const std::string error = config.validate(); !error.empty()) {
+    std::cerr << "bench_sim: bad SimConfig: " << error << '\n';
+    return 2;
+  }
 
   std::cout << "==== Simulation: passive monitoring on " << entry.spec.name
             << " (alpha=0.8, duration=" << config.duration
@@ -36,6 +41,15 @@ int main() {
                       "mean detect latency", "localizations",
                       "unique", "mean ambiguity"});
 
+  bench::JsonWriter json;
+  json.begin_object()
+      .field("network", entry.spec.name)
+      .field("alpha", 0.8)
+      .field("duration", config.duration)
+      .field("mtbf", config.mtbf)
+      .field("mttr", config.mttr)
+      .field("epoch", config.epoch)
+      .begin_array("placements");
   for (Algorithm algo :
        {Algorithm::QoS, Algorithm::RD, Algorithm::GC, Algorithm::GI,
         Algorithm::GD}) {
@@ -50,10 +64,22 @@ int main() {
          std::to_string(report.localizations_attempted),
          std::to_string(report.localizations_unique),
          format_double(report.mean_ambiguity, 2)});
+    json.begin_object()
+        .field("algorithm", to_string(algo))
+        .field("availability", report.availability)
+        .field("failures_injected", report.failures_injected)
+        .field("failures_detected", report.failures_detected)
+        .field("mean_detection_latency", report.mean_detection_latency)
+        .field("localizations_attempted", report.localizations_attempted)
+        .field("localizations_unique", report.localizations_unique)
+        .field("mean_ambiguity", report.mean_ambiguity)
+        .end_object();
   }
+  json.end_array().end_object();
   table.print(std::cout);
   std::cout << "\n(detection latency is bounded below by the epoch length; "
                "a failure on a node no observed path traverses is never "
                "detected.)\n";
+  bench::write_bench_json("BENCH_sim.json", "sim", 1, json.str());
   return 0;
 }

@@ -235,6 +235,16 @@ int main(int argc, char** argv) {
               << " s (" << format_double(report.requests_per_second, 0)
               << " req/s)\n"
               << "metrics:   " << engine::to_json(report.metrics) << '\n';
+    for (const auto& cascade : report.cascades)
+      std::cout << "cascade:   snapshot " << cascade.snapshot << ": "
+                << cascade.episodes << " episode(s), " << cascade.detected
+                << " detected, top-1 " << cascade.top1 << ", top-3 "
+                << cascade.top3 << ", mean blast "
+                << format_double(cascade.mean_blast_services, 2)
+                << (cascade.streamed_equals_batch
+                        ? ""
+                        : " [streamed != batch DIVERGENCE]")
+                << '\n';
     if (spec.metrics_text) std::cout << report.metrics_text;
     if (!opts.metrics_text.empty()) {
       if (opts.metrics_text == "-") {

@@ -69,6 +69,7 @@ using splace::engine::TraceStats;
 // which the pull path never carried.
 using splace::stream::AmbiguityEvent;
 using splace::stream::BusStats;
+using splace::stream::CascadeStartEvent;
 using splace::stream::DetectionEvent;
 using splace::stream::DropPolicy;
 using splace::stream::EventBus;
@@ -76,10 +77,25 @@ using splace::stream::EventKind;
 using splace::stream::LocalizationEvent;
 using splace::stream::ObservationIngest;
 using splace::stream::PathState;
+using splace::stream::PropagationEvent;
+using splace::stream::RootCauseEvent;
 using splace::stream::StreamEvent;
 using splace::stream::StreamStats;
 using splace::stream::Subscription;
 using splace::stream::TraceEvent;
+
+// --- Cascade & correlated-failure subsystem (cascade/*.hpp). ---
+using splace::cascade::CascadeConfig;
+using splace::cascade::CascadeEngine;
+using splace::cascade::CascadeEpisode;
+using splace::cascade::CascadeRecord;
+using splace::cascade::CascadeReport;
+using splace::cascade::CascadeRun;
+using splace::cascade::DependencyEdge;
+using splace::cascade::DependencyGraph;
+using splace::cascade::RootCauseAnalyzer;
+using splace::cascade::RootCauseConfig;
+using splace::cascade::RootCauseReport;
 
 // --- Replay driver (workload files -> engine traffic). ---
 using splace::engine::ReplayReport;

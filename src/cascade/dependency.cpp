@@ -1,0 +1,161 @@
+#include "cascade/dependency.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace splace::cascade {
+
+void DependencyGraph::add_edge(std::size_t upstream, std::size_t downstream,
+                               double strength) {
+  edges_.push_back(DependencyEdge{upstream, downstream, strength});
+}
+
+std::string DependencyGraph::validate() const {
+  if (service_count_ == 0 && !edges_.empty()) {
+    return "DependencyGraph.service_count is 0 but edges are present";
+  }
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  char buf[160];
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const DependencyEdge& e = edges_[i];
+    if (e.upstream >= service_count_) {
+      std::snprintf(buf, sizeof(buf),
+                    "DependencyGraph.edges[%zu].upstream %zu is not a service "
+                    "(service_count %zu)",
+                    i, e.upstream, service_count_);
+      return buf;
+    }
+    if (e.downstream >= service_count_) {
+      std::snprintf(buf, sizeof(buf),
+                    "DependencyGraph.edges[%zu].downstream %zu is not a "
+                    "service (service_count %zu)",
+                    i, e.downstream, service_count_);
+      return buf;
+    }
+    if (e.upstream == e.downstream) {
+      std::snprintf(buf, sizeof(buf),
+                    "DependencyGraph.edges[%zu] is a self-dependency on "
+                    "service %zu",
+                    i, e.upstream);
+      return buf;
+    }
+    if (!(e.strength > 0.0) || e.strength > 1.0) {
+      std::snprintf(buf, sizeof(buf),
+                    "DependencyGraph.edges[%zu].strength %g must be in (0, 1]",
+                    i, e.strength);
+      return buf;
+    }
+    if (!seen.insert({e.upstream, e.downstream}).second) {
+      std::snprintf(buf, sizeof(buf),
+                    "DependencyGraph.edges[%zu] duplicates edge %zu -> %zu", i,
+                    e.upstream, e.downstream);
+      return buf;
+    }
+  }
+  // Kahn's algorithm: if a topological order does not consume every service,
+  // the leftover subgraph contains a directed cycle.
+  std::vector<std::size_t> indegree(service_count_, 0);
+  for (const DependencyEdge& e : edges_) ++indegree[e.downstream];
+  build_index();
+  std::deque<std::size_t> ready;
+  for (std::size_t s = 0; s < service_count_; ++s) {
+    if (indegree[s] == 0) ready.push_back(s);
+  }
+  std::size_t consumed = 0;
+  while (!ready.empty()) {
+    std::size_t s = ready.front();
+    ready.pop_front();
+    ++consumed;
+    for (std::uint32_t ei : out_[s]) {
+      std::size_t d = edges_[ei].downstream;
+      if (--indegree[d] == 0) ready.push_back(d);
+    }
+  }
+  if (consumed != service_count_) {
+    return "DependencyGraph.edges contain a dependency cycle";
+  }
+  return {};
+}
+
+void DependencyGraph::build_index() const {
+  if (indexed_edges_ == edges_.size() && out_.size() == service_count_) return;
+  out_.assign(service_count_, {});
+  in_.assign(service_count_, {});
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const DependencyEdge& e = edges_[i];
+    SPLACE_EXPECTS(e.upstream < service_count_ &&
+                   e.downstream < service_count_);
+    out_[e.upstream].push_back(static_cast<std::uint32_t>(i));
+    in_[e.downstream].push_back(static_cast<std::uint32_t>(i));
+  }
+  indexed_edges_ = edges_.size();
+}
+
+const std::vector<std::uint32_t>& DependencyGraph::edges_from(
+    std::size_t service) const {
+  SPLACE_EXPECTS(service < service_count_);
+  build_index();
+  return out_[service];
+}
+
+const std::vector<std::uint32_t>& DependencyGraph::edges_into(
+    std::size_t service) const {
+  SPLACE_EXPECTS(service < service_count_);
+  build_index();
+  return in_[service];
+}
+
+std::vector<std::uint32_t> DependencyGraph::depth_from(
+    std::size_t root) const {
+  SPLACE_EXPECTS(root < service_count_);
+  build_index();
+  std::vector<std::uint32_t> depth(service_count_, kUnreachableDepth);
+  depth[root] = 0;
+  std::deque<std::size_t> frontier{root};
+  while (!frontier.empty()) {
+    std::size_t s = frontier.front();
+    frontier.pop_front();
+    for (std::uint32_t ei : out_[s]) {
+      std::size_t d = edges_[ei].downstream;
+      if (depth[d] == kUnreachableDepth) {
+        depth[d] = depth[s] + 1;
+        frontier.push_back(d);
+      }
+    }
+  }
+  return depth;
+}
+
+std::vector<std::size_t> DependencyGraph::reachable_from(
+    std::size_t root) const {
+  std::vector<std::uint32_t> depth = depth_from(root);
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < depth.size(); ++s) {
+    if (depth[s] != kUnreachableDepth) out.push_back(s);
+  }
+  return out;
+}
+
+DependencyGraph random_dependencies(std::size_t service_count, double density,
+                                    double strength, Rng& rng) {
+  if (density < 0.0 || density > 1.0) {
+    throw InvalidInput("random_dependencies: density must be in [0, 1]");
+  }
+  if (!(strength > 0.0) || strength > 1.0) {
+    throw InvalidInput("random_dependencies: strength must be in (0, 1]");
+  }
+  DependencyGraph deps(service_count);
+  for (std::size_t i = 0; i + 1 < service_count; ++i) {
+    for (std::size_t j = i + 1; j < service_count; ++j) {
+      if (rng.bernoulli(density)) deps.add_edge(i, j, strength);
+    }
+  }
+  return deps;
+}
+
+}  // namespace splace::cascade

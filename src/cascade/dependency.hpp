@@ -1,0 +1,102 @@
+// Service-dependency model for cascade simulation.
+//
+// The paper's failure model is <= k *independent* node failures; real
+// outages cascade: one failed service takes down the services that depend
+// on it (the "domino effect"). A DependencyGraph captures that structure as
+// directed upstream -> downstream edges between the services of one
+// placement problem, each with a per-tick propagation strength — the
+// probability that one more tick of the upstream being down takes the
+// downstream with it (cascade/engine.hpp runs the process).
+//
+// The graph is validated against the service catalog it describes: every
+// endpoint must name a service of the instance, self-dependencies and
+// duplicate edges are rejected, strengths live in (0, 1], and the edge set
+// must be acyclic — a cycle would make "upstream-first" healing (and
+// dependency-depth root-cause scoring) ill-defined. Validation follows the
+// EngineConfig convention: validate() returns an empty string or the first
+// field-named violation; the consumers throw InvalidInput with it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace splace::cascade {
+
+/// One directed dependency: `downstream` depends on `upstream`, so an
+/// outage of `upstream` propagates downstream with probability `strength`
+/// per cascade tick.
+struct DependencyEdge {
+  std::size_t upstream = 0;
+  std::size_t downstream = 0;
+  double strength = 1.0;  ///< per-tick propagation probability, in (0, 1]
+};
+
+/// Depth marker for unreachable services in depth_from().
+inline constexpr std::uint32_t kUnreachableDepth =
+    static_cast<std::uint32_t>(-1);
+
+/// Directed service -> service dependency edges over a fixed service
+/// catalog. Mutation is free-form (add_edge); consumers call validate()
+/// (or the library entry points do, throwing InvalidInput) before running.
+class DependencyGraph {
+ public:
+  DependencyGraph() = default;
+  explicit DependencyGraph(std::size_t service_count)
+      : service_count_(service_count) {}
+
+  std::size_t service_count() const { return service_count_; }
+  std::size_t edge_count() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+  const std::vector<DependencyEdge>& edges() const { return edges_; }
+
+  /// Appends an edge (no validation until validate()).
+  void add_edge(std::size_t upstream, std::size_t downstream,
+                double strength);
+
+  /// Empty when the graph is well-formed against `service_count()`;
+  /// otherwise the first violation, naming the offending field/edge.
+  std::string validate() const;
+
+  /// Indices into edges() of the edges leaving `service` (it as upstream).
+  /// Requires service < service_count().
+  const std::vector<std::uint32_t>& edges_from(std::size_t service) const;
+
+  /// Indices into edges() of the edges entering `service` (it as
+  /// downstream). Requires service < service_count().
+  const std::vector<std::uint32_t>& edges_into(std::size_t service) const;
+
+  /// True when `service` has at least one dependent (outgoing edge).
+  bool has_dependents(std::size_t service) const {
+    return !edges_from(service).empty();
+  }
+
+  /// BFS hop distance from `root` along dependency edges, per service;
+  /// kUnreachableDepth where no directed path exists. depth[root] == 0.
+  std::vector<std::uint32_t> depth_from(std::size_t root) const;
+
+  /// Services reachable from `root` (root included), ascending — the
+  /// worst-case blast set of a root failure at `root`.
+  std::vector<std::size_t> reachable_from(std::size_t root) const;
+
+ private:
+  std::size_t service_count_ = 0;
+  std::vector<DependencyEdge> edges_;
+  mutable std::vector<std::vector<std::uint32_t>> out_;  ///< built lazily
+  mutable std::vector<std::vector<std::uint32_t>> in_;
+  mutable std::size_t indexed_edges_ = 0;
+
+  void build_index() const;
+};
+
+/// Random acyclic dependency graph: for every ordered service pair (i, j)
+/// with i < j, the edge i -> j is present independently with probability
+/// `density` and carries `strength`. Acyclic by construction (edges only
+/// point from lower to higher index). Requires density in [0, 1] and
+/// strength in (0, 1].
+DependencyGraph random_dependencies(std::size_t service_count, double density,
+                                    double strength, Rng& rng);
+
+}  // namespace splace::cascade

@@ -1,0 +1,93 @@
+// Root-cause localization for cascade episodes.
+//
+// A cascade pollutes the observation vector: downstream secondary failures
+// take down paths the root never touched, so raw Boolean tomography
+// implicates the whole blast set, not the root. The analyzer recovers the
+// root in two stages:
+//
+//   1. Evidence. A cascade episode's per-path up/down states are streamed
+//      through the existing stream::ObservationIngest (one report per
+//      path), and the implicated nodes are read off the final candidate
+//      sets — the streamed result is checked bit-identical to batch
+//      localize() on the same evidence (the paper's machinery, untouched).
+//   2. Ranking. Every service hosted on an implicated node is a candidate
+//      root r, scored by how well the *dependency structure* explains the
+//      implicated set:
+//
+//        score(r) = Σ over implicated services s of w(r, s)
+//        w(r, r) = 1
+//        w(r, s) = 1 / (1 + depth_r(s))   if s is reachable from r
+//        w(r, s) = -1                      otherwise
+//
+//      i.e. a candidate is rewarded for implicated services it can reach
+//      (discounted by dependency depth — direct dependents count more than
+//      transitive ones) and penalized for implicated services its cascade
+//      could never have caused. The true root reaches the entire blast set
+//      at minimal depths, so it maximizes the score when the evidence
+//      implicates the blast.
+//
+// Reported per episode: the ranked candidates, the truth's rank (top-1 /
+// top-3 accuracy), the blast radius, and the streamed-vs-batch agreement
+// bit — aggregated across episodes by bench_cascade.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cascade/engine.hpp"
+#include "stream/ingest.hpp"
+
+namespace splace::cascade {
+
+struct RootCauseConfig {
+  std::size_t ticks = 4;  ///< propagation rounds per generated episode
+  /// Spacing of the synthetic per-path probe reports on the stream clock.
+  std::uint64_t probe_interval_us = 500;
+};
+
+/// One candidate root with its dependency-depth-weighted score.
+struct RankedRoot {
+  std::size_t service = 0;
+  double score = 0;
+};
+
+/// Outcome of analyzing one cascade episode.
+struct RootCauseReport {
+  CascadeEpisode episode;            ///< the ground truth that was injected
+  std::vector<RankedRoot> ranking;   ///< descending score, ties by id
+  std::size_t truth_rank = 0;        ///< 1-based; 0 = truth not ranked
+  bool top1 = false;
+  bool top3 = false;
+  std::size_t blast_services = 0;    ///< |episode.failed_services|
+  std::size_t blast_nodes = 0;       ///< |episode.down_nodes|
+  bool detected = false;             ///< ingest saw >= 1 down path
+  bool streamed_equals_batch = false;
+  std::size_t suspects = 0;          ///< implicated nodes in the evidence
+  std::size_t consistent_sets = 0;   ///< final candidate failure sets
+};
+
+/// Drives cascade episodes through an observation stream and ranks
+/// candidate roots. The ingest fixes the snapshot/placement/k under test;
+/// `bus` (optional) receives one RootCauseEvent per analyzed episode.
+/// Throws InvalidInput when `deps` fails validation or does not cover the
+/// ingest's placement.
+class RootCauseAnalyzer {
+ public:
+  RootCauseAnalyzer(stream::ObservationIngest& ingest, DependencyGraph deps,
+                    RootCauseConfig config, stream::EventBus* bus = nullptr);
+
+  /// Generates one cascade episode rooted at `root_service` (propagation
+  /// coin flips from `rng`), streams its path evidence, and ranks roots.
+  RootCauseReport analyze(std::size_t root_service, Rng& rng);
+
+  const DependencyGraph& deps() const { return deps_; }
+
+ private:
+  stream::ObservationIngest& ingest_;
+  DependencyGraph deps_;
+  RootCauseConfig config_;
+  stream::EventBus* bus_;
+  std::uint64_t episodes_ = 0;  ///< RootCauseEvent sequence numbers
+};
+
+}  // namespace splace::cascade

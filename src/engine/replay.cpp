@@ -100,6 +100,35 @@ ReplayRequestSpec parse_request_line(RequestType type,
   return spec;
 }
 
+ReplayCascadeSpec parse_cascade_line(const std::vector<std::string>& tokens,
+                                     std::size_t line) {
+  if (tokens.size() < 2) fail(line, "cascade needs a snapshot name");
+  ReplayCascadeSpec spec;
+  spec.snapshot = tokens[1];
+  std::size_t i = 2;
+  if (i < tokens.size() && tokens.size() % 2 != 0)
+    spec.algorithm = lower(tokens[i++]);
+  for (; i + 1 < tokens.size(); i += 2) {
+    const std::string& key = tokens[i];
+    const std::string& value = tokens[i + 1];
+    if (key == "algorithm") spec.algorithm = lower(value);
+    else if (key == "strength") spec.strength = parse_double(value, line);
+    else if (key == "density") spec.density = parse_double(value, line);
+    else if (key == "episodes") spec.episodes = parse_size(value, line);
+    else if (key == "ticks") spec.ticks = parse_size(value, line);
+    else if (key == "k") spec.k = parse_size(value, line);
+    else fail(line, "unknown cascade key '" + key + "'");
+  }
+  if (i != tokens.size()) fail(line, "dangling token '" + tokens[i] + "'");
+  if (!(spec.strength > 0.0) || spec.strength > 1.0)
+    fail(line, "strength must be in (0,1]");
+  if (spec.density < 0.0 || spec.density > 1.0)
+    fail(line, "density must be in [0,1]");
+  if (spec.episodes < 1) fail(line, "episodes must be >= 1");
+  if (spec.k < 1) fail(line, "k must be >= 1");
+  return spec;
+}
+
 }  // namespace
 
 Algorithm parse_algorithm(const std::string& name) {
@@ -185,6 +214,10 @@ ReplaySpec parse_replay(std::istream& in) {
       push_request(parse_request_line(RequestType::Evaluate, tokens, line));
     } else if (key == "localize") {
       push_request(parse_request_line(RequestType::Localize, tokens, line));
+    } else if (key == "cascade") {
+      ReplayCascadeSpec cascade = parse_cascade_line(tokens, line);
+      cascade.seed = current_seed;
+      spec.cascades.push_back(std::move(cascade));
     } else if (key == "mutate") {
       if (tokens.size() != 5 ||
           (tokens[2] != "addlink" && tokens[2] != "rmlink"))
@@ -216,7 +249,8 @@ ReplaySpec parse_replay(std::istream& in) {
       throw InvalidInput("replay: mutate lines for '" + name +
                          "' never flushed by a derive");
   if (spec.snapshots.empty()) throw InvalidInput("replay: no snapshots");
-  if (spec.requests.empty()) throw InvalidInput("replay: no requests");
+  if (spec.requests.empty() && spec.cascades.empty())
+    throw InvalidInput("replay: no requests");
   return spec;
 }
 
@@ -352,6 +386,31 @@ ReplayWorkload build_replay_workload(const ReplaySpec& spec) {
       workload.requests.push_back(std::move(localize));
     }
   }
+
+  // Cascade lines resolve against the FINAL binding of their snapshot name:
+  // the jobs run after the request phase, by which time any derive lines
+  // have registered the derived snapshots the names now point at.
+  for (std::size_t i = 0; i < spec.cascades.size(); ++i) {
+    const ReplayCascadeSpec& cascade = spec.cascades[i];
+    const auto name_it = bindings.find(cascade.snapshot);
+    if (name_it == bindings.end())
+      throw InvalidInput("replay: cascade names unknown snapshot '" +
+                         cascade.snapshot + "'");
+    const Binding& bound = name_it->second;
+    Rng rng(cascade.seed + 7919 * (i + 1));
+    ReplayCascadeJob job;
+    job.snapshot = bound.hash;
+    job.placement = compute_placement(
+        *bound.instance, parse_algorithm(cascade.algorithm), rng);
+    job.deps = cascade::random_dependencies(bound.instance->service_count(),
+                                            cascade.density, cascade.strength,
+                                            rng);
+    job.episodes = cascade.episodes;
+    job.ticks = cascade.ticks;
+    job.k = cascade.k;
+    job.seed = cascade.seed;
+    workload.cascades.push_back(std::move(job));
+  }
   return workload;
 }
 
@@ -401,6 +460,35 @@ ReplayReport run_replay(const ReplayWorkload& workload, EngineConfig config) {
       report.wall_seconds <= 0
           ? 0.0
           : static_cast<double>(report.total) / report.wall_seconds;
+
+  // Cascade jobs run after the request phase so derived snapshots are
+  // registered; their events land on the engine bus before it is sampled.
+  for (const ReplayCascadeJob& job : workload.cascades) {
+    auto ingest = engine.open_ingest(job.snapshot, job.placement, job.k);
+    cascade::RootCauseConfig rc_config;
+    rc_config.ticks = job.ticks;
+    cascade::RootCauseAnalyzer analyzer(*ingest, job.deps, rc_config,
+                                        &engine.bus());
+    Rng rng(job.seed);
+    ReplayReport::CascadeSummary summary;
+    summary.snapshot = job.snapshot;
+    double blast_sum = 0;
+    for (std::size_t e = 0; e < job.episodes; ++e) {
+      const std::size_t root = rng.index(job.placement.size());
+      const cascade::RootCauseReport episode = analyzer.analyze(root, rng);
+      ++summary.episodes;
+      if (episode.detected) ++summary.detected;
+      if (episode.top1) ++summary.top1;
+      if (episode.top3) ++summary.top3;
+      summary.streamed_equals_batch &= episode.streamed_equals_batch;
+      blast_sum += static_cast<double>(episode.blast_services);
+    }
+    if (summary.episodes > 0)
+      summary.mean_blast_services =
+          blast_sum / static_cast<double>(summary.episodes);
+    report.cascades.push_back(summary);
+  }
+
   report.metrics = engine.metrics();
   report.metrics_text = engine.metrics_text();
   report.bus = engine.bus().stats();

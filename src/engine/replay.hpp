@@ -37,6 +37,13 @@
 //   mutate net1 rmlink 0 4
 //   derive net1
 //
+//   # correlated failures: run root-cause cascade episodes against a named
+//   # snapshot AFTER the request phase (so derived snapshots are live).
+//   # keys (all optional): algorithm, strength (per-tick propagation
+//   # probability), density (random dependency-DAG edge probability),
+//   # episodes, ticks, k
+//   cascade net1 gd strength 0.6 density 0.3 episodes 4 ticks 4 k 2
+//
 // Place/evaluate lines repeat identically across iterations (exercising the
 // result cache); localize lines draw fresh failure sets every iteration
 // (cache-resistant work). Derive lines act as barriers: the replay driver
@@ -51,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "cascade/root_cause.hpp"
 #include "engine/engine.hpp"
 
 namespace splace::engine {
@@ -74,6 +82,20 @@ struct ReplayRequestSpec {
   TopologyDelta delta;           ///< mutate requests only (from `derive`)
 };
 
+/// One `cascade` line: correlated-failure episodes against a snapshot,
+/// executed after the request phase through Engine::open_ingest and the
+/// cascade root-cause analyzer.
+struct ReplayCascadeSpec {
+  std::string snapshot;
+  std::string algorithm = "gd";
+  double strength = 0.5;     ///< per-tick propagation probability, (0, 1]
+  double density = 0.2;      ///< dependency-DAG edge probability, [0, 1]
+  std::size_t episodes = 4;
+  std::size_t ticks = 4;
+  std::size_t k = 2;
+  std::uint64_t seed = 42;   ///< from the `seed` state directive
+};
+
 struct ReplaySpec {
   std::size_t threads = 0;
   std::size_t queue_depth = 256;
@@ -89,6 +111,7 @@ struct ReplaySpec {
   bool metrics_text = false;          ///< from `metrics`
   std::vector<ReplaySnapshotSpec> snapshots;
   std::vector<ReplayRequestSpec> requests;
+  std::vector<ReplayCascadeSpec> cascades;
 
   EngineConfig engine_config() const {
     EngineConfig config;
@@ -120,9 +143,23 @@ Algorithm parse_algorithm(const std::string& name);
 /// locally to resolve later lines' hashes and placements, but registration
 /// happens when the engine executes the MutateRequest — replay genuinely
 /// exercises the derive path.
+/// One materialized `cascade` line: the resolved snapshot hash and
+/// placement plus the generated dependency DAG, ready to drive through
+/// Engine::open_ingest after the request phase.
+struct ReplayCascadeJob {
+  std::uint64_t snapshot = 0;
+  Placement placement;
+  cascade::DependencyGraph deps;
+  std::size_t episodes = 4;
+  std::size_t ticks = 4;
+  std::size_t k = 2;
+  std::uint64_t seed = 42;
+};
+
 struct ReplayWorkload {
   std::shared_ptr<SnapshotRegistry> registry;
   std::vector<Request> requests;
+  std::vector<ReplayCascadeJob> cascades;
 };
 
 ReplayWorkload build_replay_workload(const ReplaySpec& spec);
@@ -147,6 +184,18 @@ struct ReplayReport {
   /// Per-request traces drained after the run (empty unless `trace` was
   /// configured), in submission (trace-id) order.
   std::vector<RequestTrace> traces;
+  /// Per-`cascade`-line outcome tallies (episodes run after the request
+  /// phase, events on the engine bus). `bus` above is captured after them.
+  struct CascadeSummary {
+    std::uint64_t snapshot = 0;
+    std::size_t episodes = 0;
+    std::size_t detected = 0;
+    std::size_t top1 = 0;
+    std::size_t top3 = 0;
+    double mean_blast_services = 0;
+    bool streamed_equals_batch = true;  ///< held on every episode
+  };
+  std::vector<CascadeSummary> cascades;
 };
 
 /// Fires the workload through a fresh engine with `config` and waits for

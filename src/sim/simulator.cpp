@@ -11,6 +11,24 @@
 
 namespace splace::sim {
 
+std::string SimConfig::validate() const {
+  if (!(duration > 0)) return "SimConfig.duration must be positive";
+  if (!(request_rate > 0)) return "SimConfig.request_rate must be positive";
+  if (!(mtbf > 0)) return "SimConfig.mtbf must be positive";
+  if (!(mttr > 0)) return "SimConfig.mttr must be positive";
+  if (!(epoch > 0)) return "SimConfig.epoch must be positive";
+  if (k < 1) return "SimConfig.k must be >= 1";
+  if (observation_noise.false_positive < 0 ||
+      observation_noise.false_positive >= 1) {
+    return "SimConfig.observation_noise.false_positive must be in [0, 1)";
+  }
+  if (observation_noise.false_negative < 0 ||
+      observation_noise.false_negative >= 1) {
+    return "SimConfig.observation_noise.false_negative must be in [0, 1)";
+  }
+  return {};
+}
+
 namespace {
 
 enum class EventKind { RequestArrival, NodeFail, NodeRepair, EpochEnd };
@@ -57,7 +75,8 @@ namespace {
 SimReport simulate_impl(const ProblemInstance& instance,
                         const Placement& placement, const SimConfig& config,
                         SimTrace* trace) {
-  SPLACE_EXPECTS(config.valid());
+  if (const std::string error = config.validate(); !error.empty())
+    throw InvalidInput(error);
   SPLACE_EXPECTS(placement.size() == instance.service_count());
 
   // The monitor's path universe: all client-server paths of the placement.

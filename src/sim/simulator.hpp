@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "localization/probabilistic.hpp"
 #include "placement/service.hpp"
@@ -40,13 +41,10 @@ struct SimConfig {
   NoiseModel observation_noise;
 
   /// Basic sanity: all rates/durations positive, noise rates in [0, 1).
-  bool valid() const {
-    return duration > 0 && request_rate > 0 && mtbf > 0 && mttr > 0 &&
-           epoch > 0 && k >= 1 && observation_noise.false_positive >= 0 &&
-           observation_noise.false_positive < 1 &&
-           observation_noise.false_negative >= 0 &&
-           observation_noise.false_negative < 1;
-  }
+  /// Empty when the config is usable; otherwise the first violation,
+  /// naming the offending field (EngineConfig::validate() convention).
+  /// simulate() throws InvalidInput with this message.
+  std::string validate() const;
 };
 
 struct SimReport {
@@ -69,8 +67,9 @@ struct SimReport {
   double mean_ambiguity = 0;           ///< candidate sets beyond the first
 };
 
-/// Runs the simulation for one placement. Requires config.valid() and a
-/// placement assigning a candidate host to every service.
+/// Runs the simulation for one placement. Throws InvalidInput when
+/// config.validate() reports a problem; requires a placement assigning a
+/// candidate host to every service.
 SimReport simulate(const ProblemInstance& instance, const Placement& placement,
                    const SimConfig& config);
 

@@ -16,6 +16,12 @@ std::string to_string(EventKind kind) {
       return "ambiguity";
     case EventKind::Trace:
       return "trace";
+    case EventKind::CascadeStart:
+      return "cascade_start";
+    case EventKind::Propagation:
+      return "propagation";
+    case EventKind::RootCause:
+      return "root_cause";
   }
   throw InvalidInput("unknown event kind");
 }
@@ -32,6 +38,15 @@ EventKind event_kind(const StreamEvent& event) {
       return EventKind::Ambiguity;
     }
     EventKind operator()(const TraceEvent&) const { return EventKind::Trace; }
+    EventKind operator()(const CascadeStartEvent&) const {
+      return EventKind::CascadeStart;
+    }
+    EventKind operator()(const PropagationEvent&) const {
+      return EventKind::Propagation;
+    }
+    EventKind operator()(const RootCauseEvent&) const {
+      return EventKind::RootCause;
+    }
   };
   return std::visit(Visitor{}, event);
 }
@@ -82,6 +97,25 @@ std::string to_json(const StreamEvent& event) {
     void operator()(const TraceEvent& e) const {
       out << "{\"kind\": \"trace\", \"trace\": " << engine::to_json(e.trace)
           << "}";
+    }
+    void operator()(const CascadeStartEvent& e) const {
+      append_header(out, EventKind::CascadeStart, e.header);
+      out << ", \"root_service\": " << e.root_service
+          << ", \"root_node\": " << e.root_node << "}";
+    }
+    void operator()(const PropagationEvent& e) const {
+      append_header(out, EventKind::Propagation, e.header);
+      out << ", \"from_service\": " << e.from_service
+          << ", \"to_service\": " << e.to_service << ", \"node\": " << e.node
+          << ", \"tick\": " << e.tick << "}";
+    }
+    void operator()(const RootCauseEvent& e) const {
+      append_header(out, EventKind::RootCause, e.header);
+      out << ", \"root_service\": " << e.root_service
+          << ", \"true_root\": " << e.true_root
+          << ", \"top1\": " << (e.top1 ? "true" : "false")
+          << ", \"blast_services\": " << e.blast_services
+          << ", \"candidates\": " << e.candidates << "}";
     }
   };
   std::visit(Visitor{out}, event);

@@ -2,7 +2,7 @@
 //
 // The batch serving path answers "where is the failure?" when asked; the
 // streaming plane answers "something failed, here is what we know so far"
-// the moment the evidence arrives. Everything it pushes is one of four
+// the moment the evidence arrives. Everything it pushes is one of seven
 // event kinds:
 //
 //   Detection     a failure episode became visible: the first path of an
@@ -20,6 +20,17 @@
 //                 (engine/trace.hpp). The engine's pull-only
 //                 drain_traces() is a tail subscriber of these events —
 //                 push and pull share one event path.
+//   CascadeStart  a root failure with dependents started a dependency
+//                 cascade (cascade/engine.hpp). Carries the root service
+//                 and its host node.
+//   Propagation   the cascade crossed one dependency edge: a downstream
+//                 service went secondary-down because its upstream was
+//                 down. Carries the edge endpoints, the infected host and
+//                 the cascade tick.
+//   RootCause     the root-cause analyzer ranked candidate roots for a
+//                 cascade episode (cascade/root_cause.hpp). Carries the
+//                 top-ranked service, the ground-truth root, and the blast
+//                 set.
 //
 // Events are immutable values; the bus (stream/bus.hpp) fans them out as
 // shared_ptr so a fan-out costs refcounts, not payload copies.
@@ -35,10 +46,18 @@
 
 namespace splace::stream {
 
-enum class EventKind { Detection, Localization, Ambiguity, Trace };
+enum class EventKind {
+  Detection,
+  Localization,
+  Ambiguity,
+  Trace,
+  CascadeStart,
+  Propagation,
+  RootCause,
+};
 
 /// Number of EventKind values (for per-kind counters and masks).
-inline constexpr std::size_t kEventKindCount = 4;
+inline constexpr std::size_t kEventKindCount = 7;
 
 std::string to_string(EventKind kind);
 
@@ -55,7 +74,9 @@ constexpr EventMask event_bit(EventKind kind) {
 
 inline constexpr EventMask kAllEvents =
     event_bit(EventKind::Detection) | event_bit(EventKind::Localization) |
-    event_bit(EventKind::Ambiguity) | event_bit(EventKind::Trace);
+    event_bit(EventKind::Ambiguity) | event_bit(EventKind::Trace) |
+    event_bit(EventKind::CascadeStart) | event_bit(EventKind::Propagation) |
+    event_bit(EventKind::RootCause);
 
 /// Fields every ingest-produced event shares: which stream and snapshot it
 /// came from, the ingest update that produced it, and when.
@@ -99,8 +120,43 @@ struct TraceEvent {
   engine::RequestTrace trace;
 };
 
+/// A root failure with dependents entered the cascade engine: `root_service`
+/// (hosted on `root_node`) went down and has >= 1 dependency edge out, so
+/// correlated secondary failures may follow. `timestamp_us` is the failure
+/// time on the simulation clock.
+struct CascadeStartEvent {
+  EventHeader header;
+  std::size_t root_service = 0;
+  NodeId root_node = kInvalidNode;
+};
+
+/// One dependency edge fired: `to_service` (hosted on `node`) went
+/// secondary-down because `from_service` was down at cascade tick `tick`.
+/// `latency_us` is the time since the owning cascade started.
+struct PropagationEvent {
+  EventHeader header;
+  std::size_t from_service = 0;
+  std::size_t to_service = 0;
+  NodeId node = kInvalidNode;
+  std::size_t tick = 0;
+};
+
+/// The root-cause analyzer ranked candidate roots for one cascade episode.
+/// `root_service` is the top-ranked candidate, `true_root` the ground
+/// truth; `top1` records whether they agree. `candidates` counts ranked
+/// candidate roots, `blast_services` the episode's blast set (root incl.).
+struct RootCauseEvent {
+  EventHeader header;
+  std::size_t root_service = 0;
+  std::size_t true_root = 0;
+  bool top1 = false;
+  std::size_t blast_services = 0;
+  std::size_t candidates = 0;
+};
+
 using StreamEvent =
-    std::variant<DetectionEvent, LocalizationEvent, AmbiguityEvent, TraceEvent>;
+    std::variant<DetectionEvent, LocalizationEvent, AmbiguityEvent, TraceEvent,
+                 CascadeStartEvent, PropagationEvent, RootCauseEvent>;
 
 EventKind event_kind(const StreamEvent& event);
 

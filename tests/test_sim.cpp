@@ -29,8 +29,8 @@ TEST(Simulator, ValidatesInputs) {
 
   sim::SimConfig bad = quick_config();
   bad.duration = 0;
-  EXPECT_FALSE(bad.valid());
-  EXPECT_THROW(sim::simulate(inst, placement, bad), ContractViolation);
+  EXPECT_NE(bad.validate().find("duration"), std::string::npos);
+  EXPECT_THROW(sim::simulate(inst, placement, bad), InvalidInput);
 
   Placement wrong_size{0};
   EXPECT_THROW(sim::simulate(inst, wrong_size, quick_config()),
@@ -131,9 +131,9 @@ TEST(Simulator, NoiseRatesValidated) {
   const auto inst = testing::random_instance(10, 16, 2, 2, 1.0, rng);
   sim::SimConfig bad = quick_config();
   bad.observation_noise.false_positive = 1.0;
-  EXPECT_FALSE(bad.valid());
+  EXPECT_NE(bad.validate().find("false_positive"), std::string::npos);
   EXPECT_THROW(sim::simulate(inst, best_qos_placement(inst), bad),
-               ContractViolation);
+               InvalidInput);
 }
 
 TEST(Simulator, ZeroNoiseMatchesDefaultExactly) {
