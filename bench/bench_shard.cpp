@@ -1,0 +1,448 @@
+// Saturation bench for the sharded multi-tenant serving tier (src/shard):
+// one mixed multi-tenant request stream over the Tiscali snapshot, fired
+// through EngineGroup at shard counts {1, 2, 4, 8} (one worker thread per
+// shard, so parallelism == shard count). Per cell: throughput and exact
+// p50/p99 latency from every response's submit-to-completion time.
+//
+// A separate noisy-neighbor cell runs a quiet tenant's cacheable traffic
+// alone (baseline hit rate) and again against a noisy tenant flooding
+// distinct keys under an in-flight quota — per-tenant cache partitions and
+// quotas must keep the quiet tenant's hit rate intact and its requests
+// unrejected.
+//
+// Exit-code gates (run in every mode; --smoke only shrinks the workload):
+//   * group == single: the 4-shard group's responses are bit-identical,
+//     request by request, to the 1-shard run of the same workload;
+//   * zero lost responses: ok + rejections == submitted in every cell, and
+//     nothing is queue-full-rejected (queues are deliberately deep);
+//   * quiet-tenant protection: churn hit rate >= baseline - 0.02, zero
+//     quota rejections for the quiet tenant, > 0 for the noisy one;
+//   * shard scaling: 4-shard throughput beats 1 shard — SKIPPED LOUDLY on
+//     a single-CPU host, where no wall-clock speedup is possible.
+//
+// Artifact: BENCH_shard.json (bench_common envelope, which records
+// hardware_concurrency for the skip decision's provenance).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "localization/observation.hpp"
+#include "placement/baselines.hpp"
+#include "shard/group.hpp"
+#include "topology/catalog.hpp"
+#include "util/random.hpp"
+#include "util/string_util.hpp"
+
+namespace splace {
+namespace {
+
+using engine::Engine;
+using engine::EngineConfig;
+using engine::EngineMetricsSnapshot;
+using engine::EngineResult;
+using engine::EvaluateRequest;
+using engine::LocalizeRequest;
+using engine::Outcome;
+using engine::PlaceRequest;
+using engine::Request;
+using engine::SnapshotRegistry;
+using engine::TenantQuota;
+using shard::EngineGroup;
+using shard::EngineGroupConfig;
+
+struct Workload {
+  std::shared_ptr<SnapshotRegistry> registry;
+  std::uint64_t snapshot = 0;
+  std::vector<Request> requests;
+};
+
+/// The mixed multi-tenant stream: per round, each tenant submits one
+/// cacheable place, one cacheable evaluate, and one cache-resistant
+/// localize (fresh deterministic failure draw per round and tenant).
+Workload build_workload(std::size_t rounds, std::size_t tenants) {
+  Workload workload;
+  workload.registry = std::make_shared<SnapshotRegistry>();
+  const topology::CatalogEntry& entry = topology::catalog_entry("tiscali");
+  Graph g = topology::build(entry);
+  const std::vector<NodeId> clients = topology::candidate_clients(entry, g);
+  const auto snapshot = workload.registry->add(
+      "tiscali", std::move(g), make_services(entry, clients, 0.6));
+  workload.snapshot = snapshot->hash();
+
+  const ProblemInstance& instance = snapshot->instance();
+  const Placement qos = best_qos_placement(instance);
+  const PathSet paths = instance.paths_for_placement(qos);
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t t = 0; t < tenants; ++t) {
+      const std::string tenant = "tenant" + std::to_string(t);
+      PlaceRequest place;
+      place.snapshot = workload.snapshot;
+      place.algorithm = Algorithm::GD;
+      place.tenant = tenant;
+      workload.requests.push_back(place);
+
+      EvaluateRequest evaluate;
+      evaluate.snapshot = workload.snapshot;
+      evaluate.placement = qos;
+      evaluate.tenant = tenant;
+      workload.requests.push_back(evaluate);
+
+      Rng rng(7919 * (round + 1) + t);
+      const FailureScenario scenario = random_scenario(paths, 2, rng);
+      LocalizeRequest localize;
+      localize.snapshot = workload.snapshot;
+      localize.placement = qos;
+      localize.tenant = tenant;
+      for (std::size_t p : scenario.failed_paths.to_indices())
+        localize.failed_paths.push_back(static_cast<std::uint32_t>(p));
+      workload.requests.push_back(std::move(localize));
+    }
+  }
+  return workload;
+}
+
+/// Payload equality for the group-vs-single gate: everything except the
+/// load-dependent fields (message, cache_hit, latency).
+bool same_payload(const EngineResult& a, const EngineResult& b) {
+  if (a.type != b.type || a.outcome != b.outcome) return false;
+  if (a.outcome != Outcome::Ok) return true;
+  switch (a.type) {
+    case engine::RequestType::Place:
+      return a.place.placement == b.place.placement &&
+             a.place.objective_value == b.place.objective_value &&
+             a.place.metrics.coverage == b.place.metrics.coverage &&
+             a.place.metrics.identifiability ==
+                 b.place.metrics.identifiability &&
+             a.place.metrics.distinguishability ==
+                 b.place.metrics.distinguishability;
+    case engine::RequestType::Evaluate:
+      return a.metrics.coverage == b.metrics.coverage &&
+             a.metrics.identifiability == b.metrics.identifiability &&
+             a.metrics.distinguishability == b.metrics.distinguishability;
+    case engine::RequestType::Localize:
+      return a.localization.suspects == b.localization.suspects &&
+             a.localization.exonerated == b.localization.exonerated &&
+             a.localization.consistent_sets == b.localization.consistent_sets &&
+             a.localization.minimal_explanation ==
+                 b.localization.minimal_explanation;
+    case engine::RequestType::Mutate:
+      return a.mutate.derived_snapshot == b.mutate.derived_snapshot;
+  }
+  return false;
+}
+
+struct Cell {
+  std::size_t shards = 0;
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  std::uint64_t cache_hits = 0;
+  double wall_seconds = 0;
+  double throughput_rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  std::vector<EngineResult> results;  ///< in submission order, for the gate
+};
+
+double percentile_ms(std::vector<double>& seconds, double q) {
+  if (seconds.empty()) return 0;
+  std::sort(seconds.begin(), seconds.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(seconds.size() - 1) + 0.5);
+  return seconds[std::min(rank, seconds.size() - 1)] * 1e3;
+}
+
+Cell run_cell(const Workload& workload, std::size_t shards) {
+  EngineGroupConfig config;
+  config.shards = shards;
+  config.shard.threads = 1;                 // parallelism == shard count
+  config.shard.max_queue_depth = 1 << 16;   // saturation, not rejection
+  config.shard.cache_capacity = 256;
+  EngineGroup group(workload.registry, config);
+
+  Cell cell;
+  cell.shards = shards;
+  cell.requests = workload.requests.size();
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<EngineResult>> futures =
+      group.submit(workload.requests);
+  std::vector<double> latencies;
+  latencies.reserve(futures.size());
+  for (auto& future : futures) {
+    cell.results.push_back(future.get());
+    const EngineResult& result = cell.results.back();
+    if (result.ok()) ++cell.ok;
+    else ++cell.rejected;
+    latencies.push_back(result.latency_seconds);
+  }
+  cell.wall_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  cell.throughput_rps =
+      cell.wall_seconds <= 0
+          ? 0
+          : static_cast<double>(cell.requests) / cell.wall_seconds;
+  cell.p50_ms = percentile_ms(latencies, 0.50);
+  cell.p99_ms = percentile_ms(latencies, 0.99);
+  cell.cache_hits = group.metrics().cache_hits;
+  return cell;
+}
+
+/// One tenant's cacheable traffic: `rounds` repeats of the same place +
+/// evaluate pair (everything after the first round should hit the cache).
+std::vector<Request> quiet_traffic(const Workload& workload,
+                                   const Placement& qos, std::size_t rounds) {
+  std::vector<Request> requests;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    PlaceRequest place;
+    place.snapshot = workload.snapshot;
+    place.algorithm = Algorithm::GD;
+    place.tenant = "quiet";
+    requests.push_back(place);
+    EvaluateRequest evaluate;
+    evaluate.snapshot = workload.snapshot;
+    evaluate.placement = qos;
+    evaluate.tenant = "quiet";
+    requests.push_back(evaluate);
+  }
+  return requests;
+}
+
+struct NoisyNeighbor {
+  double baseline_hit_rate = 0;
+  double churn_hit_rate = 0;
+  std::uint64_t quiet_quota_rejections = 0;
+  std::uint64_t noisy_quota_rejections = 0;
+  std::size_t responses = 0;
+  std::size_t expected_responses = 0;
+};
+
+double quiet_hit_rate(const EngineMetricsSnapshot& metrics) {
+  for (const auto& [tenant, counters] : metrics.tenants)
+    if (tenant == "quiet" && counters.submitted > 0)
+      return static_cast<double>(counters.cache_hits) /
+             static_cast<double>(counters.submitted);
+  return 0;
+}
+
+NoisyNeighbor run_noisy_neighbor(const Workload& workload,
+                                 std::size_t rounds) {
+  const Placement qos = best_qos_placement(
+      workload.registry->find(workload.snapshot)->instance());
+  NoisyNeighbor cell;
+
+  {  // Baseline: the quiet tenant alone.
+    EngineConfig config;
+    config.threads = 2;
+    config.max_queue_depth = 1 << 16;
+    config.cache_capacity = 64;
+    Engine engine(workload.registry, config);
+    for (Request& request : quiet_traffic(workload, qos, rounds)) {
+      const EngineResult result = engine.submit(std::move(request)).get();
+      ++cell.responses;
+      if (result.outcome == Outcome::RejectedTenantQuota)
+        ++cell.quiet_quota_rejections;
+    }
+    cell.expected_responses += rounds * 2;
+    cell.baseline_hit_rate = quiet_hit_rate(engine.metrics());
+  }
+
+  {  // Churn: the same quiet traffic against a quota'd noisy flood.
+    EngineConfig config;
+    config.threads = 2;
+    config.max_queue_depth = 1 << 16;
+    config.cache_capacity = 64;
+    config.tenant_quotas.push_back(TenantQuota{"noisy", 2, 0, 0});
+    Engine engine(workload.registry, config);
+    std::vector<std::future<EngineResult>> noisy_futures;
+    std::uint64_t noisy_seed = 0;
+    auto flood = [&](std::size_t count) {
+      for (std::size_t i = 0; i < count; ++i) {
+        PlaceRequest place;
+        place.snapshot = workload.snapshot;
+        place.algorithm = Algorithm::RD;
+        place.seed = noisy_seed++;
+        place.tenant = "noisy";
+        noisy_futures.push_back(engine.submit(place));
+      }
+    };
+    for (Request& request : quiet_traffic(workload, qos, rounds)) {
+      flood(4);  // distinct keys: pure cache pressure + quota pressure
+      const EngineResult result = engine.submit(std::move(request)).get();
+      ++cell.responses;
+      if (result.outcome == Outcome::RejectedTenantQuota)
+        ++cell.quiet_quota_rejections;
+    }
+    for (auto& future : noisy_futures) {
+      future.get();
+      ++cell.responses;
+    }
+    cell.expected_responses += rounds * 2 + noisy_seed;
+    const EngineMetricsSnapshot metrics = engine.metrics();
+    cell.churn_hit_rate = quiet_hit_rate(metrics);
+    for (const auto& [tenant, counters] : metrics.tenants)
+      if (tenant == "noisy")
+        cell.noisy_quota_rejections = counters.rejected_quota;
+  }
+  return cell;
+}
+
+}  // namespace
+}  // namespace splace
+
+int main(int argc, char** argv) {
+  using namespace splace;
+  bool smoke = false;
+  std::string out_path = "BENCH_shard.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "unknown flag '" << arg
+                << "' (flags: --smoke, --out PATH)\n";
+      return 2;
+    }
+  }
+
+  const std::size_t rounds = smoke ? 4 : 40;
+  const std::size_t tenants = smoke ? 3 : 5;
+  const Workload workload = build_workload(rounds, tenants);
+  std::cout << "workload: " << workload.requests.size() << " requests, "
+            << tenants << " tenants over tiscali\n";
+
+  const std::vector<std::size_t> shard_counts{1, 2, 4, 8};
+  std::vector<Cell> cells;
+  for (std::size_t shards : shard_counts) {
+    cells.push_back(run_cell(workload, shards));
+    const Cell& cell = cells.back();
+    std::cout << "shards " << cell.shards << ": " << cell.ok << "/"
+              << cell.requests << " ok, "
+              << format_double(cell.throughput_rps, 0) << " req/s, p50 "
+              << format_double(cell.p50_ms, 2) << " ms, p99 "
+              << format_double(cell.p99_ms, 2) << " ms, "
+              << cell.cache_hits << " cache hits\n";
+  }
+
+  const NoisyNeighbor noisy = run_noisy_neighbor(workload, rounds * 4);
+  std::cout << "noisy neighbor: quiet hit rate "
+            << format_double(noisy.baseline_hit_rate, 3)
+            << " alone vs "
+            << format_double(noisy.churn_hit_rate, 3)
+            << " under churn; noisy quota rejections "
+            << noisy.noisy_quota_rejections << "\n";
+
+  // --- Gates. ---
+  bool failed = false;
+
+  // Group == single engine, request by request.
+  const Cell& single = cells[0];
+  for (const Cell& cell : cells) {
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < single.results.size(); ++i)
+      if (!same_payload(single.results[i], cell.results[i])) ++mismatches;
+    if (mismatches != 0) {
+      std::cerr << "FAIL: " << mismatches << " response(s) from the "
+                << cell.shards << "-shard group differ from 1 shard\n";
+      failed = true;
+    }
+  }
+
+  // Zero lost responses, nothing rejected under the deep queues.
+  for (const Cell& cell : cells) {
+    if (cell.ok + cell.rejected != cell.requests || cell.rejected != 0) {
+      std::cerr << "FAIL: shards " << cell.shards << " resolved " << cell.ok
+                << " ok + " << cell.rejected << " rejected of "
+                << cell.requests << "\n";
+      failed = true;
+    }
+  }
+  if (noisy.responses != noisy.expected_responses) {
+    std::cerr << "FAIL: noisy-neighbor cell lost responses ("
+              << noisy.responses << " of " << noisy.expected_responses
+              << ")\n";
+    failed = true;
+  }
+
+  // Quiet-tenant protection under churn.
+  if (noisy.churn_hit_rate < noisy.baseline_hit_rate - 0.02) {
+    std::cerr << "FAIL: quiet tenant hit rate degraded under churn ("
+              << noisy.baseline_hit_rate << " -> " << noisy.churn_hit_rate
+              << ")\n";
+    failed = true;
+  }
+  if (noisy.quiet_quota_rejections != 0) {
+    std::cerr << "FAIL: quiet tenant was quota-rejected "
+              << noisy.quiet_quota_rejections << " time(s)\n";
+    failed = true;
+  }
+  if (noisy.noisy_quota_rejections == 0) {
+    std::cerr << "FAIL: the noisy flood never hit its quota\n";
+    failed = true;
+  }
+
+  // Shard scaling needs real parallelism: skip loudly on one CPU.
+  const unsigned hw = std::thread::hardware_concurrency();
+  bool scaling_gate_run = false;
+  if (hw <= 1) {
+    std::cout << "SKIP: shard-scaling gate needs > 1 CPU "
+                 "(hardware_concurrency = "
+              << hw << "); throughput cells are still recorded\n";
+  } else {
+    scaling_gate_run = true;
+    const double speedup = cells[2].throughput_rps / single.throughput_rps;
+    std::cout << "scaling: 4-shard speedup " << format_double(speedup, 2)
+              << "x over 1 shard\n";
+    if (speedup <= 1.0) {
+      std::cerr << "FAIL: 4 shards no faster than 1 ("
+                << format_double(speedup, 2) << "x)\n";
+      failed = true;
+    }
+  }
+
+  bench::JsonWriter json;
+  json.begin_object()
+      .field("smoke", smoke)
+      .field("tenants", tenants)
+      .field("rounds", rounds)
+      .begin_array("cells");
+  for (const Cell& cell : cells) {
+    json.begin_object()
+        .field("shards", cell.shards)
+        .field("requests", cell.requests)
+        .field("ok", cell.ok)
+        .field("rejected", cell.rejected)
+        .field("cache_hits", cell.cache_hits)
+        .field("wall_seconds", cell.wall_seconds)
+        .field("throughput_rps", cell.throughput_rps)
+        .field("p50_ms", cell.p50_ms)
+        .field("p99_ms", cell.p99_ms)
+        .end_object();
+  }
+  json.end_array()
+      .begin_object("noisy_neighbor")
+      .field("baseline_hit_rate", noisy.baseline_hit_rate)
+      .field("churn_hit_rate", noisy.churn_hit_rate)
+      .field("quiet_quota_rejections", noisy.quiet_quota_rejections)
+      .field("noisy_quota_rejections", noisy.noisy_quota_rejections)
+      .end_object()
+      .begin_object("gates")
+      .field("group_matches_single", !failed)
+      .field("scaling_gate_run", scaling_gate_run)
+      .end_object()
+      .end_object();
+  bench::write_bench_json(out_path, "shard", 1, json.str());
+
+  return failed ? 1 : 0;
+}

@@ -13,8 +13,10 @@
 //                overrides every other problem-definition flag
 //   --replay     fire a replay file of mixed place/evaluate/localize
 //                requests through the concurrent serving engine (see
-//                engine/replay.hpp for the format) and print the outcome
-//                tally plus the engine metrics as JSON
+//                engine/replay.hpp for the format — including `shards N`
+//                for a consistent-hash EngineGroup and `tenant` / `quota`
+//                directives for multi-tenant isolation) and print the
+//                outcome tally plus the engine metrics as JSON
 //   --metrics-text PATH  with --replay: write the Prometheus-style text
 //                exposition of the post-run engine/stream/bus metrics to
 //                PATH ("-" for stdout); a `metrics` directive in the
@@ -224,13 +226,17 @@ int main(int argc, char** argv) {
               << "engine:    threads "
               << (spec.threads == 0 ? std::string("hw")
                                     : std::to_string(spec.threads))
+              << (spec.shards > 1
+                      ? ", shards " + std::to_string(spec.shards)
+                      : std::string())
               << ", queue depth " << spec.queue_depth << ", cache "
               << spec.cache_capacity << "\n"
               << "requests:  " << report.total << " total, " << report.ok
               << " ok (" << report.cache_hits << " cache hits), "
               << report.rejected_queue_full << " queue-full, "
               << report.rejected_deadline << " deadline, "
-              << report.rejected_bad_request << " bad-request\n"
+              << report.rejected_bad_request << " bad-request, "
+              << report.rejected_tenant_quota << " tenant-quota\n"
               << "wall:      " << format_double(report.wall_seconds, 4)
               << " s (" << format_double(report.requests_per_second, 0)
               << " req/s)\n"
@@ -268,7 +274,8 @@ int main(int argc, char** argv) {
     }
     return report.total == report.ok + report.rejected_queue_full +
                                report.rejected_deadline +
-                               report.rejected_bad_request
+                               report.rejected_bad_request +
+                               report.rejected_tenant_quota
                ? 0
                : 1;
   }

@@ -10,14 +10,14 @@ ctest --test-dir build --output-on-failure
 TSAN_SUITES="test_thread_pool test_greedy test_lazy_greedy test_determinism \
   test_engine test_engine_stress test_dynamic test_dynamic_engine \
   test_engine_trace test_api test_stream test_metrics_text \
-  test_path_arena test_kernels test_stochastic test_cascade"
+  test_path_arena test_kernels test_stochastic test_cascade test_shard"
 ASAN_SUITES="test_thread_pool test_engine test_engine_stress \
   test_dynamic test_dynamic_engine test_engine_trace test_api test_stream \
   test_metrics_text test_path_arena test_kernels test_stochastic \
-  test_cascade"
+  test_cascade test_shard"
 UBSAN_SUITES="test_path_arena test_kernels test_stochastic test_greedy \
   test_lazy_greedy test_objective_gain test_equivalence test_bitset \
-  test_cascade"
+  test_cascade test_shard"
 
 require_suites() {
   dir="$1"; shift
@@ -39,7 +39,7 @@ cmake -B build-tsan -G Ninja -DSPLACE_SANITIZE=thread \
 cmake --build build-tsan --target $TSAN_SUITES
 require_suites build-tsan $TSAN_SUITES
 ctest --test-dir build-tsan --output-on-failure \
-  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade|StreamIngest|EventBus|EngineStream|ApiBuilders|MetricsText|PathArena|Kernels|Stochastic|Cascade"
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade|StreamIngest|EventBus|EngineStream|ApiBuilders|MetricsText|PathArena|Kernels|Stochastic|Cascade|Shard|Exposition|Replay"
 
 # ASan pass over the serving layer: the engine moves results through
 # futures, a shared LRU cache, and snapshots that share routing trees and
@@ -50,7 +50,7 @@ cmake -B build-asan -G Ninja -DSPLACE_SANITIZE=address \
 cmake --build build-asan --target $ASAN_SUITES
 require_suites build-asan $ASAN_SUITES
 ctest --test-dir build-asan --output-on-failure \
-  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade|StreamIngest|EventBus|EngineStream|ApiBuilders|MetricsText|PathArena|Kernels|Stochastic|Cascade"
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade|StreamIngest|EventBus|EngineStream|ApiBuilders|MetricsText|PathArena|Kernels|Stochastic|Cascade|Shard|Exposition|Replay"
 
 # UBSan pass over the kernel/arena/placement arithmetic: the word-parallel
 # kernels live on shifts, casts, and pointer spans — exactly UBSan territory.
@@ -60,7 +60,7 @@ cmake -B build-ubsan -G Ninja -DSPLACE_SANITIZE=undefined \
 cmake --build build-ubsan --target $UBSAN_SUITES
 require_suites build-ubsan $UBSAN_SUITES
 ctest --test-dir build-ubsan --output-on-failure \
-  -R "PathArena|Kernels|Stochastic|Greedy|Objective|Equivalence|Bitset|Cascade"
+  -R "PathArena|Kernels|Stochastic|Greedy|Objective|Equivalence|Bitset|Cascade|Shard|Exposition|Replay"
 
 # Scalar-dispatch leg: the same suites with SPLACE_FORCE_SCALAR=1, proving
 # the env override pins the portable kernels and that they stand alone
@@ -92,6 +92,13 @@ build/bench/bench_scale --smoke
 # CascadeEngine run stayed bit-identical to the base simulator.
 build/bench/bench_cascade --smoke --out BENCH_cascade_smoke.json
 rm -f BENCH_cascade_smoke.json
+
+# Shard smoke leg: bench_shard --smoke exits nonzero unless the sharded
+# group answers bit-identically to a single engine, no cell loses a
+# response, and the quiet tenant's cache hit rate survives the noisy-tenant
+# flood. The shard-scaling gate auto-skips (loudly) on a 1-CPU host.
+build/bench/bench_shard --smoke --out BENCH_shard_smoke.json
+rm -f BENCH_shard_smoke.json
 
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"

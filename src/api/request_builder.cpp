@@ -97,6 +97,13 @@ Request& Request::threads(std::size_t count) {
   return *this;
 }
 
+Request& Request::tenant(std::string tenant_id) {
+  std::visit(
+      [&](auto& request) { request.tenant = std::move(tenant_id); },
+      request_);
+  return *this;
+}
+
 engine::Request Request::build() const {
   if (!snapshot_set_)
     throw InvalidInput(

@@ -47,6 +47,9 @@ class Request {
   Request& seed(std::uint64_t rng_seed);
   /// Intra-request worker threads >= 1 (place only; never changes results).
   Request& threads(std::size_t count);
+  /// Tenant id (applies to every type; empty = the default tenant). Routes
+  /// the request to its tenant's cache partition and admission quota.
+  Request& tenant(std::string tenant_id);
 
   /// The finished engine request. Throws InvalidInput when no snapshot was
   /// set. May be called repeatedly (the builder is not consumed).

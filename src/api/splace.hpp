@@ -44,6 +44,13 @@ using splace::engine::RequestType;
 using splace::engine::Engine;
 using splace::engine::EngineConfig;
 using splace::engine::EngineMetricsSnapshot;
+using splace::engine::TenantCounters;
+using splace::engine::TenantQuota;
+
+// --- Sharded serving tier: consistent-hash groups of engine shards. ---
+using splace::shard::EngineGroup;
+using splace::shard::EngineGroupConfig;
+using splace::shard::ShardRouter;
 
 using splace::engine::AdaptiveCacheStats;
 using splace::engine::RequestTrace;

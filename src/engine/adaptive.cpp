@@ -36,11 +36,11 @@ AdaptiveCacheController::AdaptiveCacheController(
   ring_.assign(window_, 0);
 }
 
-void AdaptiveCacheController::observe(const std::string& key,
-                                      RequestType type, ResultCache& cache) {
-  if (!enabled_) return;
+std::size_t AdaptiveCacheController::observe_locked(const std::string& key,
+                                                    RequestType type,
+                                                    const std::string& tenant,
+                                                    std::size_t current) {
   const std::uint64_t hash = key_hash(key);
-  std::unique_lock<std::mutex> lock(mutex_);
   ++observed_;
 
   // Slide the window: the slot we are about to overwrite leaves it.
@@ -49,6 +49,11 @@ void AdaptiveCacheController::observe(const std::string& key,
     SPLACE_ENSURES(leaving != in_window_.end());
     if (--leaving->second.count == 0) {
       --distinct_by_type_[static_cast<std::size_t>(leaving->second.type)];
+      const auto by_tenant = distinct_by_tenant_.find(leaving->second.tenant);
+      if (by_tenant != distinct_by_tenant_.end() &&
+          --by_tenant->second == 0) {
+        distinct_by_tenant_.erase(by_tenant);
+      }
       in_window_.erase(leaving);
     }
   }
@@ -59,11 +64,13 @@ void AdaptiveCacheController::observe(const std::string& key,
   WindowEntry& entry = in_window_[hash];
   if (entry.count == 0) {
     entry.type = type;
+    entry.tenant = tenant;
     ++distinct_by_type_[static_cast<std::size_t>(type)];
+    ++distinct_by_tenant_[tenant];
   }
   ++entry.count;
 
-  if (observed_ % interval_ != 0) return;
+  if (observed_ % interval_ != 0) return 0;
 
   // Re-target: working set plus headroom, clamped to the configured bounds,
   // applied only past the 1/8 hysteresis band (no flapping on a working set
@@ -73,14 +80,42 @@ void AdaptiveCacheController::observe(const std::string& key,
       std::ceil(static_cast<double>(working_set) * headroom_));
   const std::size_t target =
       std::clamp(desired, min_capacity_, max_capacity_);
-  const std::size_t current = cache.capacity();
   const std::size_t diff =
       target > current ? target - current : current - target;
-  if (target == current || diff * 8 < current) return;
+  if (target == current || diff * 8 < current) return 0;
   resizes_.push_back(ResizeEvent{observed_, current, target, working_set});
+  // min_capacity_ >= 1, so a real target is never 0 — 0 is the "no resize"
+  // sentinel.
+  return target;
+}
+
+void AdaptiveCacheController::observe(const std::string& key,
+                                      RequestType type, ResultCache& cache) {
+  if (!enabled_) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::size_t target =
+      observe_locked(key, type, std::string{}, cache.capacity());
+  if (target == 0) return;
   // Lock order is controller -> cache, and nothing takes them the other way
   // around; holding mutex_ here also serializes racing re-target decisions.
   cache.set_capacity(target);
+}
+
+void AdaptiveCacheController::observe(const std::string& key,
+                                      RequestType type,
+                                      const std::string& tenant,
+                                      TenantCacheMap& tenants) {
+  if (!enabled_) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::size_t target =
+      observe_locked(key, type, tenant, tenants.total_capacity());
+  if (target == 0) return;
+  // Split the new total budget proportionally to each tenant's share of the
+  // window's distinct keys — the "capacity split seeded from the working-set
+  // signal". Lock order: controller -> tenant map -> partition.
+  std::vector<std::pair<std::string, std::size_t>> weights(
+      distinct_by_tenant_.begin(), distinct_by_tenant_.end());
+  tenants.set_split(weights, target);
 }
 
 AdaptiveCacheStats AdaptiveCacheController::stats() const {
@@ -94,6 +129,11 @@ AdaptiveCacheStats AdaptiveCacheController::stats() const {
   stats.observed = observed_;
   stats.working_set = in_window_.size();
   stats.working_set_by_type = distinct_by_type_;
+  stats.working_set_by_tenant.assign(distinct_by_tenant_.begin(),
+                                     distinct_by_tenant_.end());
+  std::sort(stats.working_set_by_tenant.begin(),
+            stats.working_set_by_tenant.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   stats.resizes = resizes_;
   return stats;
 }

@@ -51,6 +51,10 @@ struct AdaptiveCacheStats {
   std::uint64_t observed = 0;   ///< responses observed so far
   std::size_t working_set = 0;  ///< distinct canonical keys in the window
   std::array<std::size_t, kRequestTypeCount> working_set_by_type{};
+  /// Distinct keys in the window per tenant, sorted by tenant name (empty
+  /// default tenant first). This is the signal that seeds per-tenant cache
+  /// partition splits in the sharded serving tier.
+  std::vector<std::pair<std::string, std::size_t>> working_set_by_tenant;
   std::size_t min_capacity = 0;  ///< entries
   std::size_t max_capacity = 0;  ///< entries
   std::vector<ResizeEvent> resizes;
@@ -73,13 +77,28 @@ class AdaptiveCacheController {
   /// `interval` observations, re-targets `cache`'s capacity.
   void observe(const std::string& key, RequestType type, ResultCache& cache);
 
+  /// Tenant-aware variant for partitioned caches: same window and total
+  /// re-target policy, but the new total is split across `tenants`'
+  /// partitions proportionally to each tenant's distinct-key count in the
+  /// window (TenantCacheMap::set_split) instead of resizing one cache.
+  void observe(const std::string& key, RequestType type,
+               const std::string& tenant, TenantCacheMap& tenants);
+
   AdaptiveCacheStats stats() const;
 
  private:
   struct WindowEntry {
     std::size_t count = 0;
     RequestType type = RequestType::Place;
+    std::string tenant;
   };
+
+  /// Shared window bookkeeping. Returns the target capacity when this
+  /// observation triggers a re-target past the hysteresis band (given the
+  /// aggregate `current` capacity), or 0 when no resize should happen.
+  /// Caller holds mutex_.
+  std::size_t observe_locked(const std::string& key, RequestType type,
+                             const std::string& tenant, std::size_t current);
 
   bool enabled_;
   std::size_t min_capacity_;
@@ -97,6 +116,8 @@ class AdaptiveCacheController {
   /// Distinct-per-type counters derive from 0<->1 transitions.
   std::unordered_map<std::uint64_t, WindowEntry> in_window_;
   std::array<std::size_t, kRequestTypeCount> distinct_by_type_{};
+  /// tenant -> distinct keys currently in the window.
+  std::unordered_map<std::string, std::size_t> distinct_by_tenant_;
   std::vector<ResizeEvent> resizes_;
 };
 

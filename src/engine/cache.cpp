@@ -1,5 +1,7 @@
 #include "engine/cache.hpp"
 
+#include <algorithm>
+
 namespace splace::engine {
 
 std::size_t estimate_bytes(const EngineResult& result) {
@@ -71,6 +73,119 @@ void ResultCache::clear() {
   lru_.clear();
   index_.clear();
   stats_ = CacheStats{};
+}
+
+TenantCacheMap::TenantCacheMap(std::size_t total_capacity)
+    : total_capacity_(total_capacity) {
+  // The default tenant exists from the start with the full budget, so a
+  // tenant-free workload behaves byte-identically to a plain ResultCache.
+  partitions_.emplace("", std::make_unique<ResultCache>(total_capacity));
+}
+
+ResultCache& TenantCacheMap::partition(const std::string& tenant) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = partitions_.find(tenant);
+  if (it == partitions_.end()) {
+    it = partitions_
+             .emplace(tenant, std::make_unique<ResultCache>(std::size_t{0}))
+             .first;
+    resplit_locked(nullptr);
+  }
+  return *it->second;
+}
+
+void TenantCacheMap::set_split(
+    const std::vector<std::pair<std::string, std::size_t>>& weights,
+    std::size_t total) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  total_capacity_.store(total, std::memory_order_relaxed);
+  resplit_locked(&weights);
+}
+
+void TenantCacheMap::resplit_locked(
+    const std::vector<std::pair<std::string, std::size_t>>* weights) {
+  const std::size_t total = total_capacity_.load(std::memory_order_relaxed);
+  if (total == 0) {
+    for (auto& [tenant, cache] : partitions_) cache->set_capacity(0);
+    return;
+  }
+  // Deterministic split order: tenants sorted by name (default "" first).
+  std::vector<const std::string*> names;
+  names.reserve(partitions_.size());
+  for (const auto& [tenant, cache] : partitions_) names.push_back(&tenant);
+  std::sort(names.begin(), names.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+
+  std::size_t weight_sum = 0;
+  auto weight_of = [&](const std::string& tenant) -> std::size_t {
+    if (weights == nullptr) return 1;  // equal shares
+    for (const auto& [name, w] : *weights)
+      if (name == tenant) return w;
+    return 0;
+  };
+  std::vector<std::size_t> share(names.size(), 0);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    share[i] = weight_of(*names[i]);
+    weight_sum += share[i];
+  }
+  if (weight_sum == 0) {
+    for (std::size_t& s : share) s = 1;
+    weight_sum = share.size();
+  }
+  // Proportional shares with a floor of 1: no tenant's partition can be
+  // zeroed by another tenant's weight. The floor may push the sum slightly
+  // over `total` when total < #partitions — isolation beats exact budgets.
+  std::size_t assigned = 0;
+  std::size_t largest = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::size_t exact = total * share[i] / weight_sum;
+    share[i] = exact > 0 ? exact : 1;
+    assigned += share[i];
+    if (share[i] > share[largest]) largest = i;
+  }
+  // Rounding leftover goes to the heaviest partition (ties: first by name).
+  if (assigned < total) share[largest] += total - assigned;
+  for (std::size_t i = 0; i < names.size(); ++i)
+    partitions_.at(*names[i])->set_capacity(share[i]);
+}
+
+CacheStats TenantCacheMap::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  CacheStats total;
+  for (const auto& [tenant, cache] : partitions_) {
+    const CacheStats part = cache->stats();
+    total.hits += part.hits;
+    total.misses += part.misses;
+    total.evictions += part.evictions;
+    for (std::size_t t = 0; t < kRequestTypeCount; ++t)
+      total.evictions_by_type[t] += part.evictions_by_type[t];
+    total.evicted_bytes_estimate += part.evicted_bytes_estimate;
+    total.size += part.size;
+    total.capacity += part.capacity;
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, CacheStats>> TenantCacheMap::partition_stats()
+    const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, CacheStats>> out;
+  out.reserve(partitions_.size());
+  for (const auto& [tenant, cache] : partitions_)
+    out.emplace_back(tenant, cache->stats());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::size_t TenantCacheMap::partition_count() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return partitions_.size();
+}
+
+void TenantCacheMap::clear() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto& [tenant, cache] : partitions_) cache->clear();
 }
 
 }  // namespace splace::engine

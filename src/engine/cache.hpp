@@ -16,6 +16,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "engine/request.hpp"
 
@@ -92,6 +93,67 @@ class ResultCache {
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   CacheStats stats_;
+};
+
+/// Per-tenant result-cache partitions sharing one total capacity budget.
+///
+/// Each tenant gets its own ResultCache, so a churning tenant can only evict
+/// its own entries — the isolation contract of the sharded serving tier. The
+/// default tenant (empty string) owns the whole budget until a second tenant
+/// appears, which keeps single-tenant behavior byte-identical to a plain
+/// ResultCache. When partitions exist, every one keeps capacity >= 1
+/// (whenever the budget is non-zero), so no split can zero out a quiet
+/// tenant. Splits are re-computed on partition creation (equal shares) and
+/// by set_split() (proportional shares from the adaptive working-set
+/// signal).
+class TenantCacheMap {
+ public:
+  /// Capacity 0 disables every partition.
+  explicit TenantCacheMap(std::size_t total_capacity);
+
+  bool enabled() const {
+    return total_capacity_.load(std::memory_order_relaxed) > 0;
+  }
+
+  std::size_t total_capacity() const {
+    return total_capacity_.load(std::memory_order_relaxed);
+  }
+
+  /// The partition serving `tenant`, created on first use (which re-splits
+  /// the budget equally across all partitions). The reference stays valid
+  /// for the map's lifetime — partitions are never destroyed.
+  ResultCache& partition(const std::string& tenant);
+
+  /// Re-splits the budget `total` proportionally to `weights` (tenant ->
+  /// weight, e.g. per-tenant working-set estimates). Partitions missing
+  /// from `weights` and zero-weight partitions keep a floor of 1 entry.
+  /// Unknown tenants in `weights` are ignored (no partition is created).
+  void set_split(
+      const std::vector<std::pair<std::string, std::size_t>>& weights,
+      std::size_t total);
+
+  /// Aggregate stats across all partitions (sizes/capacities summed).
+  CacheStats stats() const;
+
+  /// Per-partition stats, sorted by tenant name (empty tenant first).
+  std::vector<std::pair<std::string, CacheStats>> partition_stats() const;
+
+  std::size_t partition_count() const;
+
+  void clear();
+
+ private:
+  /// Re-splits total_capacity_ across existing partitions. Caller holds
+  /// mutex_. Equal shares when `weights` is null, else proportional with a
+  /// floor of 1.
+  void resplit_locked(
+      const std::vector<std::pair<std::string, std::size_t>>* weights);
+
+  mutable std::mutex mutex_;
+  std::atomic<std::size_t> total_capacity_;
+  /// tenant -> partition. unique_ptr keeps partition addresses stable
+  /// across rehashes, so partition() references never dangle.
+  std::unordered_map<std::string, std::unique_ptr<ResultCache>> partitions_;
 };
 
 }  // namespace splace::engine

@@ -72,6 +72,17 @@ std::string EngineConfig::validate() const {
   }
   if (tracing && trace_capacity < 1)
     return "trace_capacity must be >= 1 (traces) when tracing is on";
+  for (std::size_t i = 0; i < tenant_quotas.size(); ++i) {
+    const TenantQuota& quota = tenant_quotas[i];
+    if (quota.rate_per_second < 0)
+      return "tenant quota rate_per_second must be >= 0 (requests/second)";
+    if (quota.burst < 0) return "tenant quota burst must be >= 0 (requests)";
+    if (quota.burst > 0 && quota.rate_per_second <= 0)
+      return "tenant quota burst requires rate_per_second > 0";
+    for (std::size_t j = 0; j < i; ++j)
+      if (tenant_quotas[j].tenant == quota.tenant)
+        return "duplicate tenant quota for tenant '" + quota.tenant + "'";
+  }
   return {};
 }
 
@@ -85,6 +96,16 @@ Engine::Engine(std::shared_ptr<SnapshotRegistry> registry, EngineConfig config)
       start_(Clock::now()),
       pool_(config_.threads) {
   SPLACE_EXPECTS(registry_ != nullptr);
+  for (const TenantQuota& quota : config_.tenant_quotas) {
+    TenantState state;
+    state.quota = &quota;
+    // Buckets start full: a tenant gets its burst immediately, then refills
+    // at rate_per_second.
+    state.tokens = quota.burst > 0 ? quota.burst
+                                   : std::max(1.0, quota.rate_per_second);
+    state.refilled_at = start_;
+    tenant_states_.emplace(quota.tenant, std::move(state));
+  }
   if (config_.tracing) {
     // drain_traces() compatibility: buffer finished traces on a bounded
     // Trace-kind tail so pull-style consumers keep working unchanged.
@@ -98,6 +119,36 @@ Engine::Engine(std::shared_ptr<SnapshotRegistry> registry, EngineConfig config)
 
 double Engine::since_start(Clock::time_point at) const {
   return seconds_between(start_, at);
+}
+
+bool Engine::admit_tenant(const std::string& tenant, Clock::time_point now) {
+  const auto it = tenant_states_.find(tenant);
+  if (it == tenant_states_.end()) return true;  // no quota: always admit
+  TenantState& state = it->second;
+  const TenantQuota& quota = *state.quota;
+  if (quota.max_in_flight > 0 && state.in_flight >= quota.max_in_flight)
+    return false;
+  if (quota.rate_per_second > 0) {
+    // Lazy token-bucket refill, clamped to the burst size. The clock only
+    // moves forward, so the refill amount is never negative.
+    const double cap =
+        quota.burst > 0 ? quota.burst : std::max(1.0, quota.rate_per_second);
+    state.tokens =
+        std::min(cap, state.tokens + seconds_between(state.refilled_at, now) *
+                                         quota.rate_per_second);
+    state.refilled_at = now;
+    if (state.tokens < 1.0) return false;
+    state.tokens -= 1.0;
+  }
+  ++state.in_flight;
+  return true;
+}
+
+void Engine::release_tenant(const std::string& tenant) {
+  const auto it = tenant_states_.find(tenant);
+  if (it == tenant_states_.end()) return;
+  SPLACE_ENSURES(it->second.in_flight > 0);
+  --it->second.in_flight;
 }
 
 std::vector<std::future<EngineResult>> Engine::submit(
@@ -118,7 +169,8 @@ std::vector<std::future<EngineResult>> Engine::submit(
   std::vector<Candidate> candidates;
   candidates.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    metrics_.record_submitted();
+    const std::string& tenant = tenant_of(batch[i]);
+    metrics_.record_submitted(tenant);
     const RequestType type = request_type(batch[i]);
     std::string key = canonical_key(batch[i]);
     RequestTrace trace;
@@ -129,7 +181,12 @@ std::vector<std::future<EngineResult>> Engine::submit(
     }
     const Clock::time_point probe_start =
         tracing ? Clock::now() : Clock::time_point{};
-    std::shared_ptr<const EngineResult> hit = cache_.find(key);
+    // Each tenant probes (and later fills) its own cache partition, so one
+    // tenant's churn can never evict another's results. Cache hits answer
+    // before admission — they consume neither a queue slot nor a quota
+    // token (quotas protect compute, and a hit costs none).
+    std::shared_ptr<const EngineResult> hit =
+        cache_.partition(tenant).find(key);
     if (tracing)
       trace.stage_seconds[stage_index(Stage::CacheProbe)] +=
           seconds_between(probe_start, Clock::now());
@@ -137,8 +194,8 @@ std::vector<std::future<EngineResult>> Engine::submit(
       EngineResult result = *hit;
       result.cache_hit = true;
       result.latency_seconds = seconds_between(submitted, Clock::now());
-      adaptive_.observe(key, type, cache_);
-      metrics_.record_response(type, result.outcome, true,
+      adaptive_.observe(key, type, tenant, cache_);
+      metrics_.record_response(type, tenant, result.outcome, true,
                                result.latency_seconds);
       if (tracing) {
         trace.outcome = result.outcome;
@@ -158,14 +215,29 @@ std::vector<std::future<EngineResult>> Engine::submit(
   // equivalent loop of single submissions minus the per-request lock trips.
   // Traced requests all charge the same span to admission — the lock really
   // was taken once on their behalf.
-  const Clock::time_point admission_start =
-      tracing ? Clock::now() : Clock::time_point{};
-  std::vector<bool> admitted(candidates.size(), false);
+  // Taken unconditionally (not only when tracing): token-bucket refill
+  // needs a real admission timestamp.
+  const Clock::time_point admission_start = Clock::now();
+  // Per-candidate admission verdict. Quota checks run before the global
+  // queue-depth check and a quota rejection consumes nothing — in
+  // particular it can never take a queue slot away from another tenant.
+  std::vector<Outcome> admitted(candidates.size(),
+                                Outcome::RejectedQueueFull);
   {
     std::unique_lock<std::mutex> lock(admission_mutex_);
     for (std::size_t c = 0; c < candidates.size(); ++c) {
-      if (pending_ >= config_.max_queue_depth) break;
-      admitted[c] = true;
+      const std::string& tenant = tenant_of(batch[candidates[c].index]);
+      if (!admit_tenant(tenant, admission_start)) {
+        admitted[c] = Outcome::RejectedTenantQuota;
+        continue;
+      }
+      if (pending_ >= config_.max_queue_depth) {
+        // The quota slot was consumed above; give it back — this request
+        // never entered the queue.
+        release_tenant(tenant);
+        continue;
+      }
+      admitted[c] = Outcome::Ok;
       ++pending_;
       metrics_.record_admitted(pending_);
     }
@@ -179,13 +251,19 @@ std::vector<std::future<EngineResult>> Engine::submit(
     if (tracing)
       item.trace.stage_seconds[stage_index(Stage::Admission)] =
           admission_seconds;
-    if (!admitted[c]) {
+    if (admitted[c] != Outcome::Ok) {
+      const std::string& tenant = tenant_of(batch[item.index]);
       EngineResult result =
-          rejected(item.type, Outcome::RejectedQueueFull,
-                   "queue depth limit " +
-                       std::to_string(config_.max_queue_depth) + " reached");
+          admitted[c] == Outcome::RejectedTenantQuota
+              ? rejected(item.type, Outcome::RejectedTenantQuota,
+                         "tenant '" + (tenant.empty() ? "default" : tenant) +
+                             "' admission quota exceeded")
+              : rejected(item.type, Outcome::RejectedQueueFull,
+                         "queue depth limit " +
+                             std::to_string(config_.max_queue_depth) +
+                             " reached");
       result.latency_seconds = seconds_between(submitted, Clock::now());
-      metrics_.record_response(item.type, result.outcome, false,
+      metrics_.record_response(item.type, tenant, result.outcome, false,
                                result.latency_seconds);
       if (tracing) {
         item.trace.outcome = result.outcome;
@@ -211,6 +289,8 @@ std::future<EngineResult> Engine::dispatch(RequestType type, Request request,
       [this, type, request = std::move(request), key = std::move(key),
        submitted, dispatched, trace = std::move(trace)]() mutable {
         const bool traced = trace.id != 0;
+        const std::string& tenant = tenant_of(request);
+        ResultCache& cache = cache_.partition(tenant);
         const Clock::time_point picked_up = Clock::now();
         if (traced)
           trace.stage_seconds[stage_index(Stage::QueueWait)] =
@@ -224,7 +304,7 @@ std::future<EngineResult> Engine::dispatch(RequestType type, Request request,
         } else {
           const Clock::time_point probe_start =
               traced ? Clock::now() : Clock::time_point{};
-          std::shared_ptr<const EngineResult> hit = cache_.find(key);
+          std::shared_ptr<const EngineResult> hit = cache.find(key);
           if (traced)
             trace.stage_seconds[stage_index(Stage::CacheProbe)] +=
                 seconds_between(probe_start, Clock::now());
@@ -257,19 +337,20 @@ std::future<EngineResult> Engine::dispatch(RequestType type, Request request,
         if (result.ok() && !result.cache_hit) {
           const Clock::time_point insert_start =
               traced ? Clock::now() : Clock::time_point{};
-          cache_.insert(key, std::make_shared<const EngineResult>(result));
+          cache.insert(key, std::make_shared<const EngineResult>(result));
           if (traced)
             trace.stage_seconds[stage_index(Stage::CacheInsert)] =
                 seconds_between(insert_start, Clock::now());
         }
         const Clock::time_point delivery_start =
             traced ? Clock::now() : Clock::time_point{};
-        if (result.ok()) adaptive_.observe(key, type, cache_);
-        metrics_.record_response(type, result.outcome, result.cache_hit,
-                                 result.latency_seconds);
+        if (result.ok()) adaptive_.observe(key, type, tenant, cache_);
+        metrics_.record_response(type, tenant, result.outcome,
+                                 result.cache_hit, result.latency_seconds);
         {
           std::unique_lock<std::mutex> lock(admission_mutex_);
           --pending_;
+          release_tenant(tenant);
         }
         if (traced) {
           trace.outcome = result.outcome;
@@ -538,7 +619,13 @@ EngineMetricsSnapshot Engine::metrics() const {
     depth = pending_;
   }
   const double elapsed = since_start(Clock::now());
-  return metrics_.snapshot(depth, elapsed, cache_.stats(), adaptive_.stats(),
+  // Per-tenant cache sections only once the cache is actually partitioned
+  // (a second tenant appeared); a single-tenant engine exports the classic
+  // undivided cache block.
+  std::vector<std::pair<std::string, CacheStats>> tenant_caches;
+  if (cache_.partition_count() > 1) tenant_caches = cache_.partition_stats();
+  return metrics_.snapshot(depth, elapsed, cache_.stats(),
+                           std::move(tenant_caches), adaptive_.stats(),
                            trace_stats());
 }
 

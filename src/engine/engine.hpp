@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/adaptive.hpp"
@@ -38,6 +39,23 @@
 #include "util/thread_pool.hpp"
 
 namespace splace::engine {
+
+/// Admission quota for one tenant. Zero means "unlimited" for each limit;
+/// a tenant with no TenantQuota entry is never quota-rejected. Quotas bound
+/// *compute* admission — cache hits are served without consuming a slot or
+/// token (a hit costs no worker time, and serving it cannot crowd out any
+/// other tenant).
+struct TenantQuota {
+  /// Tenant id this quota applies to (empty = the default tenant).
+  std::string tenant;
+  /// Max requests in flight for this tenant (requests; 0 = unlimited).
+  std::size_t max_in_flight = 0;
+  /// Token-bucket refill rate (requests/second; 0 = no rate limit).
+  double rate_per_second = 0;
+  /// Token-bucket size (requests; 0 = max(1, rate_per_second)). Only
+  /// meaningful when rate_per_second > 0.
+  double burst = 0;
+};
 
 /// Engine configuration. Validated, not clamped: a config that violates any
 /// rule below is a bad request — Engine's constructor throws InvalidInput
@@ -79,6 +97,11 @@ struct EngineConfig {
   /// Retained-trace bound (traces; >= 1 when tracing is on). Overflow drops
   /// new traces, counted in TraceStats::dropped.
   std::size_t trace_capacity = 4096;
+
+  /// Per-tenant admission quotas (at most one entry per tenant; tenants
+  /// without an entry are unlimited). Quota violations produce
+  /// RejectedTenantQuota and never consume a global queue slot.
+  std::vector<TenantQuota> tenant_quotas{};
 
   /// Empty string when the config is valid; otherwise a human-readable
   /// description of the first violated rule.
@@ -183,9 +206,28 @@ class Engine {
   /// subscription (TraceRecorder-compatible shape for the metrics export).
   TraceStats trace_stats() const;
 
+  /// Per-tenant token-bucket / in-flight accounting. Guarded by
+  /// admission_mutex_ (quota decisions are part of admission).
+  struct TenantState {
+    const TenantQuota* quota = nullptr;  ///< points into config_.tenant_quotas
+    std::size_t in_flight = 0;
+    double tokens = 0;
+    Clock::time_point refilled_at;
+  };
+
+  /// Quota check + slot consumption for one tenant at admission time.
+  /// Returns true (consuming a token / in-flight slot) or false (quota
+  /// exceeded; nothing consumed — in particular no global queue slot).
+  /// Caller holds admission_mutex_. Tenants without quotas always admit.
+  bool admit_tenant(const std::string& tenant, Clock::time_point now);
+
+  /// Releases the tenant's in-flight slot on response completion. Caller
+  /// holds admission_mutex_.
+  void release_tenant(const std::string& tenant);
+
   std::shared_ptr<SnapshotRegistry> registry_;
   EngineConfig config_;
-  ResultCache cache_;
+  TenantCacheMap cache_;  ///< per-tenant LRU partitions, one shared budget
   AdaptiveCacheController adaptive_;
   EngineMetrics metrics_;
   Clock::time_point start_;
@@ -198,6 +240,9 @@ class Engine {
   std::atomic<std::uint64_t> next_stream_id_{0};
   mutable std::mutex admission_mutex_;
   std::size_t pending_ = 0;  ///< admitted, not yet responded
+  /// tenant -> quota state; populated at construction (only quota'd tenants
+  /// have state). Guarded by admission_mutex_.
+  std::unordered_map<std::string, TenantState> tenant_states_;
   ThreadPool pool_;          ///< last member: joins before the rest dies
 };
 

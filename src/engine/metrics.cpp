@@ -22,7 +22,45 @@ void LatencyStats::record(double seconds) {
   log2_us.add(log2_us_bucket(seconds));
 }
 
+void LatencyStats::merge(const LatencyStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min_seconds = other.min_seconds;
+    max_seconds = other.max_seconds;
+  } else {
+    min_seconds = std::min(min_seconds, other.min_seconds);
+    max_seconds = std::max(max_seconds, other.max_seconds);
+  }
+  count += other.count;
+  total_seconds += other.total_seconds;
+  for (const auto& [bucket, n] : other.log2_us.counts())
+    log2_us.add(bucket, n);
+}
+
 namespace {
+
+/// Minimal JSON string escaping for tenant ids (quote, backslash, control
+/// characters).
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+/// Empty tenant id = the default tenant; exports name it explicitly.
+std::string tenant_label(const std::string& tenant) {
+  return tenant.empty() ? "default" : tenant;
+}
 
 void append_latency(std::ostringstream& os, const std::string& name,
                     const LatencyStats& stats) {
@@ -49,6 +87,7 @@ std::string to_json(const EngineMetricsSnapshot& snapshot) {
      << ", \"rejected\": {\"queue_full\": " << snapshot.rejected_queue_full
      << ", \"deadline\": " << snapshot.rejected_deadline
      << ", \"bad_request\": " << snapshot.rejected_bad_request
+     << ", \"tenant_quota\": " << snapshot.rejected_tenant_quota
      << ", \"total\": " << snapshot.rejected_total() << "}"
      << ", \"queue_depth\": " << snapshot.queue_depth
      << ", \"queue_high_water\": " << snapshot.queue_high_water
@@ -68,6 +107,29 @@ std::string to_json(const EngineMetricsSnapshot& snapshot) {
      << ", \"size\": " << snapshot.cache.size
      << ", \"capacity\": " << snapshot.cache.capacity
      << ", \"hit_rate\": " << snapshot.cache.hit_rate() << "}"
+     << ", \"tenants\": {";
+  for (std::size_t i = 0; i < snapshot.tenants.size(); ++i) {
+    const auto& [tenant, counters] = snapshot.tenants[i];
+    if (i > 0) os << ", ";
+    os << "\"" << json_escape(tenant_label(tenant))
+       << "\": {\"submitted\": " << counters.submitted
+       << ", \"completed\": " << counters.completed
+       << ", \"cache_hits\": " << counters.cache_hits
+       << ", \"rejected_quota\": " << counters.rejected_quota;
+    // The matching cache partition, when the cache is tenant-partitioned.
+    for (const auto& [name, cache] : snapshot.tenant_caches) {
+      if (name != tenant) continue;
+      os << ", \"cache\": {\"hits\": " << cache.hits
+         << ", \"misses\": " << cache.misses
+         << ", \"evictions\": " << cache.evictions
+         << ", \"size\": " << cache.size
+         << ", \"capacity\": " << cache.capacity
+         << ", \"hit_rate\": " << cache.hit_rate() << "}";
+      break;
+    }
+    os << "}";
+  }
+  os << "}"
      << ", \"adaptive_cache\": {\"enabled\": "
      << (snapshot.adaptive.enabled ? "true" : "false")
      << ", \"window\": " << snapshot.adaptive.window
@@ -110,9 +172,76 @@ std::string to_json(const EngineMetricsSnapshot& snapshot) {
   return os.str();
 }
 
-void EngineMetrics::record_submitted() {
+EngineMetricsSnapshot merge_snapshots(
+    const std::vector<EngineMetricsSnapshot>& shards) {
+  EngineMetricsSnapshot total;
+  std::map<std::string, TenantCounters> tenants;
+  std::map<std::string, CacheStats> tenant_caches;
+  for (const EngineMetricsSnapshot& s : shards) {
+    total.submitted += s.submitted;
+    total.completed += s.completed;
+    total.cache_hits += s.cache_hits;
+    total.rejected_queue_full += s.rejected_queue_full;
+    total.rejected_deadline += s.rejected_deadline;
+    total.rejected_bad_request += s.rejected_bad_request;
+    total.rejected_tenant_quota += s.rejected_tenant_quota;
+    total.queue_depth += s.queue_depth;
+    total.queue_high_water += s.queue_high_water;
+    total.elapsed_seconds = std::max(total.elapsed_seconds, s.elapsed_seconds);
+    total.cache.hits += s.cache.hits;
+    total.cache.misses += s.cache.misses;
+    total.cache.evictions += s.cache.evictions;
+    for (std::size_t t = 0; t < kRequestTypeCount; ++t)
+      total.cache.evictions_by_type[t] += s.cache.evictions_by_type[t];
+    total.cache.evicted_bytes_estimate += s.cache.evicted_bytes_estimate;
+    total.cache.size += s.cache.size;
+    total.cache.capacity += s.cache.capacity;
+    for (const auto& [tenant, counters] : s.tenants) {
+      TenantCounters& into = tenants[tenant];
+      into.submitted += counters.submitted;
+      into.completed += counters.completed;
+      into.cache_hits += counters.cache_hits;
+      into.rejected_quota += counters.rejected_quota;
+    }
+    for (const auto& [tenant, cache] : s.tenant_caches) {
+      CacheStats& into = tenant_caches[tenant];
+      into.hits += cache.hits;
+      into.misses += cache.misses;
+      into.evictions += cache.evictions;
+      into.size += cache.size;
+      into.capacity += cache.capacity;
+    }
+    total.adaptive.enabled = total.adaptive.enabled || s.adaptive.enabled;
+    total.adaptive.window = std::max(total.adaptive.window, s.adaptive.window);
+    total.adaptive.observed += s.adaptive.observed;
+    total.adaptive.working_set += s.adaptive.working_set;
+    total.adaptive.min_capacity += s.adaptive.min_capacity;
+    total.adaptive.max_capacity += s.adaptive.max_capacity;
+    for (std::size_t t = 0; t < kRequestTypeCount; ++t)
+      total.adaptive.working_set_by_type[t] +=
+          s.adaptive.working_set_by_type[t];
+    total.adaptive.resizes.insert(total.adaptive.resizes.end(),
+                                  s.adaptive.resizes.begin(),
+                                  s.adaptive.resizes.end());
+    total.tracing.enabled = total.tracing.enabled || s.tracing.enabled;
+    total.tracing.recorded += s.tracing.recorded;
+    total.tracing.drained += s.tracing.drained;
+    total.tracing.dropped += s.tracing.dropped;
+    total.tracing.capacity += s.tracing.capacity;
+    total.place.merge(s.place);
+    total.evaluate.merge(s.evaluate);
+    total.localize.merge(s.localize);
+    total.mutate.merge(s.mutate);
+  }
+  total.tenants.assign(tenants.begin(), tenants.end());
+  total.tenant_caches.assign(tenant_caches.begin(), tenant_caches.end());
+  return total;
+}
+
+void EngineMetrics::record_submitted(const std::string& tenant) {
   std::unique_lock<std::mutex> lock(mutex_);
   ++counters_.submitted;
+  ++tenants_[tenant].submitted;
 }
 
 void EngineMetrics::record_admitted(std::size_t depth_now) {
@@ -121,12 +250,15 @@ void EngineMetrics::record_admitted(std::size_t depth_now) {
       std::max(counters_.queue_high_water, depth_now);
 }
 
-void EngineMetrics::record_response(RequestType type, Outcome outcome,
+void EngineMetrics::record_response(RequestType type,
+                                    const std::string& tenant, Outcome outcome,
                                     bool cache_hit, double latency_seconds) {
   std::unique_lock<std::mutex> lock(mutex_);
+  TenantCounters& by_tenant = tenants_[tenant];
   switch (outcome) {
     case Outcome::Ok:
       ++counters_.completed;
+      ++by_tenant.completed;
       break;
     case Outcome::RejectedQueueFull:
       ++counters_.rejected_queue_full;
@@ -137,8 +269,15 @@ void EngineMetrics::record_response(RequestType type, Outcome outcome,
     case Outcome::RejectedBadRequest:
       ++counters_.rejected_bad_request;
       break;
+    case Outcome::RejectedTenantQuota:
+      ++counters_.rejected_tenant_quota;
+      ++by_tenant.rejected_quota;
+      break;
   }
-  if (cache_hit) ++counters_.cache_hits;
+  if (cache_hit) {
+    ++counters_.cache_hits;
+    ++by_tenant.cache_hits;
+  }
   if (outcome != Outcome::Ok) return;
   switch (type) {
     case RequestType::Place:
@@ -158,12 +297,15 @@ void EngineMetrics::record_response(RequestType type, Outcome outcome,
 
 EngineMetricsSnapshot EngineMetrics::snapshot(
     std::size_t queue_depth, double elapsed_seconds, const CacheStats& cache,
+    std::vector<std::pair<std::string, CacheStats>> tenant_caches,
     AdaptiveCacheStats adaptive, const TraceStats& tracing) const {
   std::unique_lock<std::mutex> lock(mutex_);
   EngineMetricsSnapshot copy = counters_;
   copy.queue_depth = queue_depth;
   copy.elapsed_seconds = elapsed_seconds;
   copy.cache = cache;
+  copy.tenants.assign(tenants_.begin(), tenants_.end());
+  copy.tenant_caches = std::move(tenant_caches);
   copy.adaptive = std::move(adaptive);
   copy.tracing = tracing;
   return copy;

@@ -1,6 +1,7 @@
 #include "engine/replay.hpp"
 
 #include <chrono>
+#include <cstring>
 #include <istream>
 #include <map>
 #include <sstream>
@@ -8,6 +9,7 @@
 #include <utility>
 
 #include "localization/observation.hpp"
+#include "shard/group.hpp"
 #include "topology/catalog.hpp"
 #include "util/error.hpp"
 #include "util/random.hpp"
@@ -129,6 +131,28 @@ ReplayCascadeSpec parse_cascade_line(const std::vector<std::string>& tokens,
   return spec;
 }
 
+TenantQuota parse_quota_line(const std::vector<std::string>& tokens,
+                             std::size_t line) {
+  if (tokens.size() < 4 || tokens.size() % 2 != 0)
+    fail(line,
+         "expected: quota <tenant> [inflight <n>] [rate <r>] [burst <b>]");
+  TenantQuota quota;
+  quota.tenant = tokens[1] == "-" ? std::string() : tokens[1];
+  for (std::size_t i = 2; i + 1 < tokens.size(); i += 2) {
+    const std::string& key = tokens[i];
+    const std::string& value = tokens[i + 1];
+    if (key == "inflight") quota.max_in_flight = parse_size(value, line);
+    else if (key == "rate") quota.rate_per_second = parse_double(value, line);
+    else if (key == "burst") quota.burst = parse_double(value, line);
+    else fail(line, "unknown quota key '" + key + "'");
+  }
+  if (quota.rate_per_second < 0) fail(line, "rate must be >= 0");
+  if (quota.burst < 0) fail(line, "burst must be >= 0");
+  if (quota.burst > 0 && quota.rate_per_second <= 0)
+    fail(line, "burst needs a positive rate");
+  return quota;
+}
+
 }  // namespace
 
 Algorithm parse_algorithm(const std::string& name) {
@@ -149,11 +173,13 @@ ReplaySpec parse_replay(std::istream& in) {
   // Request-state directives apply to every request line after them.
   std::uint64_t current_seed = 42;
   double current_deadline = 0;
+  std::string current_tenant;
   // Pending link mutations per snapshot name, flushed by `derive`.
   std::map<std::string, TopologyDelta> pending;
   auto push_request = [&](ReplayRequestSpec request) {
     request.seed = current_seed;
     request.deadline_seconds = current_deadline;
+    request.tenant = current_tenant;
     spec.requests.push_back(std::move(request));
   };
   while (std::getline(in, raw)) {
@@ -165,6 +191,10 @@ ReplaySpec parse_replay(std::istream& in) {
     if (key == "threads") {
       if (tokens.size() != 2) fail(line, "threads needs one value");
       spec.threads = parse_size(tokens[1], line);
+    } else if (key == "shards") {
+      if (tokens.size() != 2) fail(line, "shards needs one value");
+      spec.shards = parse_size(tokens[1], line);
+      if (spec.shards < 1) fail(line, "shards must be >= 1");
     } else if (key == "queue-depth") {
       if (tokens.size() != 2) fail(line, "queue-depth needs one value");
       spec.queue_depth = parse_size(tokens[1], line);
@@ -206,6 +236,17 @@ ReplaySpec parse_replay(std::istream& in) {
       const double ms = parse_double(tokens[1], line);
       if (ms < 0) fail(line, "deadline must be >= 0");
       current_deadline = ms / 1000.0;
+    } else if (key == "tenant") {
+      if (tokens.size() != 2)
+        fail(line, "tenant needs one value ('-' = the default tenant)");
+      current_tenant = tokens[1] == "-" ? std::string() : tokens[1];
+    } else if (key == "quota") {
+      TenantQuota quota = parse_quota_line(tokens, line);
+      for (const TenantQuota& existing : spec.tenant_quotas)
+        if (existing.tenant == quota.tenant)
+          fail(line, "duplicate quota for tenant '" +
+                         (quota.tenant.empty() ? "-" : quota.tenant) + "'");
+      spec.tenant_quotas.push_back(std::move(quota));
     } else if (key == "snapshot") {
       spec.snapshots.push_back(parse_snapshot_line(tokens, line));
     } else if (key == "place") {
@@ -257,6 +298,13 @@ ReplaySpec parse_replay(std::istream& in) {
 ReplaySpec parse_replay(const std::string& text) {
   std::istringstream in(text);
   return parse_replay(in);
+}
+
+shard::EngineGroupConfig ReplaySpec::group_config() const {
+  shard::EngineGroupConfig config;
+  config.shards = shards < 1 ? 1 : shards;
+  config.shard = engine_config();
+  return config;
 }
 
 ReplayWorkload build_replay_workload(const ReplaySpec& spec) {
@@ -327,6 +375,7 @@ ReplayWorkload build_replay_workload(const ReplaySpec& spec) {
       mutate.snapshot = bound.hash;
       mutate.delta = request.delta;
       mutate.deadline_seconds = request.deadline_seconds;
+      mutate.tenant = request.tenant;
       for (std::size_t it = 0; it < spec.repeat; ++it)
         workload.requests.push_back(mutate);
       // Resolve the child locally so later lines target the derived
@@ -351,6 +400,7 @@ ReplayWorkload build_replay_workload(const ReplaySpec& spec) {
       place.k = request.k;
       place.seed = request.seed;
       place.deadline_seconds = request.deadline_seconds;
+      place.tenant = request.tenant;
       for (std::size_t it = 0; it < spec.repeat; ++it)
         workload.requests.push_back(place);
       continue;
@@ -363,6 +413,7 @@ ReplayWorkload build_replay_workload(const ReplaySpec& spec) {
       evaluate.placement = placement;
       evaluate.k = request.k;
       evaluate.deadline_seconds = request.deadline_seconds;
+      evaluate.tenant = request.tenant;
       for (std::size_t it = 0; it < spec.repeat; ++it)
         workload.requests.push_back(evaluate);
       continue;
@@ -381,6 +432,7 @@ ReplayWorkload build_replay_workload(const ReplaySpec& spec) {
       localize.placement = placement;
       localize.k = request.k;
       localize.deadline_seconds = request.deadline_seconds;
+      localize.tenant = request.tenant;
       for (std::size_t p : scenario.failed_paths.to_indices())
         localize.failed_paths.push_back(static_cast<std::uint32_t>(p));
       workload.requests.push_back(std::move(localize));
@@ -414,11 +466,82 @@ ReplayWorkload build_replay_workload(const ReplaySpec& spec) {
   return workload;
 }
 
-ReplayReport run_replay(const ReplayWorkload& workload, EngineConfig config) {
-  Engine engine(workload.registry, config);
-  ReplayReport report;
-  report.total = workload.requests.size();
+namespace {
 
+/// Order-sensitive FNV-1a fold over response payloads — the source of
+/// ReplayReport::response_digest. Deliberately excludes message text,
+/// cache_hit and latency: those vary with load, the payload must not.
+class ResponseDigest {
+ public:
+  std::uint64_t value() const { return hash_; }
+
+  void fold(const EngineResult& result) {
+    u64(static_cast<std::uint64_t>(result.type));
+    u64(static_cast<std::uint64_t>(result.outcome));
+    if (result.outcome != Outcome::Ok) return;
+    switch (result.type) {
+      case RequestType::Place:
+        nodes(result.place.placement);
+        f64(result.place.objective_value);
+        metric(result.place.metrics);
+        break;
+      case RequestType::Evaluate:
+        metric(result.metrics);
+        break;
+      case RequestType::Localize:
+        nodes(result.localization.suspects);
+        nodes(result.localization.exonerated);
+        u64(result.localization.consistent_sets.size());
+        for (const std::vector<NodeId>& set :
+             result.localization.consistent_sets)
+          nodes(set);
+        nodes(result.localization.minimal_explanation);
+        break;
+      case RequestType::Mutate:
+        u64(result.mutate.derived_snapshot);
+        u64(result.mutate.deduplicated ? 1 : 0);
+        u64(result.mutate.trees_reused);
+        u64(result.mutate.trees_recomputed);
+        u64(result.mutate.services_reused);
+        u64(result.mutate.services_recomputed);
+        u64(result.mutate.path_sets_reused);
+        u64(result.mutate.path_sets_rebuilt);
+        break;
+    }
+  }
+
+ private:
+  void u64(std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (value >> (8 * byte)) & 0xffu;
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void f64(double value) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof value);
+    std::memcpy(&bits, &value, sizeof bits);
+    u64(bits);
+  }
+  void metric(const MetricReport& m) {
+    u64(m.coverage);
+    u64(m.identifiability);
+    u64(m.distinguishability);
+  }
+  void nodes(const std::vector<NodeId>& ids) {
+    u64(ids.size());
+    for (NodeId id : ids) u64(id);
+  }
+
+  std::uint64_t hash_ = 1469598103934665603ull;  // FNV-1a offset basis
+};
+
+/// The submit/await/tally core shared by the single-engine and group paths
+/// (both servers expose the same batched-submit surface). Fills everything
+/// in `report` except the post-run observability fields.
+template <typename Server>
+void fire_workload(Server& server, const ReplayWorkload& workload,
+                   ReplayReport& report) {
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::future<EngineResult>> futures;
   futures.reserve(workload.requests.size());
@@ -429,20 +552,21 @@ ReplayReport run_replay(const ReplayWorkload& workload, EngineConfig config) {
   auto flush_segment = [&] {
     if (segment.empty()) return;
     for (std::future<EngineResult>& future :
-         engine.submit(std::move(segment)))
+         server.submit(std::move(segment)))
       futures.push_back(std::move(future));
     segment.clear();
   };
   for (const Request& request : workload.requests) {
     if (request_type(request) == RequestType::Mutate) {
       flush_segment();
-      futures.push_back(engine.submit(request));
+      futures.push_back(server.submit(request));
       futures.back().wait();
     } else {
       segment.push_back(request);
     }
   }
   flush_segment();
+  ResponseDigest digest;
   for (std::future<EngineResult>& future : futures) {
     const EngineResult result = future.get();
     switch (result.outcome) {
@@ -450,9 +574,14 @@ ReplayReport run_replay(const ReplayWorkload& workload, EngineConfig config) {
       case Outcome::RejectedQueueFull: ++report.rejected_queue_full; break;
       case Outcome::RejectedDeadline: ++report.rejected_deadline; break;
       case Outcome::RejectedBadRequest: ++report.rejected_bad_request; break;
+      case Outcome::RejectedTenantQuota:
+        ++report.rejected_tenant_quota;
+        break;
     }
     if (result.cache_hit) ++report.cache_hits;
+    digest.fold(result);
   }
+  report.response_digest = digest.value();
   report.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)
                             .count();
@@ -460,34 +589,49 @@ ReplayReport run_replay(const ReplayWorkload& workload, EngineConfig config) {
       report.wall_seconds <= 0
           ? 0.0
           : static_cast<double>(report.total) / report.wall_seconds;
+}
+
+/// One `cascade` line against the engine whose bus its events belong on
+/// (the group path resolves the snapshot's ingest shard first).
+ReplayReport::CascadeSummary run_cascade_job(Engine& engine,
+                                             const ReplayCascadeJob& job) {
+  auto ingest = engine.open_ingest(job.snapshot, job.placement, job.k);
+  cascade::RootCauseConfig rc_config;
+  rc_config.ticks = job.ticks;
+  cascade::RootCauseAnalyzer analyzer(*ingest, job.deps, rc_config,
+                                      &engine.bus());
+  Rng rng(job.seed);
+  ReplayReport::CascadeSummary summary;
+  summary.snapshot = job.snapshot;
+  double blast_sum = 0;
+  for (std::size_t e = 0; e < job.episodes; ++e) {
+    const std::size_t root = rng.index(job.placement.size());
+    const cascade::RootCauseReport episode = analyzer.analyze(root, rng);
+    ++summary.episodes;
+    if (episode.detected) ++summary.detected;
+    if (episode.top1) ++summary.top1;
+    if (episode.top3) ++summary.top3;
+    summary.streamed_equals_batch &= episode.streamed_equals_batch;
+    blast_sum += static_cast<double>(episode.blast_services);
+  }
+  if (summary.episodes > 0)
+    summary.mean_blast_services =
+        blast_sum / static_cast<double>(summary.episodes);
+  return summary;
+}
+
+}  // namespace
+
+ReplayReport run_replay(const ReplayWorkload& workload, EngineConfig config) {
+  Engine engine(workload.registry, config);
+  ReplayReport report;
+  report.total = workload.requests.size();
+  fire_workload(engine, workload, report);
 
   // Cascade jobs run after the request phase so derived snapshots are
   // registered; their events land on the engine bus before it is sampled.
-  for (const ReplayCascadeJob& job : workload.cascades) {
-    auto ingest = engine.open_ingest(job.snapshot, job.placement, job.k);
-    cascade::RootCauseConfig rc_config;
-    rc_config.ticks = job.ticks;
-    cascade::RootCauseAnalyzer analyzer(*ingest, job.deps, rc_config,
-                                        &engine.bus());
-    Rng rng(job.seed);
-    ReplayReport::CascadeSummary summary;
-    summary.snapshot = job.snapshot;
-    double blast_sum = 0;
-    for (std::size_t e = 0; e < job.episodes; ++e) {
-      const std::size_t root = rng.index(job.placement.size());
-      const cascade::RootCauseReport episode = analyzer.analyze(root, rng);
-      ++summary.episodes;
-      if (episode.detected) ++summary.detected;
-      if (episode.top1) ++summary.top1;
-      if (episode.top3) ++summary.top3;
-      summary.streamed_equals_batch &= episode.streamed_equals_batch;
-      blast_sum += static_cast<double>(episode.blast_services);
-    }
-    if (summary.episodes > 0)
-      summary.mean_blast_services =
-          blast_sum / static_cast<double>(summary.episodes);
-    report.cascades.push_back(summary);
-  }
+  for (const ReplayCascadeJob& job : workload.cascades)
+    report.cascades.push_back(run_cascade_job(engine, job));
 
   report.metrics = engine.metrics();
   report.metrics_text = engine.metrics_text();
@@ -496,8 +640,39 @@ ReplayReport run_replay(const ReplayWorkload& workload, EngineConfig config) {
   return report;
 }
 
+ReplayReport run_replay(const ReplayWorkload& workload,
+                        const shard::EngineGroupConfig& config) {
+  shard::EngineGroup group(workload.registry, config);
+  ReplayReport report;
+  report.total = workload.requests.size();
+  fire_workload(group, workload, report);
+
+  // Each cascade job runs against the shard its snapshot's ingest streams
+  // pin to, so the analyzer publishes on that shard's bus.
+  for (const ReplayCascadeJob& job : workload.cascades)
+    report.cascades.push_back(
+        run_cascade_job(group.shard(group.ingest_shard(job.snapshot)), job));
+
+  report.metrics = group.metrics();
+  report.metrics_text = group.metrics_text();
+  for (std::size_t s = 0; s < group.shard_count(); ++s) {
+    const stream::BusStats bus = group.shard(s).bus().stats();
+    for (std::size_t kind = 0; kind < bus.published.size(); ++kind)
+      report.bus.published[kind] += bus.published[kind];
+    report.bus.dropped += bus.dropped;
+    report.bus.callback_errors += bus.callback_errors;
+    report.bus.subscribers += bus.subscribers;
+    std::vector<RequestTrace> traces = group.shard(s).drain_traces();
+    for (RequestTrace& trace : traces)
+      report.traces.push_back(std::move(trace));
+  }
+  return report;
+}
+
 ReplayReport run_replay(const ReplaySpec& spec) {
-  return run_replay(build_replay_workload(spec), spec.engine_config());
+  const ReplayWorkload workload = build_replay_workload(spec);
+  if (spec.shards <= 1) return run_replay(workload, spec.engine_config());
+  return run_replay(workload, spec.group_config());
 }
 
 }  // namespace splace::engine

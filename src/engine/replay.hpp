@@ -4,6 +4,9 @@
 //
 //   # engine configuration
 //   threads 4                 # engine workers (0 = hardware concurrency)
+//   shards 4                  # engine shards (1 = plain single engine;
+//                             # > 1 runs an EngineGroup — threads, queue
+//                             # and cache are per shard)
 //   queue-depth 256           # admission limit
 //   cache 1024                # LRU capacity in entries (0 = off)
 //   repeat 50                 # fire the request list this many times
@@ -25,6 +28,13 @@
 //   # request-state directives, applying to every request line below them
 //   seed 7                    # RNG seed for subsequent rd placements
 //   deadline 250              # per-request deadline in ms (0 = none)
+//   tenant acme               # tag subsequent requests with a tenant id
+//   tenant -                  # ... back to the default tenant
+//
+//   # per-tenant admission quotas (engine-level; `-` = the default tenant).
+//   # keys (all optional): inflight (max in-flight requests), rate
+//   # (token-bucket refill per second), burst (bucket capacity)
+//   quota acme inflight 4 rate 100 burst 8
 //
 //   # observability: ask the driver for the Prometheus-style text export
 //   metrics                   # fill ReplayReport::metrics_text after the
@@ -61,6 +71,10 @@
 #include "cascade/root_cause.hpp"
 #include "engine/engine.hpp"
 
+namespace splace::shard {
+struct EngineGroupConfig;
+}  // namespace splace::shard
+
 namespace splace::engine {
 
 struct ReplaySnapshotSpec {
@@ -79,6 +93,7 @@ struct ReplayRequestSpec {
   std::size_t failures = 1;      ///< localize only
   std::uint64_t seed = 42;       ///< rd placements (from `seed`)
   double deadline_seconds = 0;   ///< from `deadline <ms>`; 0 = none
+  std::string tenant;            ///< from `tenant <id>`; empty = default
   TopologyDelta delta;           ///< mutate requests only (from `derive`)
 };
 
@@ -98,6 +113,7 @@ struct ReplayCascadeSpec {
 
 struct ReplaySpec {
   std::size_t threads = 0;
+  std::size_t shards = 1;             ///< from `shards <N>`; > 1 = group
   std::size_t queue_depth = 256;
   std::size_t cache_capacity = 1024;
   std::size_t repeat = 1;
@@ -109,6 +125,7 @@ struct ReplaySpec {
   std::size_t working_set_window = 256;
   std::size_t adaptation_interval = 64;
   bool metrics_text = false;          ///< from `metrics`
+  std::vector<TenantQuota> tenant_quotas;  ///< from `quota <tenant> ...`
   std::vector<ReplaySnapshotSpec> snapshots;
   std::vector<ReplayRequestSpec> requests;
   std::vector<ReplayCascadeSpec> cascades;
@@ -125,8 +142,13 @@ struct ReplaySpec {
     config.adaptation_interval = adaptation_interval;
     config.tracing = tracing;
     config.trace_capacity = trace_capacity;
+    config.tenant_quotas = tenant_quotas;
     return config;
   }
+
+  /// The `shards`-wide EngineGroup configuration (shard = engine_config()).
+  /// Defined in replay.cpp to keep shard/group.hpp out of this header.
+  shard::EngineGroupConfig group_config() const;
 };
 
 ReplaySpec parse_replay(std::istream& in);
@@ -173,8 +195,15 @@ struct ReplayReport {
   std::size_t rejected_queue_full = 0;
   std::size_t rejected_deadline = 0;
   std::size_t rejected_bad_request = 0;
+  std::size_t rejected_tenant_quota = 0;
   double wall_seconds = 0;
   double requests_per_second = 0;
+  /// Order-sensitive FNV-1a fold over every response payload (type,
+  /// outcome, and the Ok result fields; excludes message text, cache_hit
+  /// and latency). Two runs of the same workload that produce bit-identical
+  /// responses in order produce equal digests — the gate that a shard group
+  /// answers exactly like a single engine.
+  std::uint64_t response_digest = 0;
   EngineMetricsSnapshot metrics;  ///< engine state after the run
   /// Prometheus-style text exposition of the same post-run state
   /// (Engine::metrics_text), captured before the trace drain.
@@ -202,8 +231,16 @@ struct ReplayReport {
 /// every response.
 ReplayReport run_replay(const ReplayWorkload& workload, EngineConfig config);
 
-/// Convenience: build the workload and run it with the spec's own engine
-/// configuration.
+/// Fires the workload through a fresh EngineGroup (shard/group.hpp). The
+/// report aggregates across shards: `metrics` via merge_snapshots, `bus`
+/// counters summed, `metrics_text` the group page with shard labels, and
+/// `traces` concatenated in shard order (ids are per shard).
+ReplayReport run_replay(const ReplayWorkload& workload,
+                        const shard::EngineGroupConfig& config);
+
+/// Convenience: build the workload and run it with the spec's own
+/// configuration — a single engine when `shards <= 1`, an EngineGroup
+/// otherwise.
 ReplayReport run_replay(const ReplaySpec& spec);
 
 }  // namespace splace::engine

@@ -23,6 +23,7 @@ std::string to_string(Outcome outcome) {
     case Outcome::RejectedQueueFull: return "rejected_queue_full";
     case Outcome::RejectedDeadline: return "rejected_deadline";
     case Outcome::RejectedBadRequest: return "rejected_bad_request";
+    case Outcome::RejectedTenantQuota: return "rejected_tenant_quota";
   }
   throw ContractViolation("unknown outcome");
 }
@@ -39,6 +40,12 @@ void append_placement(std::ostringstream& key, const Placement& placement) {
   }
 }
 
+// The empty default tenant adds nothing so every pre-tenant key stays
+// byte-identical; non-empty tenants get a `|t=` suffix as the last field.
+void append_tenant(std::ostringstream& key, const std::string& tenant) {
+  if (!tenant.empty()) key << "|t=" << tenant;
+}
+
 }  // namespace
 
 std::string canonical_key(const PlaceRequest& request) {
@@ -48,6 +55,7 @@ std::string canonical_key(const PlaceRequest& request) {
   // Only RD consumes randomness; a seed on any other algorithm is noise
   // that must not split the cache.
   if (request.algorithm == Algorithm::RD) key << "|seed=" << request.seed;
+  append_tenant(key, request.tenant);
   return key.str();
 }
 
@@ -56,6 +64,7 @@ std::string canonical_key(const EvaluateRequest& request) {
   key << "evaluate|" << std::hex << request.snapshot << std::dec
       << "|k=" << request.k;
   append_placement(key, request.placement);
+  append_tenant(key, request.tenant);
   return key.str();
 }
 
@@ -74,6 +83,7 @@ std::string canonical_key(const LocalizeRequest& request) {
     if (i > 0) key << ',';
     key << failed[i];
   }
+  append_tenant(key, request.tenant);
   return key.str();
 }
 
@@ -115,6 +125,7 @@ std::string canonical_key(const MutateRequest& request) {
                                             : a.client < b.client;
             });
   append_clients(key, removes);
+  append_tenant(key, request.tenant);
   return key.str();
 }
 
@@ -142,6 +153,11 @@ RequestType request_type(const Request& request) {
 
 double deadline_of(const Request& request) {
   return std::visit([](const auto& r) { return r.deadline_seconds; }, request);
+}
+
+const std::string& tenant_of(const Request& request) {
+  return std::visit(
+      [](const auto& r) -> const std::string& { return r.tenant; }, request);
 }
 
 }  // namespace splace::engine

@@ -31,6 +31,7 @@ enum class Outcome {
   RejectedQueueFull,    ///< admission control: queue depth limit reached
   RejectedDeadline,     ///< request's deadline expired before execution
   RejectedBadRequest,   ///< unknown snapshot / malformed parameters
+  RejectedTenantQuota,  ///< per-tenant in-flight or rate limit exceeded
 };
 
 std::string to_string(RequestType type);
@@ -48,6 +49,7 @@ struct PlaceRequest {
   /// counts (PR 2's determinism contract), so thread count is purely speed.
   std::size_t threads = 1;
   double deadline_seconds = 0;         ///< 0 = no deadline
+  std::string tenant;                  ///< empty = default tenant
 };
 
 /// Evaluate the metric triple of a given placement at failure bound k.
@@ -56,6 +58,7 @@ struct EvaluateRequest {
   Placement placement;
   std::size_t k = 1;
   double deadline_seconds = 0;
+  std::string tenant;
 };
 
 /// Localize failures from a binary path observation: `failed_paths` are
@@ -66,6 +69,7 @@ struct LocalizeRequest {
   std::vector<std::uint32_t> failed_paths;
   std::size_t k = 1;
   double deadline_seconds = 0;
+  std::string tenant;
 };
 
 /// Derive a new snapshot by mutating a registered one: the delta is applied
@@ -75,6 +79,7 @@ struct MutateRequest {
   std::uint64_t snapshot = 0;  ///< parent snapshot content hash
   TopologyDelta delta;
   double deadline_seconds = 0;
+  std::string tenant;
 };
 
 struct PlaceResult {
@@ -124,13 +129,18 @@ using Request =
 
 RequestType request_type(const Request& request);
 double deadline_of(const Request& request);
+/// The request's tenant id (empty string = the default tenant).
+const std::string& tenant_of(const Request& request);
 
 /// Canonical cache keys: a request's normalized field encoding prefixed by
 /// the snapshot hash. Two requests with equal keys are guaranteed equal
 /// results (determinism contract), so the result cache compares full keys —
 /// a 64-bit hash collision can never serve a wrong result. Normalization
 /// drops fields that cannot change the result: `threads`, deadlines, and
-/// the seed for every algorithm except RD.
+/// the seed for every algorithm except RD. A non-empty tenant appends a
+/// `|t=<tenant>` suffix (tenant caches are partitioned, so two tenants never
+/// share an entry); the empty default tenant adds nothing, keeping every
+/// pre-tenant key byte-identical.
 std::string canonical_key(const PlaceRequest& request);
 std::string canonical_key(const EvaluateRequest& request);
 std::string canonical_key(const LocalizeRequest& request);

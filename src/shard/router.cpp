@@ -1,0 +1,56 @@
+#include "shard/router.hpp"
+
+#include "util/error.hpp"
+
+namespace splace::shard {
+
+namespace {
+
+/// FNV-1a over the key bytes — same family the engine uses for content
+/// hashes; collisions only make two keys share a shard, never an error.
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// splitmix64 finalizer: decorrelates the combined (key, shard) value so
+/// per-shard scores behave like independent draws — the property rendezvous
+/// hashing needs for its 1/(N+1) remap bound.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::size_t shard_count) : shard_count_(shard_count) {
+  if (shard_count_ == 0)
+    throw InvalidInput("ShardRouter: shard_count must be >= 1");
+}
+
+std::uint64_t ShardRouter::score(std::string_view key, std::size_t shard) {
+  return mix(fnv1a(key) ^ mix(static_cast<std::uint64_t>(shard)));
+}
+
+std::size_t ShardRouter::route(std::string_view key) const {
+  std::size_t best = 0;
+  std::uint64_t best_score = score(key, 0);
+  for (std::size_t shard = 1; shard < shard_count_; ++shard) {
+    const std::uint64_t s = score(key, shard);
+    // Strict >: ties stay on the lower index, keeping route() total-ordered
+    // and deterministic even on (astronomically unlikely) score collisions.
+    if (s > best_score) {
+      best = shard;
+      best_score = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace splace::shard

@@ -1,0 +1,45 @@
+// Consistent-hash routing of canonical request keys to engine shards.
+//
+// Rendezvous (highest-random-weight) hashing: every (key, shard) pair gets
+// a pseudo-random score and the key routes to the arg-max shard. Properties
+// the serving tier builds on:
+//
+//   * Deterministic — route(key) is a pure function of (key, shard_count);
+//     two routers with the same count agree on every key, so any front end
+//     can route without coordination.
+//   * Stable under resharding — growing from N to N+1 shards only remaps
+//     the keys whose new shard wins the arg-max: an expected 1/(N+1)
+//     fraction. Keys that stay keep their shard (scores of existing shards
+//     are unchanged), so a resize never reshuffles the whole cache.
+//
+// Routing by *canonical key* (not tenant, not snapshot alone) spreads one
+// tenant's traffic across shards while keeping every repeat of the same
+// request on the same shard — the shard's cache partition sees all repeats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace splace::shard {
+
+class ShardRouter {
+ public:
+  /// Throws InvalidInput when shard_count is 0.
+  explicit ShardRouter(std::size_t shard_count);
+
+  std::size_t shard_count() const { return shard_count_; }
+
+  /// The shard serving `key`: arg-max over per-shard rendezvous scores,
+  /// ties broken toward the lower shard index. Always < shard_count().
+  std::size_t route(std::string_view key) const;
+
+  /// The rendezvous score of (key, shard) — exposed so tests can verify
+  /// the arg-max property directly. `shard` may exceed shard_count().
+  static std::uint64_t score(std::string_view key, std::size_t shard);
+
+ private:
+  std::size_t shard_count_;
+};
+
+}  // namespace splace::shard

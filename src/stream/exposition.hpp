@@ -9,11 +9,19 @@
 // latency histograms map onto Prometheus histogram series directly: log2
 // bucket b becomes the cumulative bucket le="2^b" (microseconds), plus
 // le="+Inf", `_sum` (µs) and `_count`. The text is deterministic for a
-// given snapshot triple — the golden-format test parses every line and
+// given snapshot — the golden-format test parses every line and
 // cross-checks values against the JSON exports.
+//
+// A sharded serving tier exposes one page for the whole group: each family
+// is declared once and sampled per shard with a `shard="<index>"` label
+// (no label for a single unlabeled engine, keeping the classic output).
+// Tenant-partitioned engines add `splace_tenant_*` families labeled by
+// tenant. Label values are escaped per the text-format rules (backslash,
+// double quote, newline) — tenant ids are arbitrary strings.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "engine/metrics.hpp"
 #include "stream/bus.hpp"
@@ -21,6 +29,23 @@
 
 namespace splace::stream {
 
+/// One engine's worth of counters to expose, plus the value of its `shard`
+/// label (empty = emit no shard label, the single-engine layout).
+struct EngineExposition {
+  engine::EngineMetricsSnapshot engine;
+  StreamStats stream;
+  BusStats bus;
+  std::string shard;
+};
+
+/// Escapes a label value for the Prometheus text format: backslash, double
+/// quote, and newline become \\, \" and \n.
+std::string escape_label_value(const std::string& raw);
+
+/// Multi-shard exposition: every family declared once, sampled per shard.
+std::string metrics_text(const std::vector<EngineExposition>& shards);
+
+/// Single-engine exposition (no shard labels).
 std::string metrics_text(const engine::EngineMetricsSnapshot& engine_snapshot,
                          const StreamStats& stream_snapshot,
                          const BusStats& bus_snapshot);

@@ -18,6 +18,7 @@
 #include "localization/observation.hpp"
 #include "placement/baselines.hpp"
 #include "placement/greedy.hpp"
+#include "shard/group.hpp"
 #include "topology/catalog.hpp"
 
 namespace splace::engine {
@@ -72,8 +73,10 @@ struct StressFixture {
 };
 
 /// Fires `rounds` mixed request quadruples from `clients` threads and checks
-/// every response against the direct-call references.
-void run_stress(const StressFixture& fx, Engine& engine, std::size_t clients,
+/// every response against the direct-call references. Works against any
+/// server with the Engine submit surface (Engine or shard::EngineGroup).
+template <typename Server>
+void run_stress(const StressFixture& fx, Server& engine, std::size_t clients,
                 std::size_t rounds, std::atomic<std::size_t>& responses,
                 std::atomic<std::size_t>& rejected,
                 std::atomic<bool>& mismatch) {
@@ -177,6 +180,34 @@ TEST(EngineStress, OverloadDegradesToRejectionsNotDeadlock) {
             kClients * kRounds * 4);
   EXPECT_EQ(metrics.rejected_queue_full, rejected.load());
   EXPECT_LE(metrics.queue_high_water, 2u);
+}
+
+TEST(EngineStress, ShardedGroupSeesConsistentResultsUnderConcurrency) {
+  StressFixture fx;
+  shard::EngineGroupConfig config;
+  config.shards = 4;
+  config.shard = EngineConfig{2, 4096, 64};
+  shard::EngineGroup group(fx.registry, config);
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kRounds = 15;
+  std::atomic<std::size_t> responses{0};
+  std::atomic<std::size_t> rejected{0};
+  std::atomic<bool> mismatch{false};
+  run_stress(fx, group, kClients, kRounds, responses, rejected, mismatch);
+
+  // Same invariants as the single engine: nothing lost, nothing rejected
+  // (per-shard queues are deep), every payload bit-identical to the direct
+  // library calls regardless of which shard computed it.
+  EXPECT_EQ(responses.load(), kClients * kRounds * 4);
+  EXPECT_EQ(rejected.load(), 0u);
+  EXPECT_FALSE(mismatch.load());
+  const EngineMetricsSnapshot metrics = group.metrics();
+  EXPECT_EQ(metrics.submitted, kClients * kRounds * 4);
+  EXPECT_EQ(metrics.completed, kClients * kRounds * 4);
+  // Each distinct request has one home shard, so repeats hit its cache.
+  EXPECT_GT(metrics.cache_hits, 0u);
+  // All concurrent derives converged on one registered child.
+  EXPECT_NE(group.registry().find(fx.expected_child_hash), nullptr);
 }
 
 TEST(EngineStress, ConcurrentRegistrationSharesOneSnapshot) {
