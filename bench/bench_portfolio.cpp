@@ -1,0 +1,347 @@
+// Algorithm-portfolio bench: every registered placement algorithm races on
+// the same instances (ER / BA synthetics + a Rocketfuel ISP), each entry
+// re-scored under the common distinguishability objective and certified by
+// its MIS identifiability bound (portfolio/mis.hpp). Per entry the table
+// reports the common objective, the algorithm's own reported value,
+// candidate evaluations, wall time, and the certificate's
+// max_identifiable_failures — the empirical "no free lunch" picture the
+// registry exists to expose.
+//
+// Exit-code gates (run in every mode; --smoke only shrinks the instances):
+//   * pair-cover feasibility: pair_cover_placement yields a valid placement
+//     on every instance and its incremental pair count matches the
+//     independent pair_covered_count recount;
+//   * certificate consistency: on the brute-force-checkable instance the
+//     MIS bound EQUALS the oracle bound max{k : no non-identifiable F_k}
+//     and ω(v) matches is_k_identifiable per node; on every larger
+//     instance, sampled true failure sets of size ≤ the bound always
+//     localize uniquely to the truth (bound ≥ observed localizable);
+//   * registry round-trip: every algorithm_names() entry constructs, runs
+//     deterministically (two runs bit-identical), and the portfolio's
+//     winning entry is bit-identical to running that algorithm directly.
+//
+// Artifact: BENCH_portfolio.json (bench_common envelope).
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "graph/generators.hpp"
+#include "localization/localizer.hpp"
+#include "localization/observation.hpp"
+#include "monitoring/identifiability.hpp"
+#include "placement/algorithm.hpp"
+#include "placement/pair_cover.hpp"
+#include "portfolio/mis.hpp"
+#include "portfolio/portfolio.hpp"
+#include "topology/catalog.hpp"
+#include "util/random.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace splace {
+namespace {
+
+using portfolio::MisCertificate;
+using portfolio::PortfolioEntry;
+using portfolio::PortfolioReport;
+using portfolio::PortfolioSpec;
+using portfolio::mis_certificate;
+using portfolio::run_portfolio;
+
+constexpr std::size_t kCertificateK = 3;
+
+struct Instance {
+  std::string name;
+  ProblemInstance instance;
+  bool brute_force_checkable = false;  ///< exact oracle gate affordable
+};
+
+std::vector<Service> synthetic_services(const Graph& g, std::size_t count,
+                                        std::size_t clients_per_service,
+                                        Rng& rng) {
+  std::vector<NodeId> pool(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) pool[v] = v;
+  std::vector<Service> services;
+  for (std::size_t s = 0; s < count; ++s) {
+    Service svc;
+    svc.name = "svc";
+    svc.name += std::to_string(s);
+    svc.alpha = 1.0;
+    svc.clients = rng.sample(pool, clients_per_service);
+    services.push_back(std::move(svc));
+  }
+  return services;
+}
+
+std::vector<Instance> build_instances(bool smoke) {
+  std::vector<Instance> instances;
+  {  // Small ER: cheap enough for the exact certificate-equality oracle.
+    Rng rng(101);
+    Graph g = random_connected(8, 14, rng);
+    std::vector<Service> services = synthetic_services(g, 3, 2, rng);
+    instances.push_back(
+        {"er8", ProblemInstance(std::move(g), std::move(services)), true});
+  }
+  {
+    Rng rng(202);
+    Graph g = random_connected(30, 55, rng);
+    std::vector<Service> services = synthetic_services(g, 6, 3, rng);
+    instances.push_back(
+        {"er30", ProblemInstance(std::move(g), std::move(services)), false});
+  }
+  {
+    Rng rng(303);
+    Graph g = preferential_attachment(30, 2, rng);
+    std::vector<Service> services = synthetic_services(g, 6, 3, rng);
+    instances.push_back(
+        {"ba30", ProblemInstance(std::move(g), std::move(services)), false});
+  }
+  if (!smoke) {
+    const topology::CatalogEntry& entry = topology::catalog_entry("abovenet");
+    Graph g = topology::build(entry);
+    const std::vector<NodeId> clients = topology::candidate_clients(entry, g);
+    std::vector<Service> services = make_services(entry, clients, 0.8);
+    instances.push_back({"abovenet",
+                         ProblemInstance(std::move(g), std::move(services)),
+                         false});
+  }
+  return instances;
+}
+
+/// The exact oracle the certificate must reproduce on small instances:
+/// max{ k <= k_max : non_identifiable_failure_sets(paths, k) == 0 }.
+std::size_t oracle_bound(const PathSet& paths, std::size_t k_max) {
+  std::size_t bound = 0;
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    if (non_identifiable_failure_sets(paths, k) != 0) break;
+    bound = k;
+  }
+  return bound;
+}
+
+bool same_entry(const PortfolioEntry& a, const AlgorithmResult& b) {
+  return a.placement == b.placement && a.reported_value == b.reported_value &&
+         a.evaluations == b.evaluations;
+}
+
+}  // namespace
+}  // namespace splace
+
+int main(int argc, char** argv) {
+  using namespace splace;
+  bool smoke = false;
+  std::string out_path = "BENCH_portfolio.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "unknown flag '" << arg
+                << "' (flags: --smoke, --out PATH)\n";
+      return 2;
+    }
+  }
+
+  const std::vector<std::string> names = algorithm_names();
+  std::cout << "portfolio: " << names.size() << " registered algorithms (";
+  for (std::size_t i = 0; i < names.size(); ++i)
+    std::cout << (i ? " " : "") << names[i];
+  std::cout << ")\n\n";
+
+  bool failed = false;
+  bench::JsonWriter json;
+  json.begin_object().field("smoke", smoke).begin_array("instances");
+
+  const std::vector<Instance> instances = build_instances(smoke);
+  for (const Instance& inst : instances) {
+    PortfolioSpec spec;
+    spec.algorithms = names;
+    spec.objective = ObjectiveKind::Distinguishability;
+    spec.k = 1;
+    spec.seed = 42;
+    spec.certificate_k = kCertificateK;
+    const PortfolioReport report = run_portfolio(inst.instance, spec);
+
+    std::cout << "==== " << inst.name << " ("
+              << inst.instance.graph().node_count() << " nodes, "
+              << inst.instance.services().size()
+              << " services) — common objective |D_1(P)| ====\n";
+    TablePrinter table({"algorithm", "objective", "reported", "evals",
+                        "seconds", "cert k*"});
+    for (const PortfolioEntry& entry : report.entries) {
+      if (!entry.ok()) {
+        table.add_row({entry.algorithm, "-", "-", "-", "-",
+                       "error: " + entry.error});
+        continue;
+      }
+      const std::size_t bound =
+          entry.certificate ? entry.certificate->max_identifiable_failures : 0;
+      table.add_row({entry.algorithm,
+                     format_double(entry.objective_value, 1),
+                     format_double(entry.reported_value, 1),
+                     std::to_string(entry.evaluations),
+                     format_double(entry.seconds, 4),
+                     std::to_string(bound)});
+    }
+    table.print(std::cout);
+    std::cout << "winner: " << report.best().algorithm << " (objective "
+              << format_double(report.best().objective_value, 1) << ")\n\n";
+
+    // --- Gate: pair-cover placement is feasible and self-consistent. ---
+    const PairCoverResult pair = pair_cover_placement(inst.instance);
+    if (pair.placement.size() != inst.instance.services().size()) {
+      std::cerr << "FAIL: " << inst.name << ": pair_cover placement has "
+                << pair.placement.size() << " hosts for "
+                << inst.instance.services().size() << " services\n";
+      failed = true;
+    } else if (pair_covered_count(inst.instance, pair.placement) !=
+               pair.pair_covered) {
+      std::cerr << "FAIL: " << inst.name
+                << ": pair_cover incremental count " << pair.pair_covered
+                << " != recount "
+                << pair_covered_count(inst.instance, pair.placement) << "\n";
+      failed = true;
+    }
+
+    // --- Gate: certificate consistency. ---
+    for (const PortfolioEntry& entry : report.entries) {
+      if (!entry.ok() || !entry.certificate) continue;
+      const MisCertificate& cert = *entry.certificate;
+      const PathSet paths =
+          inst.instance.paths_for_placement(entry.placement);
+      if (inst.brute_force_checkable && !cert.truncated) {
+        // Exact equality against the brute-force oracles.
+        const std::size_t oracle = oracle_bound(paths, cert.k_max);
+        if (cert.max_identifiable_failures != oracle) {
+          std::cerr << "FAIL: " << inst.name << "/" << entry.algorithm
+                    << ": certificate bound "
+                    << cert.max_identifiable_failures << " != oracle "
+                    << oracle << "\n";
+          failed = true;
+        }
+        for (NodeId v = 0; v < inst.instance.graph().node_count(); ++v) {
+          std::size_t omega = 0;
+          for (std::size_t k = 1; k <= cert.k_max; ++k) {
+            if (!is_k_identifiable(v, paths, k)) break;
+            omega = k;
+          }
+          if (cert.capability[v] != omega) {
+            std::cerr << "FAIL: " << inst.name << "/" << entry.algorithm
+                      << ": capability(" << v << ") = " << cert.capability[v]
+                      << " != oracle " << omega << "\n";
+            failed = true;
+            break;
+          }
+        }
+      }
+      // Sampled soundness everywhere: any true failure set within the bound
+      // must localize uniquely to the truth (bound >= observed localizable).
+      if (cert.max_identifiable_failures > 0) {
+        const std::size_t bound = cert.max_identifiable_failures;
+        Rng rng(977);
+        const std::size_t trials = smoke ? 4 : 16;
+        for (std::size_t t = 0; t < trials; ++t) {
+          const std::size_t failures = 1 + t % bound;
+          const FailureScenario scenario =
+              random_scenario(paths, failures, rng);
+          const LocalizationResult loc =
+              localize(paths, scenario.failed_paths, bound);
+          if (!loc.unique() ||
+              loc.consistent_sets[0] != scenario.failed_nodes) {
+            std::cerr << "FAIL: " << inst.name << "/" << entry.algorithm
+                      << ": |F| = " << failures
+                      << " within certified bound " << bound
+                      << " did not localize uniquely to the truth\n";
+            failed = true;
+            break;
+          }
+        }
+      }
+    }
+
+    // --- Gate: winner bit-identical to the direct registry run. ---
+    {
+      AlgorithmSpec direct;
+      direct.objective = spec.objective;
+      direct.k = spec.k;
+      direct.seed = spec.seed;
+      direct.options = spec.options;
+      direct.bf_budget = spec.bf_budget;
+      const AlgorithmResult rerun =
+          make_algorithm(report.best().algorithm)->execute(inst.instance,
+                                                           direct);
+      if (!same_entry(report.best(), rerun)) {
+        std::cerr << "FAIL: " << inst.name << ": winner "
+                  << report.best().algorithm
+                  << " differs from the direct registry run\n";
+        failed = true;
+      }
+    }
+
+    json.begin_object()
+        .field("instance", inst.name)
+        .field("nodes", inst.instance.graph().node_count())
+        .field("services", inst.instance.services().size())
+        .field("winner", report.best().algorithm)
+        .begin_array("entries");
+    for (const PortfolioEntry& entry : report.entries) {
+      json.begin_object().field("algorithm", entry.algorithm);
+      if (!entry.ok()) {
+        json.field("error", entry.error).end_object();
+        continue;
+      }
+      json.field("objective", entry.objective_value)
+          .field("reported", entry.reported_value)
+          .field("evaluations", entry.evaluations)
+          .field("seconds", entry.seconds)
+          .field("certificate_bound",
+                 entry.certificate
+                     ? entry.certificate->max_identifiable_failures
+                     : 0)
+          .field("certificate_truncated",
+                 entry.certificate ? entry.certificate->truncated : false)
+          .end_object();
+    }
+    json.end_array().end_object();
+  }
+
+  // --- Gate: registry round-trips every name deterministically. ---
+  {
+    const Instance& inst = instances.front();
+    AlgorithmSpec spec;
+    spec.k = 1;
+    spec.seed = 42;
+    for (const std::string& name : names) {
+      if (!is_registered_algorithm(name)) {
+        std::cerr << "FAIL: listed algorithm '" << name
+                  << "' not registered\n";
+        failed = true;
+        continue;
+      }
+      const AlgorithmResult a = make_algorithm(name)->execute(inst.instance,
+                                                              spec);
+      const AlgorithmResult b = make_algorithm(name)->execute(inst.instance,
+                                                              spec);
+      if (a.placement != b.placement || a.reported_value != b.reported_value ||
+          a.evaluations != b.evaluations) {
+        std::cerr << "FAIL: algorithm '" << name
+                  << "' is not deterministic across identical runs\n";
+        failed = true;
+      }
+    }
+  }
+
+  json.end_array()
+      .begin_object("gates")
+      .field("passed", !failed)
+      .end_object()
+      .end_object();
+  bench::write_bench_json(out_path, "portfolio", bench::bench_thread_count(),
+                          json.str());
+  return failed ? 1 : 0;
+}

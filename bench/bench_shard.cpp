@@ -136,6 +136,12 @@ bool same_payload(const EngineResult& a, const EngineResult& b) {
                  b.localization.minimal_explanation;
     case engine::RequestType::Mutate:
       return a.mutate.derived_snapshot == b.mutate.derived_snapshot;
+    case engine::RequestType::Portfolio:
+      return a.portfolio.winner == b.portfolio.winner &&
+             a.portfolio.placement == b.portfolio.placement &&
+             a.portfolio.objective_value == b.portfolio.objective_value &&
+             a.portfolio.max_identifiable_failures ==
+                 b.portfolio.max_identifiable_failures;
   }
   return false;
 }

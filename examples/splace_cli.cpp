@@ -31,7 +31,9 @@
 //   --topology   abovenet | tiscali | att          (default tiscali)
 //   --file       edge-list file (see graph/io.hpp); clients are the
 //                degree-1 nodes of the loaded graph
-//   --algorithm  gd | gc | gi | qos | rd | bf | bb (default gd)
+//   --algorithm  gd | gc | gi | qos | rd | bf | bb (default gd), or any
+//                name from the pluggable registry (--list-algorithms)
+//   --list-algorithms  print every registered placement algorithm and exit
 //   --alpha      QoS slack in [0,1]                (default 0.6)
 //   --services   number of services                (default: catalog value
 //                for named topologies, 3 for files)
@@ -105,6 +107,15 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--capacity") opts.capacity = std::stod(next_value(i));
     else if (arg == "--csv") opts.csv = true;
     else if (arg == "--sweep") opts.sweep = true;
+    else if (arg == "--list-algorithms") {
+      // Classic enum spellings first, then the full registry (which the
+      // enum path is also re-registered into).
+      std::cout << "enum:     gd gc gi qos rd bf bb\nregistry:";
+      for (const std::string& name : algorithm_names())
+        std::cout << ' ' << name;
+      std::cout << '\n';
+      std::exit(0);
+    }
     else if (arg == "--report") opts.report = true;
     else if (arg == "--dot") opts.dot = next_value(i);
     else if (arg == "--trace-json") opts.trace_json = next_value(i);
@@ -206,7 +217,15 @@ Placement compute(const CliOptions& opts, const ProblemInstance& instance) {
     return branch_and_bound(instance, ObjectiveKind::Distinguishability,
                             opts.k)
         .placement;
-  usage_error("unknown --algorithm '" + opts.algorithm + "'");
+  if (is_registered_algorithm(opts.algorithm)) {
+    // Any registry entry (--list-algorithms), maximizing GD's objective.
+    AlgorithmSpec spec;
+    spec.k = opts.k;
+    spec.seed = opts.seed;
+    return make_algorithm(opts.algorithm)->execute(instance, spec).placement;
+  }
+  usage_error("unknown --algorithm '" + opts.algorithm +
+              "' (see --list-algorithms)");
 }
 
 }  // namespace

@@ -10,14 +10,15 @@ ctest --test-dir build --output-on-failure
 TSAN_SUITES="test_thread_pool test_greedy test_lazy_greedy test_determinism \
   test_engine test_engine_stress test_dynamic test_dynamic_engine \
   test_engine_trace test_api test_stream test_metrics_text \
-  test_path_arena test_kernels test_stochastic test_cascade test_shard"
+  test_path_arena test_kernels test_stochastic test_cascade test_shard \
+  test_algorithm_registry test_portfolio"
 ASAN_SUITES="test_thread_pool test_engine test_engine_stress \
   test_dynamic test_dynamic_engine test_engine_trace test_api test_stream \
   test_metrics_text test_path_arena test_kernels test_stochastic \
-  test_cascade test_shard"
+  test_cascade test_shard test_algorithm_registry test_portfolio"
 UBSAN_SUITES="test_path_arena test_kernels test_stochastic test_greedy \
   test_lazy_greedy test_objective_gain test_equivalence test_bitset \
-  test_cascade test_shard"
+  test_cascade test_shard test_algorithm_registry test_portfolio"
 
 require_suites() {
   dir="$1"; shift
@@ -39,7 +40,7 @@ cmake -B build-tsan -G Ninja -DSPLACE_SANITIZE=thread \
 cmake --build build-tsan --target $TSAN_SUITES
 require_suites build-tsan $TSAN_SUITES
 ctest --test-dir build-tsan --output-on-failure \
-  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade|StreamIngest|EventBus|EngineStream|ApiBuilders|MetricsText|PathArena|Kernels|Stochastic|Cascade|Shard|Exposition|Replay"
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Greedy|Determinism|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade|StreamIngest|EventBus|EngineStream|ApiBuilders|MetricsText|PathArena|Kernels|Stochastic|Cascade|Shard|Exposition|Replay|Portfolio|AlgorithmRegistry|MisCertificate|PairCover"
 
 # ASan pass over the serving layer: the engine moves results through
 # futures, a shared LRU cache, and snapshots that share routing trees and
@@ -50,7 +51,7 @@ cmake -B build-asan -G Ninja -DSPLACE_SANITIZE=address \
 cmake --build build-asan --target $ASAN_SUITES
 require_suites build-asan $ASAN_SUITES
 ctest --test-dir build-asan --output-on-failure \
-  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade|StreamIngest|EventBus|EngineStream|ApiBuilders|MetricsText|PathArena|Kernels|Stochastic|Cascade|Shard|Exposition|Replay"
+  -R "ThreadPool|ParallelFor|ParallelReduce|ParallelChunkCount|Engine|Dynamic|TraceRecorder|AdaptiveController|CacheAccounting|RequestBuilder|Facade|StreamIngest|EventBus|EngineStream|ApiBuilders|MetricsText|PathArena|Kernels|Stochastic|Cascade|Shard|Exposition|Replay|Portfolio|AlgorithmRegistry|MisCertificate|PairCover"
 
 # UBSan pass over the kernel/arena/placement arithmetic: the word-parallel
 # kernels live on shifts, casts, and pointer spans — exactly UBSan territory.
@@ -60,7 +61,7 @@ cmake -B build-ubsan -G Ninja -DSPLACE_SANITIZE=undefined \
 cmake --build build-ubsan --target $UBSAN_SUITES
 require_suites build-ubsan $UBSAN_SUITES
 ctest --test-dir build-ubsan --output-on-failure \
-  -R "PathArena|Kernels|Stochastic|Greedy|Objective|Equivalence|Bitset|Cascade|Shard|Exposition|Replay"
+  -R "PathArena|Kernels|Stochastic|Greedy|Objective|Equivalence|Bitset|Cascade|Shard|Exposition|Replay|Portfolio|AlgorithmRegistry|MisCertificate|PairCover"
 
 # Scalar-dispatch leg: the same suites with SPLACE_FORCE_SCALAR=1, proving
 # the env override pins the portable kernels and that they stand alone
@@ -99,6 +100,13 @@ rm -f BENCH_cascade_smoke.json
 # flood. The shard-scaling gate auto-skips (loudly) on a 1-CPU host.
 build/bench/bench_shard --smoke --out BENCH_shard_smoke.json
 rm -f BENCH_shard_smoke.json
+
+# Portfolio smoke leg: bench_portfolio --smoke exits nonzero unless the
+# pair-cover placement is feasible, every MIS certificate agrees with the
+# brute-force oracles (small instances) and with observed localize() runs,
+# and every registry algorithm round-trips deterministically.
+build/bench/bench_portfolio --smoke --out BENCH_portfolio_smoke.json
+rm -f BENCH_portfolio_smoke.json
 
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"

@@ -4,6 +4,7 @@
 #include <utility>
 #include <variant>
 
+#include "placement/algorithm.hpp"
 #include "util/error.hpp"
 
 namespace splace::api {
@@ -33,6 +34,24 @@ Request Request::localize(Placement placement,
 Request Request::mutate(TopologyDelta delta) {
   engine::MutateRequest request;
   request.delta = std::move(delta);
+  return Request(engine::Request{std::move(request)});
+}
+
+namespace {
+
+/// Eager registry validation shared by portfolio() and algorithm(): throws
+/// InvalidInput listing every registered name on a miss.
+void require_registered(const std::string& name) {
+  if (!is_registered_algorithm(name))
+    (void)make_algorithm(name);  // throws with the known-names list
+}
+
+}  // namespace
+
+Request Request::portfolio(std::vector<std::string> algorithms) {
+  for (const std::string& name : algorithms) require_registered(name);
+  engine::PortfolioRequest request;
+  request.algorithms = std::move(algorithms);
   return Request(engine::Request{std::move(request)});
 }
 
@@ -71,11 +90,12 @@ Request& Request::seed(std::uint64_t rng_seed) {
   std::visit(
       [&](auto& request) {
         using T = std::decay_t<decltype(request)>;
-        if constexpr (std::is_same_v<T, engine::PlaceRequest>)
+        if constexpr (std::is_same_v<T, engine::PlaceRequest> ||
+                      std::is_same_v<T, engine::PortfolioRequest>)
           request.seed = rng_seed;
         else
           throw InvalidInput(
-              "Request::seed applies only to place requests");
+              "Request::seed applies only to place and portfolio requests");
       },
       request_);
   return *this;
@@ -87,11 +107,47 @@ Request& Request::threads(std::size_t count) {
   std::visit(
       [&](auto& request) {
         using T = std::decay_t<decltype(request)>;
-        if constexpr (std::is_same_v<T, engine::PlaceRequest>)
+        if constexpr (std::is_same_v<T, engine::PlaceRequest> ||
+                      std::is_same_v<T, engine::PortfolioRequest>)
           request.threads = count;
         else
           throw InvalidInput(
-              "Request::threads applies only to place requests");
+              "Request::threads applies only to place and portfolio "
+              "requests");
+      },
+      request_);
+  return *this;
+}
+
+Request& Request::algorithm(std::string name) {
+  require_registered(name);
+  std::visit(
+      [&](auto& request) {
+        using T = std::decay_t<decltype(request)>;
+        if constexpr (std::is_same_v<T, engine::PlaceRequest>)
+          request.algorithm_name = std::move(name);
+        else if constexpr (std::is_same_v<T, engine::PortfolioRequest>)
+          request.algorithms.push_back(std::move(name));
+        else
+          throw InvalidInput(
+              "Request::algorithm applies only to place and portfolio "
+              "requests");
+      },
+      request_);
+  return *this;
+}
+
+Request& Request::objective(ObjectiveKind kind) {
+  std::visit(
+      [&](auto& request) {
+        using T = std::decay_t<decltype(request)>;
+        if constexpr (std::is_same_v<T, engine::PlaceRequest> ||
+                      std::is_same_v<T, engine::PortfolioRequest>)
+          request.objective = kind;
+        else
+          throw InvalidInput(
+              "Request::objective applies only to place and portfolio "
+              "requests");
       },
       request_);
   return *this;

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "engine/request.hpp"
@@ -36,6 +37,9 @@ class Request {
                           std::vector<std::uint32_t> failed_paths);
   /// Starts a snapshot derivation applying `delta` to a parent snapshot.
   static Request mutate(TopologyDelta delta);
+  /// Starts a portfolio run racing `algorithms` (registry names, validated
+  /// eagerly; empty = every registered algorithm) on a snapshot.
+  static Request portfolio(std::vector<std::string> algorithms = {});
 
   /// Target snapshot content hash (parent hash for mutate). Required.
   Request& snapshot(std::uint64_t content_hash);
@@ -43,10 +47,20 @@ class Request {
   Request& k(std::size_t failure_bound);
   /// Deadline in milliseconds (>= 0; 0 = none). Applies to every type.
   Request& deadline(double milliseconds);
-  /// RNG seed (place with Algorithm::RD only).
+  /// RNG seed (place / portfolio; consumed by seed-taking algorithms only).
   Request& seed(std::uint64_t rng_seed);
-  /// Intra-request worker threads >= 1 (place only; never changes results).
+  /// Intra-request worker threads >= 1 (place / portfolio; never changes
+  /// results).
   Request& threads(std::size_t count);
+  /// Routes a place request through the pluggable algorithm registry under
+  /// `name` (placement/algorithm.hpp), or appends `name` to a portfolio's
+  /// algorithm list. Validated eagerly: an unregistered name throws
+  /// InvalidInput listing every known name.
+  Request& algorithm(std::string name);
+  /// Objective a registry algorithm (or portfolio) maximizes. Applies to
+  /// place and portfolio requests; the classic enum algorithms imply their
+  /// objectives and ignore it.
+  Request& objective(ObjectiveKind kind);
   /// Tenant id (applies to every type; empty = the default tenant). Routes
   /// the request to its tenant's cache partition and admission quota.
   Request& tenant(std::string tenant_id);

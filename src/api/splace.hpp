@@ -32,12 +32,15 @@ using splace::engine::EvaluateRequest;
 using splace::engine::LocalizeRequest;
 using splace::engine::MutateRequest;
 using splace::engine::PlaceRequest;
+using splace::engine::PortfolioRequest;
 
 using splace::engine::EngineResult;
 using splace::engine::LocalizeResult;
 using splace::engine::MutateResult;
 using splace::engine::Outcome;
 using splace::engine::PlaceResult;
+using splace::engine::PortfolioEntryResult;
+using splace::engine::PortfolioResult;
 using splace::engine::RequestType;
 
 // --- The engine itself, its configuration, and observability. ---
@@ -84,6 +87,7 @@ using splace::stream::EventKind;
 using splace::stream::LocalizationEvent;
 using splace::stream::ObservationIngest;
 using splace::stream::PathState;
+using splace::stream::PortfolioEvent;
 using splace::stream::PropagationEvent;
 using splace::stream::RootCauseEvent;
 using splace::stream::StreamEvent;
@@ -106,6 +110,32 @@ using splace::cascade::RootCauseReport;
 
 // --- Replay driver (workload files -> engine traffic). ---
 using splace::engine::ReplayReport;
+
+// --- Algorithm portfolio: pluggable placement strategies + certificates. ---
+//
+// The registry (placement/algorithm.hpp) maps string names to strategy
+// factories; register_algorithm() adds custom strategies, make_algorithm()
+// constructs by name, and api::Request::place(...).algorithm("name") or a
+// PortfolioRequest route engine traffic through them. MIS certificates
+// (portfolio/mis.hpp) bound what localize() can distinguish under any of
+// the produced placements.
+using splace::AlgorithmFactory;
+using splace::AlgorithmResult;
+using splace::AlgorithmSpec;
+using splace::PlacementAlgorithm;
+using splace::algorithm_names;
+using splace::is_registered_algorithm;
+using splace::make_algorithm;
+using splace::register_algorithm;
+using splace::PairCoverResult;
+using splace::pair_cover_placement;
+using splace::pair_covered_count;
+using splace::portfolio::MisCertificate;
+using splace::portfolio::PortfolioEntry;
+using splace::portfolio::PortfolioReport;
+using splace::portfolio::PortfolioSpec;
+using splace::portfolio::mis_certificate;
+using splace::portfolio::run_portfolio;
 
 // --- Core domain types that appear in requests and results. ---
 using splace::Algorithm;

@@ -4,10 +4,12 @@
 #include <utility>
 
 #include "localization/localizer.hpp"
+#include "placement/algorithm.hpp"
 #include "placement/baselines.hpp"
 #include "placement/brute_force.hpp"
 #include "placement/greedy.hpp"
 #include "placement/options.hpp"
+#include "portfolio/portfolio.hpp"
 #include "stream/exposition.hpp"
 #include "util/error.hpp"
 #include "util/random.hpp"
@@ -387,6 +389,10 @@ std::future<EngineResult> Engine::submit(MutateRequest request) {
   return submit(Request{std::move(request)});
 }
 
+std::future<EngineResult> Engine::submit(PortfolioRequest request) {
+  return submit(Request{std::move(request)});
+}
+
 std::shared_ptr<const TopologySnapshot> Engine::resolve(
     std::uint64_t hash, EngineResult& result, RequestTrace* trace) const {
   const Clock::time_point start =
@@ -421,6 +427,23 @@ EngineResult Engine::execute(const PlaceRequest& request,
       options.profile_round = [trace](const GreedyRoundProfile& profile) {
         trace->greedy_rounds.push_back(profile);
       };
+    if (!request.algorithm_name.empty()) {
+      // Registry path: any strategy from placement/algorithm.hpp, scored
+      // under the request's objective. An unknown name throws InvalidInput
+      // (listing every registered name), caught below as a bad request.
+      AlgorithmSpec spec;
+      spec.objective = request.objective;
+      spec.k = request.k;
+      spec.seed = request.seed;
+      spec.options = options;
+      const AlgorithmResult run =
+          make_algorithm(request.algorithm_name)->execute(instance, spec);
+      result.place.placement = run.placement;
+      result.place.objective_value = run.reported_value;
+      result.place.metrics = evaluate_paths(
+          instance.paths_for_placement(result.place.placement), request.k);
+      return result;
+    }
     switch (request.algorithm) {
       case Algorithm::QoS:
         result.place.placement = best_qos_placement(instance);
@@ -558,6 +581,67 @@ EngineResult Engine::execute(const MutateRequest& request,
       result.mutate.path_sets_reused = stats.path_sets_reused;
       result.mutate.path_sets_rebuilt = stats.path_sets_rebuilt;
     }
+  } catch (const std::exception& error) {
+    result.outcome = Outcome::RejectedBadRequest;
+    result.message = error.what();
+  }
+  return result;
+}
+
+EngineResult Engine::execute(const PortfolioRequest& request,
+                             RequestTrace* trace) {
+  EngineResult result;
+  result.type = RequestType::Portfolio;
+  const auto snapshot = resolve(request.snapshot, result, trace);
+  if (!snapshot) return result;
+  if (request.k < 1) {
+    result.outcome = Outcome::RejectedBadRequest;
+    result.message = "k must be >= 1";
+    return result;
+  }
+  const ProblemInstance& instance = snapshot->instance();
+  try {
+    portfolio::PortfolioSpec spec;
+    spec.algorithms = request.algorithms;
+    spec.objective = request.objective;
+    spec.k = request.k;
+    spec.seed = request.seed;
+    spec.options.threads = std::max<std::size_t>(1, request.threads);
+    spec.certificate_k = request.k;
+    // No external pool: this already runs on an engine worker, and waiting
+    // on sibling tasks of the same pool from inside a worker deadlocks.
+    // Sequential execution is also what keeps entry order == spec order.
+    const portfolio::PortfolioReport report =
+        portfolio::run_portfolio(instance, spec, nullptr);
+    for (const portfolio::PortfolioEntry& entry : report.entries) {
+      PortfolioEntryResult out;
+      out.algorithm = entry.algorithm;
+      out.error = entry.error;
+      out.placement = entry.placement;
+      out.objective_value = entry.objective_value;
+      out.reported_value = entry.reported_value;
+      out.evaluations = entry.evaluations;
+      if (entry.certificate)
+        out.max_identifiable_failures =
+            entry.certificate->max_identifiable_failures;
+      result.portfolio.entries.push_back(std::move(out));
+    }
+    const portfolio::PortfolioEntry& best = report.best();
+    result.portfolio.winner = best.algorithm;
+    result.portfolio.placement = best.placement;
+    result.portfolio.objective_value = best.objective_value;
+    result.portfolio.max_identifiable_failures =
+        result.portfolio.entries[report.winner].max_identifiable_failures;
+    result.portfolio.metrics = evaluate_paths(
+        instance.paths_for_placement(best.placement), request.k);
+    stream::PortfolioEvent event;
+    event.header.snapshot = request.snapshot;
+    event.winner = result.portfolio.winner;
+    event.algorithms = result.portfolio.entries.size();
+    event.objective_value = result.portfolio.objective_value;
+    event.max_identifiable_failures =
+        result.portfolio.max_identifiable_failures;
+    bus_.publish(std::move(event));
   } catch (const std::exception& error) {
     result.outcome = Outcome::RejectedBadRequest;
     result.message = error.what();

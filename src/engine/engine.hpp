@@ -124,6 +124,7 @@ class Engine {
   std::future<EngineResult> submit(EvaluateRequest request);
   std::future<EngineResult> submit(LocalizeRequest request);
   std::future<EngineResult> submit(MutateRequest request);
+  std::future<EngineResult> submit(PortfolioRequest request);
   std::future<EngineResult> submit(Request request);
 
   /// Batched submission: cache probes and dispatch per request, but one
@@ -194,6 +195,11 @@ class Engine {
   EngineResult execute(const LocalizeRequest& request,
                        RequestTrace* trace) const;
   EngineResult execute(const MutateRequest& request, RequestTrace* trace) const;
+  /// Non-const: a served portfolio publishes a PortfolioEvent on bus_.
+  /// Algorithms run sequentially on this worker (driving the engine's own
+  /// pool from inside a worker would deadlock); intra-algorithm parallelism
+  /// comes from request.threads.
+  EngineResult execute(const PortfolioRequest& request, RequestTrace* trace);
 
   std::shared_ptr<const TopologySnapshot> resolve(std::uint64_t hash,
                                                   EngineResult& result,

@@ -168,6 +168,8 @@ std::string to_json(const EngineMetricsSnapshot& snapshot) {
   append_latency(os, "localize", snapshot.localize);
   os << ", ";
   append_latency(os, "mutate", snapshot.mutate);
+  os << ", ";
+  append_latency(os, "portfolio", snapshot.portfolio);
   os << "}}";
   return os.str();
 }
@@ -232,6 +234,7 @@ EngineMetricsSnapshot merge_snapshots(
     total.evaluate.merge(s.evaluate);
     total.localize.merge(s.localize);
     total.mutate.merge(s.mutate);
+    total.portfolio.merge(s.portfolio);
   }
   total.tenants.assign(tenants.begin(), tenants.end());
   total.tenant_caches.assign(tenant_caches.begin(), tenant_caches.end());
@@ -291,6 +294,9 @@ void EngineMetrics::record_response(RequestType type,
       break;
     case RequestType::Mutate:
       counters_.mutate.record(latency_seconds);
+      break;
+    case RequestType::Portfolio:
+      counters_.portfolio.record(latency_seconds);
       break;
   }
 }

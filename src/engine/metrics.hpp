@@ -72,6 +72,7 @@ struct EngineMetricsSnapshot {
   LatencyStats evaluate;
   LatencyStats localize;
   LatencyStats mutate;
+  LatencyStats portfolio;
 
   std::uint64_t rejected_total() const {
     return rejected_queue_full + rejected_deadline + rejected_bad_request +

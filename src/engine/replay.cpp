@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "localization/observation.hpp"
+#include "placement/algorithm.hpp"
 #include "shard/group.hpp"
 #include "topology/catalog.hpp"
 #include "util/error.hpp"
@@ -131,6 +132,31 @@ ReplayCascadeSpec parse_cascade_line(const std::vector<std::string>& tokens,
   return spec;
 }
 
+/// `portfolio <snapshot> [NAMES...] [k <n>]`: positional registry names
+/// (each validated against the registry) until the first key token.
+ReplayRequestSpec parse_portfolio_line(const std::vector<std::string>& tokens,
+                                       std::size_t line) {
+  if (tokens.size() < 2) fail(line, "portfolio needs a snapshot name");
+  ReplayRequestSpec spec;
+  spec.type = RequestType::Portfolio;
+  spec.snapshot = tokens[1];
+  std::size_t i = 2;
+  for (; i < tokens.size() && tokens[i] != "k"; ++i) {
+    const std::string name = lower(tokens[i]);
+    if (!is_registered_algorithm(name))
+      fail(line, "unknown registry algorithm '" + name + "'");
+    spec.portfolio_algorithms.push_back(name);
+  }
+  for (; i + 1 < tokens.size(); i += 2) {
+    const std::string& key = tokens[i];
+    if (key == "k") spec.k = parse_size(tokens[i + 1], line);
+    else fail(line, "unknown portfolio key '" + key + "'");
+  }
+  if (i != tokens.size()) fail(line, "dangling token '" + tokens[i] + "'");
+  if (spec.k < 1) fail(line, "k must be >= 1");
+  return spec;
+}
+
 TenantQuota parse_quota_line(const std::vector<std::string>& tokens,
                              std::size_t line) {
   if (tokens.size() < 4 || tokens.size() % 2 != 0)
@@ -174,12 +200,16 @@ ReplaySpec parse_replay(std::istream& in) {
   std::uint64_t current_seed = 42;
   double current_deadline = 0;
   std::string current_tenant;
+  // From `algo <name>`: routes later `place` lines through the registry.
+  std::string current_algo;
   // Pending link mutations per snapshot name, flushed by `derive`.
   std::map<std::string, TopologyDelta> pending;
   auto push_request = [&](ReplayRequestSpec request) {
     request.seed = current_seed;
     request.deadline_seconds = current_deadline;
     request.tenant = current_tenant;
+    if (request.type == RequestType::Place)
+      request.registry_algorithm = current_algo;
     spec.requests.push_back(std::move(request));
   };
   while (std::getline(in, raw)) {
@@ -240,6 +270,16 @@ ReplaySpec parse_replay(std::istream& in) {
       if (tokens.size() != 2)
         fail(line, "tenant needs one value ('-' = the default tenant)");
       current_tenant = tokens[1] == "-" ? std::string() : tokens[1];
+    } else if (key == "algo") {
+      if (tokens.size() != 2)
+        fail(line, "algo needs one registry name ('-' = the enum path)");
+      if (tokens[1] == "-") {
+        current_algo.clear();
+      } else {
+        current_algo = lower(tokens[1]);
+        if (!is_registered_algorithm(current_algo))
+          fail(line, "unknown registry algorithm '" + current_algo + "'");
+      }
     } else if (key == "quota") {
       TenantQuota quota = parse_quota_line(tokens, line);
       for (const TenantQuota& existing : spec.tenant_quotas)
@@ -255,6 +295,8 @@ ReplaySpec parse_replay(std::istream& in) {
       push_request(parse_request_line(RequestType::Evaluate, tokens, line));
     } else if (key == "localize") {
       push_request(parse_request_line(RequestType::Localize, tokens, line));
+    } else if (key == "portfolio") {
+      push_request(parse_portfolio_line(tokens, line));
     } else if (key == "cascade") {
       ReplayCascadeSpec cascade = parse_cascade_line(tokens, line);
       cascade.seed = current_seed;
@@ -396,13 +438,29 @@ ReplayWorkload build_replay_workload(const ReplaySpec& spec) {
     if (request.type == RequestType::Place) {
       PlaceRequest place;
       place.snapshot = bound.hash;
+      // An active `algo` directive routes the line through the registry;
+      // the enum token is still parsed (validating the line) but unused.
       place.algorithm = parse_algorithm(request.algorithm);
+      place.algorithm_name = request.registry_algorithm;
       place.k = request.k;
       place.seed = request.seed;
       place.deadline_seconds = request.deadline_seconds;
       place.tenant = request.tenant;
       for (std::size_t it = 0; it < spec.repeat; ++it)
         workload.requests.push_back(place);
+      continue;
+    }
+
+    if (request.type == RequestType::Portfolio) {
+      PortfolioRequest portfolio;
+      portfolio.snapshot = bound.hash;
+      portfolio.algorithms = request.portfolio_algorithms;
+      portfolio.k = request.k;
+      portfolio.seed = request.seed;
+      portfolio.deadline_seconds = request.deadline_seconds;
+      portfolio.tenant = request.tenant;
+      for (std::size_t it = 0; it < spec.repeat; ++it)
+        workload.requests.push_back(portfolio);
       continue;
     }
 
@@ -507,6 +565,23 @@ class ResponseDigest {
         u64(result.mutate.path_sets_reused);
         u64(result.mutate.path_sets_rebuilt);
         break;
+      case RequestType::Portfolio:
+        str(result.portfolio.winner);
+        nodes(result.portfolio.placement);
+        f64(result.portfolio.objective_value);
+        metric(result.portfolio.metrics);
+        u64(result.portfolio.max_identifiable_failures);
+        u64(result.portfolio.entries.size());
+        for (const PortfolioEntryResult& entry : result.portfolio.entries) {
+          str(entry.algorithm);
+          u64(entry.ok() ? 1 : 0);
+          nodes(entry.placement);
+          f64(entry.objective_value);
+          f64(entry.reported_value);
+          u64(entry.evaluations);
+          u64(entry.max_identifiable_failures);
+        }
+        break;
     }
   }
 
@@ -514,6 +589,13 @@ class ResponseDigest {
   void u64(std::uint64_t value) {
     for (int byte = 0; byte < 8; ++byte) {
       hash_ ^= (value >> (8 * byte)) & 0xffu;
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void str(const std::string& text) {
+    u64(text.size());
+    for (const char c : text) {
+      hash_ ^= static_cast<unsigned char>(c);
       hash_ *= 1099511628211ull;
     }
   }

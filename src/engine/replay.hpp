@@ -24,12 +24,24 @@
 //   evaluate net1 qos         # evaluates that algorithm's placement
 //   localize net1 2           # inject 2 random failures (deterministic
 //                             # per-line, per-iteration seeds)
+//   portfolio net1 greedy pair_cover k 1
+//                             # run a PortfolioRequest over the named
+//                             # registry algorithms (none listed = every
+//                             # registered algorithm); names are validated
+//                             # against the registry at parse time
 //
 //   # request-state directives, applying to every request line below them
 //   seed 7                    # RNG seed for subsequent rd placements
 //   deadline 250              # per-request deadline in ms (0 = none)
 //   tenant acme               # tag subsequent requests with a tenant id
 //   tenant -                  # ... back to the default tenant
+//   algo pair_cover           # route subsequent `place` lines through the
+//                             # pluggable algorithm registry
+//                             # (placement/algorithm.hpp) under that name,
+//                             # overriding the line's enum token; validated
+//                             # at parse time. Only `place` lines are
+//                             # affected. `algo -` returns to the classic
+//                             # enum path
 //
 //   # per-tenant admission quotas (engine-level; `-` = the default tenant).
 //   # keys (all optional): inflight (max in-flight requests), rate
@@ -89,6 +101,12 @@ struct ReplayRequestSpec {
   RequestType type = RequestType::Place;
   std::string snapshot;
   std::string algorithm = "gd";  ///< place: algorithm; evaluate: placement
+  /// Registry algorithm name for `place` lines (from the `algo` directive;
+  /// empty = the classic enum path). Routes the PlaceRequest through
+  /// placement/algorithm.hpp.
+  std::string registry_algorithm;
+  /// `portfolio` lines: the registry names to race (empty = all registered).
+  std::vector<std::string> portfolio_algorithms;
   std::size_t k = 1;
   std::size_t failures = 1;      ///< localize only
   std::uint64_t seed = 42;       ///< rd placements (from `seed`)

@@ -13,6 +13,7 @@ std::string to_string(RequestType type) {
     case RequestType::Evaluate: return "evaluate";
     case RequestType::Localize: return "localize";
     case RequestType::Mutate: return "mutate";
+    case RequestType::Portfolio: return "portfolio";
   }
   throw ContractViolation("unknown request type");
 }
@@ -50,11 +51,35 @@ void append_tenant(std::ostringstream& key, const std::string& tenant) {
 
 std::string canonical_key(const PlaceRequest& request) {
   std::ostringstream key;
+  if (!request.algorithm_name.empty()) {
+    // Registry path: the name, the objective the algorithm maximizes, and
+    // the seed (which algorithms consume it is registry state, so the key —
+    // a pure function of the request — always encodes it).
+    key << "place|" << std::hex << request.snapshot << std::dec
+        << "|a=" << request.algorithm_name << '|'
+        << to_string(request.objective) << "|k=" << request.k
+        << "|seed=" << request.seed;
+    append_tenant(key, request.tenant);
+    return key.str();
+  }
   key << "place|" << std::hex << request.snapshot << std::dec << '|'
       << to_string(request.algorithm) << "|k=" << request.k;
   // Only RD consumes randomness; a seed on any other algorithm is noise
   // that must not split the cache.
   if (request.algorithm == Algorithm::RD) key << "|seed=" << request.seed;
+  append_tenant(key, request.tenant);
+  return key.str();
+}
+
+std::string canonical_key(const PortfolioRequest& request) {
+  std::ostringstream key;
+  key << "portfolio|" << std::hex << request.snapshot << std::dec << '|'
+      << to_string(request.objective) << "|k=" << request.k << "|a=";
+  for (std::size_t i = 0; i < request.algorithms.size(); ++i) {
+    if (i > 0) key << ',';
+    key << request.algorithms[i];
+  }
+  key << "|seed=" << request.seed;
   append_tenant(key, request.tenant);
   return key.str();
 }
@@ -146,6 +171,9 @@ RequestType request_type(const Request& request) {
     }
     RequestType operator()(const MutateRequest&) const {
       return RequestType::Mutate;
+    }
+    RequestType operator()(const PortfolioRequest&) const {
+      return RequestType::Portfolio;
     }
   };
   return std::visit(Visitor{}, request);

@@ -16,14 +16,15 @@
 #include "core/experiment.hpp"
 #include "core/metrics_report.hpp"
 #include "dynamic/delta.hpp"
+#include "monitoring/objective.hpp"
 #include "placement/service.hpp"
 
 namespace splace::engine {
 
-enum class RequestType { Place, Evaluate, Localize, Mutate };
+enum class RequestType { Place, Evaluate, Localize, Mutate, Portfolio };
 
 /// Number of RequestType values (for per-type counter arrays).
-inline constexpr std::size_t kRequestTypeCount = 4;
+inline constexpr std::size_t kRequestTypeCount = 5;
 
 /// Why a request produced no result. Ok is the only success outcome.
 enum class Outcome {
@@ -38,12 +39,21 @@ std::string to_string(RequestType type);
 std::string to_string(Outcome outcome);
 bool is_rejected(Outcome outcome);
 
-/// Compute a placement on a snapshot with one of the paper's algorithms.
+/// Compute a placement on a snapshot with one of the paper's algorithms —
+/// or, when `algorithm_name` is non-empty, with any algorithm from the
+/// pluggable registry (placement/algorithm.hpp), scored under `objective`.
 struct PlaceRequest {
   std::uint64_t snapshot = 0;          ///< SnapshotRegistry content hash
   Algorithm algorithm = Algorithm::GD;
+  /// Registry algorithm name (e.g. "pair_cover"). Empty = use the classic
+  /// `algorithm` enum above. An unknown name is RejectedBadRequest listing
+  /// every registered name.
+  std::string algorithm_name;
+  /// Objective a registry algorithm maximizes; ignored on the enum path
+  /// (GC/GI/GD imply their objectives).
+  ObjectiveKind objective = ObjectiveKind::Distinguishability;
   std::size_t k = 1;                   ///< failure bound (greedy objectives)
-  std::uint64_t seed = 42;             ///< RNG seed (RD only)
+  std::uint64_t seed = 42;             ///< RNG seed (RD / "random" only)
   /// Intra-request worker threads for the greedy arg-max (1 = sequential).
   /// NOT part of the cache key: placements are bit-identical across thread
   /// counts (PR 2's determinism contract), so thread count is purely speed.
@@ -82,11 +92,57 @@ struct MutateRequest {
   std::string tenant;
 };
 
+/// Run a set of registered placement algorithms on one snapshot and pick
+/// the winner under a common objective, with MIS certificates attached
+/// (portfolio/portfolio.hpp behind the engine's caching/metrics/stream
+/// surface). Algorithms execute sequentially on the engine worker — each
+/// algorithm's own intra-run parallelism comes from `threads`.
+struct PortfolioRequest {
+  std::uint64_t snapshot = 0;
+  /// Registry names in tie-break priority order; empty = every registered
+  /// algorithm. Unknown names are RejectedBadRequest listing the registry.
+  std::vector<std::string> algorithms;
+  ObjectiveKind objective = ObjectiveKind::Distinguishability;
+  std::size_t k = 1;          ///< failure bound (objective + certificates)
+  std::uint64_t seed = 42;    ///< forwarded to seed-consuming algorithms
+  /// Intra-algorithm worker threads (NOT part of the cache key; results are
+  /// bit-identical across thread counts).
+  std::size_t threads = 1;
+  double deadline_seconds = 0;
+  std::string tenant;
+};
+
 struct PlaceResult {
   Placement placement;
   /// f(P) reported by the greedy search (0 for QoS/RD/BF placements).
   double objective_value = 0;
   MetricReport metrics;  ///< the placement's metric triple at the request's k
+};
+
+/// One algorithm's entry in a portfolio response. Wall-clock timings are
+/// deliberately absent: the payload is cacheable, so every field must be a
+/// deterministic function of (snapshot, request parameters).
+struct PortfolioEntryResult {
+  std::string algorithm;
+  std::string error;            ///< non-empty = this entry failed (and lost)
+  Placement placement;
+  double objective_value = 0;   ///< common-objective score (the ranking key)
+  double reported_value = 0;    ///< the algorithm's own reported value
+  std::size_t evaluations = 0;
+  /// MIS certificate bound of this placement (portfolio/mis.hpp): localize()
+  /// is guaranteed unique for every true failure set of size <= this.
+  std::size_t max_identifiable_failures = 0;
+
+  bool ok() const { return error.empty(); }
+};
+
+struct PortfolioResult {
+  std::string winner;           ///< winning algorithm name
+  Placement placement;          ///< the winning placement
+  double objective_value = 0;   ///< winner's common-objective score
+  MetricReport metrics;         ///< winner's metric triple at the request's k
+  std::size_t max_identifiable_failures = 0;  ///< winner's certificate bound
+  std::vector<PortfolioEntryResult> entries;  ///< request order
 };
 
 struct LocalizeResult {
@@ -119,13 +175,14 @@ struct EngineResult {
   MetricReport metrics;
   LocalizeResult localization;
   MutateResult mutate;
+  PortfolioResult portfolio;
 
   bool ok() const { return outcome == Outcome::Ok; }
 };
 
 /// Any engine request, for batched submission and uniform dispatch.
-using Request =
-    std::variant<PlaceRequest, EvaluateRequest, LocalizeRequest, MutateRequest>;
+using Request = std::variant<PlaceRequest, EvaluateRequest, LocalizeRequest,
+                             MutateRequest, PortfolioRequest>;
 
 RequestType request_type(const Request& request);
 double deadline_of(const Request& request);
@@ -144,6 +201,11 @@ const std::string& tenant_of(const Request& request);
 std::string canonical_key(const PlaceRequest& request);
 std::string canonical_key(const EvaluateRequest& request);
 std::string canonical_key(const LocalizeRequest& request);
+/// The algorithm list keeps its order (it decides winner tie-breaks). The
+/// seed is always encoded: whether any listed algorithm consumes it would
+/// depend on registry state, and a canonical key must be a pure function of
+/// the request.
+std::string canonical_key(const PortfolioRequest& request);
 /// Link lists are normalized ({u < v}, sorted) and client removals sorted —
 /// none of those orders can change the derived topology. Client *additions*
 /// keep their order: it decides where new clients append, which shapes the

@@ -87,9 +87,10 @@ class EquivalenceState final : public ObjectiveState {
 
   double gain(const PathSet& extra) const override {
     // Class-split deltas on scratch buffers — no partition copy. The
-    // signature word limits this to 64 extra paths; larger hypothetical
-    // sets (never the per-candidate sets of Algorithm 2) take the generic
-    // clone-based fallback.
+    // signature word limits this to 64 extra paths; larger sets take the
+    // generic clone-based fallback. Algorithm 2's per-candidate sets DO
+    // cross that line when a service has more than 64 clients (one path
+    // per client), so the fallback is a live path, not dead code.
     if (extra.size() > 64) return ObjectiveState::gain(extra);
     const SplitDelta delta = classes_.split_delta(extra, scratch_);
     return delta_value(delta);

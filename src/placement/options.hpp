@@ -48,7 +48,11 @@ struct PlacementOptions {
   /// Per-round candidate sample size for stochastic_greedy_placement:
   /// 0 (the default) evaluates every unplaced (service, host) pair — exact
   /// greedy — while n > 0 draws n pairs uniformly without replacement each
-  /// round. Ignored by the exact engines (greedy, lazy greedy, brute force).
+  /// round. Called directly, the exact engines (greedy, lazy greedy, brute
+  /// force) ignore it; through the algorithm registry
+  /// (placement/algorithm.hpp) a nonzero pool is REJECTED by entries that
+  /// do not declare supports_stochastic() — a silent ignore would make
+  /// "same spec, different algorithm" portfolio entries incomparable.
   std::size_t stochastic_pool = 0;
 
   /// Seed for the stochastic sampler; a fixed seed makes runs bit-for-bit

@@ -97,6 +97,11 @@ std::future<engine::EngineResult> EngineGroup::submit(
   return submit(engine::Request{std::move(request)});
 }
 
+std::future<engine::EngineResult> EngineGroup::submit(
+    engine::PortfolioRequest request) {
+  return submit(engine::Request{std::move(request)});
+}
+
 std::vector<engine::EngineMetricsSnapshot> EngineGroup::shard_metrics() const {
   std::vector<engine::EngineMetricsSnapshot> snapshots;
   snapshots.reserve(shards_.size());

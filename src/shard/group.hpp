@@ -68,6 +68,7 @@ class EngineGroup {
   std::future<engine::EngineResult> submit(engine::EvaluateRequest request);
   std::future<engine::EngineResult> submit(engine::LocalizeRequest request);
   std::future<engine::EngineResult> submit(engine::MutateRequest request);
+  std::future<engine::EngineResult> submit(engine::PortfolioRequest request);
   std::future<engine::EngineResult> submit(engine::Request request);
 
   /// Batched submission: the batch is split into per-shard sub-batches

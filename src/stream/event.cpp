@@ -22,6 +22,8 @@ std::string to_string(EventKind kind) {
       return "propagation";
     case EventKind::RootCause:
       return "root_cause";
+    case EventKind::Portfolio:
+      return "portfolio";
   }
   throw InvalidInput("unknown event kind");
 }
@@ -46,6 +48,9 @@ EventKind event_kind(const StreamEvent& event) {
     }
     EventKind operator()(const RootCauseEvent&) const {
       return EventKind::RootCause;
+    }
+    EventKind operator()(const PortfolioEvent&) const {
+      return EventKind::Portfolio;
     }
   };
   return std::visit(Visitor{}, event);
@@ -116,6 +121,14 @@ std::string to_json(const StreamEvent& event) {
           << ", \"top1\": " << (e.top1 ? "true" : "false")
           << ", \"blast_services\": " << e.blast_services
           << ", \"candidates\": " << e.candidates << "}";
+    }
+    void operator()(const PortfolioEvent& e) const {
+      append_header(out, EventKind::Portfolio, e.header);
+      out << ", \"winner\": \"" << e.winner
+          << "\", \"algorithms\": " << e.algorithms
+          << ", \"objective_value\": " << e.objective_value
+          << ", \"max_identifiable_failures\": "
+          << e.max_identifiable_failures << "}";
     }
   };
   std::visit(Visitor{out}, event);

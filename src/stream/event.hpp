@@ -2,7 +2,7 @@
 //
 // The batch serving path answers "where is the failure?" when asked; the
 // streaming plane answers "something failed, here is what we know so far"
-// the moment the evidence arrives. Everything it pushes is one of seven
+// the moment the evidence arrives. Everything it pushes is one of eight
 // event kinds:
 //
 //   Detection     a failure episode became visible: the first path of an
@@ -31,6 +31,11 @@
 //                 cascade episode (cascade/root_cause.hpp). Carries the
 //                 top-ranked service, the ground-truth root, and the blast
 //                 set.
+//   Portfolio     the engine served a PortfolioRequest: a set of registered
+//                 placement algorithms competed on one snapshot
+//                 (portfolio/portfolio.hpp). Carries the winning algorithm,
+//                 its common-objective score, and its MIS identifiability
+//                 certificate bound.
 //
 // Events are immutable values; the bus (stream/bus.hpp) fans them out as
 // shared_ptr so a fan-out costs refcounts, not payload copies.
@@ -54,10 +59,11 @@ enum class EventKind {
   CascadeStart,
   Propagation,
   RootCause,
+  Portfolio,
 };
 
 /// Number of EventKind values (for per-kind counters and masks).
-inline constexpr std::size_t kEventKindCount = 7;
+inline constexpr std::size_t kEventKindCount = 8;
 
 std::string to_string(EventKind kind);
 
@@ -76,7 +82,7 @@ inline constexpr EventMask kAllEvents =
     event_bit(EventKind::Detection) | event_bit(EventKind::Localization) |
     event_bit(EventKind::Ambiguity) | event_bit(EventKind::Trace) |
     event_bit(EventKind::CascadeStart) | event_bit(EventKind::Propagation) |
-    event_bit(EventKind::RootCause);
+    event_bit(EventKind::RootCause) | event_bit(EventKind::Portfolio);
 
 /// Fields every ingest-produced event shares: which stream and snapshot it
 /// came from, the ingest update that produced it, and when.
@@ -154,9 +160,24 @@ struct RootCauseEvent {
   std::size_t candidates = 0;
 };
 
+/// The engine served a PortfolioRequest: `algorithms` registered strategies
+/// competed on `snapshot` and `winner` won with `objective_value` under the
+/// request's common objective. `max_identifiable_failures` is the winning
+/// placement's MIS certificate bound (0 when certificates were off or even
+/// single failures are confusable). Only the header's `snapshot` field is
+/// meaningful — portfolio events come from the request path, not an ingest.
+struct PortfolioEvent {
+  EventHeader header;
+  std::string winner;
+  std::size_t algorithms = 0;
+  double objective_value = 0;
+  std::size_t max_identifiable_failures = 0;
+};
+
 using StreamEvent =
     std::variant<DetectionEvent, LocalizationEvent, AmbiguityEvent, TraceEvent,
-                 CascadeStartEvent, PropagationEvent, RootCauseEvent>;
+                 CascadeStartEvent, PropagationEvent, RootCauseEvent,
+                 PortfolioEvent>;
 
 EventKind event_kind(const StreamEvent& event);
 

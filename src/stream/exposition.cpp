@@ -269,6 +269,7 @@ std::string metrics_text(const std::vector<EngineExposition>& shards) {
         {"evaluate", &s.engine.evaluate},
         {"localize", &s.engine.localize},
         {"mutate", &s.engine.mutate},
+        {"portfolio", &s.engine.portfolio},
     };
     for (const auto& [type, stats] : kTypes) {
       w.histogram("splace_request_latency_us",

@@ -178,7 +178,11 @@ bool ObservationIngest::observe(std::uint32_t path, PathState state,
         DetectionEvent event;
         event.header = head;
         event.path = path;
-        pending.events.push_back(std::move(event));
+        // In-place variant construction (here and below): converting the
+        // typed event through a StreamEvent temporary trips GCC's
+        // -Wmaybe-uninitialized on the variant move.
+        pending.events.emplace_back(std::in_place_type<DetectionEvent>,
+                                    std::move(event));
         pending.detected = true;
         pending.detect_latency_us = head.latency_us;
       }
@@ -216,7 +220,8 @@ bool ObservationIngest::observe(std::uint32_t path, PathState state,
             event.failure_set = candidates_.front();
             event.suspects = suspect_count();
             event.final_observation = known_paths_.count() == paths_.size();
-            pending.events.push_back(std::move(event));
+            pending.events.emplace_back(std::in_place_type<LocalizationEvent>,
+                                        std::move(event));
             pending.localized = true;
             pending.localize_latency_us = head.latency_us;
           } else {
@@ -224,7 +229,8 @@ bool ObservationIngest::observe(std::uint32_t path, PathState state,
             event.header = head;
             event.consistent_sets = candidates_.size();
             event.suspects = suspect_count();
-            pending.events.push_back(std::move(event));
+            pending.events.emplace_back(std::in_place_type<AmbiguityEvent>,
+                                        std::move(event));
             pending.ambiguity = true;
           }
         }
